@@ -1,0 +1,31 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+SCALE ?= quick
+
+.PHONY: install test bench bench-smoke report examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	REPRO_HYPOTHESIS_PROFILE=dev $(PYTHON) -m pytest tests/ -x -q
+
+bench:
+	REPRO_SCALE=$(SCALE) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	REPRO_SCALE=smoke $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro.cli report
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

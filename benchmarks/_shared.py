@@ -1,0 +1,116 @@
+"""Shared, memoized experiment runners for the benchmark suite.
+
+Several benches view the same underlying study (a table and its bar-chart
+figure, the speedup tables and the runtime-curve figures), so each study is
+computed once per pytest session and re-rendered by every bench that needs
+it.  Reports are accumulated here and flushed both to ``results/*.txt`` and
+to the pytest terminal summary (see ``conftest.py``).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+from repro.bestknown.store import BestKnownStore
+from repro.experiments.ablation import (
+    BlockSizeAblation,
+    CoolingAblation,
+    SyncAsyncAblation,
+    run_blocksize_ablation,
+    run_cooling_ablation,
+    run_sync_vs_async,
+)
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.deviation import DeviationStudy, run_deviation_study
+from repro.experiments.runtime import RuntimeSurface, run_runtime_surface
+from repro.experiments.speedup import SpeedupStudy, run_speedup_study
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+_REPORTS: dict[str, str] = {}
+
+
+def scale() -> ExperimentScale:
+    """The active experiment scale (``REPRO_SCALE``, default quick)."""
+    return get_scale()
+
+
+@lru_cache(maxsize=None)
+def deviation_study(problem: str) -> DeviationStudy:
+    """Memoized deviation study (Tables II/IV, Figures 12/15)."""
+    return run_deviation_study(problem, scale(), BestKnownStore())
+
+
+@lru_cache(maxsize=None)
+def speedup_study(problem: str) -> SpeedupStudy:
+    """Memoized speedup study (Tables III/V, Figures 13/14/16/17)."""
+    return run_speedup_study(problem, scale())
+
+
+@lru_cache(maxsize=None)
+def runtime_surface() -> RuntimeSurface:
+    """Memoized Figure 11 surface."""
+    return run_runtime_surface(scale())
+
+
+@lru_cache(maxsize=None)
+def blocksize_ablation() -> BlockSizeAblation:
+    """Memoized block-size ablation."""
+    return run_blocksize_ablation(scale())
+
+
+@lru_cache(maxsize=None)
+def sync_ablation() -> SyncAsyncAblation:
+    """Memoized async-vs-sync ablation."""
+    return run_sync_vs_async(scale())
+
+
+@lru_cache(maxsize=None)
+def cooling_ablation() -> CoolingAblation:
+    """Memoized cooling-rate ablation."""
+    return run_cooling_ablation(scale())
+
+
+def publish(name: str, report: str) -> None:
+    """Record a rendered report: save to results/ and queue for the summary."""
+    _REPORTS[name] = report
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(report + "\n")
+
+
+def collected_reports() -> dict[str, str]:
+    """All reports published so far this session."""
+    return dict(_REPORTS)
+
+
+@lru_cache(maxsize=None)
+def texture_ablation():
+    """Memoized texture-memory ablation (paper future work)."""
+    from repro.experiments.ablation import run_texture_ablation
+
+    return run_texture_ablation(scale())
+
+
+@lru_cache(maxsize=None)
+def coupling_ablation():
+    """Memoized DPSO-coupling ablation."""
+    from repro.experiments.ablation import run_coupling_ablation
+
+    return run_coupling_ablation(scale())
+
+
+@lru_cache(maxsize=None)
+def refresh_ablation():
+    """Memoized perturbation-refresh ablation."""
+    from repro.experiments.ablation import run_refresh_ablation
+
+    return run_refresh_ablation(scale())
+
+
+@lru_cache(maxsize=None)
+def strategy_ablation():
+    """Memoized parallelization-strategy ablation (Section V)."""
+    from repro.experiments.ablation import run_strategy_ablation
+
+    return run_strategy_ablation(scale())

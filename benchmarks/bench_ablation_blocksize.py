@@ -1,0 +1,24 @@
+"""Ablation: block size at a fixed total thread count (Section VIII prose).
+
+The paper fixes 768 threads and reports 192 threads/block as the sweet spot
+on the GT 560M.  The bench sweeps the block size, reporting the modeled
+fitness-kernel time and occupancy.
+"""
+
+import numpy as np
+
+import _shared
+
+
+def test_blocksize_ablation(benchmark):
+    res = benchmark.pedantic(
+        _shared.blocksize_ablation, rounds=1, iterations=1
+    )
+    _shared.publish("ablation_blocksize", res.render())
+
+    assert 192 in res.block_sizes
+    # The paper's 192 must be within 25% of the best modeled time.
+    i192 = res.block_sizes.index(192)
+    assert res.kernel_time_s[i192] <= res.kernel_time_s.min() * 1.25
+    # Occupancy is reported for every candidate.
+    assert np.all(res.occupancy_pct > 0)

@@ -1,0 +1,18 @@
+"""Ablation: exponential cooling rate (Section VI prose).
+
+The paper adopts mu = 0.88 "inferred from our experiments over a range of
+cooling rates"; the bench sweeps the range and reports the mean objective
+per rate.
+"""
+
+import _shared
+
+
+def test_cooling_ablation(benchmark):
+    res = benchmark.pedantic(_shared.cooling_ablation, rounds=1, iterations=1)
+    _shared.publish("ablation_cooling", res.render())
+
+    assert 0.88 in res.rates
+    # 0.88 must be competitive: within 10% of the best swept rate.
+    i = res.rates.index(0.88)
+    assert res.objective[i] <= res.objective.min() * 1.10

@@ -1,0 +1,20 @@
+"""Ablation: asynchronous (paper) vs coupled-swarm parallel DPSO.
+
+The paper parallelizes DPSO "in the asynchronous manner, as explained for
+the SA" -- isolating every particle -- and observes DPSO collapsing at
+large n (Table II: 32% deviation at n=1000).  This bench quantifies how
+much of that collapse is the isolation: the coupled-swarm extension shares
+the reduced swarm best every generation.
+"""
+
+import _shared
+
+
+def test_coupling_ablation(benchmark):
+    res = benchmark.pedantic(_shared.coupling_ablation, rounds=1, iterations=1)
+    _shared.publish("ablation_dpso_coupling", res.render())
+
+    # At the largest size swept, information flow pays: the isolated
+    # (paper) variant trails the ring and full couplings.
+    assert res.async_objective[-1] >= res.coupled_objective[-1]
+    assert res.async_objective[-1] >= res.ring_objective[-1] * 0.98

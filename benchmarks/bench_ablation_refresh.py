@@ -1,0 +1,17 @@
+"""Ablation: perturbation-position refresh cadence (Section VI ambiguity).
+
+Section VI says positions are re-selected "after every 10 SA iterations";
+Section VI-B describes a freshly selected sub-sequence per neighbor.  The
+bench sweeps the cadence: infrequent refreshes confine each 10-iteration
+window to the 4! arrangements of fixed positions and should hurt quality.
+"""
+
+import _shared
+
+
+def test_refresh_ablation(benchmark):
+    res = benchmark.pedantic(_shared.refresh_ablation, rounds=1, iterations=1)
+    _shared.publish("ablation_position_refresh", res.render())
+
+    # Per-iteration refresh (interval 1) beats the slowest cadence swept.
+    assert res.objective[0] <= res.objective[-1] * 1.02

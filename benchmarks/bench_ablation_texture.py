@@ -1,0 +1,18 @@
+"""Ablation: texture-memory gathers (the paper's future-work item).
+
+"Future works in this area should also examine the utilization of the
+texture memory of the GPU to make use of its spatial cache."  The bench
+compares the modeled fitness-kernel time with the read-only gathers routed
+through the texture cache.
+"""
+
+import _shared
+
+
+def test_texture_ablation(benchmark):
+    res = benchmark.pedantic(_shared.texture_ablation, rounds=1, iterations=1)
+    _shared.publish("ablation_texture", res.render())
+
+    # The texture path must help, but not implausibly much.
+    assert 0.0 < res.saving_pct < 40.0
+    assert res.texture_s < res.plain_s

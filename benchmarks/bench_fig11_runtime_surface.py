@@ -1,0 +1,29 @@
+"""Figure 11: fitness-evaluation runtime vs threads x generations (UCDDCP).
+
+Expected shape (paper): runtime grows linearly in the generation count and
+stepwise in the thread count -- once the launched blocks exceed what the
+SMs co-execute, additional block waves serialize ("loading several threads
+within a block results in serial processing of the blocks through the SM").
+"""
+
+import numpy as np
+
+import _shared
+
+
+def test_fig11_runtime_surface(benchmark):
+    surf = benchmark.pedantic(
+        _shared.runtime_surface, rounds=1, iterations=1
+    )
+    _shared.publish("fig11_runtime_surface", surf.render())
+
+    # Linear in generations.
+    gens = np.asarray(surf.generations, dtype=float)
+    np.testing.assert_allclose(
+        surf.seconds / surf.per_launch_s[:, None],
+        np.broadcast_to(gens, surf.seconds.shape),
+    )
+    # Monotone non-decreasing in thread count, with a genuine increase from
+    # the smallest to the largest configuration.
+    assert np.all(np.diff(surf.per_launch_s) >= -1e-15)
+    assert surf.per_launch_s[-1] > surf.per_launch_s[0]

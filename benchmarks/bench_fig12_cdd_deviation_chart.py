@@ -1,0 +1,29 @@
+"""Figure 12: bar chart of the CDD percentage deviations (Table II data).
+
+Shares the memoized Table II study; this bench renders and checks the
+figure series.
+"""
+
+import _shared
+
+
+def test_fig12_cdd_deviation_chart(benchmark):
+    study = benchmark.pedantic(
+        lambda: _shared.deviation_study("cdd"), rounds=1, iterations=1
+    )
+    from repro.experiments.ascii_plot import grouped_bar_chart
+
+    chart = grouped_bar_chart(
+        [str(n) for n in study.sizes],
+        {
+            lab: study.mean_deviation[:, j].tolist()
+            for j, lab in enumerate(study.labels)
+        },
+        title="Fig 12: CDD average %deviation per size and algorithm",
+    )
+    _shared.publish("fig12_cdd_deviation_chart", chart)
+    # Every size group and every series appear in the figure.
+    for n in study.sizes:
+        assert f"{n}:" in chart
+    for lab in study.labels:
+        assert lab in chart

@@ -1,0 +1,19 @@
+"""Figure 13: bar chart of the CDD speedups (Table III data)."""
+
+import _shared
+
+
+def test_fig13_cdd_speedup_chart(benchmark):
+    study = benchmark.pedantic(
+        lambda: _shared.speedup_study("cdd"), rounds=1, iterations=1
+    )
+    from repro.experiments.ascii_plot import grouped_bar_chart
+
+    modeled = study.matrix("speedup_modeled")
+    chart = grouped_bar_chart(
+        [str(n) for n in study.sizes],
+        {lab: modeled[:, j].tolist() for j, lab in enumerate(study.labels)},
+        title="Fig 13: CDD speedups per size and algorithm (modeled device)",
+    )
+    _shared.publish("fig13_cdd_speedup_chart", chart)
+    assert str(study.sizes[-1]) in chart

@@ -1,0 +1,29 @@
+"""Figure 14: runtime curves of the four parallel variants + CPU (CDD).
+
+Expected shape (paper): the CPU curve dominates everything at larger sizes;
+SA is faster than DPSO at equal generation counts; the 5000-generation
+variants cost ~5x their 1000-generation counterparts.
+"""
+
+import numpy as np
+
+import _shared
+
+
+def test_fig14_cdd_runtimes(benchmark):
+    study = benchmark.pedantic(
+        lambda: _shared.speedup_study("cdd"), rounds=1, iterations=1
+    )
+    _shared.publish("fig14_cdd_runtimes", study.render_runtime_curves())
+
+    gpu = study.matrix("modeled_gpu_s")
+    labels = study.labels
+    # SA faster than DPSO per variant at the largest size.
+    assert gpu[-1, 0] < gpu[-1, 2]
+    assert gpu[-1, 1] < gpu[-1, 3]
+    # 5x iterations => ~5x modeled runtime.
+    ratio = gpu[:, 1] / gpu[:, 0]
+    assert np.all(ratio > 3.0) and np.all(ratio < 7.0)
+    # CPU reference slower than the parallel SA at the largest size.
+    cpu_last = study.cells[(study.sizes[-1], labels[0])].serial_cpu_s
+    assert cpu_last > gpu[-1, 0]

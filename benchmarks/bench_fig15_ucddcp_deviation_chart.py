@@ -1,0 +1,26 @@
+"""Figure 15: bar chart of the UCDDCP percentage deviations (Table IV data).
+
+Negative bars mean the parallel algorithm improved on the best known
+sequential value, as in the paper's Figure 15.
+"""
+
+import _shared
+
+
+def test_fig15_ucddcp_deviation_chart(benchmark):
+    study = benchmark.pedantic(
+        lambda: _shared.deviation_study("ucddcp"), rounds=1, iterations=1
+    )
+    from repro.experiments.ascii_plot import grouped_bar_chart
+
+    chart = grouped_bar_chart(
+        [str(n) for n in study.sizes],
+        {
+            lab: study.mean_deviation[:, j].tolist()
+            for j, lab in enumerate(study.labels)
+        },
+        title="Fig 15: UCDDCP average %deviation per size and algorithm",
+    )
+    _shared.publish("fig15_ucddcp_deviation_chart", chart)
+    for lab in study.labels:
+        assert lab in chart

@@ -1,0 +1,19 @@
+"""Figure 16: runtime curves of the four parallel variants + CPU (UCDDCP)."""
+
+import numpy as np
+
+import _shared
+
+
+def test_fig16_ucddcp_runtimes(benchmark):
+    study = benchmark.pedantic(
+        lambda: _shared.speedup_study("ucddcp"), rounds=1, iterations=1
+    )
+    _shared.publish("fig16_ucddcp_runtimes", study.render_runtime_curves())
+
+    gpu = study.matrix("modeled_gpu_s")
+    # Runtime grows with the job size for every variant.
+    assert np.all(gpu[-1] > gpu[0])
+    # SA faster than DPSO at the largest size, per variant.
+    assert gpu[-1, 0] < gpu[-1, 2]
+    assert gpu[-1, 1] < gpu[-1, 3]

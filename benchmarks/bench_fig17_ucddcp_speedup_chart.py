@@ -1,0 +1,19 @@
+"""Figure 17: bar chart of the UCDDCP speedups (Table V data)."""
+
+import _shared
+
+
+def test_fig17_ucddcp_speedup_chart(benchmark):
+    study = benchmark.pedantic(
+        lambda: _shared.speedup_study("ucddcp"), rounds=1, iterations=1
+    )
+    from repro.experiments.ascii_plot import grouped_bar_chart
+
+    modeled = study.matrix("speedup_modeled")
+    chart = grouped_bar_chart(
+        [str(n) for n in study.sizes],
+        {lab: modeled[:, j].tolist() for j, lab in enumerate(study.labels)},
+        title="Fig 17: UCDDCP speedups per size and algorithm (modeled device)",
+    )
+    _shared.publish("fig17_ucddcp_speedup_chart", chart)
+    assert str(study.sizes[0]) in chart

@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the computational primitives (real wall time).
+
+Unlike the table/figure benches (which time one full experiment pass),
+these use pytest-benchmark conventionally: repeated rounds of the hot
+primitives -- the batched O(n) evaluators that implement the fitness
+kernel, the perturbation operator, and the scalar/pure-Python evaluators
+that define the serial CPU baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.rng import DeviceRNG
+from repro.instances.biskup import biskup_instance
+from repro.instances.ucddcp_gen import ucddcp_instance
+from repro.permutation import (
+    batched_partial_fisher_yates,
+    batched_sample_distinct,
+)
+from repro.seqopt.batched import batched_cdd_objective, batched_ucddcp_objective
+from repro.seqopt.cdd_linear import cdd_objective_for_sequence
+from repro.seqopt.pure_python import cdd_objective_py
+
+POP = 192
+
+
+def _sequences(n, pop=POP, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.argsort(rng.random((pop, n)), axis=1)
+
+
+@pytest.mark.parametrize("n", [50, 200, 1000])
+def test_batched_cdd_fitness(benchmark, n):
+    inst = biskup_instance(n, 0.4, 1)
+    seqs = _sequences(n)
+    result = benchmark(batched_cdd_objective, inst, seqs)
+    assert result.shape == (POP,)
+
+
+@pytest.mark.parametrize("n", [50, 200, 1000])
+def test_batched_ucddcp_fitness(benchmark, n):
+    inst = ucddcp_instance(n, 1)
+    seqs = _sequences(n)
+    result = benchmark(batched_ucddcp_objective, inst, seqs)
+    assert result.shape == (POP,)
+
+
+@pytest.mark.parametrize("n", [50, 500])
+def test_scalar_cdd_fitness(benchmark, n):
+    inst = biskup_instance(n, 0.4, 1)
+    seq = np.random.default_rng(0).permutation(n)
+    benchmark(cdd_objective_for_sequence, inst, seq)
+
+
+@pytest.mark.parametrize("n", [50, 500])
+def test_pure_python_cdd_fitness(benchmark, n):
+    inst = biskup_instance(n, 0.4, 1)
+    seq = list(np.random.default_rng(0).permutation(n))
+    p, a, b = (inst.processing.tolist(), inst.alpha.tolist(),
+               inst.beta.tolist())
+    benchmark(cdd_objective_py, p, a, b, inst.due_date, seq)
+
+
+def test_perturbation_operator(benchmark):
+    n = 200
+    seqs = _sequences(n)
+    rng = DeviceRNG(0)
+    tids = np.arange(POP)
+
+    def run():
+        pos = batched_sample_distinct(rng, tids, n, 4)
+        return batched_partial_fisher_yates(rng, tids, seqs, pos)
+
+    out = benchmark(run)
+    assert out.shape == seqs.shape

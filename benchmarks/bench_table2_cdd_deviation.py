@@ -1,0 +1,37 @@
+"""Table II: average %deviation of the four parallel algorithms (CDD).
+
+Regenerates the paper's Table II at the active scale: for every job size,
+the Biskup-Feldmann instance grid is solved by SA and DPSO at the low and
+high generation budgets (1:5 ratio), and the mean percentage deviation from
+the best-known (sequential-reference) value is reported.
+
+Expected shape (paper): SA deviations stay small at every size; DPSO
+deviations grow dramatically with n; DPSO is competitive up to ~50 jobs.
+"""
+
+import _shared
+
+
+def test_table2_cdd_deviation(benchmark):
+    study = benchmark.pedantic(
+        lambda: _shared.deviation_study("cdd"), rounds=1, iterations=1
+    )
+    _shared.publish("table2_cdd_deviation", study.render())
+    from repro.experiments.export import write_study_csvs
+
+    write_study_csvs(study, _shared.RESULTS_DIR)
+
+    labels = study.labels
+    sa_hi = study.column(labels[1])
+    dpso_lo = study.column(labels[2])
+    sizes = list(study.sizes)
+
+    # Shape assertions (the qualitative claims of Section VIII-A).
+    # 1) DPSO degrades with size: its deviation at the largest size exceeds
+    #    its deviation at the smallest sizes.
+    assert dpso_lo[-1] > dpso_lo[0] - 1e-9
+    # 2) At the largest size, SA (high budget) beats low-budget DPSO.
+    assert sa_hi[-1] < dpso_lo[-1]
+    # 3) The high SA budget is at least as good as the low one on average.
+    sa_lo = study.column(labels[0])
+    assert sa_hi.mean() <= sa_lo.mean() + 0.5

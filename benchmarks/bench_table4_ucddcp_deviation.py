@@ -1,0 +1,28 @@
+"""Table IV: average %deviation of the four parallel algorithms (UCDDCP).
+
+As Table II but on the unrestricted controllable-processing-time problem.
+Expected shape (paper): DPSO again blows up with n; the high-budget SA
+tracks (and sometimes beats -- negative deviations) the sequential
+reference; DPSO is the better algorithm only at small sizes.
+"""
+
+import _shared
+
+
+def test_table4_ucddcp_deviation(benchmark):
+    study = benchmark.pedantic(
+        lambda: _shared.deviation_study("ucddcp"), rounds=1, iterations=1
+    )
+    _shared.publish("table4_ucddcp_deviation", study.render())
+    from repro.experiments.export import write_study_csvs
+
+    write_study_csvs(study, _shared.RESULTS_DIR)
+
+    labels = study.labels
+    sa_hi = study.column(labels[1])
+    dpso_lo = study.column(labels[2])
+
+    # DPSO (low budget) deteriorates with size and loses to SA (high
+    # budget) at the largest size.
+    assert dpso_lo[-1] > dpso_lo[0] - 1e-9
+    assert sa_hi[-1] < dpso_lo[-1]

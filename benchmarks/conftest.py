@@ -1,0 +1,27 @@
+"""Benchmark-suite plumbing: report flushing into the terminal summary."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the sibling ``_shared`` module importable regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import _shared  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every regenerated table/figure after the benchmark run."""
+    reports = _shared.collected_reports()
+    if not reports:
+        return
+    tr = terminalreporter
+    tr.section("reproduced tables and figures")
+    for name in sorted(reports):
+        tr.write_line("")
+        tr.write_line(f"===== {name} =====")
+        for line in reports[name].splitlines():
+            tr.write_line(line)
+    tr.write_line("")
+    tr.write_line(f"(also written to {_shared.RESULTS_DIR}/)")

@@ -1,0 +1,75 @@
+"""SA vs DPSO across job sizes: reproducing the paper's central finding.
+
+Run:  python examples/compare_metaheuristics.py [--sizes 20 50 100]
+
+The paper's headline result (Tables II/IV): the asynchronous parallel SA
+keeps its deviation small at every job count, while the asynchronous DPSO
+-- whose particles, like the SA chains, evolve independently -- degrades
+dramatically as n grows; DPSO is competitive only for small instances.
+This example runs both at equal budgets on a few sizes and prints the
+comparison, including the coupled-swarm DPSO extension, which shows how
+much the paper's asynchronous design choice costs DPSO.
+"""
+
+import argparse
+
+from repro import biskup_instance
+from repro.core.parallel_dpso import ParallelDPSOConfig, parallel_dpso
+from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
+from repro.experiments.tables import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[20, 50, 100, 200])
+    parser.add_argument("--iterations", type=int, default=1000)
+    parser.add_argument("--grid", type=int, default=4)
+    parser.add_argument("--block", type=int, default=48)
+    args = parser.parse_args()
+
+    rows = []
+    for n in args.sizes:
+        inst = biskup_instance(n, 0.4, 1)
+        base = dict(iterations=args.iterations, grid_size=args.grid,
+                    block_size=args.block, seed=7)
+        sa = parallel_sa(inst, ParallelSAConfig(**base))
+        dpso = parallel_dpso(inst, ParallelDPSOConfig(**base))
+        coupled = parallel_dpso(
+            inst, ParallelDPSOConfig(coupling="coupled", **base)
+        )
+        best = min(sa.objective, dpso.objective, coupled.objective)
+        rows.append([
+            n,
+            sa.objective,
+            dpso.objective,
+            coupled.objective,
+            100.0 * (dpso.objective - sa.objective) / sa.objective,
+            f"{sa.modeled_device_time_s:.3f}/"
+            f"{dpso.modeled_device_time_s:.3f}",
+        ])
+        winner = ("SA" if best == sa.objective else
+                  "DPSO(async)" if best == dpso.objective else
+                  "DPSO(coupled)")
+        print(f"n={n}: best = {best:.0f} ({winner})")
+
+    print()
+    print(render_table(
+        ["Jobs", "SA", "DPSO async", "DPSO coupled",
+         "DPSO vs SA (%)", "GPU time SA/DPSO (s)"],
+        rows,
+        title=(
+            f"Parallel SA vs DPSO, {args.iterations} generations, "
+            f"{args.grid * args.block} threads"
+        ),
+    ))
+    print(
+        "\nExpected shape: the 'DPSO vs SA (%)' gap widens with n (the\n"
+        "paper's Tables II/IV), while the coupled-swarm extension stays\n"
+        "competitive -- isolating the swarm, as the paper's asynchronous\n"
+        "parallelization does, is what breaks DPSO at scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

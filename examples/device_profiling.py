@@ -1,0 +1,105 @@
+"""Profiling the simulated device: kernels, occupancy, transfer costs.
+
+Run:  python examples/device_profiling.py
+
+Shows the gpusim substrate as a user would employ the CUDA profiler
+(Section VI: "the presented algorithms are optimized both in their
+performance and memory usage by using the Nvidia CUDA profiler"):
+
+1. run the four-kernel SA generation pipeline on a GT 560M model and print
+   the nvprof-style time breakdown;
+2. compare occupancy across block sizes for the fitness kernel;
+3. contrast the modeled runtime on a stronger device (Tesla K20).
+"""
+
+import numpy as np
+
+from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
+from repro.gpusim import (
+    GEFORCE_GT_560M,
+    TESLA_K20,
+    Device,
+    linear_config,
+    occupancy,
+)
+from repro.instances.biskup import biskup_instance
+from repro.kernels.acceptance import make_acceptance_kernel
+from repro.kernels.data import DeviceProblemData
+from repro.kernels.fitness import make_cdd_fitness_kernel
+from repro.kernels.perturbation import make_perturbation_kernel
+from repro.kernels.reduction_kernel import make_reduction_kernel
+
+
+def profile_generation_pipeline(n: int = 200, pop: int = 768,
+                                generations: int = 25) -> None:
+    """Run the four-kernel pipeline and print the profiler summary."""
+    print(f"--- SA generation pipeline: n={n}, {pop} threads, "
+          f"{generations} generations on {GEFORCE_GT_560M.name} ---")
+    device = Device(spec=GEFORCE_GT_560M, seed=0)
+    inst = biskup_instance(n, 0.4, 1)
+    data = DeviceProblemData(device, inst)
+
+    seqs = device.malloc((pop, n), np.int32, "sequences")
+    cand = device.malloc((pop, n), np.int32, "candidates")
+    energy = device.malloc(pop, np.float64, "energy")
+    cand_energy = device.malloc(pop, np.float64, "cand_energy")
+    positions = device.malloc((pop, 4), np.int64, "positions")
+    result = device.malloc(2, np.float64, "reduction_result")
+
+    rng = np.random.default_rng(0)
+    device.memcpy_htod(
+        seqs, np.argsort(rng.random((pop, n)), axis=1).astype(np.int32)
+    )
+    cfg = linear_config(pop, 192)
+    fitness = make_cdd_fitness_kernel()
+    perturb = make_perturbation_kernel()
+    accept = make_acceptance_kernel()
+    reduce_k = make_reduction_kernel()
+
+    device.launch(fitness, cfg, seqs, data.p, data.a, data.b, energy)
+    for it in range(generations):
+        device.launch(perturb, cfg, seqs, cand, positions, True)
+        device.launch(fitness, cfg, cand, data.p, data.a, data.b, cand_energy)
+        device.launch(accept, cfg, seqs, cand, energy, cand_energy, 10.0)
+        device.launch(reduce_k, cfg, energy, result)
+        device.synchronize()
+
+    print(device.profiler.summary())
+    print(f"\nmodeled wall time: {device.host_time * 1e3:.3f} ms "
+          f"(kernels {device.profiler.kernel_time() * 1e3:.3f} ms, "
+          f"transfers {device.profiler.memcpy_time() * 1e3:.3f} ms)")
+
+
+def occupancy_table(n: int = 200) -> None:
+    """Occupancy of the fitness kernel across block sizes."""
+    print("\n--- fitness-kernel occupancy on the GT 560M ---")
+    kernel = make_cdd_fitness_kernel()
+    shared = 2 * n * 8
+    print(f"{'block':>6} {'blocks/SM':>10} {'warps/SM':>9} "
+          f"{'occupancy':>10}  limiter")
+    for block in (32, 64, 96, 128, 192, 256, 384, 512, 768):
+        occ = occupancy(GEFORCE_GT_560M, block, kernel.registers_per_thread,
+                        shared)
+        print(f"{block:>6} {occ.blocks_per_sm:>10} "
+              f"{occ.active_warps_per_sm:>9} {occ.occupancy:>9.0%}  "
+              f"{occ.limiter}")
+
+
+def device_comparison(n: int = 500) -> None:
+    """The same SA run on two modeled devices."""
+    print("\n--- device comparison: modeled parallel SA runtime ---")
+    inst = biskup_instance(n, 0.4, 1)
+    for spec in (GEFORCE_GT_560M, TESLA_K20):
+        r = parallel_sa(
+            inst,
+            ParallelSAConfig(iterations=200, grid_size=4, block_size=192,
+                             seed=3, device_spec=spec),
+        )
+        print(f"{spec.name:>22}: modeled {r.modeled_device_time_s:.3f} s, "
+              f"objective {r.objective:g}")
+
+
+if __name__ == "__main__":
+    profile_generation_pipeline()
+    occupancy_table()
+    device_comparison()

@@ -1,0 +1,68 @@
+"""Working with OR-library ``sch`` files end to end.
+
+Run:  python examples/orlib_workflow.py
+
+The paper evaluates on the OR-library CDD benchmark of Biskup & Feldmann.
+This example shows the file workflow a user with the genuine files would
+follow -- and, absent those files, how this repository regenerates an
+equivalent set:
+
+1. generate a 10-instance benchmark file in the original ``sch`` layout,
+2. parse it back at two restriction factors (the due date is derived from
+   ``h``, it is not part of the file),
+3. solve every parsed instance and tabulate the results,
+4. verify the round trip is lossless.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import CDDSolver, biskup_instance
+from repro.experiments.tables import render_table
+from repro.instances.orlib import parse_sch, write_sch
+
+
+def main() -> None:
+    n, k_count = 20, 10
+    # 1. Generate the benchmark file (job data shared across h factors).
+    instances = [biskup_instance(n, 0.4, k) for k in range(1, k_count + 1)]
+    content = write_sch(instances)
+    path = Path(tempfile.mkdtemp()) / f"sch{n}.txt"
+    path.write_text(content)
+    print(f"wrote {path} ({len(content.splitlines())} lines, "
+          f"{k_count} instances of {n} jobs)")
+
+    # 2. Parse at two restriction factors.
+    rows = []
+    for h in (0.2, 0.8):
+        parsed = parse_sch(path.read_text(), h=h, name_prefix="demo")
+        # 3. Solve each instance briefly.
+        for inst in parsed[:3]:  # keep the demo quick
+            result = CDDSolver(inst).solve(
+                "parallel_sa", iterations=300, grid_size=2, block_size=48,
+                seed=1,
+            )
+            rows.append([inst.name, h, inst.due_date, result.objective])
+    print()
+    print(render_table(
+        ["instance", "h", "due date", "objective"],
+        rows,
+        title="Solved instances parsed from the sch file",
+    ))
+
+    # 4. Round-trip check.
+    back = parse_sch(path.read_text(), h=0.4)
+    for orig, re_read in zip(instances, back):
+        assert np.array_equal(orig.processing, re_read.processing)
+        assert np.array_equal(orig.alpha, re_read.alpha)
+        assert np.array_equal(orig.beta, re_read.beta)
+        assert orig.due_date == re_read.due_date
+    print("\nround trip lossless: yes")
+    print("(drop the genuine OR-library sch files in and parse_sch reads "
+          "them unchanged)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""The paper's worked example (Table I, Figures 1-6), step by step.
+
+Run:  python examples/paper_walkthrough.py
+
+Traces both O(n) sequence optimizers on the 5-job instance of Table I and
+prints every intermediate schedule of the illustration:
+
+* CDD (d = 16): initialization at t = 0, the right shifts anchoring jobs 3
+  then 2 at the due date, final objective 81 (Figures 1-3);
+* UCDDCP (d = 22): the CDD stage, then the compression decisions for jobs
+  5 and 4, final objective 77 (Figures 4-6).
+"""
+
+import numpy as np
+
+from repro import (
+    CDDInstance,
+    UCDDCPInstance,
+    optimize_cdd_sequence,
+    optimize_ucddcp_sequence,
+)
+
+P = [6, 5, 2, 4, 4]
+M = [5, 5, 2, 3, 3]
+ALPHA = [7, 9, 6, 9, 3]
+BETA = [9, 5, 4, 3, 2]
+GAMMA = [5, 4, 3, 2, 1]
+
+
+def timeline(completion: np.ndarray, p_eff: np.ndarray, d: float) -> str:
+    """A small ASCII Gantt row with the due-date marker."""
+    scale = 2
+    end = int(max(completion.max(), d)) + 1
+    row = [" "] * (end * scale + 1)
+    for k, (c, w) in enumerate(zip(completion, p_eff)):
+        start = int(round((c - w) * scale))
+        stop = int(round(c * scale))
+        for x in range(start, stop):
+            row[x] = str((k + 1) % 10)
+    row[int(round(d * scale))] = "|"
+    return "".join(row)
+
+
+def cdd_walkthrough() -> None:
+    d = 16.0
+    inst = CDDInstance(P, ALPHA, BETA, d, name="table1_cdd")
+    seq = np.arange(5)
+    p = inst.processing
+
+    print("=" * 70)
+    print(f"CDD illustration (d = {d:g}), sequence J = (1, 2, 3, 4, 5)")
+    print("=" * 70)
+
+    c = np.cumsum(p)
+    print("\nFig 1 - initialization at t = 0, no idle time:")
+    print("  C =", c.tolist(), " DT = C - d =", (c - d).tolist())
+    print(" ", timeline(c, p, d))
+
+    # First shift: job 3 (the last job finishing at or before d) to d.
+    tau = int(np.searchsorted(c, d, side="right"))
+    shift1 = d - c[tau - 1]
+    c1 = c + shift1
+    print(f"\nFig 2 - right shift by {shift1:g}: job {tau} completes at d:")
+    print("  C =", c1.tolist())
+    print(" ", timeline(c1, p, d))
+
+    # Second shift: push job 3 past d, anchoring job 2.
+    c2 = c1 + p[tau - 1]
+    print(f"\nFig 3 - further right shift by P_{tau} = {p[tau - 1]:g}: "
+          "job 2 completes at d:")
+    print("  C =", c2.tolist())
+    print(" ", timeline(c2, p, d))
+
+    sched = optimize_cdd_sequence(inst, seq)
+    print("\nO(n) algorithm result:")
+    print(f"  completion times: {sched.completion.tolist()}")
+    print(f"  due-date position r = {sched.meta['due_date_position']}")
+    print(f"  objective = {sched.objective:g}   (paper: 81)")
+    assert sched.objective == 81.0
+
+
+def ucddcp_walkthrough() -> None:
+    d = 22.0
+    inst = UCDDCPInstance(P, M, ALPHA, BETA, GAMMA, d, name="table1_ucddcp")
+    seq = np.arange(5)
+
+    print()
+    print("=" * 70)
+    print(f"UCDDCP illustration (d = {d:g}), same sequence")
+    print("=" * 70)
+
+    cdd_stage = optimize_cdd_sequence(inst.relax_to_cdd(), seq)
+    print("\nFig 4 - optimal CDD schedule (job 2 at the due date):")
+    print(f"  C = {cdd_stage.completion.tolist()}, "
+          f"objective = {cdd_stage.objective:g}")
+    print(" ", timeline(cdd_stage.completion, inst.processing, d))
+
+    print("\nCompression decisions (last job first):")
+    print("  job 5 (tardy): beta_5 = 2 > gamma_5 = 1  "
+          "-> compress by 1 (gain 1)")
+    print("  job 4 (tardy): beta_4 + beta_5 - gamma_4 = 3 > 0 "
+          "-> compress by 1 (gain 3)")
+    print("  job 3: compressible by 0 - nothing to do")
+    print("  job 2 (at d): alpha_1 = 7 > gamma_2 = 4, but P_2 = M_2")
+    print("  job 1 (early): no predecessors -> never beneficial")
+
+    sched = optimize_ucddcp_sequence(inst, seq)
+    p_eff = inst.processing - sched.reduction
+    print("\nFigs 5/6 - final compressed schedule:")
+    print(f"  reductions X = {sched.reduction.tolist()}")
+    print(f"  completion times: {sched.completion.tolist()}")
+    print(" ", timeline(sched.completion, p_eff, d))
+    print(f"  objective = {sched.objective:g}   (paper: 77)")
+    assert sched.objective == 77.0
+    assert sched.meta["cdd_objective"] == 81.0
+
+
+if __name__ == "__main__":
+    cdd_walkthrough()
+    ucddcp_walkthrough()
+    print("\nAll values match the paper.")

@@ -1,0 +1,54 @@
+"""repro: GPGPU-parallel metaheuristics for scheduling against a common due date.
+
+A full reproduction of Awasthi, Lässig, Leuschner & Weise, *GPGPU-based
+Parallel Algorithms for Scheduling Against Due Date* (IPDPSW/PCO 2016,
+DOI 10.1109/IPDPSW.2016.66), built as a standalone Python library:
+
+* **Problems** -- the Common Due-Date problem (CDD) and the Unrestricted
+  CDD with Controllable Processing Times (UCDDCP):
+  :class:`~repro.problems.CDDInstance`, :class:`~repro.problems.UCDDCPInstance`.
+* **Two-layered approach** -- O(n) optimal-completion-time algorithms for a
+  fixed sequence (:mod:`repro.seqopt`) under metaheuristic sequence search
+  (:mod:`repro.core`).
+* **GPGPU substrate** -- a simulated CUDA device with blocks/threads,
+  memory spaces, occupancy, a roofline timing model and an nvprof-style
+  profiler (:mod:`repro.gpusim`); the four paper kernels live in
+  :mod:`repro.kernels`.
+* **Benchmarks** -- Biskup--Feldmann / Awasthi instance generators and
+  OR-library I/O (:mod:`repro.instances`), best-known reference management
+  (:mod:`repro.bestknown`), and the experiment harness regenerating every
+  table and figure of the paper (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import CDDSolver, biskup_instance
+>>> instance = biskup_instance(n=50, h=0.4, k=1)
+>>> result = CDDSolver(instance).solve("parallel_sa", iterations=500)
+>>> print(result.summary())            # doctest: +SKIP
+"""
+
+from repro.core.results import SolveResult
+from repro.core.solver import CDDSolver, UCDDCPSolver
+from repro.instances.biskup import biskup_instance
+from repro.instances.ucddcp_gen import ucddcp_instance
+from repro.problems.cdd import CDDInstance
+from repro.problems.schedule import Schedule
+from repro.problems.ucddcp import UCDDCPInstance
+from repro.seqopt.cdd_linear import optimize_cdd_sequence
+from repro.seqopt.ucddcp_linear import optimize_ucddcp_sequence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CDDInstance",
+    "UCDDCPInstance",
+    "Schedule",
+    "CDDSolver",
+    "UCDDCPSolver",
+    "SolveResult",
+    "biskup_instance",
+    "ucddcp_instance",
+    "optimize_cdd_sequence",
+    "optimize_ucddcp_sequence",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Analysis tools: convergence, diversity and acceptance statistics.
+
+The paper justifies two design choices qualitatively -- asynchronous over
+synchronous SA ("premature convergence of the latter") and SA over DPSO
+("intensification oriented ... where as the DPSO is a diversification
+oriented metaheuristic").  This subpackage provides the instruments to make
+those statements quantitative:
+
+* :mod:`~repro.analysis.convergence` -- instrumented parallel-SA runs that
+  record per-generation best/mean energy, acceptance rate and ensemble
+  diversity; convergence-curve utilities.
+* :mod:`~repro.analysis.diversity` -- permutation-population diversity
+  metrics (mean pairwise Kendall-tau distance, positional entropy, distinct
+  count).
+* :mod:`~repro.analysis.stats` -- paired Wilcoxon comparisons and
+  win/tie/loss reports across benchmark instances.
+"""
+
+from repro.analysis.convergence import ConvergenceTrace, trace_parallel_sa
+from repro.analysis.stats import (
+    PairedComparison,
+    compare_paired,
+    pairwise_report,
+)
+from repro.analysis.diversity import (
+    distinct_fraction,
+    kendall_tau_distance,
+    mean_pairwise_kendall,
+    positional_entropy,
+)
+
+__all__ = [
+    "ConvergenceTrace",
+    "trace_parallel_sa",
+    "kendall_tau_distance",
+    "mean_pairwise_kendall",
+    "positional_entropy",
+    "distinct_fraction",
+    "PairedComparison",
+    "compare_paired",
+    "pairwise_report",
+]

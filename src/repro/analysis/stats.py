@@ -1,0 +1,99 @@
+"""Statistical comparison of algorithms across benchmark instances.
+
+The paper compares algorithms by mean percentage deviation only; this
+module adds the significance layer a careful reproduction should report:
+
+* **paired Wilcoxon signed-rank test** over per-instance objectives (the
+  standard nonparametric choice for paired metaheuristic comparisons);
+* **win/tie/loss counts**;
+* a compact pairwise comparison report for a set of algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["PairedComparison", "compare_paired", "pairwise_report"]
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Result of one paired algorithm comparison."""
+
+    name_a: str
+    name_b: str
+    wins_a: int
+    wins_b: int
+    ties: int
+    median_diff: float  # median of (a - b); negative favors a
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        """Whether the difference is significant at the 5% level."""
+        return self.p_value < 0.05
+
+    def describe(self) -> str:
+        """One-line verdict."""
+        if self.ties == self.wins_a + self.wins_b == 0:
+            return f"{self.name_a} vs {self.name_b}: no data"
+        verdict = (
+            f"{self.name_a} better" if self.median_diff < 0
+            else f"{self.name_b} better" if self.median_diff > 0
+            else "tied"
+        )
+        sig = "significant" if self.significant else "not significant"
+        return (
+            f"{self.name_a} vs {self.name_b}: "
+            f"{self.wins_a}W/{self.ties}T/{self.wins_b}L, "
+            f"median diff {self.median_diff:+g} ({verdict}; p={self.p_value:.3g}, "
+            f"{sig} at 5%)"
+        )
+
+
+def compare_paired(
+    name_a: str,
+    values_a: np.ndarray,
+    name_b: str,
+    values_b: np.ndarray,
+) -> PairedComparison:
+    """Wilcoxon signed-rank comparison of two per-instance value vectors.
+
+    Lower is better (objectives or deviations).  All-tied inputs return
+    ``p = 1.0``.
+    """
+    a = np.asarray(values_a, dtype=float)
+    b = np.asarray(values_b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1 or a.size == 0:
+        raise ValueError("need equal-length non-empty 1-D paired samples")
+    diff = a - b
+    wins_a = int((diff < 0).sum())
+    wins_b = int((diff > 0).sum())
+    ties = int((diff == 0).sum())
+    if np.all(diff == 0):
+        p = 1.0
+    else:
+        # zero_method="zsplit" keeps ties informative for small samples.
+        _, p = stats.wilcoxon(a, b, zero_method="zsplit")
+    return PairedComparison(
+        name_a=name_a,
+        name_b=name_b,
+        wins_a=wins_a,
+        wins_b=wins_b,
+        ties=ties,
+        median_diff=float(np.median(diff)),
+        p_value=float(p),
+    )
+
+
+def pairwise_report(samples: dict[str, np.ndarray]) -> str:
+    """All-pairs comparison report for named per-instance value vectors."""
+    names = list(samples)
+    lines = []
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            lines.append(compare_paired(a, samples[a], b, samples[b]).describe())
+    return "\n".join(lines)

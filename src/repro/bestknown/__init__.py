@@ -1,0 +1,14 @@
+"""Best-known reference solutions (the ``Z_best`` of the paper's tables).
+
+The paper measures solution quality as the percentage deviation from the
+best values known from the sequential CPU implementations [7], [8], [18].
+Those exact values are not distributed, so this subpackage computes
+reference values with our own strong CPU-side optimizers (exact algorithms
+where tractable, multi-restart serial SA otherwise) and caches them on disk
+keyed by instance name -- see DESIGN.md's substitution table.
+"""
+
+from repro.bestknown.compute import compute_best_known
+from repro.bestknown.store import BestKnownStore
+
+__all__ = ["BestKnownStore", "compute_best_known"]

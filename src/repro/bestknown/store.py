@@ -1,0 +1,96 @@
+"""Disk-backed store of best-known objective values.
+
+A small JSON database keyed by instance name.  Entries record the objective,
+the method that produced it, and whether it is provably optimal.  The store
+is monotone: an update only ever lowers a stored objective (a new "best
+known" must actually be better), mirroring how best-known tables evolve in
+the literature.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = ["BestKnownEntry", "BestKnownStore", "default_store_path"]
+
+
+@dataclass(frozen=True)
+class BestKnownEntry:
+    """One best-known record."""
+
+    objective: float
+    method: str
+    optimal: bool = False
+    meta: dict[str, Any] | None = None
+
+
+def default_store_path() -> Path:
+    """Resolve the store location.
+
+    ``REPRO_DATA_DIR`` overrides; the default lives next to the repository
+    (``data/bestknown.json`` under the current working tree) falling back to
+    a per-user cache when the tree is read-only.
+    """
+    env = os.environ.get("REPRO_DATA_DIR")
+    if env:
+        return Path(env) / "bestknown.json"
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            return parent / "data" / "bestknown.json"
+    return Path.home() / ".cache" / "repro-duedate" / "bestknown.json"
+
+
+class BestKnownStore:
+    """JSON-backed map from instance name to :class:`BestKnownEntry`."""
+
+    def __init__(self, path: Path | str | None = None) -> None:
+        self.path = Path(path) if path is not None else default_store_path()
+        self._entries: dict[str, BestKnownEntry] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        raw = json.loads(self.path.read_text())
+        self._entries = {
+            name: BestKnownEntry(**rec) for name, rec in raw.items()
+        }
+
+    def save(self) -> None:
+        """Persist the store (creating parent directories)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {name: asdict(e) for name, e in sorted(self._entries.items())}
+        self.path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, name: str) -> BestKnownEntry | None:
+        """The stored entry, or ``None``."""
+        return self._entries.get(name)
+
+    def update(self, name: str, entry: BestKnownEntry) -> bool:
+        """Record ``entry`` if it improves (or first defines) the best known.
+
+        Returns whether the store changed.  An existing *optimal* entry is
+        never displaced by a merely heuristic one.
+        """
+        current = self._entries.get(name)
+        if current is None:
+            self._entries[name] = entry
+            return True
+        if current.optimal and not entry.optimal:
+            return False
+        if entry.objective < current.objective - 1e-9 or (
+            entry.optimal and not current.optimal
+        ):
+            self._entries[name] = entry
+            return True
+        return False

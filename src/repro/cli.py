@@ -1,0 +1,231 @@
+"""Command-line interface: ``repro <command>`` (or ``python -m repro.cli``).
+
+Commands
+--------
+``solve``       solve one benchmark instance with a chosen method
+``experiment``  regenerate a paper table/figure (``repro experiment table2``)
+``list``        list experiments, benchmark sets and device presets
+``profile``     run one parallel SA and print the nvprof-style summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.solver import CDDSolver, UCDDCPSolver
+from repro.experiments.config import SCALES, get_scale
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.instances.biskup import biskup_instance
+from repro.instances.registry import registry_names
+from repro.instances.ucddcp_gen import ucddcp_instance
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'GPGPU-based Parallel Algorithms for Scheduling "
+            "Against Due Date' (IPDPSW 2016)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve one benchmark instance")
+    p_solve.add_argument("problem", choices=("cdd", "ucddcp"))
+    p_solve.add_argument("-n", "--jobs", type=int, default=50)
+    p_solve.add_argument("-k", "--replicate", type=int, default=1)
+    p_solve.add_argument("--h-factor", type=float, default=0.4,
+                         help="restriction factor (CDD only)")
+    p_solve.add_argument(
+        "-m", "--method", default="parallel_sa",
+        choices=("parallel_sa", "parallel_dpso", "serial_sa", "serial_dpso",
+                 "serial_ta", "serial_es", "exact"),
+    )
+    p_solve.add_argument("-i", "--iterations", type=int, default=1000)
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument("--grid", type=int, default=None,
+                         help="grid size (parallel methods)")
+    p_solve.add_argument("--block", type=int, default=None,
+                         help="block size (parallel methods)")
+
+    p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--scale", choices=sorted(SCALES), default=None)
+
+    sub.add_parser("list", help="list experiments and benchmark sets")
+
+    p_prof = sub.add_parser("profile",
+                            help="profile one parallel SA run (nvprof style)")
+    p_prof.add_argument("-n", "--jobs", type=int, default=100)
+    p_prof.add_argument("-i", "--iterations", type=int, default=200)
+
+    p_best = sub.add_parser(
+        "bestknown",
+        help="precompute best-known reference values for a benchmark set",
+    )
+    p_best.add_argument("set_name", help="registry name, e.g. cdd_quick")
+    p_best.add_argument("--restarts", type=int, default=4)
+    p_best.add_argument("--iterations", type=int, default=8000)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="instrumented convergence/diversity trace of the parallel SA",
+    )
+    p_trace.add_argument("-n", "--jobs", type=int, default=50)
+    p_trace.add_argument("-i", "--iterations", type=int, default=300)
+    p_trace.add_argument("--variant", choices=("async", "sync", "domain"),
+                         default="async")
+
+    p_report = sub.add_parser(
+        "report",
+        help="assemble EXPERIMENTS.md from the results/ directory",
+    )
+    p_report.add_argument("--results", default="results")
+    p_report.add_argument("--output", default="EXPERIMENTS.md")
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.problem == "cdd":
+        inst = biskup_instance(args.jobs, args.h_factor, args.replicate)
+        solver: CDDSolver | UCDDCPSolver = CDDSolver(inst)
+    else:
+        inst = ucddcp_instance(args.jobs, args.replicate)
+        solver = UCDDCPSolver(inst)
+    kwargs: dict = {}
+    if args.method != "exact":
+        kwargs["seed"] = args.seed
+        if args.method == "serial_es":
+            kwargs["generations"] = args.iterations
+        else:
+            kwargs["iterations"] = args.iterations
+        if args.method.startswith("parallel"):
+            if args.grid is not None:
+                kwargs["grid_size"] = args.grid
+            if args.block is not None:
+                kwargs["block_size"] = args.block
+    result = solver.solve(args.method, **kwargs)
+    print(f"instance: {inst.name}")
+    print(result.summary())
+    print(result.schedule.describe())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    print(f"# experiment {args.name} at scale '{scale.name}'\n")
+    print(run_experiment(args.name, scale))
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments: ", ", ".join(sorted(EXPERIMENTS)))
+    print("benchmark sets:", ", ".join(registry_names()))
+    print("scales:       ", ", ".join(sorted(SCALES)))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
+    from repro.gpusim.device import GEFORCE_GT_560M
+
+    inst = biskup_instance(args.jobs, 0.4, 1)
+    result = parallel_sa(
+        inst, ParallelSAConfig(iterations=args.iterations, seed=0)
+    )
+    print(f"instance: {inst.name}")
+    print(result.summary())
+    # The profiler lives on the device created inside parallel_sa; repeat a
+    # short run with an explicit device to show the kernel breakdown.
+    from repro.gpusim.device import Device
+    from repro.gpusim.launch import linear_config
+    from repro.kernels.data import DeviceProblemData
+    from repro.kernels.fitness import make_cdd_fitness_kernel
+    import numpy as np
+
+    device = Device(spec=GEFORCE_GT_560M, seed=0)
+    data = DeviceProblemData(device, inst)
+    seqs = device.malloc((768, inst.n), np.int32, "sequences")
+    out = device.malloc(768, np.float64, "fitness")
+    rng = np.random.default_rng(0)
+    device.memcpy_htod(
+        seqs, np.argsort(rng.random((768, inst.n)), axis=1).astype(np.int32)
+    )
+    for _ in range(10):
+        device.launch(
+            make_cdd_fitness_kernel(), linear_config(768, 192),
+            seqs, data.p, data.a, data.b, out,
+        )
+    device.synchronize()
+    print("\nKernel profile (10 fitness launches, 768 threads):")
+    print(device.profiler.summary())
+    return 0
+
+
+def _cmd_bestknown(args: argparse.Namespace) -> int:
+    from repro.bestknown.compute import compute_best_known
+    from repro.bestknown.store import BestKnownStore
+    from repro.instances.registry import benchmark_set
+
+    store = BestKnownStore()
+    instances = benchmark_set(args.set_name)
+    for inst in instances:
+        val = compute_best_known(
+            inst, store, restarts=args.restarts,
+            iterations=args.iterations, save=False,
+        )
+        print(f"{inst.name}: {val:g}")
+    store.save()
+    print(f"\n{len(instances)} reference values in {store.path}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.convergence import trace_parallel_sa
+    from repro.core.parallel_sa import ParallelSAConfig
+
+    inst = biskup_instance(args.jobs, 0.4, 1)
+    trace = trace_parallel_sa(
+        inst,
+        ParallelSAConfig(iterations=args.iterations, grid_size=2,
+                         block_size=64, seed=0, variant=args.variant),
+    )
+    print(f"instance: {inst.name}")
+    print(trace.summary())
+    step = max(1, trace.generations // 20)
+    print(f"{'gen':>5} {'best':>12} {'mean':>12} {'accept':>8} {'T':>10}")
+    for g in range(0, trace.generations, step):
+        print(f"{g:>5} {trace.best[g]:>12.1f} {trace.mean_energy[g]:>12.1f} "
+              f"{trace.acceptance_rate[g]:>7.1%} {trace.temperature[g]:>10.3g}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import write_report
+
+    path = write_report(args.results, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "experiment": _cmd_experiment,
+        "list": _cmd_list,
+        "profile": _cmd_profile,
+        "bestknown": _cmd_bestknown,
+        "trace": _cmd_trace,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""The paper's primary contribution: (parallel) metaheuristics for CDD/UCDDCP.
+
+Two search algorithms, each in a serial CPU form and a GPU-parallel form on
+the simulated device:
+
+* **Simulated Annealing** -- :mod:`~repro.core.sa` (single chain, the CPU
+  baseline) and :mod:`~repro.core.parallel_sa` (the paper's asynchronous
+  multi-chain SA, one chain per CUDA thread, plus the synchronous Ferreiro
+  variant for the premature-convergence comparison).
+* **Discrete Particle Swarm Optimization** -- :mod:`~repro.core.dpso` and
+  :mod:`~repro.core.parallel_dpso` (Pan et al. update operators, one
+  particle per thread, swarm best shared through the reduction kernel).
+* **Reference baselines of [18]** -- :mod:`~repro.core.threshold`
+  (Threshold Accepting) and :mod:`~repro.core.evolution`
+  ((mu + lambda) Evolutionary Strategy), the CPU comparators of Table III.
+
+Shared infrastructure: :mod:`~repro.core.cooling` (initial-temperature
+estimation and the exponential schedule), :mod:`~repro.core.results`
+(result/record types) and the high-level façade :mod:`~repro.core.solver`.
+"""
+
+from repro.core.cooling import ExponentialCooling, estimate_initial_temperature
+from repro.core.dpso import DPSOConfig, dpso_serial
+from repro.core.evolution import EvolutionStrategyConfig, evolution_strategy
+from repro.core.parallel_dpso import ParallelDPSOConfig, parallel_dpso
+from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
+from repro.core.results import SolveResult
+from repro.core.sa import SerialSAConfig, sa_serial
+from repro.core.threshold import ThresholdAcceptingConfig, threshold_accepting
+from repro.core.solver import CDDSolver, UCDDCPSolver
+
+__all__ = [
+    "ExponentialCooling",
+    "estimate_initial_temperature",
+    "SolveResult",
+    "SerialSAConfig",
+    "sa_serial",
+    "ParallelSAConfig",
+    "parallel_sa",
+    "DPSOConfig",
+    "dpso_serial",
+    "ThresholdAcceptingConfig",
+    "threshold_accepting",
+    "EvolutionStrategyConfig",
+    "evolution_strategy",
+    "ParallelDPSOConfig",
+    "parallel_dpso",
+    "CDDSolver",
+    "UCDDCPSolver",
+]

@@ -1,0 +1,271 @@
+"""GPU-parallel Discrete PSO (Section VII of the paper).
+
+"The parallel implementation of the DPSO algorithm on the GPU is carried
+out in the asynchronous manner, as explained for the SA": like the
+asynchronous SA, every CUDA thread evolves *independently* -- one particle
+per thread whose cognitive and social attractors are its own best position
+-- and the reduction selects the overall best only at the end.  This is the
+``coupling="async"`` default, and it reproduces the paper's observation that
+DPSO deteriorates badly as the job count grows (an isolated particle only
+intensifies around its own history).
+
+As extensions, ``coupling="coupled"`` turns the ensemble into a genuine
+single swarm (the per-generation reduction feeds the swarm best ``g(t)``
+into every thread's two-point crossover), and ``coupling="ring"`` is the
+classic lbest topology in between: thread ``t``'s social attractor is the
+best personal-best among its ring neighbours ``{t-1, t, t+1}`` -- locality
+that a real CUDA kernel gets almost for free from adjacent threads.  The
+ablation bench contrasts the couplings (information flow is what rescues
+DPSO at large ``n``).
+
+Per-generation kernel pipeline (both modes):
+
+    update (F1/F2/F3 with per-thread cuRAND gates) -> fitness ->
+    pbest update -> reduction
+
+Everything else (data staging, constant memory, modeled timing, the two
+host<->device transfers) matches the SA driver.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.core.results import SolveResult
+from repro.gpusim.device import GEFORCE_GT_560M, Device, DeviceSpec
+from repro.initialization import initial_population
+from repro.gpusim.kernel import Kernel, KernelCost, ThreadContext, kernel
+from repro.gpusim.launch import Dim3, LaunchConfig
+from repro.kernels.data import DeviceProblemData
+from repro.kernels.fitness import (
+    make_cdd_fitness_kernel,
+    make_ucddcp_fitness_kernel,
+)
+from repro.kernels.reduction_kernel import make_elitist_reduction_kernel
+from repro.permutation import (
+    batched_one_point_crossover,
+    batched_random_swap,
+    batched_two_point_crossover,
+)
+from repro.problems.cdd import CDDInstance
+from repro.problems.ucddcp import UCDDCPInstance
+from repro.seqopt.cdd_linear import optimize_cdd_sequence
+from repro.seqopt.ucddcp_linear import optimize_ucddcp_sequence
+
+__all__ = ["ParallelDPSOConfig", "parallel_dpso"]
+
+
+@dataclass(frozen=True)
+class ParallelDPSOConfig:
+    """Configuration of the parallel DPSO (one particle per thread)."""
+
+    iterations: int = 1000
+    grid_size: int = 4
+    block_size: int = 192
+    w: float = 0.9
+    c1: float = 0.8
+    c2: float = 0.8
+    coupling: str = "async"  # "async" (paper) | "ring" | "coupled"
+    seed: int = 0
+    record_history: bool = False
+    # Initial population policy: "random" (paper default) or "vshape".
+    init: str = "random"
+    # Route read-only gathers in the fitness kernel through the modeled
+    # texture cache (the paper's future-work item).
+    use_texture: bool = False
+    device_spec: DeviceSpec = field(default=GEFORCE_GT_560M)
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be positive")
+        if self.grid_size < 1 or self.block_size < 1:
+            raise ValueError("grid and block sizes must be positive")
+        for name in ("w", "c1", "c2"):
+            v = getattr(self, name)
+            if not (0.0 <= v <= 1.0):
+                raise ValueError(f"{name} must lie in [0, 1], got {v}")
+        if self.coupling not in ("async", "ring", "coupled"):
+            raise ValueError(f"unknown coupling {self.coupling!r}")
+        if self.init not in ("random", "vshape"):
+            raise ValueError(f"unknown init policy {self.init!r}")
+
+    @property
+    def population(self) -> int:
+        """Number of particles (threads)."""
+        return self.grid_size * self.block_size
+
+
+def _make_update_kernel(w: float, c1: float, c2: float, coupling: str) -> Kernel:
+    """The position-update kernel applying Eq. (3) per thread.
+
+    The social attractor depends on the coupling: the thread's own best
+    ("async", an isolated swarm of one, matching the SA-style asynchronous
+    parallelization), the best personal-best among the thread's ring
+    neighbours ("ring", lbest topology), or the reduced swarm best
+    ("coupled").
+    """
+
+    def _cost(ctx: ThreadContext, seqs, pbest, pbest_fit, gbest) -> KernelCost:
+        n = seqs.array.shape[1]
+        # Three gated operators; each crossover builds two permutation-rank
+        # tables and performs data-dependent scattered reads/writes over the
+        # whole sequence -- on the modeled Fermi part this costs several
+        # times the (streaming) fitness pass.  The constant is calibrated so
+        # that a DPSO generation is ~4.5x an SA generation, which is the
+        # ratio implied by the paper's Table III (SA_1000 speedup 111 vs
+        # DPSO_1000 speedup 24.6 against the same CPU reference at n=1000).
+        return KernelCost(
+            cycles_per_thread=400.0 + 3900.0 * n,
+            global_bytes_per_thread=10 * 4.0 * n,
+        )
+
+    @kernel("dpso_update", registers=40, cost=_cost)
+    def dpso_update(ctx: ThreadContext, seqs, pbest, pbest_fit, gbest) -> None:
+        """Apply ``c2 (+) F3(c1 (+) F2(w (+) F1(x), pbest), gbest)``."""
+        s = ctx.total_threads
+        tids = ctx.thread_ids
+        rng = ctx.rng
+        x = seqs.array[:s]
+        mask_w = rng.uniform(tids) < w
+        x = batched_random_swap(rng, tids, x, mask_w)
+        mask_c1 = rng.uniform(tids) < c1
+        x = batched_one_point_crossover(rng, tids, x, pbest.array[:s], mask_c1)
+        mask_c2 = rng.uniform(tids) < c2
+        if coupling == "coupled":
+            g = np.broadcast_to(gbest.array, x.shape)
+        elif coupling == "ring":
+            # lbest: the best pbest among ring neighbours {t-1, t, t+1}.
+            fit = pbest_fit.array[:s]
+            left = np.roll(np.arange(s), 1)
+            right = np.roll(np.arange(s), -1)
+            stacked = np.stack((fit[left], fit, fit[right]))
+            choice = np.argmin(stacked, axis=0)
+            neighbour = np.where(
+                choice == 0, left, np.where(choice == 1, np.arange(s), right)
+            )
+            g = pbest.array[:s][neighbour]
+        else:
+            g = pbest.array[:s]
+        x = batched_two_point_crossover(rng, tids, x, g, mask_c2)
+        seqs.array[:s] = x
+
+    return dpso_update
+
+
+def _make_pbest_kernel() -> Kernel:
+    """Per-thread personal-best update kernel."""
+
+    def _cost(ctx: ThreadContext, seqs, fitness, pbest, pbest_fit) -> KernelCost:
+        n = seqs.array.shape[1]
+        return KernelCost(
+            cycles_per_thread=30.0 + 4.0 * n,
+            global_bytes_per_thread=2 * 8.0 + 2 * 4.0 * n,
+        )
+
+    @kernel("dpso_pbest", registers=16, cost=_cost)
+    def dpso_pbest(ctx: ThreadContext, seqs, fitness, pbest, pbest_fit) -> None:
+        """``pbest[t] = seqs[t]`` where the new fitness improves."""
+        s = ctx.total_threads
+        better = fitness.array[:s] < pbest_fit.array[:s]
+        pbest.array[:s][better] = seqs.array[:s][better]
+        pbest_fit.array[:s][better] = fitness.array[:s][better]
+
+    return dpso_pbest
+
+
+def parallel_dpso(
+    instance: CDDInstance | UCDDCPInstance,
+    config: ParallelDPSOConfig = ParallelDPSOConfig(),
+) -> SolveResult:
+    """Run the GPU-parallel DPSO on the simulated device."""
+    n = instance.n
+    is_ucddcp = isinstance(instance, UCDDCPInstance)
+    pop = config.population
+    host_rng = np.random.default_rng(config.seed)
+
+    start_wall = time.perf_counter()
+    device = Device(spec=config.device_spec, seed=config.seed)
+    data = DeviceProblemData(device, instance)
+
+    seqs = device.malloc((pop, n), np.int32, "particles")
+    fitness = device.malloc(pop, np.float64, "fitness")
+    pbest = device.malloc((pop, n), np.int32, "pbest")
+    pbest_fit = device.malloc(pop, np.float64, "pbest_fitness")
+    gbest = device.malloc(n, np.int32, "gbest")
+    gbest_fit = device.malloc(1, np.float64, "gbest_fitness")
+    result = device.malloc(2, np.float64, "reduction_result")
+
+    init = initial_population(
+        instance, pop, host_rng, config.init
+    ).astype(np.int32)
+    device.memcpy_htod(seqs, init)
+
+    cfg = LaunchConfig(grid=Dim3(x=config.grid_size), block=Dim3(x=config.block_size))
+    fitness_kernel = (
+        make_ucddcp_fitness_kernel(config.use_texture)
+        if is_ucddcp
+        else make_cdd_fitness_kernel(config.use_texture)
+    )
+    update_kernel = _make_update_kernel(
+        config.w, config.c1, config.c2, config.coupling
+    )
+    pbest_kernel = _make_pbest_kernel()
+    reduction_kernel = make_elitist_reduction_kernel()
+
+    def launch_fitness() -> None:
+        if is_ucddcp:
+            device.launch(fitness_kernel, cfg, seqs, data.p, data.m, data.a,
+                          data.b, data.g, fitness)
+        else:
+            device.launch(fitness_kernel, cfg, seqs, data.p, data.a, data.b,
+                          fitness)
+
+    # Initialization: evaluate, seed pbest; gbest via device-side elitism.
+    gbest_fit.array[0] = np.inf
+    launch_fitness()
+    pbest.array[:] = seqs.array
+    pbest_fit.array[:] = fitness.array
+    device.launch(
+        reduction_kernel, cfg, pbest_fit, pbest, gbest_fit, gbest, result
+    )
+
+    history = np.empty(config.iterations) if config.record_history else None
+
+    for it in range(config.iterations):
+        device.launch(update_kernel, cfg, seqs, pbest, pbest_fit, gbest)
+        launch_fitness()
+        device.launch(pbest_kernel, cfg, seqs, fitness, pbest, pbest_fit)
+        device.launch(
+            reduction_kernel, cfg, pbest_fit, pbest, gbest_fit, gbest, result
+        )
+        device.synchronize()
+        if history is not None:
+            history[it] = gbest_fit.array[0]
+
+    device.synchronize()
+    final_seq = device.memcpy_dtoh(gbest).astype(np.intp)
+    _ = device.memcpy_dtoh(gbest_fit)
+    wall = time.perf_counter() - start_wall
+
+    schedule = (
+        optimize_ucddcp_sequence(instance, final_seq)
+        if is_ucddcp
+        else optimize_cdd_sequence(instance, final_seq)
+    )
+    params = {"algorithm": "parallel_dpso", **asdict(config)}
+    params["device_spec"] = config.device_spec.name
+    return SolveResult(
+        schedule=schedule,
+        objective=schedule.objective,
+        best_sequence=final_seq,
+        evaluations=(config.iterations + 1) * pop,
+        wall_time_s=wall,
+        modeled_device_time_s=device.host_time,
+        modeled_kernel_time_s=device.profiler.kernel_time(),
+        modeled_memcpy_time_s=device.profiler.memcpy_time(),
+        history=history,
+        params=params,
+    )

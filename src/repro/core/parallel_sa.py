@@ -1,0 +1,296 @@
+"""GPU-parallel Simulated Annealing (Sections V and VI of the paper).
+
+**Asynchronous variant** (the paper's main algorithm): every CUDA thread
+runs an independent SA chain -- 4 blocks x 192 threads = 768 chains by
+default.  Each generation launches the four kernels back to back on the
+device stream:
+
+    perturbation -> fitness -> acceptance -> reduction
+
+followed by a host-side ``cudaDeviceSynchronize``.  The due date and job
+count live in constant memory; penalties are staged per block into shared
+memory inside the fitness kernel; cuRAND-style per-thread streams feed the
+perturbation and acceptance kernels; the reduction kernel maintains the
+global best with an atomic minimum.  Host<->device traffic happens exactly
+twice (Figure 9): instance data and initial sequences in, the best solution
+out -- and both transfers are charged to the modeled runtime, as the paper's
+speedup figures include them.
+
+**Synchronous variant** (Ferreiro et al., Section V-B): all chains run a
+constant-temperature Markov segment of length ``M``; at the segment
+boundary the best state is reduced and broadcast to every chain for the
+next temperature level.  The paper rejects this variant for premature
+convergence -- the ablation bench reproduces that observation.
+
+**Domain-decomposition variant** (Ferreiro et al.'s second strategy,
+Section V): the sequence space is partitioned by the job in the first
+position -- chain ``t`` only explores sequences starting with job
+``t mod n`` (the perturbation never touches position 0).  The paper calls
+this strategy "ineffective for a job size of 50 or more" because fixing one
+position barely shrinks the (n-1)! subdomain; the strategy ablation
+reproduces exactly that.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.core.cooling import (
+    DEFAULT_COOLING_RATE,
+    estimate_initial_temperature,
+)
+from repro.core.results import SolveResult
+from repro.gpusim.device import GEFORCE_GT_560M, Device, DeviceSpec
+from repro.initialization import initial_population
+from repro.gpusim.kernel import Kernel, KernelCost, ThreadContext, kernel
+from repro.gpusim.launch import Dim3, LaunchConfig
+from repro.kernels.acceptance import make_acceptance_kernel
+from repro.kernels.data import DeviceProblemData
+from repro.kernels.fitness import (
+    make_cdd_fitness_kernel,
+    make_ucddcp_fitness_kernel,
+)
+from repro.kernels.perturbation import make_perturbation_kernel
+from repro.kernels.reduction_kernel import make_elitist_reduction_kernel
+from repro.problems.cdd import CDDInstance
+from repro.problems.ucddcp import UCDDCPInstance
+from repro.seqopt.cdd_linear import optimize_cdd_sequence
+from repro.seqopt.ucddcp_linear import optimize_ucddcp_sequence
+
+__all__ = ["ParallelSAConfig", "parallel_sa"]
+
+
+@dataclass(frozen=True)
+class ParallelSAConfig:
+    """Configuration of the parallel SA (paper defaults).
+
+    ``grid_size * block_size`` threads run one chain each; the paper fixes
+    the grid at 4 blocks and found 192 threads per block to work best on the
+    GT 560M.
+    """
+
+    iterations: int = 1000
+    grid_size: int = 4
+    block_size: int = 192
+    cooling_rate: float = DEFAULT_COOLING_RATE
+    pert_size: int = 4
+    # How often the Pert positions are re-sampled.  Section VI-B describes
+    # the neighborhood as a freshly selected random sub-sequence, i.e. a
+    # refresh every iteration (the default); Section VI's "after every 10 SA
+    # iterations" reading is available as position_refresh=10 and is
+    # contrasted in the ablation bench (it mixes far too slowly at large n).
+    position_refresh: int = 1
+    seed: int = 0
+    t0: float | None = None
+    t0_samples: int = 5000
+    variant: str = "async"  # "async" | "sync" | "domain"
+    sync_segment_length: int = 10  # Markov segment M of the sync variant
+    record_history: bool = False
+    # Initial population policy: "random" (paper default) or "vshape"
+    # (extension; see repro.initialization).
+    init: str = "random"
+    # Route read-only gathers in the fitness kernel through the modeled
+    # texture cache (the paper's future-work item).
+    use_texture: bool = False
+    # Hybrid extension: descend from the final best sequence with the
+    # batched adjacent-swap local search (repro.seqopt.local_search).
+    final_polish: bool = False
+    device_spec: DeviceSpec = field(default=GEFORCE_GT_560M)
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be positive")
+        if self.grid_size < 1 or self.block_size < 1:
+            raise ValueError("grid and block sizes must be positive")
+        if self.pert_size < 2:
+            raise ValueError("perturbation size must be at least 2")
+        if self.position_refresh < 1:
+            raise ValueError("position_refresh must be at least 1")
+        if self.variant not in ("async", "sync", "domain"):
+            raise ValueError(f"unknown variant {self.variant!r}")
+        if self.sync_segment_length < 1:
+            raise ValueError("sync_segment_length must be positive")
+        if self.init not in ("random", "vshape"):
+            raise ValueError(f"unknown init policy {self.init!r}")
+
+    @property
+    def population(self) -> int:
+        """Total number of chains (threads)."""
+        return self.grid_size * self.block_size
+
+
+def _make_broadcast_kernel() -> Kernel:
+    """Broadcast one thread's state to all threads (sync variant only)."""
+
+    def _cost(ctx: ThreadContext, seqs, energy, result) -> KernelCost:
+        n = seqs.array.shape[1]
+        return KernelCost(
+            cycles_per_thread=20.0 + 8.0 * n,
+            global_bytes_per_thread=2 * 4.0 * n + 8.0,
+        )
+
+    @kernel("broadcast_best", registers=16, cost=_cost)
+    def broadcast_best(ctx: ThreadContext, seqs, energy, result) -> None:
+        """Set every thread's state to the reduced best state."""
+        s = ctx.total_threads
+        src = int(result.array[1])
+        seqs.array[:s] = seqs.array[src]
+        energy.array[:s] = energy.array[src]
+
+    return broadcast_best
+
+
+def parallel_sa(
+    instance: CDDInstance | UCDDCPInstance,
+    config: ParallelSAConfig = ParallelSAConfig(),
+) -> SolveResult:
+    """Run the GPU-parallel SA on the simulated device.
+
+    Returns the best schedule over all chains and generations, with both the
+    measured host wall time and the modeled device time (kernels plus all
+    host<->device transfers).
+    """
+    n = instance.n
+    is_ucddcp = isinstance(instance, UCDDCPInstance)
+    min_position = 1 if config.variant == "domain" else 0
+    pert = min(config.pert_size, n - min_position)
+    if pert < 2:
+        raise ValueError(
+            "domain decomposition needs at least 3 jobs (2 free positions)"
+        )
+    pop = config.population
+    host_rng = np.random.default_rng(config.seed)
+
+    t0 = (
+        config.t0
+        if config.t0 is not None
+        else estimate_initial_temperature(instance, config.t0_samples, host_rng)
+    )
+
+    start_wall = time.perf_counter()
+    device = Device(spec=config.device_spec, seed=config.seed)
+    data = DeviceProblemData(device, instance)
+
+    # Device state -------------------------------------------------------
+    seqs = device.malloc((pop, n), np.int32, "sequences")
+    cand = device.malloc((pop, n), np.int32, "candidates")
+    energy = device.malloc(pop, np.float64, "energy")
+    cand_energy = device.malloc(pop, np.float64, "cand_energy")
+    positions = device.malloc((pop, pert), np.int64, "pert_positions")
+    best_energy = device.malloc(1, np.float64, "best_energy")
+    best_seq = device.malloc(n, np.int32, "best_sequence")
+    result = device.malloc(2, np.float64, "reduction_result")
+
+    init_seqs = initial_population(
+        instance, pop, host_rng, config.init
+    ).astype(np.int32)
+    if config.variant == "domain":
+        # Partition the space by the first job: chain t explores the
+        # subdomain of sequences starting with job t mod n.
+        first = (np.arange(pop) % n).astype(np.int32)
+        for t in range(pop):
+            row = init_seqs[t]
+            swap_idx = int(np.nonzero(row == first[t])[0][0])
+            row[0], row[swap_idx] = row[swap_idx], row[0]
+    device.memcpy_htod(seqs, init_seqs)
+
+    cfg = LaunchConfig(grid=Dim3(x=config.grid_size), block=Dim3(x=config.block_size))
+    fitness_kernel = (
+        make_ucddcp_fitness_kernel(config.use_texture)
+        if is_ucddcp
+        else make_cdd_fitness_kernel(config.use_texture)
+    )
+    perturbation_kernel = make_perturbation_kernel()
+    acceptance_kernel = make_acceptance_kernel()
+    reduction_kernel = make_elitist_reduction_kernel()
+    broadcast_kernel = _make_broadcast_kernel() if config.variant == "sync" else None
+
+    def launch_fitness(seq_buf, out_buf) -> None:
+        if is_ucddcp:
+            device.launch(
+                fitness_kernel, cfg, seq_buf, data.p, data.m, data.a,
+                data.b, data.g, out_buf,
+            )
+        else:
+            device.launch(fitness_kernel, cfg, seq_buf, data.p, data.a,
+                          data.b, out_buf)
+
+    # Initial evaluation and best tracking (device-side elitism).
+    best_energy.array[0] = np.inf
+    launch_fitness(seqs, energy)
+    device.launch(
+        reduction_kernel, cfg, energy, seqs, best_energy, best_seq, result
+    )
+
+    history = (
+        np.empty(config.iterations) if config.record_history else None
+    )
+    temperature = t0
+    sync_countdown = config.sync_segment_length
+
+    for it in range(config.iterations):
+        refresh = it % config.position_refresh == 0
+        device.launch(
+            perturbation_kernel, cfg, seqs, cand, positions, refresh,
+            min_position,
+        )
+        launch_fitness(cand, cand_energy)
+        device.launch(
+            acceptance_kernel, cfg, seqs, cand, energy, cand_energy, temperature
+        )
+        device.launch(
+            reduction_kernel, cfg, energy, seqs, best_energy, best_seq, result
+        )
+
+        if config.variant != "sync":
+            temperature *= config.cooling_rate
+        else:
+            sync_countdown -= 1
+            if sync_countdown == 0:
+                # Segment boundary: share the best state with every chain
+                # and move to the next temperature level.
+                assert broadcast_kernel is not None
+                device.launch(broadcast_kernel, cfg, seqs, energy, result)
+                temperature *= config.cooling_rate
+                sync_countdown = config.sync_segment_length
+
+        device.synchronize()
+        if history is not None:
+            history[it] = best_energy.array[0]
+
+    device.synchronize()
+    final_seq = device.memcpy_dtoh(best_seq).astype(np.intp)
+    _ = device.memcpy_dtoh(best_energy)
+    polish_evals = 0
+    if config.final_polish:
+        from repro.seqopt.local_search import local_search
+
+        polished = local_search(instance, final_seq, "adjacent")
+        final_seq = polished.sequence
+        polish_evals = polished.evaluations
+    wall = time.perf_counter() - start_wall
+
+    schedule = (
+        optimize_ucddcp_sequence(instance, final_seq)
+        if is_ucddcp
+        else optimize_cdd_sequence(instance, final_seq)
+    )
+    profiler = device.profiler
+    params = {"algorithm": f"parallel_sa_{config.variant}", **asdict(config),
+              "t0": t0}
+    params["device_spec"] = config.device_spec.name
+    return SolveResult(
+        schedule=schedule,
+        objective=schedule.objective,
+        best_sequence=final_seq,
+        evaluations=(config.iterations + 1) * pop + polish_evals,
+        wall_time_s=wall,
+        modeled_device_time_s=device.host_time,
+        modeled_kernel_time_s=profiler.kernel_time(),
+        modeled_memcpy_time_s=profiler.memcpy_time(),
+        history=history,
+        params=params,
+    )

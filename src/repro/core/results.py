@@ -1,0 +1,84 @@
+"""Result records returned by every solver in :mod:`repro.core`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.problems.schedule import Schedule
+
+__all__ = ["SolveResult"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one metaheuristic run.
+
+    Attributes
+    ----------
+    schedule:
+        The best schedule found, fully reconstructed (optimal completion
+        times / compressions for the best sequence).
+    objective:
+        Its objective value (== ``schedule.objective``).
+    best_sequence:
+        The best job sequence (permutation of ``0..n-1``).
+    evaluations:
+        Total number of sequence evaluations performed (ensemble size times
+        generations for the parallel algorithms).
+    wall_time_s:
+        Measured host wall-clock duration of the run (Python time).
+    modeled_device_time_s:
+        Simulated GT 560M wall time including all host<->device transfers
+        (``None`` for CPU-only algorithms).
+    modeled_kernel_time_s / modeled_memcpy_time_s:
+        Breakdown of the modeled time (``None`` for CPU-only algorithms).
+    history:
+        Per-generation best objective (only when history recording was
+        requested), shape ``(generations,)``.
+    params:
+        Echo of the solver configuration for provenance.
+    """
+
+    schedule: Schedule
+    objective: float
+    best_sequence: np.ndarray
+    evaluations: int
+    wall_time_s: float
+    modeled_device_time_s: float | None = None
+    modeled_kernel_time_s: float | None = None
+    modeled_memcpy_time_s: float | None = None
+    history: np.ndarray | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation (schedule flattened to arrays)."""
+        return {
+            "objective": self.objective,
+            "best_sequence": self.best_sequence.tolist(),
+            "completion": self.schedule.completion.tolist(),
+            "reduction": self.schedule.reduction.tolist(),
+            "evaluations": self.evaluations,
+            "wall_time_s": self.wall_time_s,
+            "modeled_device_time_s": self.modeled_device_time_s,
+            "modeled_kernel_time_s": self.modeled_kernel_time_s,
+            "modeled_memcpy_time_s": self.modeled_memcpy_time_s,
+            "history": None if self.history is None else self.history.tolist(),
+            "params": {
+                k: (v if isinstance(v, (int, float, str, bool, type(None)))
+                    else str(v))
+                for k, v in self.params.items()
+            },
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable result summary."""
+        timing = f"wall {self.wall_time_s:.3f}s"
+        if self.modeled_device_time_s is not None:
+            timing += f", modeled GPU {self.modeled_device_time_s:.4f}s"
+        return (
+            f"objective {self.objective:g} after {self.evaluations} "
+            f"evaluations ({timing})"
+        )

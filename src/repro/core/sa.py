@@ -1,0 +1,163 @@
+"""Serial single-chain Simulated Annealing: the CPU baseline.
+
+This is Algorithm 1 of the paper run as ordinary sequential code -- the
+shape of CPU implementation the paper's speedups are measured against.  Two
+evaluator backends are available:
+
+* ``backend="numpy"`` -- the scalar O(n) optimizers (NumPy per sequence);
+* ``backend="python"`` -- the pure-Python list evaluators of
+  :mod:`repro.seqopt.pure_python` (no NumPy in the hot loop).  Use this one
+  when *timing* the serial baseline: it is what a straightforward sequential
+  implementation costs, without NumPy's per-call overhead distorting small
+  ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.core.cooling import (
+    DEFAULT_COOLING_RATE,
+    ExponentialCooling,
+    estimate_initial_temperature,
+)
+from repro.core.results import SolveResult
+from repro.initialization import initial_population
+from repro.permutation import partial_fisher_yates, sample_distinct_positions
+from repro.problems.cdd import CDDInstance
+from repro.problems.ucddcp import UCDDCPInstance
+from repro.seqopt.cdd_linear import (
+    cdd_objective_for_sequence,
+    optimize_cdd_sequence,
+)
+from repro.seqopt.pure_python import cdd_objective_py, ucddcp_objective_py
+from repro.seqopt.ucddcp_linear import (
+    optimize_ucddcp_sequence,
+    ucddcp_objective_for_sequence,
+)
+
+__all__ = ["SerialSAConfig", "sa_serial"]
+
+
+@dataclass(frozen=True)
+class SerialSAConfig:
+    """Configuration of the serial SA chain (paper defaults)."""
+
+    iterations: int = 1000
+    cooling_rate: float = DEFAULT_COOLING_RATE
+    pert_size: int = 4
+    position_refresh: int = 1  # see ParallelSAConfig.position_refresh
+    seed: int = 0
+    t0: float | None = None  # None: estimate per [13]
+    t0_samples: int = 5000
+    backend: str = "numpy"  # "numpy" | "python"
+    init: str = "random"  # "random" | "vshape" (see repro.initialization)
+    record_history: bool = False
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be positive")
+        if self.pert_size < 2:
+            raise ValueError("perturbation size must be at least 2")
+        if self.position_refresh < 1:
+            raise ValueError("position_refresh must be at least 1")
+        if self.backend not in ("numpy", "python"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.init not in ("random", "vshape"):
+            raise ValueError(f"unknown init policy {self.init!r}")
+
+
+def sa_serial(
+    instance: CDDInstance | UCDDCPInstance,
+    config: SerialSAConfig = SerialSAConfig(),
+) -> SolveResult:
+    """Run one serial SA chain on ``instance``; returns the best schedule."""
+    rng = np.random.default_rng(config.seed)
+    n = instance.n
+    is_ucddcp = isinstance(instance, UCDDCPInstance)
+
+    if config.backend == "python":
+        p = instance.processing.tolist()
+        a = instance.alpha.tolist()
+        b = instance.beta.tolist()
+        d = instance.due_date
+        if is_ucddcp:
+            m = instance.min_processing.tolist()
+            g = instance.gamma.tolist()
+
+            def evaluate(seq: np.ndarray) -> float:
+                return ucddcp_objective_py(p, m, a, b, g, d, seq.tolist())
+
+        else:
+
+            def evaluate(seq: np.ndarray) -> float:
+                return cdd_objective_py(p, a, b, d, seq.tolist())
+
+    else:
+        if is_ucddcp:
+
+            def evaluate(seq: np.ndarray) -> float:
+                return ucddcp_objective_for_sequence(instance, seq)
+
+        else:
+
+            def evaluate(seq: np.ndarray) -> float:
+                return cdd_objective_for_sequence(instance, seq)
+
+    t0 = (
+        config.t0
+        if config.t0 is not None
+        else estimate_initial_temperature(instance, config.t0_samples, rng)
+    )
+    cooling = ExponentialCooling(t0=t0, mu=config.cooling_rate)
+
+    start = time.perf_counter()
+    state = initial_population(instance, 1, rng, config.init)[0]
+    energy = evaluate(state)
+    best_seq = state.copy()
+    best_energy = energy
+    pert = min(config.pert_size, n)
+    positions = sample_distinct_positions(rng, n, pert)
+    history = np.empty(config.iterations) if config.record_history else None
+
+    temperature = t0
+    for it in range(config.iterations):
+        if it % config.position_refresh == 0 and it > 0:
+            positions = sample_distinct_positions(rng, n, pert)
+        candidate = partial_fisher_yates(rng, state, positions)
+        cand_energy = evaluate(candidate)
+        if temperature <= 0.0:
+            accept = cand_energy <= energy
+        else:
+            accept = (
+                math.exp(min((energy - cand_energy) / temperature, 50.0))
+                >= rng.random()
+            )
+        if accept:
+            state, energy = candidate, cand_energy
+            if energy < best_energy:
+                best_energy = energy
+                best_seq = state.copy()
+        temperature *= config.cooling_rate
+        if history is not None:
+            history[it] = best_energy
+    wall = time.perf_counter() - start
+
+    schedule = (
+        optimize_ucddcp_sequence(instance, best_seq)
+        if is_ucddcp
+        else optimize_cdd_sequence(instance, best_seq)
+    )
+    return SolveResult(
+        schedule=schedule,
+        objective=schedule.objective,
+        best_sequence=best_seq,
+        evaluations=config.iterations + 1,
+        wall_time_s=wall,
+        history=history,
+        params={"algorithm": "sa_serial", **asdict(config), "t0": t0},
+    )

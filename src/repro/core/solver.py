@@ -1,0 +1,125 @@
+"""High-level solver façade over the two-layered approach.
+
+Downstream users interact with these classes: pick a problem instance,
+pick a method, get a fully reconstructed optimal-completion-time schedule.
+
+>>> from repro import CDDSolver, biskup_instance
+>>> inst = biskup_instance(n=20, h=0.4, k=1)
+>>> result = CDDSolver(inst).solve("parallel_sa", iterations=200)
+>>> result.objective <= CDDSolver(inst).solve("serial_sa").objective * 1.5
+True
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.core.dpso import DPSOConfig, dpso_serial
+from repro.core.evolution import EvolutionStrategyConfig, evolution_strategy
+from repro.core.parallel_dpso import ParallelDPSOConfig, parallel_dpso
+from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
+from repro.core.results import SolveResult
+from repro.core.sa import SerialSAConfig, sa_serial
+from repro.core.threshold import ThresholdAcceptingConfig, threshold_accepting
+from repro.problems.cdd import CDDInstance
+from repro.problems.schedule import Schedule
+from repro.problems.ucddcp import UCDDCPInstance
+from repro.seqopt.exact import (
+    brute_force_cdd,
+    brute_force_ucddcp,
+    vshape_optimal_cdd,
+)
+
+__all__ = ["CDDSolver", "UCDDCPSolver"]
+
+
+class _BaseSolver:
+    """Shared method dispatch for both problem façades."""
+
+    _METHODS = ("parallel_sa", "parallel_dpso", "serial_sa", "serial_dpso",
+                "serial_ta", "serial_es", "exact")
+
+    def __init__(self, instance: CDDInstance | UCDDCPInstance) -> None:
+        self.instance = instance
+
+    def solve(self, method: str = "parallel_sa", **params: Any) -> SolveResult:
+        """Run ``method`` with keyword configuration overrides.
+
+        ``method`` is one of ``parallel_sa`` (default; the paper's main
+        algorithm), ``parallel_dpso``, ``serial_sa``, ``serial_dpso``,
+        ``serial_ta`` (Threshold Accepting), ``serial_es``
+        ((mu+lambda) Evolutionary Strategy -- the [18]-style baselines) or
+        ``exact`` (exhaustive / partition DP, small instances only).
+        """
+        if method == "parallel_sa":
+            return parallel_sa(self.instance, ParallelSAConfig(**params))
+        if method == "parallel_dpso":
+            return parallel_dpso(self.instance, ParallelDPSOConfig(**params))
+        if method == "serial_sa":
+            return sa_serial(self.instance, SerialSAConfig(**params))
+        if method == "serial_dpso":
+            return dpso_serial(self.instance, DPSOConfig(**params))
+        if method == "serial_ta":
+            return threshold_accepting(
+                self.instance, ThresholdAcceptingConfig(**params)
+            )
+        if method == "serial_es":
+            return evolution_strategy(
+                self.instance, EvolutionStrategyConfig(**params)
+            )
+        if method == "exact":
+            return self._solve_exact(**params)
+        raise ValueError(
+            f"unknown method {method!r}; choose from {self._METHODS}"
+        )
+
+    def _exact_schedule(self, **params: Any) -> Schedule:
+        raise NotImplementedError
+
+    def _solve_exact(self, **params: Any) -> SolveResult:
+        start = time.perf_counter()
+        schedule = self._exact_schedule(**params)
+        wall = time.perf_counter() - start
+        return SolveResult(
+            schedule=schedule,
+            objective=schedule.objective,
+            best_sequence=np.asarray(schedule.sequence),
+            evaluations=0,
+            wall_time_s=wall,
+            params={"algorithm": "exact", **params},
+        )
+
+
+class CDDSolver(_BaseSolver):
+    """Solver façade for the Common Due-Date problem."""
+
+    def __init__(self, instance: CDDInstance) -> None:
+        if not isinstance(instance, CDDInstance):
+            raise TypeError("CDDSolver requires a CDDInstance")
+        super().__init__(instance)
+
+    def _exact_schedule(self, **params: Any) -> Schedule:
+        # Prefer the 2^n partition DP when applicable (unrestricted), else
+        # fall back to n! brute force.
+        inst = self.instance
+        assert isinstance(inst, CDDInstance)
+        if not inst.is_restrictive and inst.n <= 20:
+            return vshape_optimal_cdd(inst)
+        return brute_force_cdd(inst)
+
+
+class UCDDCPSolver(_BaseSolver):
+    """Solver façade for the unrestricted controllable-processing problem."""
+
+    def __init__(self, instance: UCDDCPInstance) -> None:
+        if not isinstance(instance, UCDDCPInstance):
+            raise TypeError("UCDDCPSolver requires a UCDDCPInstance")
+        super().__init__(instance)
+
+    def _exact_schedule(self, **params: Any) -> Schedule:
+        inst = self.instance
+        assert isinstance(inst, UCDDCPInstance)
+        return brute_force_ucddcp(inst)

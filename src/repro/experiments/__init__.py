@@ -1,0 +1,47 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each experiment has a function returning a structured result object plus a
+renderer that prints the same rows/series the paper reports, next to the
+paper's published values (:mod:`~repro.experiments.paper_data`).  The
+``REPRO_SCALE`` environment variable (``smoke`` / ``quick`` / ``full``)
+selects the workload size; ``quick`` is the default and fits a single CPU
+core (see :mod:`~repro.experiments.config` for the exact grids).
+
+Experiment index (also in DESIGN.md):
+
+==============  ====================================================
+``table2``      CDD average %deviation per size (Table II / Fig 12)
+``table3``      CDD speedups (Table III / Fig 13)
+``table4``      UCDDCP average %deviation (Table IV / Fig 15)
+``table5``      UCDDCP speedups (Table V / Fig 17)
+``fig11``       runtime surface: threads x generations
+``fig14``       CDD runtime curves
+``fig16``       UCDDCP runtime curves
+``blocksize``   block-size ablation (Section VIII discussion)
+``sync``        async vs sync SA ablation (Section VI discussion)
+``cooling``     cooling-rate ablation (Section VI discussion)
+==============  ====================================================
+"""
+
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.deviation import DeviationStudy, run_deviation_study
+from repro.experiments.runtime import (
+    RuntimeCurves,
+    RuntimeSurface,
+    run_runtime_curves,
+    run_runtime_surface,
+)
+from repro.experiments.speedup import SpeedupStudy, run_speedup_study
+
+__all__ = [
+    "ExperimentScale",
+    "get_scale",
+    "DeviationStudy",
+    "run_deviation_study",
+    "SpeedupStudy",
+    "run_speedup_study",
+    "RuntimeSurface",
+    "RuntimeCurves",
+    "run_runtime_surface",
+    "run_runtime_curves",
+]

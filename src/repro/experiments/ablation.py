@@ -1,0 +1,495 @@
+"""Ablations for the design choices the paper discusses in prose.
+
+* **Block size** (Section VIII): "after several experimental evaluations we
+  observe that the best results for both the problems are achieved with a
+  block size of 192" -- we sweep the block size at a fixed total thread
+  count and report modeled generation time and occupancy.
+* **Async vs sync SA** (Section VI): "The reason for choosing the
+  asynchronous version over the synchronous SA is due to the premature
+  convergence of the latter" -- we run both at equal budgets and compare
+  final quality and population diversity.
+* **Cooling rate** (Section VI): "The exponential cooling rate of 0.88 has
+  been adopted in this work, which is inferred from our experiments over a
+  range of cooling rates" -- we sweep mu.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.tables import render_table
+from repro.gpusim.device import GEFORCE_GT_560M, Device
+from repro.gpusim.launch import linear_config, occupancy
+from repro.instances.biskup import biskup_instance
+from repro.kernels.data import DeviceProblemData
+from repro.kernels.fitness import make_cdd_fitness_kernel
+
+__all__ = [
+    "BlockSizeAblation",
+    "SyncAsyncAblation",
+    "CoolingAblation",
+    "run_blocksize_ablation",
+    "run_sync_vs_async",
+    "run_cooling_ablation",
+    "TextureAblation",
+    "run_texture_ablation",
+    "CouplingAblation",
+    "run_coupling_ablation",
+    "RefreshAblation",
+    "run_refresh_ablation",
+    "StrategyAblation",
+    "run_strategy_ablation",
+]
+
+
+# ----------------------------------------------------------------------
+# Block size
+# ----------------------------------------------------------------------
+@dataclass
+class BlockSizeAblation:
+    """Per-block-size modeled fitness time and occupancy."""
+
+    total_threads: int
+    n_jobs: int
+    block_sizes: tuple[int, ...]
+    kernel_time_s: np.ndarray
+    occupancy_pct: np.ndarray
+    limiter: list[str]
+
+    def render(self) -> str:
+        """Table of block size vs modeled kernel time and occupancy."""
+        rows = [
+            [b, self.kernel_time_s[i], self.occupancy_pct[i], self.limiter[i]]
+            for i, b in enumerate(self.block_sizes)
+        ]
+        return render_table(
+            ["Block", "fitness time (s)", "occupancy %", "limited by"],
+            rows,
+            title=(
+                f"Block-size ablation: {self.total_threads} threads, "
+                f"CDD n={self.n_jobs} (paper picks 192)"
+            ),
+        )
+
+
+def run_blocksize_ablation(
+    scale: ExperimentScale | None = None,
+    total_threads: int = 768,
+) -> BlockSizeAblation:
+    """Sweep the block size at a fixed total thread count."""
+    scale = scale or get_scale()
+    n = scale.fig11_n
+    instance = biskup_instance(n, 0.4, 1)
+    kernel = make_cdd_fitness_kernel()
+    sizes = tuple(
+        b for b in scale.blocksize_candidates
+        if b <= min(total_threads, GEFORCE_GT_560M.max_threads_per_block)
+    )
+    times = np.zeros(len(sizes))
+    occs = np.zeros(len(sizes))
+    limiters: list[str] = []
+    for i, block in enumerate(sizes):
+        device = Device(seed=1)
+        data = DeviceProblemData(device, instance)
+        seqs = device.malloc((total_threads, n), np.int32, "sequences")
+        out = device.malloc(total_threads, np.float64, "fitness")
+        rng = np.random.default_rng(7)
+        device.memcpy_htod(
+            seqs,
+            np.argsort(rng.random((total_threads, n)), axis=1).astype(np.int32),
+        )
+        cfg = linear_config(total_threads, block)
+        device.reset_clocks()
+        device.launch(kernel, cfg, seqs, data.p, data.a, data.b, out)
+        device.synchronize()
+        times[i] = device.profiler.kernel_time()
+        occ = occupancy(
+            GEFORCE_GT_560M, block, kernel.registers_per_thread,
+            kernel.shared_bytes_for(seqs, data.p, data.a, data.b, out),
+        )
+        occs[i] = occ.occupancy * 100.0
+        limiters.append(occ.limiter)
+    return BlockSizeAblation(
+        total_threads=total_threads,
+        n_jobs=n,
+        block_sizes=sizes,
+        kernel_time_s=times,
+        occupancy_pct=occs,
+        limiter=limiters,
+    )
+
+
+# ----------------------------------------------------------------------
+# Async vs sync
+# ----------------------------------------------------------------------
+@dataclass
+class SyncAsyncAblation:
+    """Final quality of the async and sync SA variants at equal budgets."""
+
+    sizes: tuple[int, ...]
+    async_objective: np.ndarray
+    sync_objective: np.ndarray
+    sync_premature_pct: np.ndarray  # % by which sync is worse
+
+    def render(self) -> str:
+        """Comparison table (positive last column = sync is worse)."""
+        rows = [
+            [
+                n,
+                self.async_objective[i],
+                self.sync_objective[i],
+                self.sync_premature_pct[i],
+            ]
+            for i, n in enumerate(self.sizes)
+        ]
+        return render_table(
+            ["Jobs", "async obj", "sync obj", "sync worse by %"],
+            rows,
+            title="Async vs synchronous parallel SA (equal budgets)",
+        )
+
+
+def run_sync_vs_async(
+    scale: ExperimentScale | None = None, replicates: int = 3
+) -> SyncAsyncAblation:
+    """Compare the two Ferreiro parallelization strategies."""
+    scale = scale or get_scale()
+    sizes = scale.sizes[: min(4, len(scale.sizes))]
+    async_obj = np.zeros(len(sizes))
+    sync_obj = np.zeros(len(sizes))
+    for i, n in enumerate(sizes):
+        instance = biskup_instance(n, 0.4, 1)
+        a_vals, s_vals = [], []
+        for r in range(replicates):
+            seed = zlib.crc32(f"syncasync:{n}:{r}".encode()) & 0x7FFFFFFF
+            base = dict(
+                iterations=scale.iterations_low,
+                grid_size=scale.grid_size,
+                block_size=scale.block_size,
+                seed=seed,
+            )
+            a_vals.append(
+                parallel_sa(instance, ParallelSAConfig(**base)).objective
+            )
+            s_vals.append(
+                parallel_sa(
+                    instance, ParallelSAConfig(variant="sync", **base)
+                ).objective
+            )
+        async_obj[i] = np.mean(a_vals)
+        sync_obj[i] = np.mean(s_vals)
+    worse = (sync_obj - async_obj) / async_obj * 100.0
+    return SyncAsyncAblation(
+        sizes=tuple(sizes),
+        async_objective=async_obj,
+        sync_objective=sync_obj,
+        sync_premature_pct=worse,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cooling rate
+# ----------------------------------------------------------------------
+@dataclass
+class CoolingAblation:
+    """Mean final objective per cooling rate."""
+
+    n_jobs: int
+    rates: tuple[float, ...]
+    objective: np.ndarray
+
+    def render(self) -> str:
+        """Table of cooling rate vs mean objective (0.88 is the paper pick)."""
+        rows = [[mu, self.objective[i]] for i, mu in enumerate(self.rates)]
+        return render_table(
+            ["mu", "mean objective"], rows,
+            title=f"Cooling-rate ablation (CDD n={self.n_jobs})",
+        )
+
+
+def run_cooling_ablation(
+    scale: ExperimentScale | None = None, replicates: int = 3
+) -> CoolingAblation:
+    """Sweep the exponential cooling rate on a mid-size instance."""
+    scale = scale or get_scale()
+    n = scale.fig11_n
+    instance = biskup_instance(n, 0.4, 1)
+    objs = np.zeros(len(scale.cooling_rates))
+    for i, mu in enumerate(scale.cooling_rates):
+        vals = []
+        for r in range(replicates):
+            seed = zlib.crc32(f"cooling:{mu}:{r}".encode()) & 0x7FFFFFFF
+            vals.append(
+                parallel_sa(
+                    instance,
+                    ParallelSAConfig(
+                        iterations=scale.iterations_low,
+                        grid_size=scale.grid_size,
+                        block_size=scale.block_size,
+                        cooling_rate=mu,
+                        seed=seed,
+                    ),
+                ).objective
+            )
+        objs[i] = np.mean(vals)
+    return CoolingAblation(
+        n_jobs=n, rates=scale.cooling_rates, objective=objs
+    )
+
+
+# ----------------------------------------------------------------------
+# Texture memory (the paper's future-work item)
+# ----------------------------------------------------------------------
+@dataclass
+class TextureAblation:
+    """Modeled fitness time with and without the texture-cache path."""
+
+    n_jobs: int
+    plain_s: float
+    texture_s: float
+
+    @property
+    def saving_pct(self) -> float:
+        """Relative modeled saving of the texture path."""
+        return 100.0 * (1.0 - self.texture_s / self.plain_s)
+
+    def render(self) -> str:
+        """Two-row comparison table."""
+        return render_table(
+            ["fitness kernel", "modeled time (ms)"],
+            [["global-memory gathers", self.plain_s * 1e3],
+             ["texture-cached gathers", self.texture_s * 1e3],
+             ["saving", f"{self.saving_pct:.1f}%"]],
+            title=(
+                f"Texture-memory ablation (paper future work), CDD "
+                f"n={self.n_jobs}, 768 threads"
+            ),
+        )
+
+
+def run_texture_ablation(
+    scale: ExperimentScale | None = None, total_threads: int = 768
+) -> TextureAblation:
+    """Compare the modeled fitness-kernel time with the texture path on."""
+    scale = scale or get_scale()
+    n = scale.fig11_n
+    instance = biskup_instance(n, 0.4, 1)
+    times = {}
+    for use_texture in (False, True):
+        device = Device(seed=1)
+        data = DeviceProblemData(device, instance)
+        seqs = device.malloc((total_threads, n), np.int32, "sequences")
+        out = device.malloc(total_threads, np.float64, "fitness")
+        rng = np.random.default_rng(7)
+        device.memcpy_htod(
+            seqs,
+            np.argsort(rng.random((total_threads, n)), axis=1).astype(np.int32),
+        )
+        kernel = make_cdd_fitness_kernel(use_texture)
+        cfg = linear_config(total_threads, 192)
+        device.reset_clocks()
+        device.launch(kernel, cfg, seqs, data.p, data.a, data.b, out)
+        device.synchronize()
+        times[use_texture] = device.profiler.kernel_time()
+    return TextureAblation(
+        n_jobs=n, plain_s=times[False], texture_s=times[True]
+    )
+
+
+# ----------------------------------------------------------------------
+# DPSO coupling (async per the paper vs coupled-swarm extension)
+# ----------------------------------------------------------------------
+@dataclass
+class CouplingAblation:
+    """Final quality of the DPSO coupling spectrum (async/ring/coupled)."""
+
+    sizes: tuple[int, ...]
+    async_objective: np.ndarray
+    ring_objective: np.ndarray
+    coupled_objective: np.ndarray
+
+    def render(self) -> str:
+        """Comparison table; the async deficit is the paper's DPSO story."""
+        rows = [
+            [
+                n,
+                self.async_objective[i],
+                self.ring_objective[i],
+                self.coupled_objective[i],
+                100.0
+                * (self.async_objective[i] - self.coupled_objective[i])
+                / self.coupled_objective[i],
+            ]
+            for i, n in enumerate(self.sizes)
+        ]
+        return render_table(
+            ["Jobs", "async (paper)", "ring (lbest)", "coupled (gbest)",
+             "async worse by %"],
+            rows,
+            title="DPSO coupling ablation (equal budgets)",
+        )
+
+
+def run_coupling_ablation(
+    scale: ExperimentScale | None = None, replicates: int = 2
+) -> CouplingAblation:
+    """The DPSO coupling spectrum: isolated (paper) / ring / full swarm."""
+    from repro.core.parallel_dpso import ParallelDPSOConfig, parallel_dpso
+
+    scale = scale or get_scale()
+    sizes = scale.sizes[: min(4, len(scale.sizes))]
+    objs = {c: np.zeros(len(sizes)) for c in ("async", "ring", "coupled")}
+    for i, n in enumerate(sizes):
+        instance = biskup_instance(n, 0.4, 1)
+        for coupling in objs:
+            vals = []
+            for r in range(replicates):
+                seed = zlib.crc32(f"coupling:{n}:{r}".encode()) & 0x7FFFFFFF
+                vals.append(
+                    parallel_dpso(
+                        instance,
+                        ParallelDPSOConfig(
+                            iterations=scale.iterations_low,
+                            grid_size=scale.grid_size,
+                            block_size=scale.block_size,
+                            coupling=coupling,
+                            seed=seed,
+                        ),
+                    ).objective
+                )
+            objs[coupling][i] = np.mean(vals)
+    return CouplingAblation(
+        sizes=tuple(sizes),
+        async_objective=objs["async"],
+        ring_objective=objs["ring"],
+        coupled_objective=objs["coupled"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Perturbation-position refresh cadence
+# ----------------------------------------------------------------------
+@dataclass
+class RefreshAblation:
+    """Final SA quality per position-refresh interval."""
+
+    n_jobs: int
+    intervals: tuple[int, ...]
+    objective: np.ndarray
+
+    def render(self) -> str:
+        """Quality per refresh interval (1 = fresh positions each move)."""
+        rows = [
+            [itv, self.objective[i]] for i, itv in enumerate(self.intervals)
+        ]
+        return render_table(
+            ["refresh interval", "mean objective"],
+            rows,
+            title=(
+                f"Perturbation-position refresh ablation (CDD "
+                f"n={self.n_jobs}; Section VI's ambiguous '10')"
+            ),
+        )
+
+
+def run_refresh_ablation(
+    scale: ExperimentScale | None = None,
+    intervals: tuple[int, ...] = (1, 2, 5, 10, 25),
+    replicates: int = 2,
+) -> RefreshAblation:
+    """Sweep the refresh cadence of the SA perturbation positions."""
+    scale = scale or get_scale()
+    n = scale.fig11_n
+    instance = biskup_instance(n, 0.4, 1)
+    objs = np.zeros(len(intervals))
+    for i, itv in enumerate(intervals):
+        vals = []
+        for r in range(replicates):
+            seed = zlib.crc32(f"refresh:{itv}:{r}".encode()) & 0x7FFFFFFF
+            vals.append(
+                parallel_sa(
+                    instance,
+                    ParallelSAConfig(
+                        iterations=scale.iterations_low,
+                        grid_size=scale.grid_size,
+                        block_size=scale.block_size,
+                        position_refresh=itv,
+                        seed=seed,
+                    ),
+                ).objective
+            )
+        objs[i] = np.mean(vals)
+    return RefreshAblation(n_jobs=n, intervals=intervals, objective=objs)
+
+
+# ----------------------------------------------------------------------
+# Parallelization strategy (Section V: the three Ferreiro strategies)
+# ----------------------------------------------------------------------
+@dataclass
+class StrategyAblation:
+    """Final quality of the three SA parallelization strategies."""
+
+    sizes: tuple[int, ...]
+    async_objective: np.ndarray
+    sync_objective: np.ndarray
+    domain_objective: np.ndarray
+
+    def render(self) -> str:
+        """Per-size comparison; the paper keeps async and dismisses the rest."""
+        rows = []
+        for i, n in enumerate(self.sizes):
+            a = self.async_objective[i]
+            rows.append([
+                n, a, self.sync_objective[i], self.domain_objective[i],
+                100.0 * (self.domain_objective[i] - a) / a,
+            ])
+        return render_table(
+            ["Jobs", "async (paper)", "sync", "domain decomp.",
+             "domain vs async %"],
+            rows,
+            title=(
+                "Parallelization-strategy ablation (Section V): multiple "
+                "Markov chains vs domain decomposition"
+            ),
+        )
+
+
+def run_strategy_ablation(
+    scale: ExperimentScale | None = None, replicates: int = 2
+) -> StrategyAblation:
+    """Async vs sync vs domain-decomposition parallel SA at equal budgets."""
+    scale = scale or get_scale()
+    sizes = tuple(n for n in scale.sizes if n >= 3)[: min(4, len(scale.sizes))]
+    objs = {v: np.zeros(len(sizes)) for v in ("async", "sync", "domain")}
+    for i, n in enumerate(sizes):
+        instance = biskup_instance(n, 0.4, 1)
+        for variant in objs:
+            vals = []
+            for r in range(replicates):
+                seed = zlib.crc32(
+                    f"strategy:{variant}:{n}:{r}".encode()
+                ) & 0x7FFFFFFF
+                vals.append(
+                    parallel_sa(
+                        instance,
+                        ParallelSAConfig(
+                            iterations=scale.iterations_low,
+                            grid_size=scale.grid_size,
+                            block_size=scale.block_size,
+                            variant=variant,
+                            seed=seed,
+                        ),
+                    ).objective
+                )
+            objs[variant][i] = np.mean(vals)
+    return StrategyAblation(
+        sizes=sizes,
+        async_objective=objs["async"],
+        sync_objective=objs["sync"],
+        domain_objective=objs["domain"],
+    )

@@ -1,0 +1,105 @@
+"""Minimal ASCII charts for reproducing the paper's figures in a terminal.
+
+The repository ships no plotting dependency, so the figure benches render
+bar charts (Figs 12/13/15/17), line plots (Figs 14/16) and a surface table
+(Fig 11) as text.  The numeric series are also returned/printed so they can
+be re-plotted with any tool.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart", "line_plot"]
+
+_BAR = "#"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart; negative values render to the left marker."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    vmax = max((abs(v) for v in values), default=0.0) or 1.0
+    lw = max((len(s) for s in labels), default=0)
+    lines = [title] if title else []
+    for lab, v in zip(labels, values):
+        n = int(round(abs(v) / vmax * width))
+        sign = "-" if v < 0 else ""
+        lines.append(f"{lab.rjust(lw)} |{sign}{_BAR * n} {v:g}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """One bar block per group with a labelled bar per series."""
+    vmax = max(
+        (abs(v) for vals in series.values() for v in vals), default=0.0
+    ) or 1.0
+    sw = max(len(s) for s in series)
+    lines = [title] if title else []
+    for gi, g in enumerate(groups):
+        lines.append(f"{g}:")
+        for name, vals in series.items():
+            v = vals[gi]
+            n = int(round(abs(v) / vmax * width))
+            sign = "-" if v < 0 else ""
+            lines.append(f"  {name.rjust(sw)} |{sign}{_BAR * n} {v:g}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    height: int = 16,
+    width: int = 64,
+    title: str | None = None,
+    logy: bool = False,
+) -> str:
+    """Scatter-style multi-series line plot on a character grid."""
+    pts = [v for vals in series.values() for v in vals if v == v]
+    if not pts:
+        return title or ""
+    ymin, ymax = min(pts), max(pts)
+    if logy:
+        if ymin <= 0:
+            logy = False
+        else:
+            ymin, ymax = math.log10(ymin), math.log10(ymax)
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    xmin, xmax = min(x), max(x)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    marks = "ox+*@%&"
+    for si, (name, vals) in enumerate(series.items()):
+        m = marks[si % len(marks)]
+        for xv, yv in zip(x, vals):
+            if yv != yv:
+                continue
+            y = math.log10(yv) if logy else yv
+            col = int((xv - xmin) / (xmax - xmin) * (width - 1))
+            row = int((y - ymin) / (ymax - ymin) * (height - 1))
+            grid[height - 1 - row][col] = m
+    lines = [title] if title else []
+    top = 10**ymax if logy else ymax
+    bot = 10**ymin if logy else ymin
+    lines.append(f"y: {bot:g} .. {top:g}" + ("  (log scale)" if logy else ""))
+    lines.extend("|" + "".join(r) for r in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {xmin:g} .. {xmax:g}")
+    legend = "  ".join(
+        f"{marks[i % len(marks)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

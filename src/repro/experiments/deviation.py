@@ -1,0 +1,286 @@
+"""Solution-quality study: Tables II & IV / Figures 12 & 15.
+
+For every job size the paper reports the average percentage deviation
+
+    %delta = (Z - Z_best) / Z_best * 100
+
+of the four parallel algorithms (SA and DPSO, each at a low and a high
+generation budget in ratio 1:5) over 40 benchmark instances, where
+``Z_best`` comes from the sequential CPU implementations.  This module
+reproduces the study end to end: instances from the generators, ``Z_best``
+from :mod:`repro.bestknown`, the four runs per instance on the simulated
+device, and per-size aggregation.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.bestknown.compute import compute_best_known
+from repro.bestknown.store import BestKnownStore
+from repro.core.parallel_dpso import ParallelDPSOConfig, parallel_dpso
+from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
+from repro.experiments.ascii_plot import grouped_bar_chart
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.paper_data import (
+    PAPER_ALGO_LABELS,
+    TABLE2_CDD_DEVIATION,
+    TABLE4_UCDDCP_DEVIATION,
+)
+from repro.experiments.tables import render_table
+from repro.instances.biskup import biskup_instance
+from repro.instances.ucddcp_gen import ucddcp_instance
+from repro.problems.cdd import CDDInstance
+from repro.problems.ucddcp import UCDDCPInstance
+
+__all__ = ["DeviationRun", "DeviationStudy", "run_deviation_study"]
+
+
+@dataclass(frozen=True)
+class DeviationRun:
+    """One algorithm run on one instance."""
+
+    instance: str
+    size: int
+    algorithm: str
+    objective: float
+    best_known: float
+    deviation_pct: float
+    wall_time_s: float
+    modeled_device_time_s: float | None
+
+
+@dataclass
+class DeviationStudy:
+    """Aggregated deviation study for one problem family."""
+
+    problem: str
+    scale: str
+    labels: tuple[str, str, str, str]
+    sizes: tuple[int, ...]
+    # mean deviation per size per algorithm, shape (len(sizes), 4)
+    mean_deviation: np.ndarray
+    runs: list[DeviationRun] = field(default_factory=list)
+
+    def significance_report(self) -> str:
+        """Pairwise Wilcoxon comparisons over per-instance deviations."""
+        from repro.analysis.stats import pairwise_report
+
+        samples = {}
+        for lab in self.labels:
+            vals = [r.deviation_pct for r in self.runs if r.algorithm == lab]
+            if vals:
+                samples[lab] = np.asarray(vals)
+        if len(samples) < 2:
+            return "(not enough data for significance tests)"
+        return pairwise_report(samples)
+
+    def per_h_breakdown(self) -> str:
+        """Mean deviation split by restriction factor (CDD only)."""
+        if self.problem != "cdd":
+            return ""
+        rows = []
+        h_values = sorted({r.instance.split("_h")[-1] for r in self.runs})
+        for h in h_values:
+            row = [f"h={h}"]
+            for lab in self.labels:
+                vals = [
+                    r.deviation_pct
+                    for r in self.runs
+                    if r.algorithm == lab and r.instance.endswith(f"_h{h}")
+                ]
+                row.append(float(np.mean(vals)) if vals else float("nan"))
+            rows.append(row)
+        return render_table(
+            ["h factor", *self.labels], rows,
+            title="Per-restriction-factor mean %deviation (all sizes pooled)",
+        )
+
+    def render(self) -> str:
+        """The table in the paper's layout, plus the published values."""
+        paper = (
+            TABLE2_CDD_DEVIATION if self.problem == "cdd"
+            else TABLE4_UCDDCP_DEVIATION
+        )
+        rows = []
+        for i, n in enumerate(self.sizes):
+            rows.append([n, *self.mean_deviation[i]])
+        ours = render_table(
+            ["Jobs", *self.labels], rows,
+            title=(
+                f"Average %deviation vs best known ({self.problem.upper()}, "
+                f"scale={self.scale})"
+            ),
+        )
+        paper_rows = [[n, *paper[n]] for n in sorted(paper)]
+        published = render_table(
+            ["Jobs", *PAPER_ALGO_LABELS], paper_rows,
+            title="Paper (Table II)" if self.problem == "cdd"
+            else "Paper (Table IV)",
+        )
+        chart = grouped_bar_chart(
+            [str(n) for n in self.sizes],
+            {
+                lab: self.mean_deviation[:, j].tolist()
+                for j, lab in enumerate(self.labels)
+            },
+            title=(
+                "Fig 12 analogue (CDD %deviation)" if self.problem == "cdd"
+                else "Fig 15 analogue (UCDDCP %deviation)"
+            ),
+        )
+        sections = [ours, published, chart,
+                    "Significance (paired Wilcoxon over instances):\n"
+                    + self.significance_report()]
+        per_h = self.per_h_breakdown()
+        if per_h:
+            sections.append(per_h)
+        return "\n\n".join(sections)
+
+    def column(self, label: str) -> np.ndarray:
+        """Mean-deviation series of one algorithm across sizes."""
+        j = self.labels.index(label)
+        return self.mean_deviation[:, j]
+
+
+def _seed_for(name: str, algo: str) -> int:
+    return zlib.crc32(f"{name}|{algo}".encode()) & 0x7FFFFFFF
+
+
+def _instances_for_size(
+    problem: str, n: int, scale: ExperimentScale
+) -> list[CDDInstance | UCDDCPInstance]:
+    if problem == "cdd":
+        return [
+            biskup_instance(n, h, k)
+            for k in scale.k_values
+            for h in scale.h_factors
+        ]
+    if problem == "ucddcp":
+        return [ucddcp_instance(n, k) for k in scale.k_values]
+    raise ValueError(f"unknown problem {problem!r}")
+
+
+def _load_checkpoint(path: Path) -> dict[str, DeviationRun]:
+    if not path.exists():
+        return {}
+    raw = json.loads(path.read_text())
+    return {key: DeviationRun(**rec) for key, rec in raw.items()}
+
+
+def _save_checkpoint(path: Path, done: dict[str, DeviationRun]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({k: asdict(r) for k, r in done.items()}, indent=0)
+    )
+
+
+def run_deviation_study(
+    problem: str = "cdd",
+    scale: ExperimentScale | None = None,
+    store: BestKnownStore | None = None,
+    progress: Callable[[str], None] | None = None,
+    checkpoint_path: str | Path | None = None,
+) -> DeviationStudy:
+    """Run the full deviation study for ``problem`` at ``scale``.
+
+    ``checkpoint_path`` enables incremental persistence: every completed
+    (instance, algorithm) run is recorded in a JSON file and skipped on
+    resume -- essential for the hours-long ``full`` scale, where a study
+    can be interrupted and continued without losing work.
+    """
+    scale = scale or get_scale()
+    store = store or BestKnownStore()
+    labels = (
+        f"SA_{scale.iterations_low}",
+        f"SA_{scale.iterations_high}",
+        f"DPSO_{scale.iterations_low}",
+        f"DPSO_{scale.iterations_high}",
+    )
+    sizes = scale.sizes
+    ckpt = Path(checkpoint_path) if checkpoint_path else None
+    done = _load_checkpoint(ckpt) if ckpt else {}
+    runs: list[DeviationRun] = []
+
+    for n in sizes:
+        instances = _instances_for_size(problem, n, scale)
+        for inst in instances:
+            z_best: float | None = None
+            for j, (algo, iters) in enumerate(
+                (
+                    ("sa", scale.iterations_low),
+                    ("sa", scale.iterations_high),
+                    ("dpso", scale.iterations_low),
+                    ("dpso", scale.iterations_high),
+                )
+            ):
+                key = f"{inst.name}|{labels[j]}"
+                if key in done:
+                    runs.append(done[key])
+                    continue
+                if z_best is None:
+                    z_best = compute_best_known(
+                        inst, store,
+                        restarts=scale.bestknown_restarts,
+                        iterations=scale.bestknown_iterations,
+                    )
+                seed = _seed_for(inst.name, f"{algo}_{iters}")
+                if algo == "sa":
+                    result = parallel_sa(
+                        inst,
+                        ParallelSAConfig(
+                            iterations=iters,
+                            grid_size=scale.grid_size,
+                            block_size=scale.block_size,
+                            seed=seed,
+                        ),
+                    )
+                else:
+                    result = parallel_dpso(
+                        inst,
+                        ParallelDPSOConfig(
+                            iterations=iters,
+                            grid_size=scale.grid_size,
+                            block_size=scale.block_size,
+                            seed=seed,
+                        ),
+                    )
+                dev = (result.objective - z_best) / z_best * 100.0
+                run = DeviationRun(
+                    instance=inst.name,
+                    size=n,
+                    algorithm=labels[j],
+                    objective=result.objective,
+                    best_known=z_best,
+                    deviation_pct=dev,
+                    wall_time_s=result.wall_time_s,
+                    modeled_device_time_s=result.modeled_device_time_s,
+                )
+                runs.append(run)
+                done[key] = run
+            if ckpt:
+                _save_checkpoint(ckpt, done)
+            if progress:
+                progress(f"{inst.name}: done")
+
+    means = np.zeros((len(sizes), 4))
+    for si, n in enumerate(sizes):
+        for j, lab in enumerate(labels):
+            vals = [r.deviation_pct for r in runs
+                    if r.size == n and r.algorithm == lab]
+            means[si, j] = float(np.mean(vals)) if vals else float("nan")
+
+    return DeviationStudy(
+        problem=problem,
+        scale=scale.name,
+        labels=labels,
+        sizes=sizes,
+        mean_deviation=means,
+        runs=runs,
+    )

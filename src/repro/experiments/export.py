@@ -1,0 +1,76 @@
+"""CSV export of experiment data for external analysis/plotting.
+
+The ASCII renders are for terminals; downstream users replotting the
+figures want raw per-run data.  ``deviation_runs_csv`` and
+``speedup_cells_csv`` serialize the studies; the benchmark suite drops the
+CSVs next to the text reports in ``results/``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.experiments.deviation import DeviationStudy
+from repro.experiments.speedup import SpeedupStudy
+
+__all__ = [
+    "deviation_runs_csv",
+    "speedup_cells_csv",
+    "write_study_csvs",
+]
+
+
+def deviation_runs_csv(study: DeviationStudy) -> str:
+    """Per-run rows of a deviation study as CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow([
+        "instance", "size", "algorithm", "objective", "best_known",
+        "deviation_pct", "wall_time_s", "modeled_device_time_s",
+    ])
+    for r in study.runs:
+        writer.writerow([
+            r.instance, r.size, r.algorithm, r.objective, r.best_known,
+            f"{r.deviation_pct:.6f}", f"{r.wall_time_s:.6f}",
+            "" if r.modeled_device_time_s is None
+            else f"{r.modeled_device_time_s:.6f}",
+        ])
+    return buf.getvalue()
+
+
+def speedup_cells_csv(study: SpeedupStudy) -> str:
+    """Per-cell rows of a speedup study as CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow([
+        "size", "algorithm", "iterations", "serial_cpu_s", "modeled_gpu_s",
+        "measured_wall_s", "speedup_modeled", "speedup_measured",
+    ])
+    for n in study.sizes:
+        for lab in study.labels:
+            c = study.cells[(n, lab)]
+            writer.writerow([
+                c.size, c.algorithm, c.iterations,
+                f"{c.serial_cpu_s:.6f}", f"{c.modeled_gpu_s:.6f}",
+                f"{c.measured_wall_s:.6f}",
+                f"{c.speedup_modeled:.4f}", f"{c.speedup_measured:.4f}",
+            ])
+    return buf.getvalue()
+
+
+def write_study_csvs(
+    study: DeviationStudy | SpeedupStudy,
+    results_dir: Path | str = "results",
+) -> Path:
+    """Write the study's CSV next to the text reports; returns the path."""
+    results = Path(results_dir)
+    results.mkdir(parents=True, exist_ok=True)
+    if isinstance(study, DeviationStudy):
+        path = results / f"{study.problem}_deviation_runs.csv"
+        path.write_text(deviation_runs_csv(study))
+    else:
+        path = results / f"{study.problem}_speedup_cells.csv"
+        path.write_text(speedup_cells_csv(study))
+    return path

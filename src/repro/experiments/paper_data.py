@@ -1,0 +1,90 @@
+"""The paper's published numbers, verbatim, for side-by-side reporting.
+
+Sources: Tables II--V and the explicitly quoted runtimes in Section VIII of
+Awasthi et al., IPDPSW 2016.  The experiment renderers print our measured
+values next to these so EXPERIMENTS.md can record paper-vs-measured for
+every table and figure.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE2_CDD_DEVIATION",
+    "TABLE3_CDD_SPEEDUP_VS_7",
+    "TABLE3_CDD_SPEEDUP_VS_18",
+    "TABLE4_UCDDCP_DEVIATION",
+    "TABLE5_UCDDCP_SPEEDUP",
+    "PAPER_JOB_SIZES",
+    "PAPER_RUNTIME_ANCHORS",
+]
+
+PAPER_JOB_SIZES = (10, 20, 50, 100, 200, 500, 1000)
+
+# Table II: average %deviation, CDD, relative to Lässig et al. [7].
+# Columns: SA_1000, SA_5000, DPSO_1000, DPSO_5000.
+TABLE2_CDD_DEVIATION: dict[int, tuple[float, float, float, float]] = {
+    10: (0.159, 0.0, 0.0, 0.0),
+    20: (0.793, 0.392, 0.141, 0.033),
+    50: (0.442, 0.243, 0.652, 0.146),
+    100: (0.386, 0.307, 2.048, 0.463),
+    200: (0.437, 0.388, 4.854, 1.148),
+    500: (0.734, 0.354, 15.562, 3.807),
+    1000: (1.904, 0.401, 32.376, 9.342),
+}
+
+# Table III: speedups of the four parallel algorithms for the CDD,
+# relative to [7] (Lässig et al.) and [18] (Biskup & Feldmann).
+TABLE3_CDD_SPEEDUP_VS_7: dict[int, tuple[float, float, float, float]] = {
+    10: (1.9, 0.5, 1.2, 0.5),
+    20: (3.8, 1.1, 1.9, 0.6),
+    50: (11.8, 2.9, 4.8, 1.2),
+    100: (40.6, 9.2, 12.7, 3.0),
+    200: (47.7, 10.4, 14.2, 3.1),
+    500: (94.7, 19.7, 23.6, 5.4),
+    1000: (111.2, 21.9, 24.6, 5.6),
+}
+
+TABLE3_CDD_SPEEDUP_VS_18: dict[int, tuple[float, float, float, float]] = {
+    10: (4.7, 1.3, 2.9, 1.2),
+    20: (227.6, 65.4, 113.8, 36.7),
+    50: (264.5, 65.1, 107.7, 28.0),
+    100: (619.3, 141.7, 195.1, 46.6),
+    200: (1137.1, 248.7, 338.7, 75.6),
+    500: (1971.4, 410.2, 492.2, 113.5),
+    1000: (3214.8, 635.1, 711.8, 164.2),
+}
+
+# Table IV: average %deviation, UCDDCP, relative to Awasthi et al. [8]
+# (negative = improvement over the best known solution).
+TABLE4_UCDDCP_DEVIATION: dict[int, tuple[float, float, float, float]] = {
+    10: (0.0, 0.0, 0.0, 0.0),
+    20: (1.233, 0.151, -0.094, -0.083),
+    50: (0.105, -0.142, 0.005, -0.382),
+    100: (0.131, -0.191, 1.705, 0.048),
+    200: (0.356, -0.136, 5.472, 1.153),
+    500: (1.465, -0.777, 17.514, 3.544),
+    1000: (6.801, 0.265, 36.015, 10.928),
+}
+
+# Table V: speedups, UCDDCP, relative to [8].
+TABLE5_UCDDCP_SPEEDUP: dict[int, tuple[float, float, float, float]] = {
+    10: (0.459, 0.119, 0.436, 0.189),
+    20: (1.225, 0.289, 1.043, 0.327),
+    50: (3.701, 0.841, 2.480, 0.642),
+    100: (9.226, 2.012, 5.229, 1.247),
+    200: (23.600, 5.039, 11.866, 2.662),
+    500: (43.060, 8.981, 18.494, 4.138),
+    1000: (47.383, 9.721, 18.38, 4.167),
+}
+
+# Explicit runtime anchors quoted in the text (seconds), used to calibrate
+# the device cost model:
+#   - CDD, n=1000: SA_5000 ~ 17.26 s on the GT 560M; CPU [7] ~ 379.36 s.
+#   - UCDDCP, n=50: SA_1000 ~ 0.67 s (3.7x faster than CPU [8]).
+PAPER_RUNTIME_ANCHORS: dict[str, float] = {
+    "cdd_sa5000_n1000_gpu_s": 17.26,
+    "cdd_cpu7_n1000_s": 379.36,
+    "ucddcp_sa1000_n50_gpu_s": 0.67,
+}
+
+PAPER_ALGO_LABELS = ("SA_1000", "SA_5000", "DPSO_1000", "DPSO_5000")

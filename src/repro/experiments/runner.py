@@ -1,0 +1,110 @@
+"""Experiment dispatch: run any table/figure by id and print its report."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.ablation import (
+    run_blocksize_ablation,
+    run_cooling_ablation,
+    run_coupling_ablation,
+    run_refresh_ablation,
+    run_strategy_ablation,
+    run_sync_vs_async,
+    run_texture_ablation,
+)
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.deviation import run_deviation_study
+from repro.experiments.runtime import run_runtime_curves, run_runtime_surface
+from repro.experiments.speedup import run_speedup_study
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+
+def _table2(scale: ExperimentScale) -> str:
+    return run_deviation_study("cdd", scale).render()
+
+
+def _table3(scale: ExperimentScale) -> str:
+    return run_speedup_study("cdd", scale).render()
+
+
+def _table4(scale: ExperimentScale) -> str:
+    return run_deviation_study("ucddcp", scale).render()
+
+
+def _table5(scale: ExperimentScale) -> str:
+    return run_speedup_study("ucddcp", scale).render()
+
+
+def _fig11(scale: ExperimentScale) -> str:
+    return run_runtime_surface(scale).render()
+
+
+def _fig14(scale: ExperimentScale) -> str:
+    return run_runtime_curves("cdd", scale).render()
+
+
+def _fig16(scale: ExperimentScale) -> str:
+    return run_runtime_curves("ucddcp", scale).render()
+
+
+def _blocksize(scale: ExperimentScale) -> str:
+    return run_blocksize_ablation(scale).render()
+
+
+def _sync(scale: ExperimentScale) -> str:
+    return run_sync_vs_async(scale).render()
+
+
+def _cooling(scale: ExperimentScale) -> str:
+    return run_cooling_ablation(scale).render()
+
+
+def _texture(scale: ExperimentScale) -> str:
+    return run_texture_ablation(scale).render()
+
+
+def _coupling(scale: ExperimentScale) -> str:
+    return run_coupling_ablation(scale).render()
+
+
+def _refresh(scale: ExperimentScale) -> str:
+    return run_refresh_ablation(scale).render()
+
+
+def _strategy(scale: ExperimentScale) -> str:
+    return run_strategy_ablation(scale).render()
+
+
+EXPERIMENTS: dict[str, Callable[[ExperimentScale], str]] = {
+    "table2": _table2,
+    "fig12": _table2,  # Figure 12 is the bar chart of Table II
+    "table3": _table3,
+    "fig13": _table3,  # Figure 13 is the bar chart of Table III
+    "table4": _table4,
+    "fig15": _table4,  # Figure 15 is the bar chart of Table IV
+    "table5": _table5,
+    "fig17": _table5,  # Figure 17 is the bar chart of Table V
+    "fig11": _fig11,
+    "fig14": _fig14,
+    "fig16": _fig16,
+    "blocksize": _blocksize,
+    "sync": _sync,
+    "cooling": _cooling,
+    "texture": _texture,
+    "coupling": _coupling,
+    "refresh": _refresh,
+    "strategy": _strategy,
+}
+
+
+def run_experiment(name: str, scale: ExperimentScale | None = None) -> str:
+    """Run experiment ``name`` and return its rendered report."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(scale or get_scale())

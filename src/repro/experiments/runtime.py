@@ -1,0 +1,126 @@
+"""Runtime studies: the Figure 11 surface and the Figure 14/16 curves.
+
+Figure 11 plots the runtime of the parallel UCDDCP fitness evaluations as a
+function of the thread count (population) and the number of generations.
+The surface is regenerated from the device model directly: one fitness
+launch per thread count gives the per-generation kernel duration (including
+the stepwise block-wave behaviour as threads exceed what the SMs co-run),
+which scales linearly in the generation count.
+
+Figures 14/16 (runtime of the four parallel variants and the serial CPU
+implementation versus job size) reuse the measurement pass of
+:mod:`repro.experiments.speedup`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.ascii_plot import line_plot
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.speedup import SpeedupStudy, run_speedup_study
+from repro.experiments.tables import render_table
+from repro.gpusim.device import Device
+from repro.gpusim.launch import linear_config
+from repro.instances.ucddcp_gen import ucddcp_instance
+from repro.kernels.data import DeviceProblemData
+from repro.kernels.fitness import make_ucddcp_fitness_kernel
+
+__all__ = [
+    "RuntimeSurface",
+    "RuntimeCurves",
+    "run_runtime_surface",
+    "run_runtime_curves",
+]
+
+
+@dataclass
+class RuntimeSurface:
+    """Figure 11 data: modeled seconds per (thread count, generations)."""
+
+    n_jobs: int
+    thread_counts: tuple[int, ...]
+    generations: tuple[int, ...]
+    seconds: np.ndarray  # shape (len(thread_counts), len(generations))
+    per_launch_s: np.ndarray  # shape (len(thread_counts),)
+
+    def render(self) -> str:
+        """The surface as a table plus per-thread-count launch durations."""
+        rows = [
+            [t, *self.seconds[i]] for i, t in enumerate(self.thread_counts)
+        ]
+        tab = render_table(
+            ["Threads \\ Gens", *self.generations], rows,
+            title=(
+                f"Fig 11 analogue: modeled fitness-evaluation time (s), "
+                f"UCDDCP n={self.n_jobs}"
+            ),
+        )
+        series = {
+            f"{g} gens": self.seconds[:, j].tolist()
+            for j, g in enumerate(self.generations)
+        }
+        fig = line_plot(
+            list(self.thread_counts), series, logy=True,
+            title="runtime vs threads (one line per generation count)",
+        )
+        return "\n\n".join((tab, fig))
+
+
+def run_runtime_surface(
+    scale: ExperimentScale | None = None,
+    block_size: int = 192,
+) -> RuntimeSurface:
+    """Regenerate the Figure 11 surface at the scale's grid."""
+    scale = scale or get_scale()
+    n = scale.fig11_n
+    instance = ucddcp_instance(n, 1)
+    thread_counts = scale.fig11_thread_counts
+    generations = scale.fig11_generations
+
+    per_launch = np.zeros(len(thread_counts))
+    kernel = make_ucddcp_fitness_kernel()
+    for i, threads in enumerate(thread_counts):
+        device = Device(seed=1)
+        data = DeviceProblemData(device, instance)
+        seqs = device.malloc((threads, n), np.int32, "sequences")
+        out = device.malloc(threads, np.float64, "fitness")
+        rng = np.random.default_rng(7)
+        device.memcpy_htod(
+            seqs, np.argsort(rng.random((threads, n)), axis=1).astype(np.int32)
+        )
+        cfg = linear_config(threads, min(block_size, threads))
+        device.reset_clocks()  # isolate the kernel from the staging cost
+        device.launch(kernel, cfg, seqs, data.p, data.m, data.a, data.b,
+                      data.g, out)
+        device.synchronize()
+        per_launch[i] = device.profiler.kernel_time()
+
+    seconds = per_launch[:, None] * np.asarray(generations)[None, :]
+    return RuntimeSurface(
+        n_jobs=n,
+        thread_counts=thread_counts,
+        generations=generations,
+        seconds=seconds,
+        per_launch_s=per_launch,
+    )
+
+
+@dataclass
+class RuntimeCurves:
+    """Figure 14/16 data, derived from a :class:`SpeedupStudy`."""
+
+    study: SpeedupStudy
+
+    def render(self) -> str:
+        """Runtime table + ASCII figure."""
+        return self.study.render_runtime_curves()
+
+
+def run_runtime_curves(
+    problem: str = "cdd", scale: ExperimentScale | None = None
+) -> RuntimeCurves:
+    """Regenerate the Figure 14 (CDD) or 16 (UCDDCP) curves."""
+    return RuntimeCurves(study=run_speedup_study(problem, scale))

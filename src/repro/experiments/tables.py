@@ -1,0 +1,39 @@
+"""Plain-text table rendering for the experiment reports."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(v: Any) -> str:
+    """Compact cell formatting (3 decimals for floats)."""
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "-"
+        if abs(v) >= 1000:
+            return f"{v:.0f}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

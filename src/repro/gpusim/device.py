@@ -1,0 +1,391 @@
+"""Device specifications and the :class:`Device` runtime object.
+
+The timing model charges each launch
+
+    duration = launch_overhead
+             + waves * max(compute_time_per_wave, memory_time_per_wave)
+             + serialized_atomic_time
+
+where ``waves = ceil(num_blocks / (num_sms * blocks_per_sm))`` comes from the
+occupancy calculation (Section VIII of the paper reasons exactly in these
+terms: "loading several threads within a block results in serial processing
+of the blocks through the SM"), ``compute_time_per_wave`` converts the cost
+model's per-thread cycles into SM-core time, and ``memory_time_per_wave``
+charges the global-memory traffic against the device bandwidth (a roofline:
+the slower of the two dominates).  Host<->device copies are charged PCIe
+latency plus bytes/bandwidth, and run synchronously like ``cudaMemcpy``.
+
+Presets: the paper's **GeForce GT 560M** (a Fermi-class mobile part -- the
+paper's text calls it a "Kepler device", but the GT 560M is GF116 silicon;
+we model the Fermi limits), a generic desktop Fermi, and a Tesla K20 for
+contrast in the ablation benches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any
+
+import numpy as np
+
+from repro.gpusim.errors import CudaError, InvalidHandleError
+from repro.gpusim.kernel import Kernel, ThreadContext
+from repro.gpusim.launch import LaunchConfig, occupancy
+from repro.gpusim.memory import (
+    ConstantMemory,
+    DeviceBuffer,
+    GlobalMemory,
+    transfer_time,
+)
+from repro.gpusim.profiler import Profiler
+from repro.gpusim.rng import DeviceRNG
+from repro.gpusim.stream import Stream
+
+__all__ = [
+    "DeviceSpec",
+    "Device",
+    "GEFORCE_GT_560M",
+    "GENERIC_FERMI",
+    "TESLA_K20",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated GPU."""
+
+    name: str
+    compute_capability: tuple[int, int]
+    num_sms: int
+    cores_per_sm: int
+    warp_size: int
+    max_threads_per_block: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    registers_per_sm: int
+    shared_mem_per_sm: int
+    shared_mem_per_block: int
+    constant_mem_bytes: int
+    global_mem_bytes: int
+    core_clock_hz: float
+    mem_bandwidth_bytes_per_s: float
+    pcie_bandwidth_bytes_per_s: float
+    pcie_latency_s: float
+    kernel_launch_overhead_s: float
+    atomic_op_s: float
+    instructions_per_cycle: float = 1.0
+    # Warps an SM needs resident to hide pipeline/memory latency; fewer
+    # resident warps scale the issue rate down proportionally.
+    latency_hiding_warps: int = 6
+    # Fixed cost of scheduling one thread block onto an SM.
+    block_dispatch_overhead_s: float = 0.3e-6
+    max_block_dim: tuple[int, int, int] = (1024, 1024, 64)
+    max_grid_dim: tuple[int, int, int] = (65535, 65535, 65535)
+
+    @property
+    def total_cores(self) -> int:
+        """CUDA cores across all SMs."""
+        return self.num_sms * self.cores_per_sm
+
+    def with_overrides(self, **kwargs: Any) -> "DeviceSpec":
+        """A copy of this spec with fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+
+GEFORCE_GT_560M = DeviceSpec(
+    name="GeForce GT 560M",
+    compute_capability=(2, 1),
+    num_sms=4,
+    cores_per_sm=48,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=1536,
+    max_blocks_per_sm=8,
+    registers_per_sm=32768,
+    shared_mem_per_sm=48 * 1024,
+    shared_mem_per_block=48 * 1024,
+    constant_mem_bytes=64 * 1024,
+    global_mem_bytes=2 * 1024**3,
+    core_clock_hz=1.55e9,
+    mem_bandwidth_bytes_per_s=60e9,
+    pcie_bandwidth_bytes_per_s=6e9,  # PCIe 2.0 x16, effective
+    pcie_latency_s=10e-6,
+    kernel_launch_overhead_s=6e-6,
+    atomic_op_s=40e-9,
+)
+
+GENERIC_FERMI = GEFORCE_GT_560M.with_overrides(
+    name="Generic Fermi (desktop)",
+    num_sms=8,
+    core_clock_hz=1.4e9,
+    mem_bandwidth_bytes_per_s=120e9,
+)
+
+TESLA_K20 = DeviceSpec(
+    name="Tesla K20",
+    compute_capability=(3, 5),
+    num_sms=13,
+    cores_per_sm=192,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    registers_per_sm=65536,
+    shared_mem_per_sm=48 * 1024,
+    shared_mem_per_block=48 * 1024,
+    constant_mem_bytes=64 * 1024,
+    global_mem_bytes=5 * 1024**3,
+    core_clock_hz=0.705e9,
+    mem_bandwidth_bytes_per_s=208e9,
+    pcie_bandwidth_bytes_per_s=6e9,
+    pcie_latency_s=10e-6,
+    kernel_launch_overhead_s=5e-6,
+    atomic_op_s=25e-9,
+)
+
+
+class Device:
+    """A simulated CUDA device instance.
+
+    Parameters
+    ----------
+    spec:
+        Hardware description (use a preset or a customized copy).
+    seed:
+        Seed for the device RNG (the cuRAND stand-in).
+    profile:
+        Record every activity in :attr:`profiler`.
+    """
+
+    def __init__(
+        self, spec: DeviceSpec = GEFORCE_GT_560M, seed: int = 0,
+        profile: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.global_mem = GlobalMemory(spec.global_mem_bytes)
+        self.constant_mem = ConstantMemory(spec.constant_mem_bytes)
+        self.rng = DeviceRNG(seed)
+        self.profiler = Profiler(enabled=profile)
+        self.stream = Stream()
+        self._host_time = 0.0
+        self._syncthreads_count = 0
+        self._launch_count = 0
+
+    # ------------------------------------------------------------------
+    # Clocks
+    # ------------------------------------------------------------------
+    @property
+    def host_time(self) -> float:
+        """Simulated host wall clock (advances on sync operations)."""
+        return self._host_time
+
+    @property
+    def device_busy_until(self) -> float:
+        """Simulated time when all queued device work completes."""
+        return self.stream.tail_time
+
+    def advance_host(self, seconds: float) -> None:
+        """Charge host-side (CPU) work to the simulated wall clock."""
+        if seconds < 0:
+            raise ValueError("cannot rewind the host clock")
+        self._host_time += seconds
+
+    def synchronize(self) -> float:
+        """Block the host until the device is idle; returns host time."""
+        start = self._host_time
+        self._host_time = self.stream.wait(self._host_time)
+        self.profiler.record(
+            "cudaDeviceSynchronize", "sync", start, self._host_time - start
+        )
+        return self._host_time
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def malloc(
+        self,
+        shape: tuple[int, ...] | int,
+        dtype: np.dtype | type = np.float64,
+        label: str = "",
+    ) -> DeviceBuffer:
+        """Allocate device global memory (see :class:`GlobalMemory`)."""
+        return self.global_mem.alloc(shape, dtype, label)
+
+    def memcpy_htod(self, buf: DeviceBuffer, host: np.ndarray) -> None:
+        """Synchronous host-to-device copy; charges PCIe transfer time."""
+        self._check_buffer(buf)
+        host_arr = np.asarray(host)
+        if host_arr.shape != buf.shape:
+            raise ValueError(
+                f"shape mismatch: host {host_arr.shape} vs device {buf.shape}"
+            )
+        buf.array[...] = host_arr
+        self._charge_transfer("memcpy_htod", buf)
+
+    def memcpy_dtoh(self, buf: DeviceBuffer) -> np.ndarray:
+        """Synchronous device-to-host copy; returns a host-owned array."""
+        self._check_buffer(buf)
+        # D2H must wait for queued kernels that may still write the buffer.
+        self.synchronize()
+        out = buf.array.copy()
+        self._charge_transfer("memcpy_dtoh", buf)
+        return out
+
+    def upload_constant(self, name: str, value: np.ndarray | float | int) -> None:
+        """Place a symbol in constant memory (with its transfer charged)."""
+        self.constant_mem.upload(name, value)
+        nbytes = np.asarray(value).nbytes
+        duration = transfer_time(
+            nbytes, self.spec.pcie_bandwidth_bytes_per_s, self.spec.pcie_latency_s
+        )
+        self.profiler.record(
+            f"constant:{name}", "memcpy_htod", self._host_time, duration,
+            bytes=nbytes,
+        )
+        self._host_time += duration
+
+    def _charge_transfer(self, kind: str, buf: DeviceBuffer) -> None:
+        duration = transfer_time(
+            buf.nbytes, self.spec.pcie_bandwidth_bytes_per_s,
+            self.spec.pcie_latency_s,
+        )
+        self.profiler.record(
+            f"{kind}:{buf.label or 'buffer'}", kind, self._host_time, duration,
+            bytes=buf.nbytes,
+        )
+        self._host_time += duration
+        # cudaMemcpy is synchronous: it also implies the device caught up.
+        self._host_time = self.stream.wait(self._host_time)
+
+    def _check_buffer(self, buf: DeviceBuffer) -> None:
+        buf.check_alive()
+        if not self.global_mem.owns(buf):
+            raise InvalidHandleError("buffer belongs to a different device")
+
+    # ------------------------------------------------------------------
+    # Kernel launch
+    # ------------------------------------------------------------------
+    def launch(
+        self, kern: Kernel, config: LaunchConfig, *args: Any
+    ) -> ThreadContext:
+        """Execute ``kern`` over the launch geometry and charge its cost.
+
+        The kernel body runs immediately (vectorized); the modeled duration
+        is enqueued on the stream (asynchronous semantics -- the host clock
+        does not advance until a synchronizing call).
+        """
+        config.validate(self.spec)
+        shared = kern.shared_bytes_for(*args) + config.shared_mem_bytes
+        if shared > self.spec.shared_mem_per_block:
+            raise CudaError(
+                f"kernel {kern.name!r} needs {shared} B shared memory per "
+                f"block; device limit is {self.spec.shared_mem_per_block} B"
+            )
+        occ = occupancy(
+            self.spec, config.threads_per_block,
+            kern.registers_per_thread, shared,
+        )
+
+        ctx = ThreadContext(
+            config=config, constant=self.constant_mem,
+            rng=self.rng, device=self,
+        )
+        for a in args:
+            if isinstance(a, DeviceBuffer):
+                self._check_buffer(a)
+        kern.fn(ctx, *args)
+        cost = kern.cost_model(ctx, *args)
+
+        duration = self._model_duration(kern, config, occ.blocks_per_sm, cost,
+                                        shared)
+        start, _ = self.stream.enqueue(self._host_time, duration)
+        self.profiler.record(
+            kern.name, "kernel", start, duration,
+            grid=config.grid.as_tuple(), block=config.block.as_tuple(),
+            occupancy=occ.occupancy, limiter=occ.limiter,
+            waves=self._waves(config.num_blocks, occ.blocks_per_sm),
+            cycles_per_thread=cost.cycles_per_thread,
+            bytes_per_thread=cost.global_bytes_per_thread,
+            atomics=cost.atomic_ops,
+        )
+        self._launch_count += 1
+        return ctx
+
+    def _waves(self, num_blocks: int, blocks_per_sm: int) -> int:
+        per_sm_blocks = math.ceil(num_blocks / self.spec.num_sms)
+        return math.ceil(per_sm_blocks / blocks_per_sm)
+
+    def _model_duration(
+        self,
+        kern: Kernel,
+        config: LaunchConfig,
+        blocks_per_sm: int,
+        cost: "KernelCost",
+        shared_bytes: int,
+    ) -> float:
+        """Roofline duration of one launch (see module docstring).
+
+        The busiest SM processes ``ceil(num_blocks / num_sms)`` blocks over
+        the kernel's lifetime; its total thread-cycles divided by the SM's
+        issue rate give the compute time.  When fewer warps are resident
+        than the latency-hiding depth, the issue rate degrades
+        proportionally.  Global traffic is charged against the device
+        bandwidth, shared-memory staging once per block, and each block
+        pays a fixed dispatch cost -- which is what makes needlessly small
+        blocks (duplicated staging, more dispatches) and needlessly large
+        blocks (idle SMs) both lose to the paper's 192-thread sweet spot.
+        """
+        spec = self.spec
+        tpb = config.threads_per_block
+        per_sm_blocks = math.ceil(config.num_blocks / spec.num_sms)
+
+        warps_per_block = math.ceil(tpb / spec.warp_size)
+        resident_warps = min(per_sm_blocks, blocks_per_sm) * warps_per_block
+        efficiency = min(1.0, resident_warps / spec.latency_hiding_warps)
+
+        compute = (
+            cost.cycles_per_thread * per_sm_blocks * tpb
+            / (spec.cores_per_sm * spec.instructions_per_cycle)
+            / spec.core_clock_hz
+        ) / efficiency
+        memory = (
+            cost.global_bytes_per_thread * config.total_threads
+            / spec.mem_bandwidth_bytes_per_s
+        )
+        # Shared-memory staging per block at ~4x global bandwidth (on-chip).
+        staging = (
+            cost.shared_bytes_per_block * config.num_blocks
+            / (4.0 * spec.mem_bandwidth_bytes_per_s)
+        )
+        dispatch = config.num_blocks * spec.block_dispatch_overhead_s
+        atomic_time = cost.atomic_ops * spec.atomic_op_s
+        return (
+            spec.kernel_launch_overhead_s
+            + max(compute, memory)
+            + staging
+            + dispatch
+            + atomic_time
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection hooks
+    # ------------------------------------------------------------------
+    def _note_syncthreads(self) -> None:
+        self._syncthreads_count += 1
+
+    @property
+    def syncthreads_count(self) -> int:
+        """How many block barriers kernels have executed (test hook)."""
+        return self._syncthreads_count
+
+    @property
+    def launch_count(self) -> int:
+        """Total kernels launched on this device."""
+        return self._launch_count
+
+    def reset_clocks(self) -> None:
+        """Zero the simulated clocks and profiler (memory is kept)."""
+        self._host_time = 0.0
+        self.stream = Stream()
+        self.profiler.reset()

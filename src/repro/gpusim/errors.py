@@ -1,0 +1,42 @@
+"""Error hierarchy of the simulated CUDA runtime.
+
+Mirrors the spirit of the CUDA driver error codes: configuration problems
+surface at launch time, allocation problems at ``malloc`` time, and misuse of
+handles (freed buffers, foreign-device buffers) raises immediately rather
+than corrupting state.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CudaError",
+    "InvalidLaunchError",
+    "DeviceAllocationError",
+    "InvalidHandleError",
+    "ConstantMemoryError",
+]
+
+
+class CudaError(RuntimeError):
+    """Base class for all simulated CUDA runtime errors."""
+
+
+class InvalidLaunchError(CudaError):
+    """Launch configuration violates a device limit.
+
+    Corresponds to ``cudaErrorInvalidConfiguration`` (e.g. more threads per
+    block than the device supports, zero-sized dimensions, or a block using
+    more shared memory or registers than available).
+    """
+
+
+class DeviceAllocationError(CudaError):
+    """Global-memory allocation failed (``cudaErrorMemoryAllocation``)."""
+
+
+class InvalidHandleError(CudaError):
+    """A device buffer handle is stale or belongs to a different device."""
+
+
+class ConstantMemoryError(CudaError):
+    """Constant-memory capacity exceeded or unknown symbol referenced."""

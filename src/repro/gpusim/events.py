@@ -1,0 +1,60 @@
+"""CUDA-event style timing on the simulated device.
+
+Real CUDA code measures kernel sections with ``cudaEventRecord`` /
+``cudaEventElapsedTime``: an event enqueued on a stream is "complete" when
+all prior work on that stream has finished.  The simulated analogue records
+the stream's tail time at enqueue, so elapsed times between two events
+measure exactly the modeled device-side duration of the work between them
+-- the instrument the experiment harness uses to time kernel sections
+without host synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpusim.device import Device
+
+__all__ = ["Event", "record_event", "elapsed_time"]
+
+
+@dataclass
+class Event:
+    """A device event; complete when previously queued work finishes."""
+
+    device: "Device" = field(repr=False)
+    timestamp: float | None = None
+
+    @property
+    def recorded(self) -> bool:
+        """Whether the event has been recorded."""
+        return self.timestamp is not None
+
+    def record(self) -> None:
+        """Capture the completion time of all currently queued device work."""
+        self.timestamp = self.device.device_busy_until
+
+    def synchronize(self) -> float:
+        """Block the host until the event completes; returns host time."""
+        if self.timestamp is None:
+            raise RuntimeError("event was never recorded")
+        self.device._host_time = max(self.device._host_time, self.timestamp)
+        return self.device.host_time
+
+
+def record_event(device: "Device") -> Event:
+    """Create and immediately record an event (``cudaEventRecord``)."""
+    ev = Event(device=device)
+    ev.record()
+    return ev
+
+
+def elapsed_time(start: Event, end: Event) -> float:
+    """Seconds of modeled device time between two recorded events."""
+    if start.timestamp is None or end.timestamp is None:
+        raise RuntimeError("both events must be recorded")
+    if start.device is not end.device:
+        raise ValueError("events belong to different devices")
+    return end.timestamp - start.timestamp

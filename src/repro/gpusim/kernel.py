@@ -1,0 +1,161 @@
+"""Kernel abstraction of the simulated device.
+
+A kernel is a Python function with SIMT semantics: conceptually every thread
+executes the same program on its own data.  Numerically we exploit exactly
+that -- the kernel body receives a :class:`ThreadContext` describing all
+launched threads and computes the whole ensemble with vectorized NumPy (one
+row per thread).  The result is bit-for-bit what a per-thread scalar loop
+would produce, obtained at array speed (see the HPC guide: vectorize the hot
+loop over the independent axis).
+
+Costing: real kernels take wall-clock time; simulated ones must charge it
+explicitly.  Each kernel carries a *cost model* returning a
+:class:`KernelCost` -- arithmetic cycles per thread, global-memory traffic
+per thread, and serialized atomic operations.  The device turns this into a
+duration via occupancy, block waves and a compute/bandwidth roofline (see
+:meth:`repro.gpusim.device.Device.launch`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpusim.device import Device
+    from repro.gpusim.launch import LaunchConfig
+    from repro.gpusim.memory import ConstantMemory
+    from repro.gpusim.rng import DeviceRNG
+
+__all__ = ["Kernel", "KernelCost", "ThreadContext", "kernel"]
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Per-launch resource consumption reported by a kernel's cost model.
+
+    Attributes
+    ----------
+    cycles_per_thread:
+        Arithmetic/issue cycles one thread spends (instruction count / ILP).
+    global_bytes_per_thread:
+        Bytes of global-memory traffic one thread generates (reads+writes;
+        coalesced traffic should be counted once per transaction set).
+    shared_bytes_per_block:
+        Dynamic shared-memory staging traffic per block (charged once per
+        block at shared-memory bandwidth; usually negligible).
+    atomic_ops:
+        Total serialized atomic operations for the launch (charged at the
+        device's L2 atomic latency, sequentially -- "the full process results
+        in a sequential execution order", Section VI-D).
+    """
+
+    cycles_per_thread: float
+    global_bytes_per_thread: float
+    shared_bytes_per_block: float = 0.0
+    atomic_ops: int = 0
+
+
+@dataclass
+class ThreadContext:
+    """Everything a kernel body may query about its launch.
+
+    The arrays are laid out linearly over the launch: global thread ``i``
+    belongs to block ``i // threads_per_block`` at block-local position
+    ``i % threads_per_block`` (the paper uses 1-D grids and blocks
+    throughout).
+    """
+
+    config: "LaunchConfig"
+    constant: "ConstantMemory"
+    rng: "DeviceRNG"
+    device: "Device"
+
+    @property
+    def total_threads(self) -> int:
+        """Number of launched threads."""
+        return self.config.total_threads
+
+    @property
+    def thread_ids(self) -> np.ndarray:
+        """Global thread indices ``0..total_threads-1``."""
+        return np.arange(self.config.total_threads)
+
+    @property
+    def block_ids(self) -> np.ndarray:
+        """Block index of each thread."""
+        return self.thread_ids // self.config.threads_per_block
+
+    @property
+    def thread_in_block(self) -> np.ndarray:
+        """Block-local thread index of each thread."""
+        return self.thread_ids % self.config.threads_per_block
+
+    @property
+    def lane_ids(self) -> np.ndarray:
+        """Warp-lane index of each thread."""
+        return self.thread_in_block % self.device.spec.warp_size
+
+    def syncthreads(self) -> None:
+        """Block-level barrier.
+
+        In the vectorized execution model all writes of a program phase
+        complete before the next phase reads them, so the barrier is a
+        semantic no-op -- but kernels still call it where real CUDA code
+        must (after staging shared memory), and the call is recorded so
+        tests can assert the protocol is followed.
+        """
+        self.device._note_syncthreads()
+
+
+# A cost model maps (ctx, *kernel args) -> KernelCost.
+CostModel = Callable[..., KernelCost]
+
+
+@dataclass
+class Kernel:
+    """A launchable kernel: body + static resources + cost model."""
+
+    name: str
+    fn: Callable[..., Any]
+    registers_per_thread: int
+    cost_model: CostModel
+    shared_mem_bytes: Callable[..., int] | int = 0
+    doc: str = field(default="", repr=False)
+
+    def shared_bytes_for(self, *args: Any) -> int:
+        """Static or argument-dependent per-block shared memory demand."""
+        if callable(self.shared_mem_bytes):
+            return int(self.shared_mem_bytes(*args))
+        return int(self.shared_mem_bytes)
+
+
+def kernel(
+    name: str,
+    *,
+    registers: int,
+    cost: CostModel,
+    shared_mem: Callable[..., int] | int = 0,
+) -> Callable[[Callable[..., Any]], Kernel]:
+    """Decorator turning a vectorized function into a :class:`Kernel`.
+
+    Example
+    -------
+    >>> @kernel("axpy", registers=16, cost=lambda ctx, *a: KernelCost(8, 24))
+    ... def axpy(ctx, x, y, alpha):
+    ...     y.array[:] += alpha * x.array
+    """
+
+    def wrap(fn: Callable[..., Any]) -> Kernel:
+        return Kernel(
+            name=name,
+            fn=fn,
+            registers_per_thread=registers,
+            cost_model=cost,
+            shared_mem_bytes=shared_mem,
+            doc=fn.__doc__ or "",
+        )
+
+    return wrap

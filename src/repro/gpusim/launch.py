@@ -1,0 +1,179 @@
+"""Launch geometry: ``dim3`` grids/blocks, validation and occupancy.
+
+The paper uses linear configurations ``G = (ceil(N / N_B), 1, 1)`` and
+``B = (N_B, 1, 1)`` with a block size of 192 threads and a grid of 4 blocks
+(768 threads total).  This module provides the general three-dimensional
+geometry with the same semantics as CUDA, plus the occupancy calculation
+that the results section reasons about ("loading several threads within a
+block results in serial processing of the blocks through the SM", "increasing
+the block size offers less registers which a thread can use").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.gpusim.errors import InvalidLaunchError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpusim.device import DeviceSpec
+
+__all__ = ["Dim3", "LaunchConfig", "Occupancy", "occupancy", "linear_config"]
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """A CUDA ``dim3``: extents in x, y, z (all at least 1)."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        for axis in ("x", "y", "z"):
+            v = getattr(self, axis)
+            if not isinstance(v, int) or v < 1:
+                raise InvalidLaunchError(
+                    f"dim3.{axis} must be a positive integer, got {v!r}"
+                )
+
+    @property
+    def count(self) -> int:
+        """Total number of elements ``x * y * z``."""
+        return self.x * self.y * self.z
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        """The ``(x, y, z)`` tuple."""
+        return (self.x, self.y, self.z)
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A validated grid/block pair plus per-block dynamic shared memory."""
+
+    grid: Dim3
+    block: Dim3
+    shared_mem_bytes: int = 0
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of thread blocks in the grid."""
+        return self.grid.count
+
+    @property
+    def threads_per_block(self) -> int:
+        """Threads in one block."""
+        return self.block.count
+
+    @property
+    def total_threads(self) -> int:
+        """Total threads launched (``num_blocks * threads_per_block``)."""
+        return self.num_blocks * self.threads_per_block
+
+    def validate(self, spec: "DeviceSpec") -> None:
+        """Raise :class:`InvalidLaunchError` on any device-limit violation."""
+        b, g = self.block, self.grid
+        if b.count > spec.max_threads_per_block:
+            raise InvalidLaunchError(
+                f"{b.count} threads per block exceeds device limit "
+                f"{spec.max_threads_per_block}"
+            )
+        if b.x > spec.max_block_dim[0] or b.y > spec.max_block_dim[1] or (
+            b.z > spec.max_block_dim[2]
+        ):
+            raise InvalidLaunchError(
+                f"block {b.as_tuple()} exceeds per-axis limits {spec.max_block_dim}"
+            )
+        if g.x > spec.max_grid_dim[0] or g.y > spec.max_grid_dim[1] or (
+            g.z > spec.max_grid_dim[2]
+        ):
+            raise InvalidLaunchError(
+                f"grid {g.as_tuple()} exceeds per-axis limits {spec.max_grid_dim}"
+            )
+        if self.shared_mem_bytes > spec.shared_mem_per_block:
+            raise InvalidLaunchError(
+                f"{self.shared_mem_bytes} B dynamic shared memory exceeds the "
+                f"per-block limit {spec.shared_mem_per_block} B"
+            )
+        if self.shared_mem_bytes < 0:
+            raise InvalidLaunchError("shared memory size must be non-negative")
+
+
+def linear_config(
+    total_threads: int, block_size: int, shared_mem_bytes: int = 0
+) -> LaunchConfig:
+    """The paper's 1-D configuration: ``ceil(N / N_B)`` blocks of ``N_B``.
+
+    Chosen "to avoid race-conditions" when staging penalties into shared
+    memory (Section VI-A): a linear layout gives each thread a unique slot.
+    """
+    if total_threads < 1 or block_size < 1:
+        raise InvalidLaunchError("total_threads and block_size must be positive")
+    grid = Dim3(x=math.ceil(total_threads / block_size))
+    return LaunchConfig(grid=grid, block=Dim3(x=block_size),
+                        shared_mem_bytes=shared_mem_bytes)
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation for one kernel launch."""
+
+    blocks_per_sm: int
+    active_threads_per_sm: int
+    active_warps_per_sm: int
+    occupancy: float
+    limiter: str
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.blocks_per_sm} block(s)/SM, "
+            f"{self.active_warps_per_sm} warps/SM "
+            f"({self.occupancy:.0%} occupancy, limited by {self.limiter})"
+        )
+
+
+def occupancy(
+    spec: "DeviceSpec",
+    threads_per_block: int,
+    registers_per_thread: int,
+    shared_mem_per_block: int,
+) -> Occupancy:
+    """How many blocks of a kernel co-reside on one SM, and what limits it.
+
+    Follows the standard CUDA occupancy calculation: the resident block
+    count is the minimum over the thread, register, shared-memory and
+    hardware block-slot constraints (warp-granular thread accounting).
+    """
+    if threads_per_block < 1:
+        raise InvalidLaunchError("threads_per_block must be positive")
+    warps_per_block = math.ceil(threads_per_block / spec.warp_size)
+    max_warps_per_sm = spec.max_threads_per_sm // spec.warp_size
+
+    limits = {
+        "thread slots": max_warps_per_sm // warps_per_block,
+        "block slots": spec.max_blocks_per_sm,
+    }
+    if registers_per_thread > 0:
+        regs_per_block = registers_per_thread * warps_per_block * spec.warp_size
+        limits["registers"] = spec.registers_per_sm // regs_per_block
+    if shared_mem_per_block > 0:
+        limits["shared memory"] = spec.shared_mem_per_sm // shared_mem_per_block
+
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = max(0, limits[limiter])
+    if blocks == 0:
+        raise InvalidLaunchError(
+            f"kernel cannot run: one block exceeds SM resources ({limiter})"
+        )
+    active_warps = blocks * warps_per_block
+    return Occupancy(
+        blocks_per_sm=blocks,
+        active_threads_per_sm=min(blocks * threads_per_block,
+                                  spec.max_threads_per_sm),
+        active_warps_per_sm=active_warps,
+        occupancy=min(1.0, active_warps / max_warps_per_sm),
+        limiter=limiter,
+    )

@@ -1,0 +1,180 @@
+"""Memory spaces of the simulated device.
+
+* :class:`GlobalMemory` -- an allocator with capacity accounting handing out
+  :class:`DeviceBuffer` handles.  Buffers are backed by NumPy arrays (the
+  "device-side" storage the vectorized kernels operate on); host arrays are
+  copied in/out explicitly, never aliased, so the host/device separation of
+  real CUDA is preserved (a host-side mutation after ``memcpy_htod`` does not
+  leak into device state, and vice versa).
+* :class:`ConstantMemory` -- a 64 KiB read-only symbol store with broadcast
+  semantics, used for the due date and job count exactly as in the paper.
+* Transfer-cost helpers modelling the PCIe link (latency + bytes/bandwidth),
+  used by the device to charge ``memcpy`` time -- the paper's speedups
+  explicitly include "all the memory transfers between the host and the
+  device".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.gpusim.errors import (
+    ConstantMemoryError,
+    DeviceAllocationError,
+    InvalidHandleError,
+)
+
+__all__ = ["DeviceBuffer", "GlobalMemory", "ConstantMemory", "transfer_time"]
+
+
+def transfer_time(nbytes: int, bandwidth_bytes_per_s: float, latency_s: float) -> float:
+    """Modeled duration of a host<->device copy of ``nbytes`` bytes."""
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    return latency_s + nbytes / bandwidth_bytes_per_s
+
+
+@dataclass(eq=False)
+class DeviceBuffer:
+    """A handle to an allocation in simulated device global memory.
+
+    The backing :attr:`array` is device-side state: kernels read and write it
+    directly; host code should only move data through the device's
+    ``memcpy_htod`` / ``memcpy_dtoh``.
+    """
+
+    array: np.ndarray
+    owner: "GlobalMemory"
+    label: str = ""
+    _alive: bool = field(default=True, repr=False)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the allocation in bytes."""
+        return int(self.array.nbytes)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the device array."""
+        return self.array.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype of the device array."""
+        return self.array.dtype
+
+    def check_alive(self) -> None:
+        """Raise if this handle was freed."""
+        if not self._alive:
+            raise InvalidHandleError(
+                f"use of freed device buffer {self.label or hex(id(self))}"
+            )
+
+    def free(self) -> None:
+        """Release the allocation back to the device."""
+        self.owner.free(self)
+
+
+class GlobalMemory:
+    """Capacity-tracked allocator for device global memory."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._used = 0
+        self._buffers: set[int] = set()
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes currently available."""
+        return self.capacity_bytes - self._used
+
+    def alloc(
+        self,
+        shape: tuple[int, ...] | int,
+        dtype: np.dtype | type = np.float64,
+        label: str = "",
+    ) -> DeviceBuffer:
+        """Allocate a zero-initialized device array.
+
+        Raises
+        ------
+        DeviceAllocationError
+            If the allocation does not fit in the remaining capacity.
+        """
+        arr = np.zeros(shape, dtype=dtype)
+        if arr.nbytes > self.free_bytes:
+            raise DeviceAllocationError(
+                f"cannot allocate {arr.nbytes} B ({label or 'unnamed'}): "
+                f"{self.free_bytes} B free of {self.capacity_bytes} B"
+            )
+        buf = DeviceBuffer(array=arr, owner=self, label=label)
+        self._used += arr.nbytes
+        self._buffers.add(id(buf))
+        return buf
+
+    def free(self, buf: DeviceBuffer) -> None:
+        """Release ``buf``; double frees raise."""
+        if id(buf) not in self._buffers:
+            raise InvalidHandleError("buffer does not belong to this device or was freed")
+        self._buffers.discard(id(buf))
+        self._used -= buf.nbytes
+        buf._alive = False
+
+    def owns(self, buf: DeviceBuffer) -> bool:
+        """Whether ``buf`` is a live allocation of this memory."""
+        return id(buf) in self._buffers
+
+
+class ConstantMemory:
+    """The 64 KiB constant-memory symbol store.
+
+    Symbols are uploaded once and read by every thread through the broadcast
+    path ("the due date d and the number of jobs n are transferred to the
+    constant memory of the device to benefit from its broadcast mechanism").
+    Values are returned as read-only views.
+    """
+
+    def __init__(self, capacity_bytes: int = 64 * 1024) -> None:
+        self.capacity_bytes = int(capacity_bytes)
+        self._symbols: dict[str, np.ndarray] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes consumed by all uploaded symbols."""
+        return sum(v.nbytes for v in self._symbols.values())
+
+    def upload(self, name: str, value: np.ndarray | float | int) -> None:
+        """Store ``value`` under ``name`` (replacing any previous value)."""
+        arr = np.asarray(value)
+        new_total = self.used_bytes - (
+            self._symbols[name].nbytes if name in self._symbols else 0
+        ) + arr.nbytes
+        if new_total > self.capacity_bytes:
+            raise ConstantMemoryError(
+                f"constant memory overflow: {new_total} B > {self.capacity_bytes} B"
+            )
+        stored = arr.copy()
+        stored.setflags(write=False)
+        self._symbols[name] = stored
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._symbols[name]
+        except KeyError:
+            raise ConstantMemoryError(f"unknown constant symbol {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._symbols)

@@ -1,0 +1,118 @@
+"""An nvprof-like profiler for the simulated device.
+
+Records every kernel launch, memory transfer and synchronization with its
+simulated start time and duration, and renders the familiar summary table
+(time share, call count, average/total duration per activity).  The paper
+reports using the Nvidia CUDA profiler to optimize performance and memory
+usage; the experiment harness uses this module the same way -- e.g. to show
+where the SA generation loop spends modeled time and to account the
+host<->device transfers included in the speedup figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["ProfileEvent", "Profiler"]
+
+
+@dataclass(frozen=True)
+class ProfileEvent:
+    """One recorded device activity."""
+
+    name: str
+    kind: str  # "kernel" | "memcpy_htod" | "memcpy_dtoh" | "sync"
+    start: float
+    duration: float
+    details: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    @property
+    def end(self) -> float:
+        """Simulated end time of the activity."""
+        return self.start + self.duration
+
+
+class Profiler:
+    """Collects :class:`ProfileEvent` records and renders summaries."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: list[ProfileEvent] = []
+
+    def record(
+        self,
+        name: str,
+        kind: str,
+        start: float,
+        duration: float,
+        **details: Any,
+    ) -> None:
+        """Append one event (no-op when disabled)."""
+        if self.enabled:
+            self.events.append(
+                ProfileEvent(name=name, kind=kind, start=start,
+                             duration=duration, details=dict(details))
+            )
+
+    def reset(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def total_time(self, kinds: Iterable[str] | None = None) -> float:
+        """Summed duration over events, optionally filtered by kind."""
+        wanted = set(kinds) if kinds is not None else None
+        return sum(
+            e.duration for e in self.events
+            if wanted is None or e.kind in wanted
+        )
+
+    def kernel_time(self) -> float:
+        """Total modeled time spent in kernels."""
+        return self.total_time(["kernel"])
+
+    def memcpy_time(self) -> float:
+        """Total modeled time spent in host<->device transfers."""
+        return self.total_time(["memcpy_htod", "memcpy_dtoh"])
+
+    def by_name(self) -> dict[str, list[ProfileEvent]]:
+        """Events grouped by activity name."""
+        groups: dict[str, list[ProfileEvent]] = {}
+        for e in self.events:
+            groups.setdefault(e.name, []).append(e)
+        return groups
+
+    def summary(self) -> str:
+        """nvprof-style textual summary, activities sorted by total time."""
+        groups = self.by_name()
+        total = self.total_time() or 1.0
+        rows = []
+        for name, evs in groups.items():
+            t = sum(e.duration for e in evs)
+            rows.append((t, 100.0 * t / total, len(evs), t / len(evs), name))
+        rows.sort(reverse=True)
+        lines = [
+            f"{'Time(%)':>8} {'Time':>12} {'Calls':>7} {'Avg':>12}  Name",
+        ]
+        for t, pct, calls, avg, name in rows:
+            lines.append(
+                f"{pct:7.2f}% {_fmt_s(t):>12} {calls:7d} {_fmt_s(avg):>12}  {name}"
+            )
+        lines.append(
+            f"Total modeled device time: {_fmt_s(total if self.events else 0.0)}"
+        )
+        return "\n".join(lines)
+
+
+def _fmt_s(seconds: float) -> str:
+    """Human-friendly duration (s / ms / us / ns)."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3f}us"
+    return f"{seconds * 1e9:.1f}ns"

@@ -1,0 +1,34 @@
+"""Benchmark instances: generators and OR-library file I/O.
+
+The paper evaluates on the OR-library CDD set (Biskup & Feldmann) and the
+UCDDCP set of Awasthi et al. [8].  Neither file set can be downloaded here,
+so :mod:`~repro.instances.biskup` regenerates instances from the published
+Biskup--Feldmann recipe with deterministic seeds, and
+:mod:`~repro.instances.ucddcp_gen` extends it with compression fields the
+way [8] constructs its set (see DESIGN.md, substitution table).
+:mod:`~repro.instances.orlib` parses/writes the OR-library ``sch`` format so
+the genuine files can be dropped in when available.
+"""
+
+from repro.instances.biskup import (
+    BISKUP_H_FACTORS,
+    BISKUP_JOB_SIZES,
+    biskup_benchmark_suite,
+    biskup_instance,
+)
+from repro.instances.orlib import parse_sch, write_sch
+from repro.instances.registry import benchmark_set, registry_names
+from repro.instances.ucddcp_gen import ucddcp_benchmark_suite, ucddcp_instance
+
+__all__ = [
+    "BISKUP_H_FACTORS",
+    "BISKUP_JOB_SIZES",
+    "biskup_instance",
+    "biskup_benchmark_suite",
+    "ucddcp_instance",
+    "ucddcp_benchmark_suite",
+    "parse_sch",
+    "write_sch",
+    "benchmark_set",
+    "registry_names",
+]

@@ -1,0 +1,101 @@
+"""Biskup--Feldmann style CDD benchmark instances.
+
+The OR-library ``sch`` benchmark (Biskup & Feldmann 2003, [18] of the
+paper) draws, independently and uniformly at random,
+
+* processing times   ``P_i  ~ U{1, ..., 20}``,
+* earliness penalties ``alpha_i ~ U{1, ..., 10}``,
+* tardiness penalties ``beta_i  ~ U{1, ..., 15}``,
+
+with ``k = 1..10`` instances per job count ``n`` in {10, 20, 50, 100, 200,
+500, 1000}, and evaluates each instance at the four restrictive due dates
+``d = floor(h * sum(P))`` for ``h`` in {0.2, 0.4, 0.6, 0.8} -- i.e. 40
+(instance, h) combinations per ``n``, which is exactly the "average over 40
+different instances for each job size" the paper's Tables II/III report.
+
+This module regenerates the set deterministically: instance ``(n, k)``
+always produces the same data for a fixed ``base_seed``, regardless of
+generation order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.problems.cdd import CDDInstance
+
+__all__ = [
+    "BISKUP_JOB_SIZES",
+    "BISKUP_H_FACTORS",
+    "BISKUP_K_RANGE",
+    "biskup_instance",
+    "biskup_benchmark_suite",
+]
+
+BISKUP_JOB_SIZES: tuple[int, ...] = (10, 20, 50, 100, 200, 500, 1000)
+BISKUP_H_FACTORS: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8)
+BISKUP_K_RANGE: tuple[int, ...] = tuple(range(1, 11))
+
+_P_LOW, _P_HIGH = 1, 20
+_ALPHA_LOW, _ALPHA_HIGH = 1, 10
+_BETA_LOW, _BETA_HIGH = 1, 15
+
+
+def _instance_seed(base_seed: int, n: int, k: int) -> np.random.Generator:
+    """Deterministic per-(n, k) generator, independent of call order."""
+    ss = np.random.SeedSequence(entropy=base_seed, spawn_key=(n, k))
+    return np.random.default_rng(ss)
+
+
+def biskup_instance(
+    n: int, h: float, k: int = 1, base_seed: int = 20160523
+) -> CDDInstance:
+    """One Biskup--Feldmann style instance.
+
+    Parameters
+    ----------
+    n:
+        Number of jobs.
+    h:
+        Restriction factor; the due date is ``floor(h * sum(P))``.
+    k:
+        Instance replicate index (1-based, matching the OR-library naming).
+        The job data of ``(n, k)`` is shared across all ``h`` values, as in
+        the original benchmark.
+    base_seed:
+        Base entropy; the default pins the distributed benchmark set.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if k < 1:
+        raise ValueError("k is 1-based")
+    if not (0.0 < h):
+        raise ValueError("h must be positive")
+    rng = _instance_seed(base_seed, n, k)
+    p = rng.integers(_P_LOW, _P_HIGH + 1, n).astype(np.float64)
+    a = rng.integers(_ALPHA_LOW, _ALPHA_HIGH + 1, n).astype(np.float64)
+    b = rng.integers(_BETA_LOW, _BETA_HIGH + 1, n).astype(np.float64)
+    d = float(np.floor(h * p.sum()))
+    return CDDInstance(
+        processing=p, alpha=a, beta=b, due_date=d,
+        name=f"biskup_n{n}_k{k}_h{h:g}",
+    )
+
+
+def biskup_benchmark_suite(
+    sizes: tuple[int, ...] = BISKUP_JOB_SIZES,
+    h_factors: tuple[float, ...] = BISKUP_H_FACTORS,
+    k_values: tuple[int, ...] = BISKUP_K_RANGE,
+    base_seed: int = 20160523,
+) -> Iterator[CDDInstance]:
+    """Iterate the full (or a restricted) benchmark suite.
+
+    Yields ``len(sizes) * len(k_values) * len(h_factors)`` instances in
+    (size, k, h) order.
+    """
+    for n in sizes:
+        for k in k_values:
+            for h in h_factors:
+                yield biskup_instance(n, h, k, base_seed)

@@ -1,0 +1,96 @@
+"""OR-library ``sch`` file format support.
+
+The Biskup--Feldmann files (``sch10.txt`` ... ``sch1000.txt``) distributed
+through Beasley's OR-library [17] have the layout::
+
+    <number of instances K>
+    p_1 a_1 b_1        \\
+    ...                 |  instance 1 (n rows)
+    p_n a_n b_n        /
+    p_1 a_1 b_1        ...  instance 2, and so on
+
+with the job count ``n`` implied by the file name.  ``parse_sch`` infers
+``n`` from the token count when it is not supplied; ``write_sch`` emits the
+same layout so generated suites can be stored and shared in the original
+format.  The due date is not part of the file -- it is derived per
+restriction factor as ``floor(h * sum(P))``, exactly as in the benchmark's
+definition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.problems.cdd import CDDInstance
+
+__all__ = ["parse_sch", "write_sch"]
+
+
+def parse_sch(
+    text: str,
+    h: float,
+    n: int | None = None,
+    name_prefix: str = "orlib",
+) -> list[CDDInstance]:
+    """Parse OR-library ``sch`` content into instances at factor ``h``.
+
+    Parameters
+    ----------
+    text:
+        File content.
+    h:
+        Restriction factor used to derive each instance's due date.
+    n:
+        Jobs per instance; inferred from the token count when omitted.
+    name_prefix:
+        Prefix for the generated instance names.
+    """
+    tokens = text.split()
+    if not tokens:
+        raise ValueError("empty sch file")
+    count = int(tokens[0])
+    body = tokens[1:]
+    if count < 1:
+        raise ValueError(f"invalid instance count {count}")
+    if len(body) % (3 * count) != 0:
+        raise ValueError(
+            f"token count {len(body)} is not divisible by 3*{count}"
+        )
+    inferred = len(body) // (3 * count)
+    if n is None:
+        n = inferred
+    elif n != inferred:
+        raise ValueError(f"expected n={n}, file contains n={inferred}")
+
+    values = np.asarray(body, dtype=np.float64).reshape(count, n, 3)
+    instances = []
+    for k in range(count):
+        p = values[k, :, 0]
+        a = values[k, :, 1]
+        b = values[k, :, 2]
+        d = float(np.floor(h * p.sum()))
+        instances.append(
+            CDDInstance(
+                processing=p, alpha=a, beta=b, due_date=d,
+                name=f"{name_prefix}_n{n}_k{k + 1}_h{h:g}",
+            )
+        )
+    return instances
+
+
+def write_sch(instances: list[CDDInstance]) -> str:
+    """Serialize instances (sharing one ``n``) to ``sch`` file content.
+
+    Only the job data is stored -- due dates are a function of the
+    restriction factor, per the benchmark definition.
+    """
+    if not instances:
+        raise ValueError("no instances to write")
+    n = instances[0].n
+    lines = [str(len(instances))]
+    for inst in instances:
+        if inst.n != n:
+            raise ValueError("all instances in one sch file must share n")
+        for p, a, b in zip(inst.processing, inst.alpha, inst.beta):
+            lines.append(f"{int(p)} {int(a)} {int(b)}")
+    return "\n".join(lines) + "\n"

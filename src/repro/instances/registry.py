@@ -1,0 +1,57 @@
+"""Named benchmark sets used by the experiment harness.
+
+``benchmark_set(name)`` returns the instance list for a named experiment
+configuration; the bench targets refer to sets by name so the quick/full
+scaling is centralized here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.instances.biskup import biskup_benchmark_suite
+from repro.instances.ucddcp_gen import ucddcp_benchmark_suite
+from repro.problems.cdd import CDDInstance
+from repro.problems.ucddcp import UCDDCPInstance
+
+__all__ = ["benchmark_set", "registry_names"]
+
+_REGISTRY: dict[str, Callable[[], list]] = {
+    # The paper's full CDD evaluation grid: 7 sizes x 10 replicates x 4 h.
+    "cdd_full": lambda: list(biskup_benchmark_suite()),
+    # Reduced grid for single-core runs: 4 sizes x 3 replicates x 2 h.
+    "cdd_quick": lambda: list(
+        biskup_benchmark_suite(
+            sizes=(10, 20, 50, 100),
+            h_factors=(0.4, 0.8),
+            k_values=(1, 2, 3),
+        )
+    ),
+    # Tiny smoke set for tests.
+    "cdd_smoke": lambda: list(
+        biskup_benchmark_suite(sizes=(10, 20), h_factors=(0.4,), k_values=(1,))
+    ),
+    "ucddcp_full": lambda: list(ucddcp_benchmark_suite()),
+    "ucddcp_quick": lambda: list(
+        ucddcp_benchmark_suite(sizes=(10, 20, 50, 100), k_values=(1, 2, 3))
+    ),
+    "ucddcp_smoke": lambda: list(
+        ucddcp_benchmark_suite(sizes=(10, 20), k_values=(1,))
+    ),
+}
+
+
+def registry_names() -> list[str]:
+    """All registered benchmark-set names."""
+    return sorted(_REGISTRY)
+
+
+def benchmark_set(name: str) -> list[CDDInstance | UCDDCPInstance]:
+    """Materialize the named benchmark set."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark set {name!r}; available: {registry_names()}"
+        ) from None
+    return factory()

@@ -1,0 +1,74 @@
+"""UCDDCP benchmark instances in the style of Awasthi et al. [8].
+
+[8]'s instance files are not distributed with the paper; we construct the
+set the way the problem statement demands: start from the Biskup--Feldmann
+job data (the UCDDCP is introduced as an extension of the same benchmark
+family) and add
+
+* minimum processing times ``M_i ~ U{1, ..., P_i}`` (every job is
+  compressible by a random amount, possibly zero when ``M_i = P_i``),
+* compression penalties ``gamma_i ~ U{1, ..., 12}`` (the same order of
+  magnitude as the earliness/tardiness penalties, so compression is
+  sometimes but not always worthwhile -- the regime the paper's worked
+  example sits in),
+* an unrestricted due date ``d = ceil(u * sum(P))`` with ``u ~ U[1.0, 1.2]``
+  (the defining property ``d >= sum(P)`` of the *unrestricted* problem).
+
+Deterministic per ``(n, k)`` exactly like the CDD generator; the DESIGN.md
+substitution table records this construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.problems.ucddcp import UCDDCPInstance
+
+__all__ = [
+    "UCDDCP_JOB_SIZES",
+    "UCDDCP_K_RANGE",
+    "ucddcp_instance",
+    "ucddcp_benchmark_suite",
+]
+
+UCDDCP_JOB_SIZES: tuple[int, ...] = (10, 20, 50, 100, 200, 500, 1000)
+UCDDCP_K_RANGE: tuple[int, ...] = tuple(range(1, 11))
+
+_P_LOW, _P_HIGH = 1, 20
+_ALPHA_LOW, _ALPHA_HIGH = 1, 10
+_BETA_LOW, _BETA_HIGH = 1, 15
+_GAMMA_LOW, _GAMMA_HIGH = 1, 12
+
+
+def ucddcp_instance(n: int, k: int = 1, base_seed: int = 20150429) -> UCDDCPInstance:
+    """One UCDDCP benchmark instance (deterministic per ``(n, k)``)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if k < 1:
+        raise ValueError("k is 1-based")
+    ss = np.random.SeedSequence(entropy=base_seed, spawn_key=(n, k))
+    rng = np.random.default_rng(ss)
+    p = rng.integers(_P_LOW, _P_HIGH + 1, n).astype(np.float64)
+    a = rng.integers(_ALPHA_LOW, _ALPHA_HIGH + 1, n).astype(np.float64)
+    b = rng.integers(_BETA_LOW, _BETA_HIGH + 1, n).astype(np.float64)
+    m = rng.integers(1, p.astype(np.int64) + 1).astype(np.float64)
+    g = rng.integers(_GAMMA_LOW, _GAMMA_HIGH + 1, n).astype(np.float64)
+    u = rng.uniform(1.0, 1.2)
+    d = float(np.ceil(u * p.sum()))
+    return UCDDCPInstance(
+        processing=p, min_processing=m, alpha=a, beta=b, gamma=g,
+        due_date=d, name=f"ucddcp_n{n}_k{k}",
+    )
+
+
+def ucddcp_benchmark_suite(
+    sizes: tuple[int, ...] = UCDDCP_JOB_SIZES,
+    k_values: tuple[int, ...] = UCDDCP_K_RANGE,
+    base_seed: int = 20150429,
+) -> Iterator[UCDDCPInstance]:
+    """Iterate the (restricted or full) UCDDCP benchmark suite."""
+    for n in sizes:
+        for k in k_values:
+            yield ucddcp_instance(n, k, base_seed)

@@ -1,0 +1,37 @@
+"""The paper's four CUDA kernels, implemented on the simulated device.
+
+Section VI launches four kernels per SA generation, "one after the other":
+
+1. **fitness** (:mod:`~repro.kernels.fitness`) -- evaluate every thread's job
+   sequence with the O(n) algorithms, earliness/tardiness penalties staged in
+   block shared memory;
+2. **perturbation** (:mod:`~repro.kernels.perturbation`) -- Fisher--Yates
+   shuffle of a random size-``Pert`` sub-sequence per thread;
+3. **acceptance** (:mod:`~repro.kernels.acceptance`) -- standard Metropolis
+   criterion per thread with cuRAND-style uniforms;
+4. **reduction** (:mod:`~repro.kernels.reduction_kernel`) -- atomic-min over
+   all threads' energies.
+
+:mod:`~repro.kernels.data` uploads instance arrays to device global memory
+and the scalars (due date, job count) to constant memory, exactly following
+the paper's data-transfer scheme (Figure 9).
+"""
+
+from repro.kernels.acceptance import make_acceptance_kernel
+from repro.kernels.data import DeviceProblemData
+from repro.kernels.fitness import make_cdd_fitness_kernel, make_ucddcp_fitness_kernel
+from repro.kernels.perturbation import make_perturbation_kernel
+from repro.kernels.reduction_kernel import (
+    make_elitist_reduction_kernel,
+    make_reduction_kernel,
+)
+
+__all__ = [
+    "DeviceProblemData",
+    "make_cdd_fitness_kernel",
+    "make_ucddcp_fitness_kernel",
+    "make_perturbation_kernel",
+    "make_acceptance_kernel",
+    "make_reduction_kernel",
+    "make_elitist_reduction_kernel",
+]

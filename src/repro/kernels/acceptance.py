@@ -1,0 +1,61 @@
+"""The acceptance kernel: per-thread Metropolis criterion.
+
+Section VI-C: each thread accepts its candidate iff
+
+    exp((E - E_new) / T) >= rand(0, 1)
+
+with the uniform drawn from the device RNG (cuRAND stand-in; integer output
+normalized to [0, 1)).  Improvements are always accepted (the exponential
+exceeds 1); deteriorations are accepted with the Boltzmann probability at
+the current temperature.  Accepted candidates overwrite the thread's state
+and energy in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.kernel import Kernel, KernelCost, ThreadContext, kernel
+
+__all__ = ["make_acceptance_kernel"]
+
+
+def _cost(ctx: ThreadContext, seqs, cand, energy, cand_energy, temperature) -> KernelCost:
+    n = seqs.array.shape[1]
+    # exp + compare + (conditional) n-element copy of the sequence.
+    return KernelCost(
+        cycles_per_thread=120.0 + 6.0 * n,
+        global_bytes_per_thread=2 * 8.0 + 2 * 4.0 * n,
+    )
+
+
+def make_acceptance_kernel() -> Kernel:
+    """Build the acceptance kernel.
+
+    Launch signature: ``(seqs, cand, energy, cand_energy, temperature)``
+    where ``temperature`` is the scalar Markov-chain temperature of this
+    generation (all asynchronous chains share the cooling schedule, having
+    started from the same ``T0``).
+    """
+
+    @kernel("acceptance", registers=20, cost=_cost)
+    def acceptance(
+        ctx: ThreadContext, seqs, cand, energy, cand_energy, temperature
+    ) -> None:
+        """Metropolis-accept each thread's candidate at ``temperature``."""
+        s = ctx.total_threads
+        t = float(temperature)
+        e = energy.array[:s]
+        e_new = cand_energy.array[:s]
+        u = ctx.rng.uniform(ctx.thread_ids)
+        if t <= 0.0:
+            accept = e_new <= e
+        else:
+            # exp((E - E_new)/T) >= u;  clip the exponent to avoid overflow
+            # warnings for strongly improving moves (exp saturates anyway).
+            ratio = np.exp(np.minimum((e - e_new) / t, 50.0))
+            accept = ratio >= u
+        seqs.array[:s][accept] = cand.array[:s][accept]
+        e[accept] = e_new[accept]
+
+    return acceptance

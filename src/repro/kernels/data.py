@@ -1,0 +1,71 @@
+"""Host->device staging of problem data (Figure 9 of the paper).
+
+"The initial job sequences are copied to the GPU global memory, along with
+the earliness, tardiness penalties and the processing times of the jobs.
+The due date d and the number of jobs n are transferred to the constant
+memory of the device to benefit from its broadcast mechanism.  For the
+UCDDCP, the minimum processing times and the compression penalties are also
+copied to the GPU."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.device import Device
+from repro.gpusim.memory import DeviceBuffer
+from repro.problems.cdd import CDDInstance
+from repro.problems.ucddcp import UCDDCPInstance
+
+__all__ = ["DeviceProblemData"]
+
+
+class DeviceProblemData:
+    """Device-resident copies of one instance's parameter vectors.
+
+    Attributes
+    ----------
+    p, a, b:
+        Device buffers holding processing times and earliness/tardiness
+        penalties (job-index order).
+    m, g:
+        Minimum processing times and compression penalties; ``None`` for a
+        plain CDD instance.
+    """
+
+    def __init__(self, device: Device, instance: CDDInstance | UCDDCPInstance):
+        self.device = device
+        self.instance = instance
+        self.is_ucddcp = isinstance(instance, UCDDCPInstance)
+
+        n = instance.n
+        self.p: DeviceBuffer = device.malloc(n, np.float64, "processing")
+        self.a: DeviceBuffer = device.malloc(n, np.float64, "alpha")
+        self.b: DeviceBuffer = device.malloc(n, np.float64, "beta")
+        device.memcpy_htod(self.p, instance.processing)
+        device.memcpy_htod(self.a, instance.alpha)
+        device.memcpy_htod(self.b, instance.beta)
+
+        self.m: DeviceBuffer | None = None
+        self.g: DeviceBuffer | None = None
+        if self.is_ucddcp:
+            assert isinstance(instance, UCDDCPInstance)
+            self.m = device.malloc(n, np.float64, "min_processing")
+            self.g = device.malloc(n, np.float64, "gamma")
+            device.memcpy_htod(self.m, instance.min_processing)
+            device.memcpy_htod(self.g, instance.gamma)
+
+        # Broadcast scalars through constant memory.
+        device.upload_constant("due_date", np.float64(instance.due_date))
+        device.upload_constant("n_jobs", np.int64(n))
+
+    @property
+    def n(self) -> int:
+        """Number of jobs."""
+        return self.instance.n
+
+    def free(self) -> None:
+        """Release all device allocations."""
+        for buf in (self.p, self.a, self.b, self.m, self.g):
+            if buf is not None:
+                buf.free()

@@ -1,0 +1,87 @@
+"""The reduction kernel: atomic-min over all thread energies + elitism.
+
+Section VI-D: "The minimal value among all the threads is calculated by
+performing an atomic minimization function.  The atomic function performs
+its operations inside the L2-Cache, which provides a good performance
+although the full process results in a sequential execution order."
+
+Two variants are provided:
+
+* :func:`make_reduction_kernel` -- the plain reduction: write the global
+  minimum and the owning thread index into a 2-element result buffer.
+* :func:`make_elitist_reduction_kernel` -- additionally maintains the
+  best-ever solution *on the device* (value + sequence), so the host only
+  reads it back once at the end of the run, matching the paper's two-
+  transfer data-flow (Figure 9).
+"""
+
+from __future__ import annotations
+
+
+from repro.gpusim.kernel import Kernel, KernelCost, ThreadContext, kernel
+from repro.gpusim.reduction import atomic_min
+
+__all__ = ["make_reduction_kernel", "make_elitist_reduction_kernel"]
+
+
+def _cost(ctx: ThreadContext, energy, result) -> KernelCost:
+    return KernelCost(
+        cycles_per_thread=30.0,
+        global_bytes_per_thread=8.0,
+        atomic_ops=ctx.total_threads,
+    )
+
+
+def make_reduction_kernel() -> Kernel:
+    """Build the plain reduction kernel.
+
+    Launch signature: ``(energy, result)`` where ``result`` is a 2-element
+    float buffer receiving ``[min_value, argmin_thread]``.
+    """
+
+    @kernel("reduction_min", registers=12, cost=_cost)
+    def reduction_min(ctx: ThreadContext, energy, result) -> None:
+        """``result[:] = [min(energy), argmin(energy)]`` via atomicMin."""
+        s = ctx.total_threads
+        res = atomic_min(energy.array[:s])
+        result.array[0] = res.value
+        result.array[1] = float(res.index)
+
+    return reduction_min
+
+
+def _elitist_cost(
+    ctx: ThreadContext, energy, seqs, best_energy, best_seq, result
+) -> KernelCost:
+    n = seqs.array.shape[1]
+    # Atomic sweep plus an occasional n-element copy of the new champion.
+    return KernelCost(
+        cycles_per_thread=30.0,
+        global_bytes_per_thread=8.0 + 4.0 * n / max(1, ctx.total_threads),
+        atomic_ops=ctx.total_threads,
+    )
+
+
+def make_elitist_reduction_kernel() -> Kernel:
+    """Build the elitist reduction kernel.
+
+    Launch signature: ``(energy, seqs, best_energy, best_seq, result)``.
+    Beyond the plain reduction, when the new minimum improves on
+    ``best_energy[0]`` the winning thread's sequence is copied into
+    ``best_seq`` -- device-side elitism, no host transfer.
+    """
+
+    @kernel("reduction_min_elitist", registers=14, cost=_elitist_cost)
+    def reduction_min_elitist(
+        ctx: ThreadContext, energy, seqs, best_energy, best_seq, result
+    ) -> None:
+        """Atomic-min plus best-ever tracking on the device."""
+        s = ctx.total_threads
+        res = atomic_min(energy.array[:s])
+        result.array[0] = res.value
+        result.array[1] = float(res.index)
+        if res.value < best_energy.array[0]:
+            best_energy.array[0] = res.value
+            best_seq.array[:] = seqs.array[res.index]
+
+    return reduction_min_elitist

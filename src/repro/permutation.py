@@ -1,0 +1,286 @@
+"""Permutation operators: partial Fisher--Yates, swaps and crossovers.
+
+Shared substrate for the metaheuristics:
+
+* the SA neighborhood (Sections VI/VI-B): select ``Pert`` distinct positions
+  of the parent sequence at random and shuffle the jobs at those positions
+  with the Fisher--Yates algorithm, leaving all other positions untouched;
+* the DPSO update operators of Pan et al. [15] (Section VII): ``F1`` random
+  swap (velocity), ``F2`` one-point permutation crossover with the
+  particle's best (cognition), ``F3`` two-point permutation crossover with
+  the swarm's best (social part).
+
+Every operator exists in two forms with identical semantics:
+
+* a *scalar* form operating on one sequence with a
+  :class:`numpy.random.Generator` (used by the serial CPU baselines);
+* a *batched* form operating on an ``(S, n)`` matrix of sequences with a
+  :class:`repro.gpusim.rng.DeviceRNG` (one row per simulated CUDA thread),
+  fully vectorized over the ensemble axis.
+
+All batched routines draw per-thread randomness through the counter-based
+device RNG, so results are reproducible and independent of the ensemble
+partitioning -- the property tests check that outputs are always valid
+permutations and that batched and scalar forms agree in distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.rng import DeviceRNG
+
+__all__ = [
+    "sample_distinct_positions",
+    "partial_fisher_yates",
+    "batched_sample_distinct",
+    "batched_partial_fisher_yates",
+    "random_swap",
+    "batched_random_swap",
+    "one_point_crossover",
+    "batched_one_point_crossover",
+    "two_point_crossover",
+    "batched_two_point_crossover",
+]
+
+
+# ----------------------------------------------------------------------
+# Scalar forms
+# ----------------------------------------------------------------------
+def sample_distinct_positions(
+    rng: np.random.Generator, n: int, k: int
+) -> np.ndarray:
+    """``k`` distinct positions uniformly from ``0..n-1``."""
+    if k > n:
+        raise ValueError(f"cannot sample {k} distinct positions from {n}")
+    return rng.choice(n, size=k, replace=False)
+
+
+def partial_fisher_yates(
+    rng: np.random.Generator, sequence: np.ndarray, positions: np.ndarray
+) -> np.ndarray:
+    """Shuffle the jobs at ``positions`` (Fisher--Yates), others untouched.
+
+    Returns a new array; the input is not modified.
+    """
+    out = np.array(sequence, copy=True)
+    vals = out[positions]
+    # Classic inside-out Fisher--Yates on the selected values.
+    for j in range(len(vals) - 1, 0, -1):
+        k = int(rng.integers(0, j + 1))
+        vals[j], vals[k] = vals[k], vals[j]
+    out[positions] = vals
+    return out
+
+
+def random_swap(rng: np.random.Generator, sequence: np.ndarray) -> np.ndarray:
+    """Swap two distinct random positions (DPSO operator ``F1``)."""
+    n = sequence.size
+    i = int(rng.integers(0, n))
+    j = int(rng.integers(0, n - 1))
+    if j >= i:
+        j += 1
+    out = np.array(sequence, copy=True)
+    out[i], out[j] = out[j], out[i]
+    return out
+
+
+def one_point_crossover(
+    rng: np.random.Generator, x: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """Permutation-preserving one-point crossover (DPSO operator ``F2``).
+
+    The child inherits ``x``'s prefix up to a random cut and fills the
+    remaining positions with the missing jobs in the order they appear in
+    ``y``.
+    """
+    n = x.size
+    c = int(rng.integers(1, n))  # cut in 1..n-1: both parents contribute
+    head = x[:c]
+    in_head = np.zeros(n, dtype=bool)
+    in_head[head] = True
+    tail = y[~in_head[y]]
+    return np.concatenate((head, tail))
+
+
+def two_point_crossover(
+    rng: np.random.Generator, x: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """Permutation-preserving two-point crossover (DPSO operator ``F3``).
+
+    The child keeps ``x``'s segment ``[c1, c2)`` in place; all other
+    positions are filled left-to-right with the remaining jobs in ``y``
+    order.
+    """
+    n = x.size
+    c1 = int(rng.integers(0, n))
+    c2 = int(rng.integers(0, n))
+    if c1 > c2:
+        c1, c2 = c2, c1
+    seg = x[c1:c2]
+    in_seg = np.zeros(n, dtype=bool)
+    in_seg[seg] = True
+    fill = y[~in_seg[y]]
+    out = np.empty(n, dtype=x.dtype)
+    out[c1:c2] = seg
+    out[:c1] = fill[:c1]
+    out[c2:] = fill[c1:]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Batched forms (one row per simulated thread)
+# ----------------------------------------------------------------------
+def batched_sample_distinct(
+    rng: DeviceRNG, thread_ids: np.ndarray, n: int, k: int
+) -> np.ndarray:
+    """``(S, k)`` distinct positions per thread, uniformly distributed.
+
+    Uses the draw-and-displace scheme: the ``j``-th pick is drawn from
+    ``[0, n - j)`` and shifted past the already-chosen positions (in
+    ascending order), which is Fisher--Yates sampling without replacement
+    and needs only ``k`` draw rounds.
+    """
+    if k > n:
+        raise ValueError(f"cannot sample {k} distinct positions from {n}")
+    s = len(thread_ids)
+    picks = np.empty((s, k), dtype=np.int64)
+    for j in range(k):
+        pos = rng.randint(thread_ids, 0, n - j)
+        if j:
+            prior = np.sort(picks[:, :j], axis=1)
+            for t in range(j):
+                pos = pos + (pos >= prior[:, t])
+        picks[:, j] = pos
+    return picks
+
+
+def batched_partial_fisher_yates(
+    rng: DeviceRNG,
+    thread_ids: np.ndarray,
+    sequences: np.ndarray,
+    positions: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Fisher--Yates shuffle of each row's selected positions.
+
+    ``sequences`` is ``(S, n)``, ``positions`` is ``(S, k)``; returns the
+    perturbed sequences (written into ``out`` when given).
+    """
+    s, _ = sequences.shape
+    k = positions.shape[1]
+    if out is None:
+        out = np.array(sequences, copy=True)
+    else:
+        np.copyto(out, sequences)
+    rows = np.arange(s)
+    vals = out[rows[:, None], positions]
+    for j in range(k - 1, 0, -1):
+        swap_with = rng.randint(thread_ids, 0, j + 1)
+        vj = vals[rows, j].copy()
+        vals[rows, j] = vals[rows, swap_with]
+        vals[rows, swap_with] = vj
+    out[rows[:, None], positions] = vals
+    return out
+
+
+def batched_random_swap(
+    rng: DeviceRNG,
+    thread_ids: np.ndarray,
+    sequences: np.ndarray,
+    apply_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Swap two distinct random positions per row (rows where ``apply_mask``).
+
+    Returns a new array; rows with ``apply_mask == False`` are copied
+    unchanged (the ``w ⊕ F1`` probability gate of Eq. (3)).
+    """
+    s, n = sequences.shape
+    out = np.array(sequences, copy=True)
+    i = rng.randint(thread_ids, 0, n)
+    j = rng.randint(thread_ids, 0, n - 1)
+    j = j + (j >= i)
+    rows = np.arange(s)
+    if apply_mask is None:
+        apply_mask = np.ones(s, dtype=bool)
+    r = rows[apply_mask]
+    vi = out[r, i[apply_mask]].copy()
+    out[r, i[apply_mask]] = out[r, j[apply_mask]]
+    out[r, j[apply_mask]] = vi
+    return out
+
+
+def _rank_in(x: np.ndarray) -> np.ndarray:
+    """Inverse permutations row-wise: ``rank[s, job] = position of job``."""
+    s, n = x.shape
+    rank = np.empty_like(x)
+    rows = np.arange(s)[:, None]
+    rank[rows, x] = np.arange(n)[None, :]
+    return rank
+
+
+def batched_one_point_crossover(
+    rng: DeviceRNG,
+    thread_ids: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    apply_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Row-wise one-point permutation crossover of ``x`` with ``y``.
+
+    Rows outside ``apply_mask`` pass through unchanged (the ``c1 ⊕ F2``
+    gate).  Fully vectorized: the tail jobs (those not in the inherited
+    prefix) are ordered by their position in ``y`` via a stable argsort.
+    """
+    s, n = x.shape
+    cut = rng.randint(thread_ids, 1, n) if n > 1 else np.ones(s, dtype=np.int64)
+    rank_x = _rank_in(x)
+    rank_y = _rank_in(y)
+    # Job j is in the head iff its position in x is before the cut.
+    in_head_by_job = rank_x < cut[:, None]
+    # Sort jobs so heads come first and tails follow in y order; because
+    # exactly cut[s] jobs have key -1, columns cut.. hold the ordered tail.
+    key = np.where(in_head_by_job, -1, rank_y)
+    jobs_sorted = np.argsort(key, axis=1, kind="stable")
+    cols = np.arange(n)[None, :]
+    child = np.where(cols < cut[:, None], x, jobs_sorted)
+    if apply_mask is not None:
+        child = np.where(apply_mask[:, None], child, x)
+    return child.astype(x.dtype, copy=False)
+
+
+def batched_two_point_crossover(
+    rng: DeviceRNG,
+    thread_ids: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    apply_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Row-wise two-point permutation crossover of ``x`` with ``y``.
+
+    The child keeps ``x``'s segment ``[c1, c2)``; the other positions are
+    filled left-to-right with the missing jobs in ``y`` order (the
+    ``c2 ⊕ F3`` gate applies per row).
+    """
+    s, n = x.shape
+    a = rng.randint(thread_ids, 0, n)
+    b = rng.randint(thread_ids, 0, n)
+    c1 = np.minimum(a, b)
+    c2 = np.maximum(a, b)
+    rank_x = _rank_in(x)
+    rank_y = _rank_in(y)
+    in_seg_by_job = (rank_x >= c1[:, None]) & (rank_x < c2[:, None])
+    # Non-segment jobs sorted by their y position come first.
+    key = np.where(in_seg_by_job, n + rank_x, rank_y)
+    fill_sorted = np.argsort(key, axis=1, kind="stable")
+    cols = np.arange(n)[None, :]
+    in_seg_col = (cols >= c1[:, None]) & (cols < c2[:, None])
+    # Rank of each non-segment column among non-segment columns.
+    nonseg_rank = np.cumsum(~in_seg_col, axis=1) - 1
+    fill_vals = np.take_along_axis(
+        fill_sorted, np.clip(nonseg_rank, 0, n - 1), axis=1
+    )
+    child = np.where(in_seg_col, x, fill_vals)
+    if apply_mask is not None:
+        child = np.where(apply_mask[:, None], child, x)
+    return child.astype(x.dtype, copy=False)

@@ -1,0 +1,37 @@
+"""Problem layer: instance definitions, objectives and schedule validation.
+
+This subpackage defines the two NP-hard single-machine scheduling problems
+studied in the paper:
+
+* :class:`~repro.problems.cdd.CDDInstance` -- the Common Due-Date problem
+  (weighted earliness/tardiness around a common due date).
+* :class:`~repro.problems.ucddcp.UCDDCPInstance` -- the Unrestricted Common
+  Due-Date problem with Controllable Processing Times (adds per-job
+  compression with a per-unit compression penalty).
+
+Schedules (a job sequence plus completion times, and compressions for the
+controllable variant) are represented by
+:class:`~repro.problems.schedule.Schedule` and can be checked for structural
+feasibility with :mod:`repro.problems.validation`.
+"""
+
+from repro.problems.cdd import CDDInstance
+from repro.problems.gantt import render_gantt, render_schedule
+from repro.problems.schedule import Schedule
+from repro.problems.ucddcp import UCDDCPInstance
+from repro.problems.validation import (
+    ScheduleError,
+    check_permutation,
+    validate_schedule,
+)
+
+__all__ = [
+    "CDDInstance",
+    "UCDDCPInstance",
+    "Schedule",
+    "ScheduleError",
+    "check_permutation",
+    "validate_schedule",
+    "render_gantt",
+    "render_schedule",
+]

@@ -1,0 +1,201 @@
+"""The Common Due-Date (CDD) scheduling problem.
+
+``n`` jobs with processing times ``P_i`` must be sequenced on a single
+machine against a common due date ``d``.  A job completing at ``C_i`` incurs
+an earliness ``E_i = max(0, d - C_i)`` penalized at ``alpha_i`` per unit, or a
+tardiness ``T_i = max(0, C_i - d)`` penalized at ``beta_i`` per unit.  The
+objective is ``min sum_i (alpha_i * E_i + beta_i * T_i)`` (Eq. (1) of the
+paper).
+
+The OR-library (Biskup--Feldmann) benchmark instances are *restrictive*:
+``d = floor(h * sum(P))`` with ``h < 1``, so the due date may fall inside the
+schedule and the left shift of jobs is limited by time zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["CDDInstance"]
+
+
+def _as_1d_float(name: str, values: Any) -> np.ndarray:
+    """Coerce ``values`` to a contiguous 1-D float64 array, validating it."""
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must contain at least one job")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must be finite")
+    return arr
+
+
+@dataclass(frozen=True, eq=False)
+class CDDInstance:
+    """An immutable Common Due-Date problem instance.
+
+    Parameters
+    ----------
+    processing:
+        Processing times ``P_i > 0``, one per job, in *job-index* order (the
+        metaheuristics permute indices into this array).
+    alpha:
+        Earliness penalties per unit time, ``alpha_i >= 0``.
+    beta:
+        Tardiness penalties per unit time, ``beta_i >= 0``.
+    due_date:
+        The common due date ``d >= 0``.
+    name:
+        Optional human-readable identifier (e.g. ``"biskup_n50_h0.4_k3"``).
+    """
+
+    processing: np.ndarray
+    alpha: np.ndarray
+    beta: np.ndarray
+    due_date: float
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        p = _as_1d_float("processing", self.processing)
+        a = _as_1d_float("alpha", self.alpha)
+        b = _as_1d_float("beta", self.beta)
+        if not (p.size == a.size == b.size):
+            raise ValueError(
+                "processing, alpha and beta must have equal length; got "
+                f"{p.size}, {a.size}, {b.size}"
+            )
+        if np.any(p <= 0):
+            raise ValueError("processing times must be strictly positive")
+        if np.any(a < 0) or np.any(b < 0):
+            raise ValueError("earliness/tardiness penalties must be non-negative")
+        d = float(self.due_date)
+        if not np.isfinite(d) or d < 0:
+            raise ValueError(f"due_date must be a finite non-negative number, got {d}")
+        # Freeze the canonical arrays (dataclass is frozen; bypass with
+        # object.__setattr__ as usual for frozen dataclass normalization).
+        p.setflags(write=False)
+        a.setflags(write=False)
+        b.setflags(write=False)
+        object.__setattr__(self, "processing", p)
+        object.__setattr__(self, "alpha", a)
+        object.__setattr__(self, "beta", b)
+        object.__setattr__(self, "due_date", d)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CDDInstance) or type(self) is not type(other):
+            return NotImplemented
+        return (
+            self.due_date == other.due_date
+            and np.array_equal(self.processing, other.processing)
+            and np.array_equal(self.alpha, other.alpha)
+            and np.array_equal(self.beta, other.beta)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.due_date, self.processing.tobytes(), self.alpha.tobytes(),
+             self.beta.tobytes())
+        )
+
+    # ------------------------------------------------------------------
+    # Basic descriptors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of jobs."""
+        return int(self.processing.size)
+
+    @property
+    def total_processing(self) -> float:
+        """Sum of all processing times ``sum_i P_i``."""
+        return float(self.processing.sum())
+
+    @property
+    def restriction_factor(self) -> float:
+        """``h = d / sum(P)``; ``h >= 1`` means the instance is unrestricted."""
+        return self.due_date / self.total_processing
+
+    @property
+    def is_restrictive(self) -> bool:
+        """Whether the due date is smaller than the total processing time."""
+        return self.due_date < self.total_processing
+
+    # ------------------------------------------------------------------
+    # Objective
+    # ------------------------------------------------------------------
+    def earliness(self, completion: np.ndarray) -> np.ndarray:
+        """``E_i = max(0, d - C_i)`` for completion times in job-index order."""
+        c = np.asarray(completion, dtype=np.float64)
+        return np.maximum(0.0, self.due_date - c)
+
+    def tardiness(self, completion: np.ndarray) -> np.ndarray:
+        """``T_i = max(0, C_i - d)`` for completion times in job-index order."""
+        c = np.asarray(completion, dtype=np.float64)
+        return np.maximum(0.0, c - self.due_date)
+
+    def objective(self, completion: np.ndarray) -> float:
+        """Evaluate Eq. (1) for completion times given in *job-index* order.
+
+        ``completion[i]`` is the completion time of job ``i`` (not of the job
+        at sequence position ``i``).
+        """
+        c = np.asarray(completion, dtype=np.float64)
+        if c.shape != self.processing.shape:
+            raise ValueError(
+                f"completion has shape {c.shape}, expected {self.processing.shape}"
+            )
+        e = np.maximum(0.0, self.due_date - c)
+        t = np.maximum(0.0, c - self.due_date)
+        return float(self.alpha @ e + self.beta @ t)
+
+    def objective_in_sequence(
+        self, sequence: np.ndarray, completion_in_seq: np.ndarray
+    ) -> float:
+        """Evaluate Eq. (1) with completion times given in *sequence* order.
+
+        ``completion_in_seq[k]`` is the completion time of the ``k``-th
+        processed job, which is job ``sequence[k]``.
+        """
+        seq = np.asarray(sequence, dtype=np.intp)
+        c = np.asarray(completion_in_seq, dtype=np.float64)
+        e = np.maximum(0.0, self.due_date - c)
+        t = np.maximum(0.0, c - self.due_date)
+        return float(self.alpha[seq] @ e + self.beta[seq] @ t)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-Python representation suitable for JSON round-tripping."""
+        return {
+            "kind": "cdd",
+            "name": self.name,
+            "processing": self.processing.tolist(),
+            "alpha": self.alpha.tolist(),
+            "beta": self.beta.tolist(),
+            "due_date": self.due_date,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CDDInstance":
+        """Inverse of :meth:`to_dict`."""
+        if data.get("kind", "cdd") != "cdd":
+            raise ValueError(f"not a CDD instance record: kind={data.get('kind')!r}")
+        return cls(
+            processing=np.asarray(data["processing"], dtype=np.float64),
+            alpha=np.asarray(data["alpha"], dtype=np.float64),
+            beta=np.asarray(data["beta"], dtype=np.float64),
+            due_date=float(data["due_date"]),
+            name=str(data.get("name", "")),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f" {self.name!r}" if self.name else ""
+        return (
+            f"CDDInstance(n={self.n}, d={self.due_date:g}, "
+            f"h={self.restriction_factor:.3f}{tag})"
+        )

@@ -1,0 +1,86 @@
+"""Text Gantt rendering of single-machine schedules.
+
+Renders a schedule as a single machine row with the due date marked --
+the form of the paper's Figures 1-6.  Used by the examples and handy for
+debugging: earliness/tardiness is immediately visible as the position of
+each job relative to the ``|`` marker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.problems.cdd import CDDInstance
+from repro.problems.schedule import Schedule
+from repro.problems.ucddcp import UCDDCPInstance
+
+__all__ = ["render_gantt", "render_schedule"]
+
+
+def render_gantt(
+    completion: np.ndarray,
+    processing: np.ndarray,
+    due_date: float,
+    *,
+    width: int = 78,
+    labels: list[str] | None = None,
+) -> str:
+    """Render one machine row.
+
+    Parameters
+    ----------
+    completion, processing:
+        Sequence-ordered completion times and (effective) processing times.
+    due_date:
+        Position of the ``|`` marker.
+    width:
+        Target character width; the time axis is scaled to fit.
+    labels:
+        One short label per job (defaults to 1-based position numbers,
+        single characters cycling at 10).
+    """
+    completion = np.asarray(completion, dtype=float)
+    processing = np.asarray(processing, dtype=float)
+    if completion.shape != processing.shape or completion.ndim != 1:
+        raise ValueError("completion and processing must be 1-D, equal length")
+    n = completion.size
+    if labels is None:
+        labels = [str((k + 1) % 10) for k in range(n)]
+    if len(labels) != n:
+        raise ValueError("need one label per job")
+
+    end = max(float(completion.max(initial=0.0)), due_date) or 1.0
+    scale = (width - 1) / end
+    row = [" "] * width
+    for k in range(n):
+        start = int(round((completion[k] - processing[k]) * scale))
+        stop = max(int(round(completion[k] * scale)), start + 1)
+        for x in range(start, min(stop, width)):
+            row[x] = labels[k][0]
+    marker = min(int(round(due_date * scale)), width - 1)
+    row[marker] = "|"
+    axis = f"0{' ' * (width - len(f'{end:g}') - 1)}{end:g}"
+    return "".join(row) + "\n" + axis
+
+
+def render_schedule(
+    instance: CDDInstance | UCDDCPInstance,
+    schedule: Schedule,
+    *,
+    width: int = 78,
+) -> str:
+    """Render a :class:`Schedule` with a summary line."""
+    p_seq = instance.processing[schedule.sequence]
+    p_eff = schedule.effective_processing(p_seq)
+    gantt = render_gantt(
+        schedule.completion, p_eff, instance.due_date, width=width
+    )
+    d = instance.due_date
+    early = int((schedule.completion < d).sum())
+    tardy = int((schedule.completion > d).sum())
+    on_time = schedule.n - early - tardy
+    summary = (
+        f"objective {schedule.objective:g} | {early} early, "
+        f"{on_time} on time, {tardy} tardy | d = {d:g}"
+    )
+    return gantt + "\n" + summary

@@ -1,0 +1,107 @@
+"""Schedule representation shared by both problems.
+
+A :class:`Schedule` bundles a job sequence (a permutation of ``0..n-1``),
+the completion times of the jobs *in sequence order*, the per-job processing
+reductions (all zeros for plain CDD) and the objective value.  Helper
+accessors convert between sequence order and job-index order and expose start
+times and idle gaps, which the validation layer and the tests use to check
+the structural optimality properties (no machine idle time, due-date
+position, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Schedule"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A fully specified single-machine schedule.
+
+    Attributes
+    ----------
+    sequence:
+        Permutation of job indices; ``sequence[k]`` is the job processed in
+        position ``k``.
+    completion:
+        Completion times in sequence order: ``completion[k]`` is when the
+        ``k``-th processed job finishes.
+    reduction:
+        Processing-time reductions ``X`` in sequence order (zeros for CDD).
+    objective:
+        Total weighted penalty of the schedule.
+    """
+
+    sequence: np.ndarray
+    completion: np.ndarray
+    reduction: np.ndarray
+    objective: float
+    meta: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        seq = np.ascontiguousarray(self.sequence, dtype=np.intp)
+        comp = np.ascontiguousarray(self.completion, dtype=np.float64)
+        red = np.ascontiguousarray(self.reduction, dtype=np.float64)
+        if seq.ndim != 1 or comp.shape != seq.shape or red.shape != seq.shape:
+            raise ValueError(
+                "sequence, completion and reduction must be 1-D of equal length"
+            )
+        for arr in (seq, comp, red):
+            arr.setflags(write=False)
+        object.__setattr__(self, "sequence", seq)
+        object.__setattr__(self, "completion", comp)
+        object.__setattr__(self, "reduction", red)
+        object.__setattr__(self, "objective", float(self.objective))
+
+    @property
+    def n(self) -> int:
+        """Number of jobs."""
+        return int(self.sequence.size)
+
+    # ------------------------------------------------------------------
+    # Order conversions
+    # ------------------------------------------------------------------
+    def completion_by_job(self) -> np.ndarray:
+        """Completion times indexed by *job* (inverse of sequence order)."""
+        out = np.empty(self.n, dtype=np.float64)
+        out[self.sequence] = self.completion
+        return out
+
+    def reduction_by_job(self) -> np.ndarray:
+        """Reductions ``X_i`` indexed by *job*."""
+        out = np.empty(self.n, dtype=np.float64)
+        out[self.sequence] = self.reduction
+        return out
+
+    # ------------------------------------------------------------------
+    # Derived timing quantities (sequence order)
+    # ------------------------------------------------------------------
+    def effective_processing(self, nominal_in_seq: np.ndarray) -> np.ndarray:
+        """Actual processing times ``p' = P - X`` in sequence order."""
+        return np.asarray(nominal_in_seq, dtype=np.float64) - self.reduction
+
+    def start_times(self, nominal_in_seq: np.ndarray) -> np.ndarray:
+        """Start times in sequence order, from completions and processing."""
+        return self.completion - self.effective_processing(nominal_in_seq)
+
+    def idle_gaps(self, nominal_in_seq: np.ndarray) -> np.ndarray:
+        """Idle time preceding each job (first entry: gap after time zero)."""
+        starts = self.start_times(nominal_in_seq)
+        prev_completion = np.concatenate(([0.0], self.completion[:-1]))
+        return starts - prev_completion
+
+    def describe(self) -> str:
+        """Short multi-line human-readable summary."""
+        lines = [
+            f"Schedule over {self.n} jobs, objective {self.objective:g}",
+            f"  sequence:   {self.sequence.tolist()}",
+            f"  completion: {self.completion.tolist()}",
+        ]
+        if np.any(self.reduction != 0):
+            lines.append(f"  reduction:  {self.reduction.tolist()}")
+        return "\n".join(lines)

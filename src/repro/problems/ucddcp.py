@@ -1,0 +1,210 @@
+"""The Unrestricted Common Due-Date problem with Controllable Processing Times.
+
+The UCDDCP extends the CDD: the machine may run a job faster than its nominal
+processing time ``P_i``, down to a minimum ``M_i``, at a *compression penalty*
+``gamma_i`` per compressed time unit.  With ``X_i = P_i - p_i'`` the chosen
+reduction, the objective is
+
+    min  sum_i (alpha_i * E_i + beta_i * T_i + gamma_i * X_i)      (Eq. (2))
+
+subject to ``0 <= X_i <= P_i - M_i``.  The *unrestricted* qualifier means the
+common due date satisfies ``d >= sum_i P_i``, so the whole (uncompressed)
+schedule fits before the due date.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.problems.cdd import CDDInstance, _as_1d_float
+
+__all__ = ["UCDDCPInstance"]
+
+
+@dataclass(frozen=True, eq=False)
+class UCDDCPInstance:
+    """An immutable UCDDCP instance.
+
+    Parameters
+    ----------
+    processing:
+        Nominal processing times ``P_i > 0``.
+    min_processing:
+        Minimum (fully compressed) processing times ``0 < M_i <= P_i``.
+    alpha, beta:
+        Earliness/tardiness penalties per unit time (as in CDD).
+    gamma:
+        Compression penalties per unit of reduction, ``gamma_i >= 0``.
+    due_date:
+        Common due date; must satisfy ``d >= sum(P)`` (unrestricted case).
+    name:
+        Optional identifier.
+    """
+
+    processing: np.ndarray
+    min_processing: np.ndarray
+    alpha: np.ndarray
+    beta: np.ndarray
+    gamma: np.ndarray
+    due_date: float
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        p = _as_1d_float("processing", self.processing)
+        m = _as_1d_float("min_processing", self.min_processing)
+        a = _as_1d_float("alpha", self.alpha)
+        b = _as_1d_float("beta", self.beta)
+        g = _as_1d_float("gamma", self.gamma)
+        sizes = {p.size, m.size, a.size, b.size, g.size}
+        if len(sizes) != 1:
+            raise ValueError(
+                "all parameter vectors must have equal length; got "
+                f"P:{p.size} M:{m.size} alpha:{a.size} beta:{b.size} gamma:{g.size}"
+            )
+        if np.any(p <= 0):
+            raise ValueError("processing times must be strictly positive")
+        if np.any(m <= 0):
+            raise ValueError("minimum processing times must be strictly positive")
+        if np.any(m > p):
+            raise ValueError("min_processing must not exceed processing")
+        if np.any(a < 0) or np.any(b < 0) or np.any(g < 0):
+            raise ValueError("penalties must be non-negative")
+        d = float(self.due_date)
+        if not np.isfinite(d):
+            raise ValueError("due_date must be finite")
+        if d < float(p.sum()):
+            raise ValueError(
+                "UCDDCP requires an unrestricted due date d >= sum(P); "
+                f"got d={d} < sum(P)={p.sum()}"
+            )
+        for arr in (p, m, a, b, g):
+            arr.setflags(write=False)
+        object.__setattr__(self, "processing", p)
+        object.__setattr__(self, "min_processing", m)
+        object.__setattr__(self, "alpha", a)
+        object.__setattr__(self, "beta", b)
+        object.__setattr__(self, "gamma", g)
+        object.__setattr__(self, "due_date", d)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UCDDCPInstance):
+            return NotImplemented
+        return (
+            self.due_date == other.due_date
+            and np.array_equal(self.processing, other.processing)
+            and np.array_equal(self.min_processing, other.min_processing)
+            and np.array_equal(self.alpha, other.alpha)
+            and np.array_equal(self.beta, other.beta)
+            and np.array_equal(self.gamma, other.gamma)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.due_date, self.processing.tobytes(),
+             self.min_processing.tobytes(), self.alpha.tobytes(),
+             self.beta.tobytes(), self.gamma.tobytes())
+        )
+
+    # ------------------------------------------------------------------
+    # Basic descriptors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of jobs."""
+        return int(self.processing.size)
+
+    @property
+    def total_processing(self) -> float:
+        """Sum of nominal processing times."""
+        return float(self.processing.sum())
+
+    @property
+    def max_reduction(self) -> np.ndarray:
+        """Upper bounds ``P_i - M_i`` on the per-job reductions ``X_i``."""
+        return self.processing - self.min_processing
+
+    # ------------------------------------------------------------------
+    # Objective
+    # ------------------------------------------------------------------
+    def objective(self, completion: np.ndarray, reduction: np.ndarray) -> float:
+        """Evaluate Eq. (2) with ``completion``/``reduction`` in job-index order."""
+        c = np.asarray(completion, dtype=np.float64)
+        x = np.asarray(reduction, dtype=np.float64)
+        if c.shape != self.processing.shape or x.shape != self.processing.shape:
+            raise ValueError("completion/reduction shapes must match the instance")
+        if np.any(x < -1e-9) or np.any(x > self.max_reduction + 1e-9):
+            raise ValueError("reduction X violates 0 <= X_i <= P_i - M_i")
+        e = np.maximum(0.0, self.due_date - c)
+        t = np.maximum(0.0, c - self.due_date)
+        return float(self.alpha @ e + self.beta @ t + self.gamma @ x)
+
+    def objective_in_sequence(
+        self,
+        sequence: np.ndarray,
+        completion_in_seq: np.ndarray,
+        reduction_in_seq: np.ndarray,
+    ) -> float:
+        """Evaluate Eq. (2) with vectors given in *sequence* order."""
+        seq = np.asarray(sequence, dtype=np.intp)
+        c = np.asarray(completion_in_seq, dtype=np.float64)
+        x = np.asarray(reduction_in_seq, dtype=np.float64)
+        e = np.maximum(0.0, self.due_date - c)
+        t = np.maximum(0.0, c - self.due_date)
+        return float(
+            self.alpha[seq] @ e + self.beta[seq] @ t + self.gamma[seq] @ x
+        )
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def relax_to_cdd(self) -> CDDInstance:
+        """The CDD obtained by forbidding compression (``X_i = 0``).
+
+        The UCDDCP sequence optimizer first solves this relaxation (the
+        optimal due-date *position* is shared between the two problems --
+        Property 1 of the paper).
+        """
+        return CDDInstance(
+            processing=self.processing,
+            alpha=self.alpha,
+            beta=self.beta,
+            due_date=self.due_date,
+            name=f"{self.name}:cdd" if self.name else "",
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-Python representation suitable for JSON round-tripping."""
+        return {
+            "kind": "ucddcp",
+            "name": self.name,
+            "processing": self.processing.tolist(),
+            "min_processing": self.min_processing.tolist(),
+            "alpha": self.alpha.tolist(),
+            "beta": self.beta.tolist(),
+            "gamma": self.gamma.tolist(),
+            "due_date": self.due_date,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "UCDDCPInstance":
+        """Inverse of :meth:`to_dict`."""
+        if data.get("kind") != "ucddcp":
+            raise ValueError(
+                f"not a UCDDCP instance record: kind={data.get('kind')!r}"
+            )
+        return cls(
+            processing=np.asarray(data["processing"], dtype=np.float64),
+            min_processing=np.asarray(data["min_processing"], dtype=np.float64),
+            alpha=np.asarray(data["alpha"], dtype=np.float64),
+            beta=np.asarray(data["beta"], dtype=np.float64),
+            gamma=np.asarray(data["gamma"], dtype=np.float64),
+            due_date=float(data["due_date"]),
+            name=str(data.get("name", "")),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f" {self.name!r}" if self.name else ""
+        return f"UCDDCPInstance(n={self.n}, d={self.due_date:g}{tag})"

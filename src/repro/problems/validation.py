@@ -1,0 +1,103 @@
+"""Structural feasibility checks for schedules.
+
+These checks encode the constraints of the 0-1 integer program in Section III
+of the paper (minus the sequencing binaries, which are implied by the job
+order of the schedule):
+
+* the sequence is a permutation of ``0..n-1``;
+* jobs do not overlap: ``C_[k] >= C_[k-1] + p'_[k]`` in sequence order;
+* the first job does not start before time zero;
+* reductions respect ``0 <= X_i <= P_i - M_i``;
+* the reported objective matches a recomputation from the timing data.
+
+They are used pervasively by the unit/property tests and may be enabled in
+user code as a debugging aid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.problems.cdd import CDDInstance
+from repro.problems.schedule import Schedule
+from repro.problems.ucddcp import UCDDCPInstance
+
+__all__ = ["ScheduleError", "check_permutation", "validate_schedule"]
+
+_TOL = 1e-6
+
+
+class ScheduleError(ValueError):
+    """Raised when a schedule violates a structural constraint."""
+
+
+def check_permutation(sequence: np.ndarray, n: int | None = None) -> None:
+    """Raise :class:`ScheduleError` unless ``sequence`` permutes ``0..n-1``."""
+    seq = np.asarray(sequence)
+    if seq.ndim != 1:
+        raise ScheduleError(f"sequence must be 1-D, got shape {seq.shape}")
+    size = seq.size if n is None else n
+    if seq.size != size:
+        raise ScheduleError(f"sequence has length {seq.size}, expected {size}")
+    if not np.issubdtype(seq.dtype, np.integer):
+        raise ScheduleError(f"sequence must be integral, got dtype {seq.dtype}")
+    expected = np.arange(size)
+    if not np.array_equal(np.sort(seq), expected):
+        raise ScheduleError("sequence is not a permutation of 0..n-1")
+
+
+def validate_schedule(
+    instance: CDDInstance | UCDDCPInstance,
+    schedule: Schedule,
+    *,
+    require_no_idle: bool = False,
+    tol: float = _TOL,
+) -> None:
+    """Validate ``schedule`` against ``instance``; raise on any violation.
+
+    Parameters
+    ----------
+    require_no_idle:
+        Additionally require zero machine idle time between consecutive jobs
+        (a property of *optimal* CDD/UCDDCP schedules -- Cheng & Kahlbacher;
+        not a feasibility requirement).
+    tol:
+        Numerical tolerance for the floating-point comparisons.
+    """
+    n = instance.n
+    check_permutation(schedule.sequence, n)
+
+    p_seq = instance.processing[schedule.sequence]
+    x = schedule.reduction
+    if np.any(x < -tol):
+        raise ScheduleError("negative processing-time reduction")
+    if isinstance(instance, UCDDCPInstance):
+        max_red = instance.max_reduction[schedule.sequence]
+        if np.any(x > max_red + tol):
+            raise ScheduleError("reduction exceeds P_i - M_i")
+    else:
+        if np.any(x > tol):
+            raise ScheduleError("CDD schedules must not compress processing times")
+
+    starts = schedule.start_times(p_seq)
+    if starts[0] < -tol:
+        raise ScheduleError(f"first job starts before time zero ({starts[0]})")
+    gaps = schedule.idle_gaps(p_seq)
+    if np.any(gaps[1:] < -tol):
+        raise ScheduleError("jobs overlap (negative idle gap)")
+    if require_no_idle and np.any(np.abs(gaps[1:]) > tol):
+        raise ScheduleError("machine idle time between jobs")
+
+    if isinstance(instance, UCDDCPInstance):
+        recomputed = instance.objective_in_sequence(
+            schedule.sequence, schedule.completion, schedule.reduction
+        )
+    else:
+        recomputed = instance.objective_in_sequence(
+            schedule.sequence, schedule.completion
+        )
+    if not np.isclose(recomputed, schedule.objective, rtol=1e-9, atol=tol):
+        raise ScheduleError(
+            f"objective mismatch: stored {schedule.objective}, "
+            f"recomputed {recomputed}"
+        )

@@ -1,0 +1,161 @@
+"""Exact solvers used to anchor best-known values and certify heuristics.
+
+Two families:
+
+* **Brute force** -- enumerate every permutation and optimize each with the
+  O(n) sequence algorithms.  Exponential; guarded to small ``n``.  Valid for
+  both CDD (restricted or not) and UCDDCP.
+
+* **V-shaped partition enumeration** (unrestricted CDD only) -- the optimal
+  unrestricted CDD schedule is V-shaped: jobs finishing at or before the due
+  date appear in non-decreasing ``alpha_i / P_i`` order (earliness weight
+  grows toward the due date) and tardy jobs in non-decreasing
+  ``P_i / beta_i`` order, with one job completing exactly at the due date.
+  Enumerating the 2^n early/tardy partitions with a subset-sum style dynamic
+  program therefore yields the exact optimum in O(n * 2^n) vectorized work,
+  practical to n ~ 20.  Schedules whose early block is empty are dominated
+  (shifting the block left until the first job completes at ``d`` can only
+  help), so the enumeration over anchored schedules is exhaustive.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import numpy as np
+
+from repro.problems.cdd import CDDInstance
+from repro.problems.schedule import Schedule
+from repro.problems.ucddcp import UCDDCPInstance
+from repro.seqopt.cdd_linear import optimize_cdd_sequence
+from repro.seqopt.ucddcp_linear import optimize_ucddcp_sequence
+
+__all__ = [
+    "brute_force_cdd",
+    "brute_force_ucddcp",
+    "vshape_optimal_cdd",
+]
+
+_BRUTE_FORCE_LIMIT = 9
+_VSHAPE_LIMIT = 20
+
+
+def brute_force_cdd(instance: CDDInstance) -> Schedule:
+    """Exact CDD optimum by enumerating all ``n!`` sequences (``n <= 9``)."""
+    if instance.n > _BRUTE_FORCE_LIMIT:
+        raise ValueError(
+            f"brute force limited to n <= {_BRUTE_FORCE_LIMIT}, got {instance.n}"
+        )
+    best: Schedule | None = None
+    for perm in permutations(range(instance.n)):
+        sched = optimize_cdd_sequence(instance, np.asarray(perm, dtype=np.intp))
+        if best is None or sched.objective < best.objective:
+            best = sched
+    assert best is not None
+    return best
+
+
+def brute_force_ucddcp(instance: UCDDCPInstance) -> Schedule:
+    """Exact UCDDCP optimum by enumerating all ``n!`` sequences (``n <= 9``)."""
+    if instance.n > _BRUTE_FORCE_LIMIT:
+        raise ValueError(
+            f"brute force limited to n <= {_BRUTE_FORCE_LIMIT}, got {instance.n}"
+        )
+    best: Schedule | None = None
+    for perm in permutations(range(instance.n)):
+        sched = optimize_ucddcp_sequence(instance, np.asarray(perm, dtype=np.intp))
+        if best is None or sched.objective < best.objective:
+            best = sched
+    assert best is not None
+    return best
+
+
+def vshape_optimal_cdd(instance: CDDInstance) -> Schedule:
+    """Exact optimum of an *unrestricted* CDD instance via partition DP.
+
+    Requires ``d >= sum(P)``.  Runs in O(n * 2^n) vectorized time and memory
+    O(2^n); guarded to ``n <= 20``.
+    """
+    n = instance.n
+    if n > _VSHAPE_LIMIT:
+        raise ValueError(f"partition DP limited to n <= {_VSHAPE_LIMIT}, got {n}")
+    if instance.is_restrictive:
+        raise ValueError(
+            "vshape_optimal_cdd requires an unrestricted instance (d >= sum P)"
+        )
+
+    p = instance.processing
+    a = instance.alpha
+    b = instance.beta
+
+    # Early order: alpha/p non-decreasing toward the due date.  Bit i of every
+    # early-space mask refers to early_order[i].
+    early_order = np.argsort(a / p, kind="stable")
+    # Tardy order: p/beta non-decreasing away from the due date.  Guard
+    # against zero beta (those jobs go last -- infinite ratio).
+    with np.errstate(divide="ignore"):
+        ratio_t = np.where(b > 0, p / np.where(b > 0, b, 1.0), np.inf)
+    tardy_order = np.argsort(ratio_t, kind="stable")
+
+    size = 1 << n
+    # cost_e[mask] (early space): weighted earliness of the early block built
+    # from the masked jobs in early order, block finishing exactly at d.
+    # Recurrence when appending sorted job i after subset m < 2^i:
+    #   cost_e[m | 2^i] = cost_e[m] + p_i * alpha_sum[m]
+    # (the new job sits closest to d; everyone already in m moves p_i earlier
+    # -- equivalently the new job's own earliness is 0 and each predecessor's
+    # earliness grows by p_i).
+    cost_e = np.zeros(size)
+    asum = np.zeros(size)
+    pe = p[early_order]
+    ae = a[early_order]
+    for i in range(n):
+        lo, hi = 1 << i, 1 << (i + 1)
+        cost_e[lo:hi] = cost_e[:lo] + pe[i] * asum[:lo]
+        asum[lo:hi] = asum[:lo] + ae[i]
+
+    # cost_t[mask] (tardy space): weighted tardiness of the tardy block
+    # starting right after d.  Appending sorted job i after subset m:
+    #   cost_t[m | 2^i] = cost_t[m] + beta_i * (p_sum[m] + p_i).
+    cost_t = np.zeros(size)
+    psum = np.zeros(size)
+    pt = p[tardy_order]
+    bt = b[tardy_order]
+    for i in range(n):
+        lo, hi = 1 << i, 1 << (i + 1)
+        cost_t[lo:hi] = cost_t[:lo] + bt[i] * (psum[:lo] + pt[i])
+        psum[lo:hi] = psum[:lo] + pt[i]
+
+    # Translate every early-space mask into the tardy-space mask of its
+    # complement: job early_order[i] lives at tardy-space bit
+    # position_in_tardy[early_order[i]].
+    pos_in_tardy = np.empty(n, dtype=np.int64)
+    pos_in_tardy[tardy_order] = np.arange(n)
+    masks = np.arange(size, dtype=np.uint64)
+    comp_t = np.zeros(size, dtype=np.uint64)
+    for i in range(n):
+        bit_absent = ((masks >> np.uint64(i)) & np.uint64(1)) ^ np.uint64(1)
+        comp_t |= bit_absent << np.uint64(pos_in_tardy[early_order[i]])
+
+    total = cost_e + cost_t[comp_t]
+    best_mask = int(np.argmin(total))
+
+    early_jobs = [early_order[i] for i in range(n) if best_mask >> i & 1]
+    tardy_jobs = [j for j in tardy_order if not _in_mask(best_mask, early_order, j)]
+    sequence = np.asarray(early_jobs + tardy_jobs, dtype=np.intp)
+
+    sched = optimize_cdd_sequence(instance, sequence)
+    # The per-sequence optimizer must reproduce the DP cost: a strong
+    # internal consistency check.
+    if not np.isclose(sched.objective, float(total[best_mask]), rtol=1e-9, atol=1e-6):
+        raise AssertionError(
+            "partition DP and sequence optimizer disagree: "
+            f"{total[best_mask]} vs {sched.objective}"
+        )
+    return sched
+
+
+def _in_mask(mask: int, early_order: np.ndarray, job: int) -> bool:
+    """Whether ``job`` is selected as early by the early-space ``mask``."""
+    idx = int(np.nonzero(early_order == job)[0][0])
+    return bool(mask >> idx & 1)

@@ -1,0 +1,161 @@
+"""Pure-Python (list-based) sequence optimizers: the honest serial baseline.
+
+The paper's speedup tables compare GPU runtimes against sequential CPU
+implementations ([7], [8], [18]).  Our stand-in for those CPU codes is this
+module: straightforward single-threaded Python implementing the same O(n)
+algorithms with plain lists and scalar arithmetic -- no NumPy, no batching.
+The serial SA/DPSO baselines in :mod:`repro.core` call these evaluators so
+that measured CPU-vs-ensemble speedups compare genuinely scalar code against
+the vectorized "device" execution, mirroring the serial-vs-parallel contrast
+of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["cdd_objective_py", "ucddcp_objective_py"]
+
+
+def cdd_objective_py(
+    p: Sequence[float],
+    a: Sequence[float],
+    b: Sequence[float],
+    d: float,
+    order: Sequence[int],
+) -> float:
+    """Optimal CDD objective for one sequence, scalar Python throughout.
+
+    Parameters are the per-job arrays in *job-index* order plus the sequence
+    ``order``; mirrors :func:`repro.seqopt.cdd_linear.cdd_objective_for_sequence`.
+    """
+    n = len(order)
+    ps = [p[j] for j in order]
+    As = [a[j] for j in order]
+    bs = [b[j] for j in order]
+
+    c = [0.0] * n
+    acc = 0.0
+    for k in range(n):
+        acc += ps[k]
+        c[k] = acc
+
+    tau = 0
+    for k in range(n):
+        if c[k] <= d:
+            tau = k + 1
+        else:
+            break
+
+    shift = 0.0
+    if tau > 0:
+        pe = 0.0
+        for k in range(tau):
+            pe += As[k]
+        pl = 0.0
+        for k in range(tau, n):
+            pl += bs[k]
+        if pl < pe:
+            r = tau
+            while True:
+                pe -= As[r - 1]
+                pl += bs[r - 1]
+                if pl >= pe or r == 1:
+                    break
+                r -= 1
+            shift = d - c[r - 1]
+
+    total = 0.0
+    for k in range(n):
+        ck = c[k] + shift
+        if ck < d:
+            total += As[k] * (d - ck)
+        else:
+            total += bs[k] * (ck - d)
+    return total
+
+
+def ucddcp_objective_py(
+    p: Sequence[float],
+    m: Sequence[float],
+    a: Sequence[float],
+    b: Sequence[float],
+    g: Sequence[float],
+    d: float,
+    order: Sequence[int],
+) -> float:
+    """Optimal UCDDCP objective for one sequence, scalar Python throughout."""
+    n = len(order)
+    ps = [p[j] for j in order]
+    ms = [m[j] for j in order]
+    As = [a[j] for j in order]
+    bs = [b[j] for j in order]
+    gs = [g[j] for j in order]
+
+    c = [0.0] * n
+    acc = 0.0
+    for k in range(n):
+        acc += ps[k]
+        c[k] = acc
+
+    tau = 0
+    for k in range(n):
+        if c[k] <= d:
+            tau = k + 1
+        else:
+            break
+
+    r = 0
+    if tau > 0:
+        pe = 0.0
+        for k in range(tau):
+            pe += As[k]
+        pl = 0.0
+        for k in range(tau, n):
+            pl += bs[k]
+        if pl < pe:
+            r = tau
+            while True:
+                pe -= As[r - 1]
+                pl += bs[r - 1]
+                if pl >= pe or r == 1:
+                    break
+                r -= 1
+
+    # Compression decisions (independent; see ucddcp_linear).
+    prefix_alpha = 0.0
+    pref = [0.0] * n
+    for k in range(n):
+        pref[k] = prefix_alpha
+        prefix_alpha += As[k]
+    suffix_beta = 0.0
+    suf = [0.0] * n
+    for k in range(n - 1, -1, -1):
+        suffix_beta += bs[k]
+        suf[k] = suffix_beta
+
+    eff = [0.0] * n
+    red = [0.0] * n
+    for k in range(n):
+        tardy = (k + 1) > r if r >= 1 else c[k] > d
+        rate = (suf[k] if tardy else pref[k]) - gs[k]
+        x = (ps[k] - ms[k]) if rate > 0.0 else 0.0
+        red[k] = x
+        eff[k] = ps[k] - x
+
+    cum = [0.0] * n
+    acc = 0.0
+    for k in range(n):
+        acc += eff[k]
+        cum[k] = acc
+
+    total = 0.0
+    anchor = cum[r - 1] if r >= 1 else None
+    for k in range(n):
+        ck = (d + cum[k] - anchor) if anchor is not None else cum[k]
+        if ck < d:
+            total += As[k] * (d - ck)
+        else:
+            total += bs[k] * (ck - d)
+        total += gs[k] * red[k]
+    return total

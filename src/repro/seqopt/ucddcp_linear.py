@@ -1,0 +1,123 @@
+"""O(n) optimal completions *and compressions* for a fixed UCDDCP sequence.
+
+Implements the algorithm of Awasthi, Lässig & Kramer [8] as described in
+Section IV-B of the paper:
+
+1. Solve the CDD relaxation (no compression) for the sequence with the O(n)
+   algorithm of [7]; this fixes the due-date position ``r`` -- by Property 1
+   the position is unchanged when compression is allowed.
+2. Decide each job's compression independently (Property 2: if compressing a
+   job helps at all, compress it fully to ``M_i``):
+
+   * a *tardy* job at sequence position ``k`` pulls itself and every later
+     job toward the due date, so full compression gains
+     ``X_k * (sum(beta[k:]) - gamma_k)`` -- compress iff positive;
+   * an *early* (or exactly on-time) job at position ``k`` lets all its
+     predecessors slide right toward the due date, gaining
+     ``X_k * (sum(alpha[:k-1]) - gamma_k)`` -- compress iff positive.
+
+   These rates are independent of the other compression decisions: a tardy
+   job can never cross the due date (the slack ``C_k - d`` always exceeds its
+   own maximal reduction while later decisions do not move ``C_k``), and an
+   early job's own completion stays fixed while only its predecessors move.
+
+3. Rebuild the completion times anchored at the due-date position with the
+   compressed processing times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.problems.schedule import Schedule
+from repro.problems.ucddcp import UCDDCPInstance
+from repro.seqopt.cdd_linear import _optimal_completions
+
+__all__ = ["optimize_ucddcp_sequence", "ucddcp_objective_for_sequence"]
+
+
+def optimize_ucddcp_sequence(
+    instance: UCDDCPInstance, sequence: np.ndarray
+) -> Schedule:
+    """Optimal completion times and reductions for ``sequence``.
+
+    Returns
+    -------
+    Schedule
+        Completion times and reductions in sequence order and the minimal
+        objective.  ``meta["due_date_position"]`` is the (1-based) sequence
+        position anchored at the due date, inherited from the CDD relaxation;
+        ``meta["cdd_objective"]`` is the objective before compression.
+    """
+    seq = np.asarray(sequence, dtype=np.intp)
+    p = instance.processing[seq]
+    m = instance.min_processing[seq]
+    a = instance.alpha[seq]
+    b = instance.beta[seq]
+    g = instance.gamma[seq]
+    d = instance.due_date
+
+    completion, reduction, r, cdd_obj = _optimal_compressed(p, m, a, b, g, d)
+    e = np.maximum(0.0, d - completion)
+    t = np.maximum(0.0, completion - d)
+    obj = float(a @ e + b @ t + g @ reduction)
+    return Schedule(
+        sequence=seq,
+        completion=completion,
+        reduction=reduction,
+        objective=obj,
+        meta={"due_date_position": int(r), "cdd_objective": cdd_obj},
+    )
+
+
+def ucddcp_objective_for_sequence(
+    instance: UCDDCPInstance, sequence: np.ndarray
+) -> float:
+    """Objective-only variant of :func:`optimize_ucddcp_sequence`."""
+    return optimize_ucddcp_sequence(instance, sequence).objective
+
+
+def _optimal_compressed(
+    p: np.ndarray,
+    m: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    g: np.ndarray,
+    d: float,
+) -> tuple[np.ndarray, np.ndarray, int, float]:
+    """Core routine on sequence-ordered arrays.
+
+    Returns ``(completion, reduction, due_date_position, cdd_objective)``.
+    """
+    c_cdd, r = _optimal_completions(p, a, b, d)
+    cdd_obj = float(
+        a @ np.maximum(0.0, d - c_cdd) + b @ np.maximum(0.0, c_cdd - d)
+    )
+
+    # Compression decision rates (independent per job, see module docstring).
+    # prefix_alpha_excl[k] = sum(alpha[:k]) for position k (0-based);
+    # suffix_beta_incl[k] = sum(beta[k:]).
+    prefix_alpha_excl = np.concatenate(([0.0], np.cumsum(a)[:-1]))
+    suffix_beta_incl = np.cumsum(b[::-1])[::-1]
+
+    if r >= 1:
+        # Job at position r completes exactly at d; everything after it is
+        # tardy.  Deriving tardiness from the index (not a float compare)
+        # keeps the on-time job on the early rule even under round-off.
+        tardy = np.arange(1, p.size + 1) > r
+    else:
+        tardy = c_cdd > d
+    rate = np.where(tardy, suffix_beta_incl, prefix_alpha_excl) - g
+    reduction = np.where(rate > 0.0, p - m, 0.0)
+
+    # Rebuild completions with the due-date anchor preserved (Property 1).
+    p_eff = p - reduction
+    cum = np.cumsum(p_eff)
+    if r == 0:
+        # No anchored completion: the schedule starts at time zero.  (For a
+        # genuinely unrestricted instance this only happens when no right
+        # shift was beneficial, e.g. all alpha are zero.)
+        completion = cum
+    else:
+        completion = d + cum - cum[r - 1]
+    return completion, reduction, r, cdd_obj

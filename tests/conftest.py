@@ -1,0 +1,124 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.problems.cdd import CDDInstance
+from repro.problems.ucddcp import UCDDCPInstance
+
+# Hypothesis profiles: CI default is moderate; REPRO_HYPOTHESIS_PROFILE=dev
+# for quicker local iteration.
+settings.register_profile(
+    "ci",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "ci"))
+
+
+# ----------------------------------------------------------------------
+# Instance strategies
+# ----------------------------------------------------------------------
+@st.composite
+def cdd_instances(draw, min_n: int = 1, max_n: int = 8,
+                  allow_zero_penalties: bool = True):
+    """Random small CDD instances (restricted and unrestricted mixes)."""
+    n = draw(st.integers(min_n, max_n))
+    p = draw(
+        st.lists(st.integers(1, 20), min_size=n, max_size=n)
+    )
+    low = 0 if allow_zero_penalties else 1
+    a = draw(st.lists(st.integers(low, 10), min_size=n, max_size=n))
+    b = draw(st.lists(st.integers(low, 15), min_size=n, max_size=n))
+    h = draw(st.floats(0.05, 1.6, allow_nan=False))
+    d = float(int(h * sum(p)))
+    return CDDInstance(
+        processing=np.asarray(p, float),
+        alpha=np.asarray(a, float),
+        beta=np.asarray(b, float),
+        due_date=d,
+        name=f"hyp_cdd_n{n}",
+    )
+
+
+@st.composite
+def ucddcp_instances(draw, min_n: int = 1, max_n: int = 8):
+    """Random small UCDDCP instances (always unrestricted)."""
+    n = draw(st.integers(min_n, max_n))
+    p = draw(st.lists(st.integers(1, 20), min_size=n, max_size=n))
+    m = [draw(st.integers(1, pi)) for pi in p]
+    a = draw(st.lists(st.integers(0, 10), min_size=n, max_size=n))
+    b = draw(st.lists(st.integers(0, 15), min_size=n, max_size=n))
+    g = draw(st.lists(st.integers(0, 12), min_size=n, max_size=n))
+    slack = draw(st.integers(0, 30))
+    d = float(sum(p) + slack)
+    return UCDDCPInstance(
+        processing=np.asarray(p, float),
+        min_processing=np.asarray(m, float),
+        alpha=np.asarray(a, float),
+        beta=np.asarray(b, float),
+        gamma=np.asarray(g, float),
+        due_date=d,
+        name=f"hyp_ucddcp_n{n}",
+    )
+
+
+@st.composite
+def permutations_of(draw, n: int):
+    """A random permutation of 0..n-1."""
+    perm = draw(st.permutations(list(range(n))))
+    return np.asarray(perm, dtype=np.intp)
+
+
+# ----------------------------------------------------------------------
+# Plain fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def paper_cdd() -> CDDInstance:
+    """The worked example of Table I with the CDD due date d=16."""
+    return CDDInstance(
+        processing=[6, 5, 2, 4, 4],
+        alpha=[7, 9, 6, 9, 3],
+        beta=[9, 5, 4, 3, 2],
+        due_date=16.0,
+        name="paper_example_cdd",
+    )
+
+
+@pytest.fixture()
+def paper_ucddcp() -> UCDDCPInstance:
+    """The worked example of Table I with the UCDDCP due date d=22."""
+    return UCDDCPInstance(
+        processing=[6, 5, 2, 4, 4],
+        min_processing=[5, 5, 2, 3, 3],
+        alpha=[7, 9, 6, 9, 3],
+        beta=[9, 5, 4, 3, 2],
+        gamma=[5, 4, 3, 2, 1],
+        due_date=22.0,
+        name="paper_example_ucddcp",
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def tmp_store_path(tmp_path):
+    """A temporary best-known store location."""
+    return tmp_path / "bestknown.json"

@@ -1,0 +1,160 @@
+"""Threshold Accepting and Evolutionary Strategy baselines ([18]-style)."""
+
+import numpy as np
+import pytest
+
+from repro.core.evolution import EvolutionStrategyConfig, evolution_strategy
+from repro.core.threshold import ThresholdAcceptingConfig, threshold_accepting
+from repro.instances.biskup import biskup_instance
+from repro.problems.validation import validate_schedule
+from repro.seqopt.batched import batched_cdd_objective
+
+
+class TestThresholdAcceptingConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"iterations": 0},
+            {"decay": 1.0},
+            {"decay": 0.0},
+            {"pert_size": 1},
+            {"position_refresh": 0},
+            {"init": "magic"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ThresholdAcceptingConfig(**kwargs)
+
+
+class TestThresholdAccepting:
+    def test_deterministic(self, paper_cdd):
+        cfg = ThresholdAcceptingConfig(iterations=200, seed=4)
+        a = threshold_accepting(paper_cdd, cfg)
+        b = threshold_accepting(paper_cdd, cfg)
+        assert a.objective == b.objective
+        assert np.array_equal(a.best_sequence, b.best_sequence)
+
+    def test_schedule_valid(self, paper_cdd):
+        r = threshold_accepting(
+            paper_cdd, ThresholdAcceptingConfig(iterations=200, seed=0)
+        )
+        validate_schedule(paper_cdd, r.schedule, require_no_idle=True)
+
+    def test_beats_random(self, rng):
+        inst = biskup_instance(25, 0.4, 1)
+        r = threshold_accepting(
+            inst, ThresholdAcceptingConfig(iterations=1500, seed=2)
+        )
+        rand = batched_cdd_objective(
+            inst, np.argsort(rng.random((300, 25)), axis=1)
+        ).mean()
+        assert r.objective < rand
+
+    def test_zero_threshold_is_greedy(self, paper_cdd):
+        # theta0 = 0 with decay keeps theta at 0: pure descent, so the best
+        # energy equals the final state's energy trajectory minimum.
+        r = threshold_accepting(
+            paper_cdd,
+            ThresholdAcceptingConfig(iterations=150, seed=1, theta0=0.0,
+                                     record_history=True),
+        )
+        assert np.all(np.diff(r.history) <= 0)
+
+    def test_history_monotone(self, paper_cdd):
+        r = threshold_accepting(
+            paper_cdd,
+            ThresholdAcceptingConfig(iterations=100, seed=0,
+                                     record_history=True),
+        )
+        assert r.history is not None
+        assert np.all(np.diff(r.history) <= 0)
+        assert r.history[-1] == r.objective
+
+    def test_ucddcp(self, paper_ucddcp):
+        r = threshold_accepting(
+            paper_ucddcp, ThresholdAcceptingConfig(iterations=300, seed=0)
+        )
+        validate_schedule(paper_ucddcp, r.schedule, require_no_idle=True)
+
+    def test_vshape_init(self, paper_cdd):
+        r = threshold_accepting(
+            paper_cdd,
+            ThresholdAcceptingConfig(iterations=100, seed=0, init="vshape"),
+        )
+        assert r.objective > 0
+
+
+class TestEvolutionStrategyConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"generations": 0},
+            {"mu": 0},
+            {"mu": 10, "lam": 5},
+            {"pert_size": 1},
+            {"max_mutations": 0},
+            {"init": "magic"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            EvolutionStrategyConfig(**kwargs)
+
+
+class TestEvolutionStrategy:
+    def test_deterministic(self, paper_cdd):
+        cfg = EvolutionStrategyConfig(generations=30, mu=5, lam=15, seed=6)
+        a = evolution_strategy(paper_cdd, cfg)
+        b = evolution_strategy(paper_cdd, cfg)
+        assert a.objective == b.objective
+
+    def test_schedule_valid(self, paper_cdd):
+        r = evolution_strategy(
+            paper_cdd, EvolutionStrategyConfig(generations=30, seed=0)
+        )
+        validate_schedule(paper_cdd, r.schedule, require_no_idle=True)
+
+    def test_elitist_history_monotone(self, paper_cdd):
+        r = evolution_strategy(
+            paper_cdd,
+            EvolutionStrategyConfig(generations=40, seed=1,
+                                    record_history=True),
+        )
+        assert r.history is not None
+        assert np.all(np.diff(r.history) <= 0)  # "+"-selection is elitist
+
+    def test_finds_small_optimum(self, paper_cdd):
+        from repro.seqopt.exact import brute_force_cdd
+
+        r = evolution_strategy(
+            paper_cdd, EvolutionStrategyConfig(generations=80, mu=10,
+                                               lam=40, seed=2)
+        )
+        assert r.objective == pytest.approx(
+            brute_force_cdd(paper_cdd).objective
+        )
+
+    def test_beats_single_ta_chain_on_benchmark(self):
+        # Equal evaluation budgets: the ES (population-based, elitist)
+        # should not lose badly to one TA chain.
+        inst = biskup_instance(30, 0.4, 1)
+        es = evolution_strategy(
+            inst, EvolutionStrategyConfig(generations=50, mu=8, lam=32,
+                                          seed=3)
+        )
+        ta = threshold_accepting(
+            inst, ThresholdAcceptingConfig(iterations=50 * 32, seed=3)
+        )
+        assert es.objective <= ta.objective * 1.2
+
+    def test_evaluations_counted(self, paper_cdd):
+        cfg = EvolutionStrategyConfig(generations=10, mu=4, lam=12, seed=0)
+        r = evolution_strategy(paper_cdd, cfg)
+        assert r.evaluations == 4 + 10 * 12
+
+    def test_ucddcp(self, paper_ucddcp):
+        r = evolution_strategy(
+            paper_ucddcp, EvolutionStrategyConfig(generations=40, seed=0)
+        )
+        validate_schedule(paper_ucddcp, r.schedule, require_no_idle=True)

@@ -1,0 +1,121 @@
+"""Batched (ensemble) optimizers must agree elementwise with the scalar ones."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.seqopt.batched import (
+    batched_cdd_from_gathered,
+    batched_cdd_objective,
+    batched_ucddcp_objective,
+    gather_sequences,
+)
+from repro.seqopt.cdd_linear import optimize_cdd_sequence
+from repro.seqopt.ucddcp_linear import optimize_ucddcp_sequence
+from tests.conftest import cdd_instances, ucddcp_instances
+
+
+def random_sequences(n: int, count: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.argsort(rng.random((count, n)), axis=1)
+
+
+class TestGather:
+    def test_gather_shapes_and_values(self):
+        vals = np.array([10.0, 20.0, 30.0])
+        seqs = np.array([[2, 0, 1], [0, 1, 2]])
+        g = gather_sequences(vals, seqs)
+        assert np.array_equal(g, [[30, 10, 20], [10, 20, 30]])
+
+
+class TestBatchedCDD:
+    @given(inst=cdd_instances(min_n=1, max_n=8), seed=st.integers(0, 10_000))
+    def test_matches_scalar(self, inst, seed):
+        seqs = random_sequences(inst.n, 16, seed)
+        batched = batched_cdd_objective(inst, seqs)
+        scalar = np.array(
+            [optimize_cdd_sequence(inst, s).objective for s in seqs]
+        )
+        np.testing.assert_allclose(batched, scalar, atol=1e-9)
+
+    @given(inst=cdd_instances(min_n=2, max_n=6))
+    def test_positions_match_scalar(self, inst):
+        seqs = random_sequences(inst.n, 8, 3)
+        _, completions, r = batched_cdd_from_gathered(
+            inst.processing[seqs],
+            inst.alpha[seqs],
+            inst.beta[seqs],
+            inst.due_date,
+            return_completions=True,
+        )
+        for i, s in enumerate(seqs):
+            sched = optimize_cdd_sequence(inst, s)
+            assert int(r[i]) == sched.meta["due_date_position"]
+            np.testing.assert_allclose(completions[i], sched.completion)
+
+    def test_shape_validation(self, paper_cdd):
+        with pytest.raises(ValueError, match="shape"):
+            batched_cdd_objective(paper_cdd, np.zeros((4, 3), dtype=int))
+
+    def test_single_row(self, paper_cdd):
+        obj = batched_cdd_objective(paper_cdd, np.arange(5)[None, :])
+        assert obj.shape == (1,)
+        assert obj[0] == 81.0
+
+    def test_large_ensemble_consistency(self, paper_cdd):
+        seqs = random_sequences(5, 500, 11)
+        batched = batched_cdd_objective(paper_cdd, seqs)
+        # Spot-check a sample against the scalar algorithm.
+        for i in range(0, 500, 61):
+            scalar = optimize_cdd_sequence(paper_cdd, seqs[i]).objective
+            assert batched[i] == pytest.approx(scalar)
+
+
+class TestBatchedUCDDCP:
+    @given(inst=ucddcp_instances(min_n=1, max_n=8), seed=st.integers(0, 10_000))
+    def test_matches_scalar(self, inst, seed):
+        seqs = random_sequences(inst.n, 16, seed)
+        batched = batched_ucddcp_objective(inst, seqs)
+        scalar = np.array(
+            [optimize_ucddcp_sequence(inst, s).objective for s in seqs]
+        )
+        np.testing.assert_allclose(batched, scalar, atol=1e-9)
+
+    def test_paper_example(self, paper_ucddcp):
+        obj = batched_ucddcp_objective(paper_ucddcp, np.arange(5)[None, :])
+        assert obj[0] == 77.0
+
+    def test_shape_validation(self, paper_ucddcp):
+        with pytest.raises(ValueError, match="shape"):
+            batched_ucddcp_objective(paper_ucddcp, np.zeros((4, 2), dtype=int))
+
+    def test_batched_is_row_independent(self, paper_ucddcp):
+        # Evaluating a row alone or inside a big batch gives the same value.
+        seqs = random_sequences(5, 64, 5)
+        full = batched_ucddcp_objective(paper_ucddcp, seqs)
+        for i in (0, 17, 63):
+            solo = batched_ucddcp_objective(paper_ucddcp, seqs[i : i + 1])
+            assert solo[0] == pytest.approx(full[i])
+
+
+class TestBatchedExtremes:
+    def test_many_duplicate_rows(self, paper_cdd):
+        # Identical rows must produce identical objectives (pure function).
+        seqs = np.tile(np.arange(5), (64, 1))
+        out = batched_cdd_objective(paper_cdd, seqs)
+        assert np.all(out == out[0]) and out[0] == 81.0
+
+    def test_single_job_instances(self):
+        from repro.problems.cdd import CDDInstance
+
+        inst = CDDInstance([7], [3], [2], 4.0)
+        out = batched_cdd_objective(inst, np.zeros((5, 1), dtype=int))
+        # C = 7, T = 3, beta = 2 -> 6 for every row.
+        np.testing.assert_allclose(out, 6.0)
+
+    def test_wide_batch(self, paper_ucddcp, rng):
+        seqs = np.argsort(rng.random((2000, 5)), axis=1)
+        out = batched_ucddcp_objective(paper_ucddcp, seqs)
+        assert out.shape == (2000,)
+        assert out.min() >= 0

@@ -1,0 +1,115 @@
+"""Best-known store and reference computation."""
+
+import numpy as np
+import pytest
+
+from repro.bestknown.compute import compute_best_known
+from repro.bestknown.store import BestKnownEntry, BestKnownStore
+from repro.instances.biskup import biskup_instance
+from repro.instances.ucddcp_gen import ucddcp_instance
+from repro.problems.cdd import CDDInstance
+from repro.seqopt.exact import brute_force_cdd
+
+
+class TestStore:
+    def test_round_trip(self, tmp_store_path):
+        store = BestKnownStore(tmp_store_path)
+        store.update("a", BestKnownEntry(10.0, "sa"))
+        store.save()
+        back = BestKnownStore(tmp_store_path)
+        assert back.get("a").objective == 10.0
+        assert len(back) == 1
+
+    def test_update_monotone(self, tmp_store_path):
+        store = BestKnownStore(tmp_store_path)
+        assert store.update("a", BestKnownEntry(10.0, "sa"))
+        assert not store.update("a", BestKnownEntry(11.0, "sa"))
+        assert store.update("a", BestKnownEntry(9.0, "sa"))
+        assert store.get("a").objective == 9.0
+
+    def test_optimal_not_displaced_by_heuristic(self, tmp_store_path):
+        store = BestKnownStore(tmp_store_path)
+        store.update("a", BestKnownEntry(10.0, "dp", optimal=True))
+        # Even a "better" heuristic value must not displace a proven
+        # optimum (it would indicate an objective mismatch upstream).
+        assert not store.update("a", BestKnownEntry(9.0, "sa", optimal=False))
+
+    def test_optimal_flag_upgrades(self, tmp_store_path):
+        store = BestKnownStore(tmp_store_path)
+        store.update("a", BestKnownEntry(10.0, "sa", optimal=False))
+        assert store.update("a", BestKnownEntry(10.0, "dp", optimal=True))
+        assert store.get("a").optimal
+
+    def test_contains(self, tmp_store_path):
+        store = BestKnownStore(tmp_store_path)
+        assert "a" not in store
+        store.update("a", BestKnownEntry(1.0, "x"))
+        assert "a" in store
+
+    def test_missing_get(self, tmp_store_path):
+        assert BestKnownStore(tmp_store_path).get("zzz") is None
+
+
+class TestCompute:
+    def test_small_instance_exact(self, tmp_store_path):
+        rng = np.random.default_rng(0)
+        p = rng.integers(1, 10, 6).astype(float)
+        inst = CDDInstance(
+            p, rng.integers(1, 10, 6).astype(float),
+            rng.integers(1, 15, 6).astype(float),
+            float(0.5 * p.sum()), name="tiny_cdd",
+        )
+        store = BestKnownStore(tmp_store_path)
+        val = compute_best_known(inst, store, save=False)
+        assert val == pytest.approx(brute_force_cdd(inst).objective)
+        assert store.get("tiny_cdd").optimal
+
+    def test_cached_value_reused(self, tmp_store_path):
+        store = BestKnownStore(tmp_store_path)
+        store.update("biskup_n10_k1_h0.4", BestKnownEntry(123.0, "stub"))
+        inst = biskup_instance(10, 0.4, 1)
+        assert compute_best_known(inst, store, save=False) == 123.0
+
+    def test_heuristic_reference_reasonable(self, tmp_store_path):
+        inst = biskup_instance(10, 0.4, 1)
+        store = BestKnownStore(tmp_store_path)
+        val = compute_best_known(
+            inst, store, restarts=2, iterations=800, save=False
+        )
+        # The reference must beat the average random sequence by a margin.
+        from repro.seqopt.batched import batched_cdd_objective
+
+        rng = np.random.default_rng(1)
+        rand = batched_cdd_objective(
+            inst, np.argsort(rng.random((200, 10)), axis=1)
+        ).mean()
+        assert val < rand
+
+    def test_requires_name(self, tmp_store_path):
+        inst = CDDInstance([1, 2], [1, 1], [1, 1], 2.0)  # unnamed
+        # Exact path works without a name only if n small... the seed
+        # derivation demands a name for heuristic runs; exact path is fine.
+        store = BestKnownStore(tmp_store_path)
+        with pytest.raises(ValueError, match="named"):
+            # Force the heuristic path with a too-big brute-force limit by
+            # building a 12-job unnamed restrictive instance.
+            big = CDDInstance(
+                np.ones(12) * 2, np.ones(12), np.ones(12), 10.0
+            )
+            compute_best_known(big, store, save=False)
+
+    def test_ucddcp_reference(self, tmp_store_path):
+        inst = ucddcp_instance(6, 1)
+        store = BestKnownStore(tmp_store_path)
+        val = compute_best_known(inst, store, save=False)
+        entry = store.get(inst.name)
+        assert entry.optimal and entry.method == "brute_force"
+        assert val == entry.objective
+
+    def test_persisted_to_disk(self, tmp_store_path):
+        inst = ucddcp_instance(5, 1)
+        store = BestKnownStore(tmp_store_path)
+        compute_best_known(inst, store, save=True)
+        assert tmp_store_path.exists()
+        again = BestKnownStore(tmp_store_path)
+        assert inst.name in again

@@ -1,0 +1,96 @@
+"""Device-model calibration against the paper's published runtime anchors.
+
+Section VIII quotes absolute GT 560M runtimes; the cost-model constants in
+:mod:`repro.kernels.fitness` and :mod:`repro.core.parallel_dpso` were chosen
+to land on them.  These tests keep that calibration from drifting: the
+modeled per-generation time is measured over a short run and extrapolated
+to the paper's budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_dpso import ParallelDPSOConfig, parallel_dpso
+from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
+from repro.experiments.paper_data import PAPER_RUNTIME_ANCHORS
+from repro.instances.biskup import biskup_instance
+from repro.instances.ucddcp_gen import ucddcp_instance
+
+_CALIB_ITERS = 20
+
+
+def _modeled_full_run(result, iterations_run, iterations_target):
+    """Extrapolate a short run's modeled time to the full budget.
+
+    Fixed costs (transfers, T0 setup) are carried once; the per-generation
+    kernel time scales linearly.
+    """
+    fixed = result.modeled_memcpy_time_s
+    per_gen = (result.modeled_device_time_s - fixed) / iterations_run
+    return fixed + per_gen * iterations_target
+
+
+class TestGT560MCalibration:
+    def test_cdd_sa5000_n1000_anchor(self):
+        # Paper: "for an input size of 1000 jobs the SA_5000 algorithm runs
+        # for about 17.26 seconds".
+        inst = biskup_instance(1000, 0.4, 1)
+        r = parallel_sa(
+            inst,
+            ParallelSAConfig(iterations=_CALIB_ITERS, grid_size=4,
+                             block_size=192, seed=0, t0=1.0),
+        )
+        modeled = _modeled_full_run(r, _CALIB_ITERS, 5000)
+        anchor = PAPER_RUNTIME_ANCHORS["cdd_sa5000_n1000_gpu_s"]
+        assert anchor / 2 < modeled < anchor * 2
+
+    def test_ucddcp_sa1000_n50_anchor(self):
+        # Paper: "SA version with 1000 generations requires only 0.67
+        # seconds for 50 jobs" (UCDDCP).
+        inst = ucddcp_instance(50, 1)
+        r = parallel_sa(
+            inst,
+            ParallelSAConfig(iterations=_CALIB_ITERS, grid_size=4,
+                             block_size=192, seed=0, t0=1.0),
+        )
+        modeled = _modeled_full_run(r, _CALIB_ITERS, 1000)
+        anchor = PAPER_RUNTIME_ANCHORS["ucddcp_sa1000_n50_gpu_s"]
+        # Small-instance absolute anchors are looser: fixed overheads
+        # dominate and the paper reports a single decimal.
+        assert anchor / 4 < modeled < anchor * 4
+
+    def test_dpso_to_sa_generation_ratio(self):
+        # Table III at n=1000: SA_1000 speedup 111.2 vs DPSO_1000 24.6
+        # against the same CPU reference => DPSO runs ~4.5x slower.
+        inst = biskup_instance(1000, 0.4, 1)
+        sa = parallel_sa(
+            inst,
+            ParallelSAConfig(iterations=_CALIB_ITERS, grid_size=4,
+                             block_size=192, seed=0, t0=1.0),
+        )
+        dpso = parallel_dpso(
+            inst,
+            ParallelDPSOConfig(iterations=_CALIB_ITERS, grid_size=4,
+                               block_size=192, seed=0),
+        )
+        ratio = (
+            (dpso.modeled_device_time_s - dpso.modeled_memcpy_time_s)
+            / (sa.modeled_device_time_s - sa.modeled_memcpy_time_s)
+        )
+        assert 3.0 < ratio < 6.5
+
+    def test_cpu7_reference_anchor_consistency(self):
+        # The implied [7] CPU time (379.36 s) over its published speedup
+        # (111.2) gives the paper's own GPU SA_1000 time at n=1000; our
+        # model must land in the same band.
+        implied_gpu = (
+            PAPER_RUNTIME_ANCHORS["cdd_cpu7_n1000_s"] / 111.2
+        )
+        inst = biskup_instance(1000, 0.4, 1)
+        r = parallel_sa(
+            inst,
+            ParallelSAConfig(iterations=_CALIB_ITERS, grid_size=4,
+                             block_size=192, seed=0, t0=1.0),
+        )
+        modeled = _modeled_full_run(r, _CALIB_ITERS, 1000)
+        assert implied_gpu / 2 < modeled < implied_gpu * 2

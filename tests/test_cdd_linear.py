@@ -1,0 +1,148 @@
+"""Tests for the O(n) CDD sequence optimizer (Lässig et al. [7])."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.problems.cdd import CDDInstance
+from repro.problems.validation import validate_schedule
+from repro.seqopt.cdd_linear import (
+    cdd_objective_for_sequence,
+    optimize_cdd_sequence,
+)
+from repro.seqopt.lp_reference import lp_optimize_sequence
+from tests.conftest import cdd_instances, permutations_of
+
+
+class TestPaperWalkthrough:
+    """Section IV-A's illustration, step by step."""
+
+    def test_final_objective(self, paper_cdd):
+        s = optimize_cdd_sequence(paper_cdd, np.arange(5))
+        assert s.objective == 81.0
+
+    def test_due_date_position_is_job_two(self, paper_cdd):
+        s = optimize_cdd_sequence(paper_cdd, np.arange(5))
+        assert s.meta["due_date_position"] == 2
+        assert s.completion[1] == paper_cdd.due_date
+
+    def test_final_completions(self, paper_cdd):
+        s = optimize_cdd_sequence(paper_cdd, np.arange(5))
+        assert np.array_equal(s.completion, [11.0, 16.0, 18.0, 22.0, 26.0])
+
+    def test_no_reduction(self, paper_cdd):
+        s = optimize_cdd_sequence(paper_cdd, np.arange(5))
+        assert np.all(s.reduction == 0.0)
+
+    def test_schedule_is_feasible_and_tight(self, paper_cdd):
+        s = optimize_cdd_sequence(paper_cdd, np.arange(5))
+        validate_schedule(paper_cdd, s, require_no_idle=True)
+
+
+class TestEdgeCases:
+    def test_single_job_early_penalty(self):
+        # One job, d far right: job completes at d (no earliness).
+        inst = CDDInstance([5], [3], [2], 20.0)
+        s = optimize_cdd_sequence(inst, np.array([0]))
+        assert s.completion[0] == 20.0
+        assert s.objective == 0.0
+
+    def test_single_job_restrictive(self):
+        # d before the job can finish: start at zero, pay tardiness.
+        inst = CDDInstance([5], [3], [2], 2.0)
+        s = optimize_cdd_sequence(inst, np.array([0]))
+        assert s.completion[0] == 5.0
+        assert s.objective == 2 * 3.0  # T = 3, beta = 2 -> 6
+
+    def test_all_alpha_zero_keeps_initial(self):
+        # No earliness cost: the t=0 schedule is optimal.
+        inst = CDDInstance([4, 4], [0, 0], [5, 5], 100.0)
+        s = optimize_cdd_sequence(inst, np.arange(2))
+        assert np.array_equal(s.completion, [4.0, 8.0])
+        assert s.objective == 0.0
+        assert s.meta["due_date_position"] == 0
+
+    def test_all_beta_zero_shifts_fully_right(self):
+        # No tardiness cost: everything moves right until job 1 is at d.
+        inst = CDDInstance([4, 4], [5, 5], [0, 0], 100.0)
+        s = optimize_cdd_sequence(inst, np.arange(2))
+        assert s.completion[0] == 100.0
+        assert s.objective == 0.0
+
+    def test_due_date_zero_all_tardy(self):
+        inst = CDDInstance([3, 2], [1, 1], [2, 3], 0.0)
+        s = optimize_cdd_sequence(inst, np.arange(2))
+        assert np.array_equal(s.completion, [3.0, 5.0])
+        assert s.objective == 2 * 3 + 3 * 5
+
+    def test_objective_only_variant_matches(self, paper_cdd, rng):
+        for _ in range(10):
+            seq = rng.permutation(5)
+            full = optimize_cdd_sequence(paper_cdd, seq).objective
+            fast = cdd_objective_for_sequence(paper_cdd, seq)
+            assert fast == pytest.approx(full)
+
+
+class TestAgainstLP:
+    """The specialized O(n) algorithm must match the exact LP optimum."""
+
+    @given(inst=cdd_instances(min_n=1, max_n=7), data=permutations_of(7))
+    def test_matches_lp_identity_sequence(self, inst, data):
+        seq = np.arange(inst.n)
+        ours = optimize_cdd_sequence(inst, seq)
+        lp = lp_optimize_sequence(inst, seq)
+        assert ours.objective == pytest.approx(lp.objective, abs=1e-6)
+
+    @given(inst=cdd_instances(min_n=5, max_n=5), seq=permutations_of(5))
+    def test_matches_lp_random_sequence(self, inst, seq):
+        ours = optimize_cdd_sequence(inst, seq)
+        lp = lp_optimize_sequence(inst, seq)
+        assert ours.objective == pytest.approx(lp.objective, abs=1e-6)
+
+
+class TestStructuralProperties:
+    """Invariants from Cheng & Kahlbacher / Hall et al. / Theorem 1."""
+
+    @given(inst=cdd_instances(min_n=2, max_n=8))
+    def test_no_idle_time(self, inst):
+        s = optimize_cdd_sequence(inst, np.arange(inst.n))
+        validate_schedule(inst, s, require_no_idle=True)
+
+    @given(inst=cdd_instances(min_n=2, max_n=8))
+    def test_hall_kubiak_sethi_anchor(self, inst):
+        # First job starts at zero, or some job completes exactly at d.
+        s = optimize_cdd_sequence(inst, np.arange(inst.n))
+        p_seq = inst.processing[s.sequence]
+        starts = s.start_times(p_seq)
+        anchored = np.any(np.isclose(s.completion, inst.due_date))
+        assert np.isclose(starts[0], 0.0) or anchored
+
+    @given(inst=cdd_instances(min_n=2, max_n=8))
+    def test_theorem1_inequalities_at_position(self, inst):
+        # At the returned due-date position r: B_r >= A_{r-1} and, for the
+        # move past d not taken, A_r >= B_{r+1} would contradict optimality
+        # only if strict improvement existed, i.e. B_{r+1} <= A_r.
+        s = optimize_cdd_sequence(inst, np.arange(inst.n))
+        r = s.meta["due_date_position"]
+        if r == 0:
+            return
+        a = inst.alpha[s.sequence]
+        b = inst.beta[s.sequence]
+        assert b[r - 1 :].sum() >= a[: r - 1].sum() - 1e-9  # Case 2 (ii)
+        assert b[r:].sum() <= a[:r].sum() + 1e-9  # Case 2 (i)
+
+    @given(inst=cdd_instances(min_n=2, max_n=8))
+    def test_right_shift_never_hurts_vs_initial(self, inst):
+        # The optimized schedule is at least as good as starting at zero.
+        seq = np.arange(inst.n)
+        init_obj = inst.objective_in_sequence(
+            seq, np.cumsum(inst.processing[seq])
+        )
+        assert optimize_cdd_sequence(inst, seq).objective <= init_obj + 1e-9
+
+    @given(inst=cdd_instances(min_n=2, max_n=6))
+    def test_completion_spacing_matches_processing(self, inst):
+        s = optimize_cdd_sequence(inst, np.arange(inst.n))
+        p_seq = inst.processing[s.sequence]
+        diffs = np.diff(s.completion)
+        assert np.allclose(diffs, p_seq[1:])

@@ -1,0 +1,104 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_args(self):
+        args = build_parser().parse_args(
+            ["solve", "cdd", "-n", "20", "-m", "serial_sa", "-i", "100"]
+        )
+        assert args.problem == "cdd"
+        assert args.jobs == 20
+        assert args.method == "serial_sa"
+
+    def test_experiment_args(self):
+        args = build_parser().parse_args(["experiment", "fig11",
+                                          "--scale", "smoke"])
+        assert args.name == "fig11"
+        assert args.scale == "smoke"
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "cdd_smoke" in out
+
+    def test_solve_serial(self, capsys):
+        rc = main(["solve", "cdd", "-n", "10", "-m", "serial_sa",
+                   "-i", "50", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "objective" in out and "biskup_n10" in out
+
+    def test_solve_parallel_ucddcp(self, capsys):
+        rc = main(["solve", "ucddcp", "-n", "10", "-m", "serial_sa",
+                   "-i", "50"])
+        assert rc == 0
+        assert "ucddcp_n10" in capsys.readouterr().out
+
+    def test_experiment_fig11_smoke(self, capsys):
+        rc = main(["experiment", "fig11", "--scale", "smoke"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig 11" in out
+
+    def test_profile(self, capsys):
+        rc = main(["profile", "-n", "20", "-i", "30"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fitness_cdd" in out
+        assert "Time(%)" in out
+
+
+class TestNewCommands:
+    def test_bestknown(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DATA_DIR", str(tmp_path))
+        rc = main(["bestknown", "cdd_smoke", "--restarts", "1",
+                   "--iterations", "300"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "biskup_n10" in out and "reference values" in out
+        assert (tmp_path / "bestknown.json").exists()
+
+    def test_trace(self, capsys):
+        rc = main(["trace", "-n", "15", "-i", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "async" in out and "best" in out
+
+    def test_trace_sync_variant(self, capsys):
+        rc = main(["trace", "-n", "15", "-i", "60", "--variant", "sync"])
+        assert rc == 0
+        assert "sync" in capsys.readouterr().out
+
+    def test_report(self, capsys, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table2_cdd_deviation.txt").write_text("TABLE2 CONTENT\n")
+        out = tmp_path / "EXPERIMENTS.md"
+        rc = main(["report", "--results", str(results),
+                   "--output", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert "TABLE2 CONTENT" in text
+        assert "paper vs. measured" in text
+        assert "not yet generated" in text  # missing sections marked
+
+    def test_solve_parallel_geometry_flags(self, capsys):
+        rc = main(["solve", "cdd", "-n", "10", "-m", "parallel_sa",
+                   "-i", "30", "--grid", "1", "--block", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "496 evaluations" in out or "evaluations" in out

@@ -1,0 +1,79 @@
+"""Cooling schedule and initial-temperature estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.cooling import ExponentialCooling, estimate_initial_temperature
+from repro.problems.cdd import CDDInstance
+
+
+class TestExponentialCooling:
+    def test_paper_schedule(self):
+        c = ExponentialCooling(t0=100.0, mu=0.88)
+        assert c.temperature(0) == 100.0
+        assert c.temperature(1) == pytest.approx(88.0)
+        assert c.temperature(10) == pytest.approx(100.0 * 0.88**10)
+
+    def test_schedule_array(self):
+        c = ExponentialCooling(t0=10.0, mu=0.5)
+        np.testing.assert_allclose(c.schedule(4), [10.0, 5.0, 2.5, 1.25])
+
+    def test_monotone_decreasing(self):
+        sched = ExponentialCooling(t0=1.0, mu=0.88).schedule(100)
+        assert np.all(np.diff(sched) < 0)
+
+    def test_rejects_bad_mu(self):
+        with pytest.raises(ValueError):
+            ExponentialCooling(t0=1.0, mu=1.0)
+        with pytest.raises(ValueError):
+            ExponentialCooling(t0=1.0, mu=0.0)
+        with pytest.raises(ValueError):
+            ExponentialCooling(t0=1.0, mu=-0.1)
+
+    def test_rejects_negative_t0(self):
+        with pytest.raises(ValueError):
+            ExponentialCooling(t0=-5.0)
+
+    def test_rejects_negative_iteration(self):
+        with pytest.raises(ValueError):
+            ExponentialCooling(t0=1.0).temperature(-1)
+
+
+class TestInitialTemperature:
+    def test_is_fitness_spread(self, paper_cdd):
+        t0 = estimate_initial_temperature(paper_cdd, samples=2000)
+        assert t0 > 0
+        # Spread of objectives for n=5 is bounded by the worst schedule.
+        assert t0 < 1000
+
+    def test_deterministic_with_rng(self, paper_cdd):
+        a = estimate_initial_temperature(
+            paper_cdd, 500, np.random.default_rng(1)
+        )
+        b = estimate_initial_temperature(
+            paper_cdd, 500, np.random.default_rng(1)
+        )
+        assert a == b
+
+    def test_single_job_zero_spread(self):
+        inst = CDDInstance([5], [1], [1], 10.0)
+        assert estimate_initial_temperature(inst, samples=100) == 0.0
+
+    def test_ucddcp_supported(self, paper_ucddcp):
+        t0 = estimate_initial_temperature(paper_ucddcp, samples=500)
+        assert t0 > 0
+
+    def test_rejects_tiny_sample(self, paper_cdd):
+        with pytest.raises(ValueError):
+            estimate_initial_temperature(paper_cdd, samples=1)
+
+    def test_scales_with_penalties(self):
+        rng = np.random.default_rng(0)
+        p = rng.integers(1, 20, 12).astype(float)
+        a = rng.integers(1, 10, 12).astype(float)
+        b = rng.integers(1, 15, 12).astype(float)
+        small = CDDInstance(p, a, b, float(0.5 * p.sum()))
+        big = CDDInstance(p, 10 * a, 10 * b, float(0.5 * p.sum()))
+        t_small = estimate_initial_temperature(small, 1000)
+        t_big = estimate_initial_temperature(big, 1000)
+        assert t_big == pytest.approx(10 * t_small, rel=1e-9)

@@ -1,0 +1,97 @@
+"""Documentation and packaging guards."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestDocsPresent:
+    def test_readme_exists_and_mentions_paper(self):
+        text = (ROOT / "README.md").read_text()
+        assert "10.1109/IPDPSW.2016.66" in text
+        assert "GT 560M" in text
+
+    def test_design_inventory_complete(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        # Every table/figure of the evaluation is indexed.
+        for artifact in ("Table I", "Table II", "Table III", "Table IV",
+                         "Table V", "Fig 11", "Fig 14", "Fig 16"):
+            assert artifact in text, artifact
+        # The substitution table documents the major stand-ins.
+        for sub in ("GeForce GT 560M", "cuRAND", "OR-library", "Z_best"):
+            assert sub in text, sub
+
+    def test_readme_quickstart_runs(self):
+        # The quickstart snippet from README, abbreviated.
+        from repro import CDDSolver, biskup_instance
+
+        instance = biskup_instance(n=10, h=0.4, k=1)
+        result = CDDSolver(instance).solve(
+            "parallel_sa", iterations=30, grid_size=1, block_size=16, seed=42
+        )
+        assert "objective" in result.summary()
+
+    def test_examples_exist(self):
+        examples = ROOT / "examples"
+        expected = {
+            "quickstart.py",
+            "paper_walkthrough.py",
+            "compare_metaheuristics.py",
+            "ucddcp_compression.py",
+            "device_profiling.py",
+            "convergence_analysis.py",
+        }
+        assert expected <= {p.name for p in examples.glob("*.py")}
+
+    def test_benchmarks_cover_all_tables_and_figures(self):
+        benches = {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+        for required in (
+            "bench_table2_cdd_deviation.py",
+            "bench_table3_cdd_speedup.py",
+            "bench_table4_ucddcp_deviation.py",
+            "bench_table5_ucddcp_speedup.py",
+            "bench_fig11_runtime_surface.py",
+            "bench_fig12_cdd_deviation_chart.py",
+            "bench_fig13_cdd_speedup_chart.py",
+            "bench_fig14_cdd_runtimes.py",
+            "bench_fig15_ucddcp_deviation_chart.py",
+            "bench_fig16_ucddcp_runtimes.py",
+            "bench_fig17_ucddcp_speedup_chart.py",
+        ):
+            assert required in benches, required
+
+
+class TestPackaging:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_api_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.bestknown
+        import repro.core
+        import repro.experiments
+        import repro.gpusim
+        import repro.instances
+        import repro.kernels
+        import repro.problems
+        import repro.seqopt
+
+    def test_all_exports_resolve(self):
+        import importlib
+
+        for mod_name in (
+            "repro.problems", "repro.seqopt", "repro.gpusim",
+            "repro.kernels", "repro.core", "repro.instances",
+            "repro.bestknown", "repro.experiments", "repro.analysis",
+        ):
+            mod = importlib.import_module(mod_name)
+            for name in getattr(mod, "__all__", []):
+                assert hasattr(mod, name), f"{mod_name}.{name}"

@@ -1,0 +1,175 @@
+"""Serial and parallel DPSO."""
+
+import numpy as np
+import pytest
+
+from repro.core.dpso import DPSOConfig, dpso_serial
+from repro.core.parallel_dpso import ParallelDPSOConfig, parallel_dpso
+from repro.instances.biskup import biskup_instance
+from repro.problems.validation import validate_schedule
+from repro.seqopt.batched import batched_cdd_objective
+
+FAST = dict(iterations=100, grid_size=2, block_size=32, seed=6)
+
+
+class TestSerialConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"iterations": 0},
+            {"swarm_size": 1},
+            {"w": 1.5},
+            {"c1": -0.1},
+            {"c2": 2.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DPSOConfig(**kwargs)
+
+
+class TestSerialDPSO:
+    def test_deterministic(self, paper_cdd):
+        cfg = DPSOConfig(iterations=60, swarm_size=10, seed=3)
+        r1 = dpso_serial(paper_cdd, cfg)
+        r2 = dpso_serial(paper_cdd, cfg)
+        assert r1.objective == r2.objective
+
+    def test_schedule_valid(self, paper_cdd):
+        r = dpso_serial(paper_cdd, DPSOConfig(iterations=60, swarm_size=10,
+                                              seed=0))
+        validate_schedule(paper_cdd, r.schedule, require_no_idle=True)
+
+    def test_beats_random(self, paper_cdd, rng):
+        r = dpso_serial(paper_cdd, DPSOConfig(iterations=100, swarm_size=15,
+                                              seed=0))
+        rand = batched_cdd_objective(
+            paper_cdd, np.argsort(rng.random((200, 5)), axis=1)
+        ).mean()
+        assert r.objective < rand
+
+    def test_gbest_monotone_history(self, paper_cdd):
+        r = dpso_serial(
+            paper_cdd,
+            DPSOConfig(iterations=80, swarm_size=10, seed=1,
+                       record_history=True),
+        )
+        assert r.history is not None
+        assert np.all(np.diff(r.history) <= 0)
+
+    def test_evaluations_counted(self, paper_cdd):
+        r = dpso_serial(paper_cdd, DPSOConfig(iterations=10, swarm_size=7,
+                                              seed=0))
+        assert r.evaluations == 7 + 10 * 7
+
+    def test_ucddcp(self, paper_ucddcp):
+        r = dpso_serial(
+            paper_ucddcp, DPSOConfig(iterations=120, swarm_size=12, seed=0)
+        )
+        validate_schedule(paper_ucddcp, r.schedule, require_no_idle=True)
+
+
+class TestParallelDPSO:
+    def test_deterministic(self, paper_cdd):
+        r1 = parallel_dpso(paper_cdd, ParallelDPSOConfig(**FAST))
+        r2 = parallel_dpso(paper_cdd, ParallelDPSOConfig(**FAST))
+        assert r1.objective == r2.objective
+        assert np.array_equal(r1.best_sequence, r2.best_sequence)
+
+    def test_schedule_valid(self, paper_cdd):
+        r = parallel_dpso(paper_cdd, ParallelDPSOConfig(**FAST))
+        validate_schedule(paper_cdd, r.schedule, require_no_idle=True)
+
+    def test_finds_small_optimum(self, paper_cdd):
+        from repro.seqopt.exact import brute_force_cdd
+
+        r = parallel_dpso(paper_cdd, ParallelDPSOConfig(**FAST))
+        assert r.objective == pytest.approx(
+            brute_force_cdd(paper_cdd).objective
+        )
+
+    def test_modeled_time_populated_and_slower_than_sa(self, paper_cdd):
+        from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
+
+        d = parallel_dpso(
+            paper_cdd, ParallelDPSOConfig(iterations=200, grid_size=2,
+                                          block_size=32, seed=1)
+        )
+        s = parallel_sa(
+            paper_cdd, ParallelSAConfig(iterations=200, grid_size=2,
+                                        block_size=32, seed=1)
+        )
+        # The paper's Fig 14: parallel DPSO is slower than parallel SA at
+        # the same generation count.
+        assert d.modeled_device_time_s > s.modeled_device_time_s
+
+    def test_history_monotone(self, paper_cdd):
+        r = parallel_dpso(
+            paper_cdd,
+            ParallelDPSOConfig(**{**FAST, "record_history": True}),
+        )
+        assert r.history is not None
+        assert np.all(np.diff(r.history) <= 0)
+        assert r.history[-1] == r.objective
+
+    def test_ucddcp(self, paper_ucddcp):
+        r = parallel_dpso(paper_ucddcp, ParallelDPSOConfig(**FAST))
+        validate_schedule(paper_ucddcp, r.schedule, require_no_idle=True)
+
+    def test_probability_gate_zero_freezes_positions(self):
+        # With w = c1 = c2 = 0 no operator is ever applied: the swarm never
+        # moves, and gbest equals the best initial particle.
+        inst = biskup_instance(10, 0.4, 1)
+        r = parallel_dpso(
+            inst,
+            ParallelDPSOConfig(iterations=30, grid_size=1, block_size=16,
+                               seed=8, w=0.0, c1=0.0, c2=0.0),
+        )
+        init = np.argsort(
+            np.random.default_rng(8).random((16, 10)), axis=1
+        )
+        best_init = batched_cdd_objective(inst, init).min()
+        assert r.objective == pytest.approx(best_init)
+
+    def test_bigger_instance_runs(self):
+        inst = biskup_instance(30, 0.6, 2)
+        r = parallel_dpso(
+            inst, ParallelDPSOConfig(iterations=80, grid_size=2,
+                                     block_size=24, seed=0)
+        )
+        validate_schedule(inst, r.schedule, require_no_idle=True)
+
+
+class TestCouplingSpectrum:
+    def test_ring_valid_permutations(self):
+        inst = biskup_instance(12, 0.4, 1)
+        r = parallel_dpso(
+            inst,
+            ParallelDPSOConfig(iterations=60, grid_size=1, block_size=16,
+                               seed=4, coupling="ring"),
+        )
+        validate_schedule(inst, r.schedule, require_no_idle=True)
+
+    def test_information_flow_ordering_at_scale(self):
+        # More coupling, better results (async <= ring <= coupled up to
+        # noise) on a mid-size instance.
+        inst = biskup_instance(100, 0.4, 1)
+        objs = {}
+        for c in ("async", "ring", "coupled"):
+            objs[c] = parallel_dpso(
+                inst,
+                ParallelDPSOConfig(iterations=300, grid_size=2,
+                                   block_size=48, seed=2, coupling=c),
+            ).objective
+        assert objs["coupled"] <= objs["async"]
+        assert objs["ring"] <= objs["async"]
+
+    def test_unknown_coupling_rejected(self):
+        with pytest.raises(ValueError, match="coupling"):
+            ParallelDPSOConfig(coupling="mesh")
+
+    def test_ring_deterministic(self, paper_cdd):
+        cfg = ParallelDPSOConfig(iterations=50, grid_size=1, block_size=16,
+                                 seed=9, coupling="ring")
+        assert (parallel_dpso(paper_cdd, cfg).objective
+                == parallel_dpso(paper_cdd, cfg).objective)

@@ -1,0 +1,105 @@
+"""Exact solvers: brute force and the V-shaped partition DP."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.problems.cdd import CDDInstance
+from repro.seqopt.cdd_linear import optimize_cdd_sequence
+from repro.seqopt.exact import (
+    brute_force_cdd,
+    brute_force_ucddcp,
+    vshape_optimal_cdd,
+)
+from tests.conftest import cdd_instances, ucddcp_instances
+
+
+@st.composite
+def unrestricted_cdd(draw, min_n=2, max_n=7):
+    n = draw(st.integers(min_n, max_n))
+    p = draw(st.lists(st.integers(1, 15), min_size=n, max_size=n))
+    a = draw(st.lists(st.integers(0, 10), min_size=n, max_size=n))
+    b = draw(st.lists(st.integers(0, 15), min_size=n, max_size=n))
+    slack = draw(st.integers(0, 25))
+    return CDDInstance(
+        np.asarray(p, float), np.asarray(a, float), np.asarray(b, float),
+        float(sum(p) + slack), name=f"hyp_unres_n{n}",
+    )
+
+
+class TestBruteForce:
+    def test_size_guard(self):
+        inst = CDDInstance(np.ones(10), np.ones(10), np.ones(10), 5.0)
+        with pytest.raises(ValueError, match="limited"):
+            brute_force_cdd(inst)
+
+    def test_optimal_beats_every_sequence(self, paper_cdd, rng):
+        best = brute_force_cdd(paper_cdd)
+        for _ in range(30):
+            seq = rng.permutation(5)
+            assert best.objective <= optimize_cdd_sequence(
+                paper_cdd, seq
+            ).objective + 1e-9
+
+    def test_paper_example_optimum_at_most_identity(self, paper_cdd):
+        best = brute_force_cdd(paper_cdd)
+        assert best.objective <= 81.0
+
+    @given(inst=ucddcp_instances(min_n=2, max_n=5))
+    def test_ucddcp_brute_force_is_lower_bound(self, inst):
+        best = brute_force_ucddcp(inst)
+        # The identity sequence cannot beat the enumerated optimum.
+        from repro.seqopt.ucddcp_linear import optimize_ucddcp_sequence
+
+        ident = optimize_ucddcp_sequence(inst, np.arange(inst.n))
+        assert best.objective <= ident.objective + 1e-9
+
+
+class TestVShapeDP:
+    def test_rejects_restrictive(self, paper_cdd):
+        with pytest.raises(ValueError, match="unrestricted"):
+            vshape_optimal_cdd(paper_cdd)
+
+    def test_size_guard(self):
+        n = 25
+        inst = CDDInstance(np.ones(n), np.ones(n), np.ones(n), float(n))
+        with pytest.raises(ValueError, match="limited"):
+            vshape_optimal_cdd(inst)
+
+    @given(inst=unrestricted_cdd(min_n=2, max_n=7))
+    def test_matches_brute_force(self, inst):
+        dp = vshape_optimal_cdd(inst)
+        bf = brute_force_cdd(inst)
+        assert dp.objective == pytest.approx(bf.objective, abs=1e-6)
+
+    @given(inst=unrestricted_cdd(min_n=2, max_n=7))
+    def test_vshape_structure(self, inst):
+        # Early block: alpha/p non-decreasing; tardy block: p/beta
+        # non-decreasing (where defined).
+        s = vshape_optimal_cdd(inst)
+        d = inst.due_date
+        early = s.completion <= d + 1e-9
+        p = inst.processing[s.sequence]
+        a = inst.alpha[s.sequence]
+        b = inst.beta[s.sequence]
+        ratios_e = (a / p)[early]
+        assert np.all(np.diff(ratios_e) >= -1e-12)
+        tardy = ~early
+        bt = b[tardy]
+        if np.all(bt > 0):
+            ratios_t = (p[tardy] / bt)
+            assert np.all(np.diff(ratios_t) >= -1e-12)
+
+    def test_bigger_instance_runs(self):
+        rng = np.random.default_rng(9)
+        n = 14
+        p = rng.integers(1, 20, n).astype(float)
+        a = rng.integers(1, 10, n).astype(float)
+        b = rng.integers(1, 15, n).astype(float)
+        inst = CDDInstance(p, a, b, float(p.sum() + 5))
+        s = vshape_optimal_cdd(inst)
+        # Sanity: beats 50 random sequences.
+        for _ in range(50):
+            seq = rng.permutation(n)
+            assert s.objective <= optimize_cdd_sequence(inst, seq).objective + 1e-9

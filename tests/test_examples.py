@@ -1,0 +1,48 @@
+"""The shipped examples must run and assert their own claims."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_paper_walkthrough_asserts_paper_values(self):
+        out = run_example("paper_walkthrough.py")
+        assert "objective = 81   (paper: 81)" in out
+        assert "objective = 77   (paper: 77)" in out
+        assert "All values match the paper." in out
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "parallel SA" in out
+        assert "improvement over random" in out
+
+    def test_orlib_workflow(self):
+        out = run_example("orlib_workflow.py")
+        assert "round trip lossless: yes" in out
+
+    def test_compare_metaheuristics_small(self):
+        out = run_example(
+            "compare_metaheuristics.py", "--sizes", "10", "20",
+            "--iterations", "120",
+        )
+        assert "DPSO vs SA" in out
+
+    def test_baseline_shootout_small(self):
+        out = run_example("baseline_shootout.py", "-n", "15",
+                          "--budget", "3000")
+        assert "winner:" in out
+        assert "polish" in out

@@ -1,0 +1,251 @@
+"""Experiment harness: config, tables, ascii plots, studies at smoke scale."""
+
+import numpy as np
+import pytest
+
+from repro.bestknown.store import BestKnownStore
+from repro.experiments.ablation import (
+    run_blocksize_ablation,
+    run_cooling_ablation,
+    run_sync_vs_async,
+)
+from repro.experiments.ascii_plot import bar_chart, grouped_bar_chart, line_plot
+from repro.experiments.config import SCALES, get_scale
+from repro.experiments.deviation import run_deviation_study
+from repro.experiments.paper_data import (
+    TABLE2_CDD_DEVIATION,
+    TABLE3_CDD_SPEEDUP_VS_7,
+    TABLE4_UCDDCP_DEVIATION,
+    TABLE5_UCDDCP_SPEEDUP,
+)
+from repro.experiments.runtime import run_runtime_curves, run_runtime_surface
+from repro.experiments.speedup import run_speedup_study
+from repro.experiments.tables import format_value, render_table
+
+SMOKE = SCALES["smoke"]
+
+
+class TestConfig:
+    def test_scales_exist(self):
+        assert set(SCALES) == {"smoke", "quick", "full"}
+
+    def test_full_matches_paper_grid(self):
+        full = SCALES["full"]
+        assert full.sizes == (10, 20, 50, 100, 200, 500, 1000)
+        assert full.h_factors == (0.2, 0.4, 0.6, 0.8)
+        assert full.k_values == tuple(range(1, 11))
+        assert full.iterations_low == 1000
+        assert full.iterations_high == 5000
+        assert full.population == 768
+        assert full.instances_per_size == 40
+
+    def test_iteration_ratio_is_five(self):
+        for scale in SCALES.values():
+            assert scale.iterations_high == 5 * scale.iterations_low
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_scale().name == "smoke"
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("giant")
+
+
+class TestPaperData:
+    def test_tables_cover_all_sizes(self):
+        for table in (TABLE2_CDD_DEVIATION, TABLE3_CDD_SPEEDUP_VS_7,
+                      TABLE4_UCDDCP_DEVIATION, TABLE5_UCDDCP_SPEEDUP):
+            assert sorted(table) == [10, 20, 50, 100, 200, 500, 1000]
+            assert all(len(v) == 4 for v in table.values())
+
+    def test_known_anchor_values(self):
+        assert TABLE2_CDD_DEVIATION[1000][0] == 1.904
+        assert TABLE3_CDD_SPEEDUP_VS_7[1000][0] == 111.2
+        assert TABLE4_UCDDCP_DEVIATION[500][1] == -0.777
+        assert TABLE5_UCDDCP_SPEEDUP[1000][0] == 47.383
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [33, 4.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.500" in out
+
+    def test_format_value(self):
+        assert format_value(1.23456) == "1.235"
+        assert format_value(float("nan")) == "-"
+        assert format_value(12345.6) == "12346"
+        assert format_value("x") == "x"
+
+    def test_bar_chart_negative(self):
+        out = bar_chart(["a", "b"], [2.0, -1.0])
+        assert "-" in out.splitlines()[1]
+
+    def test_grouped_bar_chart(self):
+        out = grouped_bar_chart(["g1"], {"s1": [1.0], "s2": [2.0]})
+        assert "g1:" in out and "s1" in out
+
+    def test_line_plot_log_and_linear(self):
+        out = line_plot([1, 2, 3], {"a": [1.0, 10.0, 100.0]}, logy=True)
+        assert "log scale" in out
+        out2 = line_plot([1, 2], {"a": [0.0, 1.0]}, logy=True)
+        assert "log scale" not in out2  # falls back for nonpositive data
+
+    def test_line_plot_empty(self):
+        assert line_plot([], {}, title="t") == "t"
+
+
+class TestStudies:
+    @pytest.fixture()
+    def store(self, tmp_store_path):
+        return BestKnownStore(tmp_store_path)
+
+    def test_deviation_study_cdd(self, store):
+        study = run_deviation_study("cdd", SMOKE, store)
+        assert study.mean_deviation.shape == (2, 4)
+        # The high-budget SA must not be (much) worse than the low-budget
+        # SA on average.
+        assert study.column(f"SA_{SMOKE.iterations_high}").mean() <= (
+            study.column(f"SA_{SMOKE.iterations_low}").mean() + 1.0
+        )
+        out = study.render()
+        assert "Paper (Table II)" in out
+        assert len(study.runs) == 2 * SMOKE.instances_per_size * 4
+
+    def test_deviation_study_ucddcp(self, store):
+        study = run_deviation_study("ucddcp", SMOKE, store)
+        assert study.problem == "ucddcp"
+        assert "Paper (Table IV)" in study.render()
+
+    def test_deviation_unknown_problem(self, store):
+        with pytest.raises(ValueError):
+            run_deviation_study("tsp", SMOKE, store)
+
+    def test_speedup_study(self):
+        study = run_speedup_study("cdd", SMOKE, use_cache=False)
+        modeled = study.matrix("speedup_modeled")
+        assert modeled.shape == (2, 4)
+        assert np.all(modeled > 0)
+        # SA speedups beat DPSO speedups against the common reference
+        # (DPSO kernels are slower), as in Table III.
+        assert np.all(modeled[:, 0] > modeled[:, 2])
+        out = study.render()
+        assert "Paper (Table III" in out
+
+    def test_speedup_cache(self):
+        a = run_speedup_study("cdd", SMOKE, use_cache=True)
+        b = run_speedup_study("cdd", SMOKE, use_cache=True)
+        assert a is b
+
+    def test_runtime_surface(self):
+        surf = run_runtime_surface(SMOKE)
+        assert surf.seconds.shape == (
+            len(SMOKE.fig11_thread_counts), len(SMOKE.fig11_generations)
+        )
+        # Linear in generations.
+        np.testing.assert_allclose(
+            surf.seconds[:, 1] / surf.seconds[:, 0],
+            SMOKE.fig11_generations[1] / SMOKE.fig11_generations[0],
+        )
+        # Non-decreasing in thread count.
+        assert np.all(np.diff(surf.per_launch_s) >= -1e-12)
+        assert "Fig 11" in surf.render()
+
+    def test_runtime_curves(self):
+        curves = run_runtime_curves("cdd", SMOKE)
+        out = curves.render()
+        assert "Fig 14" in out and "CPU serial" in out
+
+
+class TestAblations:
+    def test_blocksize(self):
+        res = run_blocksize_ablation(SMOKE, total_threads=384)
+        assert len(res.block_sizes) == len(res.kernel_time_s)
+        assert np.all(res.kernel_time_s > 0)
+        assert "192" in res.render()
+
+    def test_sync_vs_async(self):
+        res = run_sync_vs_async(SMOKE, replicates=1)
+        assert res.async_objective.shape == res.sync_objective.shape
+        assert "sync" in res.render()
+
+    def test_cooling(self):
+        res = run_cooling_ablation(SMOKE, replicates=1)
+        assert len(res.rates) == len(res.objective)
+        assert "0.88" in res.render() or "0.880" in res.render()
+
+
+class TestNewAblations:
+    def test_texture(self):
+        from repro.experiments.ablation import run_texture_ablation
+
+        res = run_texture_ablation(SMOKE)
+        assert res.texture_s < res.plain_s
+        assert 0.0 < res.saving_pct < 50.0
+        assert "Texture" in res.render()
+
+    def test_coupling(self):
+        from repro.experiments.ablation import run_coupling_ablation
+
+        res = run_coupling_ablation(SMOKE, replicates=1)
+        assert res.async_objective.shape == res.coupled_objective.shape
+        assert "coupled" in res.render()
+
+    def test_refresh(self):
+        from repro.experiments.ablation import run_refresh_ablation
+
+        res = run_refresh_ablation(SMOKE, intervals=(1, 10), replicates=1)
+        assert len(res.objective) == 2
+        assert "refresh" in res.render()
+
+    def test_runner_dispatch(self):
+        from repro.experiments.runner import run_experiment
+
+        out = run_experiment("texture", SMOKE)
+        assert "Texture" in out
+
+    def test_runner_unknown(self):
+        from repro.experiments.runner import run_experiment
+
+        with pytest.raises(KeyError):
+            run_experiment("table42", SMOKE)
+
+
+class TestCheckpointing:
+    def test_checkpoint_resume_skips_done_work(self, tmp_path, tmp_store_path):
+        from repro.bestknown.store import BestKnownStore
+        from repro.experiments.deviation import run_deviation_study
+
+        ckpt = tmp_path / "ckpt.json"
+        store = BestKnownStore(tmp_store_path)
+        first = run_deviation_study("cdd", SMOKE, store,
+                                    checkpoint_path=ckpt)
+        assert ckpt.exists()
+        import time
+
+        t0 = time.perf_counter()
+        second = run_deviation_study("cdd", SMOKE, store,
+                                     checkpoint_path=ckpt)
+        resumed_in = time.perf_counter() - t0
+        # Resuming does no solver work: it must be near-instant.
+        assert resumed_in < 2.0
+        np.testing.assert_allclose(second.mean_deviation,
+                                   first.mean_deviation)
+
+    def test_checkpoint_is_json(self, tmp_path, tmp_store_path):
+        import json
+
+        from repro.bestknown.store import BestKnownStore
+        from repro.experiments.deviation import run_deviation_study
+
+        ckpt = tmp_path / "ckpt.json"
+        run_deviation_study(
+            "cdd", SMOKE, BestKnownStore(tmp_store_path),
+            checkpoint_path=ckpt,
+        )
+        raw = json.loads(ckpt.read_text())
+        key = next(iter(raw))
+        assert "|SA_" in key or "|DPSO_" in key
+        assert "deviation_pct" in raw[key]

@@ -1,0 +1,153 @@
+"""Failure injection: the system must fail loudly and stay consistent."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bestknown.store import BestKnownStore
+from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
+from repro.gpusim.device import GEFORCE_GT_560M, Device
+from repro.gpusim.errors import (
+    CudaError,
+    DeviceAllocationError,
+    InvalidLaunchError,
+)
+from repro.gpusim.kernel import KernelCost, kernel
+from repro.gpusim.launch import linear_config
+from repro.instances.biskup import biskup_instance
+
+
+class TestDeviceFailures:
+    def test_oom_device_fails_cleanly(self):
+        # A device too small for the SA working set: the driver must raise
+        # a DeviceAllocationError, not corrupt anything.
+        tiny = GEFORCE_GT_560M.with_overrides(global_mem_bytes=4 * 1024)
+        inst = biskup_instance(100, 0.4, 1)
+        with pytest.raises(DeviceAllocationError):
+            parallel_sa(
+                inst,
+                ParallelSAConfig(iterations=10, grid_size=2, block_size=32,
+                                 seed=0, device_spec=tiny),
+            )
+
+    def test_kernel_exception_leaves_clocks_consistent(self):
+        dev = Device(seed=0)
+        buf = dev.malloc(8)
+
+        @kernel("boom", registers=8,
+                cost=lambda ctx, b: KernelCost(1.0, 1.0))
+        def boom(ctx, b):
+            """Always raises."""
+            raise RuntimeError("injected kernel fault")
+
+        busy_before = dev.device_busy_until
+        with pytest.raises(RuntimeError, match="injected"):
+            dev.launch(boom, linear_config(32, 32), buf)
+        # The failed launch was not enqueued; a subsequent good launch works.
+        assert dev.device_busy_until == busy_before
+
+        @kernel("ok", registers=8, cost=lambda ctx, b: KernelCost(1.0, 1.0))
+        def ok(ctx, b):
+            """Trivial kernel."""
+            b.array[:] = 1.0
+
+        dev.launch(ok, linear_config(32, 32), buf)
+        assert np.all(dev.memcpy_dtoh(buf) == 1.0)
+
+    def test_impossible_block_rejected_before_execution(self):
+        dev = Device(seed=0)
+        buf = dev.malloc(8)
+
+        ran = []
+
+        @kernel("greedy", registers=64,
+                cost=lambda ctx, b: KernelCost(1.0, 1.0))
+        def greedy(ctx, b):
+            """Should never run (register file exhausted)."""
+            ran.append(True)
+
+        with pytest.raises(InvalidLaunchError):
+            dev.launch(greedy, linear_config(1024, 1024), buf)
+        assert not ran
+
+    def test_oversized_shared_memory_rejected_before_execution(self):
+        dev = Device(seed=0)
+        buf = dev.malloc(8)
+        ran = []
+
+        @kernel("shared_hog", registers=8,
+                cost=lambda ctx, b: KernelCost(1.0, 1.0),
+                shared_mem=1024 * 1024)
+        def shared_hog(ctx, b):
+            """Should never run (shared memory exhausted)."""
+            ran.append(True)
+
+        with pytest.raises(CudaError):
+            dev.launch(shared_hog, linear_config(32, 32), buf)
+        assert not ran
+
+    def test_fragmented_allocator_accounting(self):
+        mem_bytes = 100 * 1024
+        dev = Device(
+            spec=GEFORCE_GT_560M.with_overrides(global_mem_bytes=mem_bytes),
+            seed=0,
+        )
+        # Alloc/free churn must never leak accounted bytes.
+        for round_ in range(20):
+            bufs = [dev.malloc(512) for _ in range(8)]
+            for b in bufs[::2]:
+                b.free()
+            extra = dev.malloc(1024)
+            for b in bufs[1::2]:
+                b.free()
+            extra.free()
+        assert dev.global_mem.used_bytes == 0
+
+
+class TestStoreFailures:
+    def test_corrupt_json_raises(self, tmp_path):
+        path = tmp_path / "bestknown.json"
+        path.write_text("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            BestKnownStore(path)
+
+    def test_missing_fields_raise(self, tmp_path):
+        path = tmp_path / "bestknown.json"
+        path.write_text(json.dumps({"x": {"objective": 1.0}}))
+        with pytest.raises(TypeError):
+            BestKnownStore(path)
+
+    def test_save_creates_parents(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "bestknown.json"
+        store = BestKnownStore(path)
+        from repro.bestknown.store import BestKnownEntry
+
+        store.update("a", BestKnownEntry(1.0, "x"))
+        store.save()
+        assert path.exists()
+
+
+class TestSolverInputFailures:
+    def test_solver_rejects_bad_config_before_any_work(self, paper_cdd):
+        from repro.core.solver import CDDSolver
+
+        with pytest.raises(ValueError):
+            CDDSolver(paper_cdd).solve("parallel_sa", iterations=-5)
+
+    def test_nan_instance_rejected_at_construction(self):
+        from repro.problems.cdd import CDDInstance
+
+        with pytest.raises(ValueError):
+            CDDInstance([1.0, float("inf")], [1, 1], [1, 1], 2.0)
+
+    def test_mismatched_sequence_rejected(self, paper_cdd):
+        from repro.seqopt.cdd_linear import optimize_cdd_sequence
+
+        # A non-permutation silently indexes wrong data; the schedule layer
+        # must catch it at validation time.
+        from repro.problems.validation import ScheduleError, validate_schedule
+
+        sched = optimize_cdd_sequence(paper_cdd, np.array([0, 0, 1, 2, 3]))
+        with pytest.raises(ScheduleError):
+            validate_schedule(paper_cdd, sched)

@@ -1,0 +1,84 @@
+"""Text Gantt rendering."""
+
+import numpy as np
+import pytest
+
+from repro.problems.gantt import render_gantt, render_schedule
+from repro.seqopt.cdd_linear import optimize_cdd_sequence
+from repro.seqopt.ucddcp_linear import optimize_ucddcp_sequence
+
+
+class TestRenderGantt:
+    def test_paper_figure_shape(self, paper_cdd):
+        # Figure 3: jobs at C = (11, 16, 18, 22, 26), d = 16.
+        out = render_gantt(
+            np.array([11.0, 16, 18, 22, 26]),
+            np.array([6.0, 5, 2, 4, 4]),
+            16.0,
+            width=60,
+        )
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "|" in lines[0]
+        # Jobs 1 and 2 appear before the marker, 4 and 5 after.
+        marker = lines[0].index("|")
+        assert "1" in lines[0][:marker]
+        assert "5" in lines[0][marker:]
+
+    def test_marker_at_due_date_fraction(self):
+        out = render_gantt(np.array([10.0]), np.array([10.0]), 5.0, width=41)
+        assert out.splitlines()[0].index("|") == 20  # halfway
+
+    def test_custom_labels(self):
+        out = render_gantt(
+            np.array([2.0, 4.0]), np.array([2.0, 2.0]), 3.0,
+            labels=["A", "B"], width=40,
+        )
+        assert "A" in out and "B" in out
+
+    def test_label_count_checked(self):
+        with pytest.raises(ValueError, match="label"):
+            render_gantt(np.array([2.0]), np.array([2.0]), 1.0, labels=[])
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            render_gantt(np.array([1.0, 2.0]), np.array([1.0]), 1.0)
+
+    def test_every_job_visible(self, rng):
+        n = 8
+        p = rng.integers(1, 5, n).astype(float)
+        c = np.cumsum(p)
+        out = render_gantt(c, p, float(c[-1] / 2), width=100)
+        row = out.splitlines()[0]
+        for k in range(n):
+            assert str((k + 1) % 10) in row
+
+
+class TestRenderSchedule:
+    def test_cdd_schedule(self, paper_cdd):
+        sched = optimize_cdd_sequence(paper_cdd, np.arange(5))
+        out = render_schedule(paper_cdd, sched)
+        assert "objective 81" in out
+        assert "1 early, 1 on time, 3 tardy" in out
+
+    def test_ucddcp_uses_effective_processing(self, paper_ucddcp):
+        sched = optimize_ucddcp_sequence(paper_ucddcp, np.arange(5))
+        out = render_schedule(paper_ucddcp, sched)
+        assert "objective 77" in out
+        # Compressed jobs shrink: the rendered row ends before the
+        # uncompressed end time would.
+        assert "d = 22" in out
+
+
+class TestGanttEdgeCases:
+    def test_zero_due_date(self):
+        out = render_gantt(np.array([3.0]), np.array([3.0]), 0.0, width=30)
+        assert out.splitlines()[0][0] == "|"
+
+    def test_many_jobs_cycle_labels(self, rng):
+        n = 23
+        p = np.ones(n)
+        c = np.cumsum(p)
+        out = render_gantt(c, p, 10.0, width=120)
+        # labels cycle modulo 10: job 11 renders as '1' again
+        assert "0" in out  # job 10 -> label '0'

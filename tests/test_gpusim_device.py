@@ -1,0 +1,318 @@
+"""Device runtime: launches, timing model, streams, profiler, reduction."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import GEFORCE_GT_560M, TESLA_K20, Device
+from repro.gpusim.errors import CudaError, InvalidHandleError
+from repro.gpusim.kernel import KernelCost, kernel
+from repro.gpusim.launch import linear_config
+from repro.gpusim.profiler import Profiler
+from repro.gpusim.reduction import atomic_min
+from repro.gpusim.stream import Stream
+
+
+@kernel("scale", registers=16, cost=lambda ctx, buf, f: KernelCost(8.0, 16.0))
+def scale_kernel(ctx, buf, f):
+    """Multiply each element by f."""
+    buf.array[:] *= f
+
+
+@kernel(
+    "heavy", registers=32,
+    cost=lambda ctx, buf: KernelCost(1_000_000.0, 8.0),
+)
+def heavy_kernel(ctx, buf):
+    """No-op with a large modeled compute cost."""
+
+
+class TestDeviceBasics:
+    def test_memcpy_round_trip(self):
+        dev = Device(seed=0)
+        buf = dev.malloc(32, np.float64, "x")
+        data = np.arange(32.0)
+        dev.memcpy_htod(buf, data)
+        out = dev.memcpy_dtoh(buf)
+        assert np.array_equal(out, data)
+
+    def test_memcpy_is_a_copy_both_ways(self):
+        dev = Device(seed=0)
+        buf = dev.malloc(4, np.float64)
+        src = np.ones(4)
+        dev.memcpy_htod(buf, src)
+        src[0] = 99.0
+        assert buf.array[0] == 1.0  # host mutation does not leak in
+        out = dev.memcpy_dtoh(buf)
+        out[1] = 77.0
+        assert buf.array[1] == 1.0  # host mutation does not leak back
+
+    def test_memcpy_shape_check(self):
+        dev = Device(seed=0)
+        buf = dev.malloc(4)
+        with pytest.raises(ValueError, match="shape"):
+            dev.memcpy_htod(buf, np.zeros(5))
+
+    def test_foreign_buffer_rejected(self):
+        dev1, dev2 = Device(seed=0), Device(seed=0)
+        buf = dev1.malloc(4)
+        with pytest.raises(InvalidHandleError):
+            dev2.memcpy_dtoh(buf)
+
+    def test_kernel_executes(self):
+        dev = Device(seed=0)
+        buf = dev.malloc(64)
+        dev.memcpy_htod(buf, np.ones(64))
+        dev.launch(scale_kernel, linear_config(64, 32), buf, 3.0)
+        assert np.all(dev.memcpy_dtoh(buf) == 3.0)
+        assert dev.launch_count == 1
+
+    def test_launch_validates_config(self):
+        dev = Device(seed=0)
+        buf = dev.malloc(8)
+        from repro.gpusim.launch import Dim3, LaunchConfig
+
+        bad = LaunchConfig(grid=Dim3(1), block=Dim3(2048))
+        with pytest.raises(Exception):
+            dev.launch(scale_kernel, bad, buf, 1.0)
+
+    def test_shared_memory_limit_enforced(self):
+        dev = Device(seed=0)
+        buf = dev.malloc(8)
+
+        @kernel("bigshared", registers=16,
+                cost=lambda ctx, b: KernelCost(1.0, 1.0),
+                shared_mem=64 * 1024)
+        def bigshared(ctx, b):
+            pass
+
+        with pytest.raises(CudaError, match="shared memory"):
+            dev.launch(bigshared, linear_config(32, 32), buf)
+
+
+class TestTimingModel:
+    def test_kernel_time_scales_with_cycles(self):
+        dev = Device(seed=0)
+        buf = dev.malloc(8)
+        cfg = linear_config(32, 32)
+
+        t0 = dev.device_busy_until
+        dev.launch(scale_kernel, cfg, buf, 1.0)
+        light = dev.device_busy_until - t0
+        t1 = dev.device_busy_until
+        dev.launch(heavy_kernel, cfg, buf)
+        heavy = dev.device_busy_until - t1
+        assert heavy > light * 10
+
+    def test_waves_make_time_stepwise(self):
+        # More blocks than the SMs co-run => extra waves => more time.
+        dev = Device(seed=0)
+
+        def run(threads):
+            d = Device(seed=0)
+            b = d.malloc(threads)
+            d.launch(heavy_kernel, linear_config(threads, 192), b)
+            d.synchronize()
+            return d.profiler.kernel_time()
+
+        small = run(4 * 192)  # 4 blocks, one per SM
+        # 32 blocks of 192 threads: register-limited to 4 blocks/SM over 4
+        # SMs = 16 co-resident; 32 blocks => 2 waves.
+        large = run(32 * 192)
+        assert large > small
+
+    def test_async_launch_then_synchronize(self):
+        dev = Device(seed=0)
+        buf = dev.malloc(8)
+        host_before = dev.host_time
+        dev.launch(heavy_kernel, linear_config(32, 32), buf)
+        # Kernel launch is asynchronous: the host clock has not advanced.
+        assert dev.host_time == host_before
+        assert dev.device_busy_until > host_before
+        dev.synchronize()
+        assert dev.host_time >= dev.device_busy_until
+
+    def test_memcpy_charges_transfer_time(self):
+        dev = Device(seed=0)
+        buf = dev.malloc(1_000_000)  # 8 MB
+        before = dev.host_time
+        dev.memcpy_htod(buf, np.zeros(1_000_000))
+        elapsed = dev.host_time - before
+        expected = 8e6 / dev.spec.pcie_bandwidth_bytes_per_s
+        assert elapsed >= expected
+
+    def test_dtoh_waits_for_kernels(self):
+        dev = Device(seed=0)
+        buf = dev.malloc(8)
+        dev.launch(heavy_kernel, linear_config(32, 32), buf)
+        busy = dev.device_busy_until
+        dev.memcpy_dtoh(buf)
+        assert dev.host_time >= busy
+
+    def test_reset_clocks(self):
+        dev = Device(seed=0)
+        buf = dev.malloc(8)
+        dev.launch(scale_kernel, linear_config(32, 32), buf, 2.0)
+        dev.synchronize()
+        dev.reset_clocks()
+        assert dev.host_time == 0.0
+        assert dev.profiler.events == []
+
+    def test_faster_device_is_faster(self):
+        def kernel_time(spec):
+            d = Device(spec=spec, seed=0)
+            b = d.malloc(8)
+            d.launch(heavy_kernel, linear_config(26 * 192, 192), b)
+            d.synchronize()
+            return d.profiler.kernel_time()
+
+        assert kernel_time(TESLA_K20) < kernel_time(GEFORCE_GT_560M)
+
+
+class TestProfiler:
+    def test_records_kinds(self):
+        dev = Device(seed=0)
+        buf = dev.malloc(8)
+        dev.memcpy_htod(buf, np.zeros(8))
+        dev.launch(scale_kernel, linear_config(32, 32), buf, 1.0)
+        dev.synchronize()
+        kinds = {e.kind for e in dev.profiler.events}
+        assert {"memcpy_htod", "kernel", "sync"} <= kinds
+
+    def test_summary_contains_kernel_name(self):
+        dev = Device(seed=0)
+        buf = dev.malloc(8)
+        dev.launch(scale_kernel, linear_config(32, 32), buf, 1.0)
+        assert "scale" in dev.profiler.summary()
+
+    def test_disabled_profiler_records_nothing(self):
+        prof = Profiler(enabled=False)
+        prof.record("x", "kernel", 0.0, 1.0)
+        assert prof.events == []
+
+    def test_kernel_and_memcpy_times_split(self):
+        dev = Device(seed=0)
+        buf = dev.malloc(1024)
+        dev.memcpy_htod(buf, np.zeros(1024))
+        dev.launch(scale_kernel, linear_config(32, 32), buf, 1.0)
+        dev.synchronize()
+        prof = dev.profiler
+        assert prof.kernel_time() > 0
+        assert prof.memcpy_time() > 0
+        assert prof.total_time() >= prof.kernel_time() + prof.memcpy_time()
+
+    def test_event_end(self):
+        prof = Profiler()
+        prof.record("k", "kernel", 2.0, 3.0)
+        assert prof.events[0].end == 5.0
+
+
+class TestStream:
+    def test_enqueue_serializes(self):
+        s = Stream()
+        a = s.enqueue(0.0, 1.0)
+        b = s.enqueue(0.0, 2.0)
+        assert a == (0.0, 1.0)
+        assert b == (1.0, 3.0)
+
+    def test_earliest_start_respected(self):
+        s = Stream()
+        start, end = s.enqueue(5.0, 1.0)
+        assert start == 5.0 and end == 6.0
+
+    def test_wait(self):
+        s = Stream()
+        s.enqueue(0.0, 4.0)
+        assert s.wait(1.0) == 4.0
+        assert s.wait(9.0) == 9.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Stream().enqueue(0.0, -1.0)
+
+
+class TestAtomicMin:
+    def test_value_and_index(self):
+        res = atomic_min(np.array([5.0, 1.0, 3.0]))
+        assert res.value == 1.0 and res.index == 1
+        assert res.contended_ops == 3
+
+    def test_tie_resolves_to_lowest_index(self):
+        res = atomic_min(np.array([2.0, 1.0, 1.0]))
+        assert res.index == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            atomic_min(np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            atomic_min(np.zeros((2, 2)))
+
+    def test_matches_numpy_min(self, rng):
+        v = rng.normal(size=1000)
+        res = atomic_min(v)
+        assert res.value == v.min()
+
+
+class TestEvents:
+    def test_elapsed_measures_kernel_section(self):
+        from repro.gpusim.events import elapsed_time, record_event
+
+        dev = Device(seed=0)
+        buf = dev.malloc(8)
+        start = record_event(dev)
+        dev.launch(heavy_kernel, linear_config(32, 32), buf)
+        end = record_event(dev)
+        section = elapsed_time(start, end)
+        dev.synchronize()
+        assert section == pytest.approx(dev.profiler.kernel_time())
+
+    def test_event_synchronize_advances_host(self):
+        from repro.gpusim.events import record_event
+
+        dev = Device(seed=0)
+        buf = dev.malloc(8)
+        dev.launch(heavy_kernel, linear_config(32, 32), buf)
+        ev = record_event(dev)
+        host = ev.synchronize()
+        assert host >= ev.timestamp
+
+    def test_unrecorded_event_errors(self):
+        from repro.gpusim.events import Event, elapsed_time, record_event
+
+        dev = Device(seed=0)
+        ev = Event(device=dev)
+        assert not ev.recorded
+        with pytest.raises(RuntimeError):
+            ev.synchronize()
+        with pytest.raises(RuntimeError):
+            elapsed_time(ev, record_event(dev))
+
+    def test_cross_device_events_rejected(self):
+        from repro.gpusim.events import elapsed_time, record_event
+
+        a, b = Device(seed=0), Device(seed=0)
+        with pytest.raises(ValueError):
+            elapsed_time(record_event(a), record_event(b))
+
+    def test_zero_elapsed_without_work(self):
+        from repro.gpusim.events import elapsed_time, record_event
+
+        dev = Device(seed=0)
+        assert elapsed_time(record_event(dev), record_event(dev)) == 0.0
+
+
+class TestFormatting:
+    def test_fmt_s_ranges(self):
+        from repro.gpusim.profiler import _fmt_s
+
+        assert _fmt_s(2.5) == "2.500s"
+        assert _fmt_s(0.0025) == "2.500ms"
+        assert _fmt_s(2.5e-6) == "2.500us"
+        assert _fmt_s(2.5e-9) == "2.5ns"
+
+    def test_summary_with_no_events(self):
+        from repro.gpusim.profiler import Profiler
+
+        out = Profiler().summary()
+        assert "Total modeled device time" in out

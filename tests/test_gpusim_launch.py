@@ -1,0 +1,124 @@
+"""Launch geometry: dim3, config validation, occupancy."""
+
+import pytest
+
+from repro.gpusim.device import GEFORCE_GT_560M, TESLA_K20
+from repro.gpusim.errors import InvalidLaunchError
+from repro.gpusim.launch import (
+    Dim3,
+    LaunchConfig,
+    linear_config,
+    occupancy,
+)
+
+
+class TestDim3:
+    def test_defaults(self):
+        d = Dim3()
+        assert d.as_tuple() == (1, 1, 1)
+        assert d.count == 1
+
+    def test_count(self):
+        assert Dim3(4, 3, 2).count == 24
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidLaunchError):
+            Dim3(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidLaunchError):
+            Dim3(1, -2)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(InvalidLaunchError):
+            Dim3(1.5)  # type: ignore[arg-type]
+
+
+class TestLaunchConfig:
+    def test_paper_configuration(self):
+        # G = (ceil(N/N_B), 1, 1), B = (192, 1, 1), N = 768.
+        cfg = linear_config(768, 192)
+        assert cfg.grid.as_tuple() == (4, 1, 1)
+        assert cfg.block.as_tuple() == (192, 1, 1)
+        assert cfg.total_threads == 768
+        cfg.validate(GEFORCE_GT_560M)
+
+    def test_linear_config_rounds_up(self):
+        cfg = linear_config(100, 32)
+        assert cfg.num_blocks == 4
+        assert cfg.total_threads == 128
+
+    def test_rejects_oversized_block(self):
+        cfg = LaunchConfig(grid=Dim3(1), block=Dim3(2048))
+        with pytest.raises(InvalidLaunchError, match="exceeds device limit"):
+            cfg.validate(GEFORCE_GT_560M)
+
+    def test_rejects_block_axis_limit(self):
+        cfg = LaunchConfig(grid=Dim3(1), block=Dim3(1, 1, 65))
+        with pytest.raises(InvalidLaunchError, match="per-axis"):
+            cfg.validate(GEFORCE_GT_560M)
+
+    def test_rejects_grid_axis_limit(self):
+        cfg = LaunchConfig(grid=Dim3(70000), block=Dim3(32))
+        with pytest.raises(InvalidLaunchError, match="per-axis"):
+            cfg.validate(GEFORCE_GT_560M)
+
+    def test_rejects_excess_shared_memory(self):
+        cfg = LaunchConfig(grid=Dim3(1), block=Dim3(32),
+                           shared_mem_bytes=64 * 1024)
+        with pytest.raises(InvalidLaunchError, match="shared memory"):
+            cfg.validate(GEFORCE_GT_560M)
+
+    def test_linear_config_rejects_bad_args(self):
+        with pytest.raises(InvalidLaunchError):
+            linear_config(0, 32)
+        with pytest.raises(InvalidLaunchError):
+            linear_config(32, 0)
+
+
+class TestOccupancy:
+    def test_paper_block_192_fully_resident(self):
+        # 192-thread blocks, 40 regs: 1536/192 = 8 thread-limited blocks,
+        # register-limited to 32768/(40*192) = 4 -> 4 blocks/SM.
+        occ = occupancy(GEFORCE_GT_560M, 192, 40, 0)
+        assert occ.blocks_per_sm == 4
+        assert occ.limiter == "registers"
+        assert occ.occupancy == pytest.approx(0.5)
+
+    def test_thread_slot_limit(self):
+        occ = occupancy(GEFORCE_GT_560M, 1024, 0, 0)
+        assert occ.blocks_per_sm == 1
+        assert occ.limiter == "thread slots"
+
+    def test_shared_memory_limit(self):
+        occ = occupancy(GEFORCE_GT_560M, 64, 0, 20 * 1024)
+        assert occ.blocks_per_sm == 2
+        assert occ.limiter == "shared memory"
+
+    def test_block_slot_limit(self):
+        occ = occupancy(GEFORCE_GT_560M, 32, 0, 0)
+        assert occ.blocks_per_sm == GEFORCE_GT_560M.max_blocks_per_sm
+        assert occ.limiter == "block slots"
+
+    def test_impossible_block_raises(self):
+        with pytest.raises(InvalidLaunchError, match="exceeds SM resources"):
+            occupancy(GEFORCE_GT_560M, 1024, 64, 0)  # registers blow up
+
+    def test_occupancy_capped_at_one(self):
+        occ = occupancy(TESLA_K20, 256, 16, 0)
+        assert occ.occupancy <= 1.0
+
+    def test_describe_mentions_limiter(self):
+        occ = occupancy(GEFORCE_GT_560M, 192, 40, 0)
+        assert "registers" in occ.describe()
+
+    def test_rejects_nonpositive_threads(self):
+        with pytest.raises(InvalidLaunchError):
+            occupancy(GEFORCE_GT_560M, 0, 10, 0)
+
+    def test_more_registers_reduce_occupancy(self):
+        # The paper: "increasing the block size offers less registers which
+        # a thread can use" -- monotonicity of the resource model.
+        lo = occupancy(GEFORCE_GT_560M, 192, 20, 0)
+        hi = occupancy(GEFORCE_GT_560M, 192, 60, 0)
+        assert hi.blocks_per_sm <= lo.blocks_per_sm

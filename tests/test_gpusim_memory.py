@@ -1,0 +1,134 @@
+"""Memory spaces: global allocator, constant memory, transfer costs."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.errors import (
+    ConstantMemoryError,
+    DeviceAllocationError,
+    InvalidHandleError,
+)
+from repro.gpusim.memory import (
+    ConstantMemory,
+    GlobalMemory,
+    transfer_time,
+)
+
+
+class TestGlobalMemory:
+    def test_alloc_tracks_usage(self):
+        mem = GlobalMemory(1024)
+        buf = mem.alloc(16, np.float64)  # 128 B
+        assert mem.used_bytes == 128
+        assert mem.free_bytes == 896
+        assert buf.nbytes == 128
+
+    def test_alloc_zero_initialized(self):
+        mem = GlobalMemory(1024)
+        buf = mem.alloc((4, 4), np.float64)
+        assert np.all(buf.array == 0.0)
+
+    def test_oom(self):
+        mem = GlobalMemory(100)
+        with pytest.raises(DeviceAllocationError, match="cannot allocate"):
+            mem.alloc(100, np.float64)
+
+    def test_free_returns_capacity(self):
+        mem = GlobalMemory(1024)
+        buf = mem.alloc(64, np.float64)
+        buf.free()
+        assert mem.used_bytes == 0
+        # Freed space is reusable.
+        mem.alloc(128, np.float64)
+
+    def test_double_free_raises(self):
+        mem = GlobalMemory(1024)
+        buf = mem.alloc(8, np.float64)
+        buf.free()
+        with pytest.raises(InvalidHandleError):
+            buf.free()
+
+    def test_use_after_free_detectable(self):
+        mem = GlobalMemory(1024)
+        buf = mem.alloc(8, np.float64)
+        buf.free()
+        with pytest.raises(InvalidHandleError, match="freed"):
+            buf.check_alive()
+
+    def test_owns(self):
+        mem1, mem2 = GlobalMemory(1024), GlobalMemory(1024)
+        buf = mem1.alloc(8)
+        assert mem1.owns(buf)
+        assert not mem2.owns(buf)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            GlobalMemory(0)
+
+    def test_dtype_and_shape_exposed(self):
+        mem = GlobalMemory(4096)
+        buf = mem.alloc((3, 5), np.int32, label="seqs")
+        assert buf.shape == (3, 5)
+        assert buf.dtype == np.int32
+        assert buf.label == "seqs"
+
+
+class TestConstantMemory:
+    def test_upload_and_read(self):
+        cm = ConstantMemory()
+        cm.upload("due_date", np.float64(16.0))
+        assert float(cm["due_date"]) == 16.0
+        assert "due_date" in cm
+
+    def test_values_readonly(self):
+        cm = ConstantMemory()
+        cm.upload("v", np.arange(4))
+        with pytest.raises(ValueError):
+            cm["v"][0] = 9
+
+    def test_upload_copy_semantics(self):
+        cm = ConstantMemory()
+        src = np.arange(4)
+        cm.upload("v", src)
+        src[0] = 99
+        assert cm["v"][0] == 0
+
+    def test_capacity_enforced(self):
+        cm = ConstantMemory(capacity_bytes=64)
+        with pytest.raises(ConstantMemoryError, match="overflow"):
+            cm.upload("big", np.zeros(64))
+
+    def test_replacement_frees_old_budget(self):
+        cm = ConstantMemory(capacity_bytes=128)
+        cm.upload("v", np.zeros(16))  # 128 B
+        cm.upload("v", np.zeros(16))  # replacing is fine
+        assert cm.used_bytes == 128
+
+    def test_unknown_symbol(self):
+        cm = ConstantMemory()
+        with pytest.raises(ConstantMemoryError, match="unknown"):
+            cm["nope"]
+
+    def test_iteration(self):
+        cm = ConstantMemory()
+        cm.upload("a", 1)
+        cm.upload("b", 2)
+        assert sorted(cm) == ["a", "b"]
+
+
+class TestTransferTime:
+    def test_latency_plus_bandwidth(self):
+        t = transfer_time(1000, bandwidth_bytes_per_s=1000.0, latency_s=0.5)
+        assert t == pytest.approx(1.5)
+
+    def test_zero_bytes_costs_latency(self):
+        assert transfer_time(0, 1e9, 1e-5) == pytest.approx(1e-5)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_time(-1, 1e9, 0.0)
+
+    def test_monotone_in_size(self):
+        small = transfer_time(10, 1e9, 1e-5)
+        large = transfer_time(10_000_000, 1e9, 1e-5)
+        assert large > small

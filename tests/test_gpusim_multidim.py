@@ -1,0 +1,72 @@
+"""Multi-dimensional launch geometry and thread-context indexing."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import GEFORCE_GT_560M, Device
+from repro.gpusim.kernel import KernelCost, kernel
+from repro.gpusim.launch import Dim3, LaunchConfig
+
+
+@kernel("ident", registers=8, cost=lambda ctx, out: KernelCost(2.0, 8.0))
+def ident_kernel(ctx, out):
+    """Write each thread's global id into out."""
+    out.array[: ctx.total_threads] = ctx.thread_ids
+
+
+class TestMultiDimLaunch:
+    def test_2d_grid_total_threads(self):
+        cfg = LaunchConfig(grid=Dim3(4, 2), block=Dim3(16, 4))
+        assert cfg.num_blocks == 8
+        assert cfg.threads_per_block == 64
+        assert cfg.total_threads == 512
+        cfg.validate(GEFORCE_GT_560M)
+
+    def test_3d_block_validated(self):
+        cfg = LaunchConfig(grid=Dim3(1), block=Dim3(8, 8, 8))
+        cfg.validate(GEFORCE_GT_560M)
+        assert cfg.threads_per_block == 512
+
+    def test_linear_thread_ids_cover_launch(self):
+        dev = Device(seed=0)
+        cfg = LaunchConfig(grid=Dim3(3, 2), block=Dim3(8, 2))
+        out = dev.malloc(cfg.total_threads)
+        dev.launch(ident_kernel, cfg, out)
+        got = dev.memcpy_dtoh(out)
+        assert np.array_equal(got, np.arange(cfg.total_threads))
+
+    def test_block_and_lane_indexing(self):
+        dev = Device(seed=0)
+        cfg = LaunchConfig(grid=Dim3(4), block=Dim3(48))
+
+        @kernel("idx", registers=8, cost=lambda ctx, b, l: KernelCost(2.0, 8.0))
+        def idx_kernel(ctx, blocks, lanes):
+            """Expose block ids and lane ids."""
+            blocks.array[:] = ctx.block_ids
+            lanes.array[:] = ctx.lane_ids
+
+        blocks = dev.malloc(cfg.total_threads)
+        lanes = dev.malloc(cfg.total_threads)
+        dev.launch(idx_kernel, cfg, blocks, lanes)
+        b = dev.memcpy_dtoh(blocks)
+        l = dev.memcpy_dtoh(lanes)
+        assert b[0] == 0 and b[-1] == 3
+        assert np.all(np.bincount(b.astype(int)) == 48)
+        # Lanes wrap at the warp size within each block.
+        assert l[:32].tolist() == list(range(32))
+        assert l[32] == 0  # second warp restarts
+        assert l.max() == 31
+
+    def test_thread_in_block(self):
+        dev = Device(seed=0)
+        cfg = LaunchConfig(grid=Dim3(2), block=Dim3(10))
+
+        @kernel("tib", registers=8, cost=lambda ctx, o: KernelCost(2.0, 8.0))
+        def tib_kernel(ctx, out):
+            """Expose block-local thread index."""
+            out.array[:] = ctx.thread_in_block
+
+        out = dev.malloc(20)
+        dev.launch(tib_kernel, cfg, out)
+        got = dev.memcpy_dtoh(out)
+        assert got.tolist() == list(range(10)) + list(range(10))

@@ -1,0 +1,119 @@
+"""The counter-based device RNG (cuRAND stand-in)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpusim.rng import DeviceRNG, splitmix64
+
+
+class TestSplitMix:
+    def test_deterministic(self):
+        x = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(splitmix64(x), splitmix64(x))
+
+    def test_avalanche(self):
+        # Flipping one input bit flips ~half the output bits on average.
+        x = np.arange(1000, dtype=np.uint64)
+        y = x ^ np.uint64(1)
+        diff = splitmix64(x) ^ splitmix64(y)
+        popcount = np.unpackbits(diff.view(np.uint8)).sum() / 1000
+        assert 24 < popcount < 40
+
+    def test_no_trivial_fixed_point_at_zero(self):
+        assert int(splitmix64(np.uint64(0))) != 0
+
+
+class TestDeviceRNG:
+    def test_reproducible_across_instances(self):
+        tids = np.arange(512)
+        a = DeviceRNG(42)
+        b = DeviceRNG(42)
+        for _ in range(5):
+            assert np.array_equal(a.uniform(tids), b.uniform(tids))
+
+    def test_stream_independent_of_ensemble_size(self):
+        # Thread 7's stream is identical whether 8 or 800 threads run.
+        small, large = DeviceRNG(1), DeviceRNG(1)
+        s = small.uniform(np.arange(8))
+        l = large.uniform(np.arange(800))
+        assert s[7] == l[7]
+
+    def test_different_seeds_differ(self):
+        tids = np.arange(64)
+        assert not np.array_equal(
+            DeviceRNG(1).uniform(tids), DeviceRNG(2).uniform(tids)
+        )
+
+    def test_counter_advances(self):
+        rng = DeviceRNG(0)
+        tids = np.arange(16)
+        first = rng.uniform(tids)
+        second = rng.uniform(tids)
+        assert rng.counter == 2
+        assert not np.array_equal(first, second)
+
+    def test_uniform_range(self):
+        rng = DeviceRNG(3)
+        u = rng.uniform(np.arange(10_000))
+        assert np.all(u >= 0.0) and np.all(u < 1.0)
+
+    def test_uniform_statistics(self):
+        rng = DeviceRNG(5)
+        u = np.concatenate([rng.uniform(np.arange(10_000)) for _ in range(5)])
+        assert abs(u.mean() - 0.5) < 0.01
+        assert abs(u.std() - np.sqrt(1 / 12)) < 0.01
+
+    def test_cross_thread_decorrelation(self):
+        rng = DeviceRNG(7)
+        u = rng.uniform(np.arange(20_000))
+        corr = np.corrcoef(u[:-1], u[1:])[0, 1]
+        assert abs(corr) < 0.03
+
+    @given(low=st.integers(-50, 50), span=st.integers(1, 100))
+    def test_randint_bounds(self, low, span):
+        rng = DeviceRNG(11)
+        v = rng.randint(np.arange(500), low, low + span)
+        assert np.all(v >= low) and np.all(v < low + span)
+
+    def test_randint_rejects_empty_range(self):
+        with pytest.raises(ValueError, match="empty range"):
+            DeviceRNG(0).randint(np.arange(4), 5, 5)
+
+    def test_randint_covers_range(self):
+        rng = DeviceRNG(13)
+        vals = np.concatenate(
+            [rng.randint(np.arange(1000), 0, 7) for _ in range(5)]
+        )
+        assert set(np.unique(vals)) == set(range(7))
+
+    def test_randint_roughly_uniform(self):
+        rng = DeviceRNG(17)
+        vals = np.concatenate(
+            [rng.randint(np.arange(5000), 0, 10) for _ in range(4)]
+        )
+        counts = np.bincount(vals, minlength=10)
+        assert counts.min() > 0.85 * counts.mean()
+
+    def test_uniform_matrix_shape(self):
+        rng = DeviceRNG(19)
+        m = rng.uniform_matrix(np.arange(32), draws=5)
+        assert m.shape == (32, 5)
+        # Columns are distinct draw rounds.
+        assert not np.array_equal(m[:, 0], m[:, 1])
+
+    def test_spawn_independent(self):
+        parent = DeviceRNG(23)
+        child = parent.spawn(1)
+        tids = np.arange(256)
+        assert not np.array_equal(parent.uniform(tids), child.uniform(tids))
+
+    def test_spawn_deterministic(self):
+        a = DeviceRNG(23).spawn(4)
+        b = DeviceRNG(23).spawn(4)
+        tids = np.arange(16)
+        assert np.array_equal(a.uniform(tids), b.uniform(tids))
+
+    def test_seed_property(self):
+        assert DeviceRNG(99).seed == 99

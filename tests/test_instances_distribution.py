@@ -1,0 +1,52 @@
+"""Distributional sanity of the generated benchmark suites."""
+
+import numpy as np
+
+from repro.instances.biskup import biskup_benchmark_suite, biskup_instance
+from repro.instances.ucddcp_gen import ucddcp_instance
+
+
+class TestBiskupDistribution:
+    def test_processing_uniform_1_20(self):
+        # Pool a large sample and check coarse uniformity over {1..20}.
+        p = np.concatenate([
+            biskup_instance(1000, 0.4, k).processing for k in (1, 2, 3)
+        ])
+        counts = np.bincount(p.astype(int), minlength=21)[1:]
+        assert counts.min() > 0.6 * counts.mean()
+        assert counts.max() < 1.4 * counts.mean()
+
+    def test_penalty_ranges_distinct(self):
+        inst = biskup_instance(1000, 0.4, 1)
+        # alpha caps at 10 and beta at 15; the tails must differ.
+        assert inst.alpha.max() == 10
+        assert inst.beta.max() == 15
+
+    def test_mean_processing_near_theoretical(self):
+        p = biskup_instance(1000, 0.4, 1).processing
+        assert abs(p.mean() - 10.5) < 0.6  # E[U{1..20}] = 10.5
+
+    def test_suite_order_does_not_change_instances(self):
+        # Deterministic per (n, k): generating in suite order or directly
+        # gives identical data.
+        from_suite = {
+            inst.name: inst
+            for inst in biskup_benchmark_suite(
+                sizes=(10, 20), h_factors=(0.4,), k_values=(1, 2)
+            )
+        }
+        direct = biskup_instance(20, 0.4, 2)
+        assert from_suite[direct.name] == direct
+
+
+class TestUCDDCPDistribution:
+    def test_due_date_factor_in_range(self):
+        for k in range(1, 8):
+            inst = ucddcp_instance(200, k)
+            u = inst.due_date / inst.total_processing
+            assert 1.0 <= u <= 1.21
+
+    def test_compressibility_present(self):
+        inst = ucddcp_instance(500, 1)
+        # A meaningful share of jobs is compressible.
+        assert (inst.max_reduction > 0).mean() > 0.5

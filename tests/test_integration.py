@@ -1,0 +1,131 @@
+"""End-to-end integration tests across the whole stack."""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import (
+    CDDSolver,
+    UCDDCPSolver,
+    biskup_instance,
+    ucddcp_instance,
+)
+from repro.bestknown.compute import compute_best_known
+from repro.bestknown.store import BestKnownStore
+from repro.problems.validation import validate_schedule
+from repro.seqopt.lp_reference import lp_optimize_sequence
+
+
+class TestFullPipelineCDD:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        inst = biskup_instance(30, 0.6, 2)
+        solver = CDDSolver(inst)
+        result = solver.solve(
+            "parallel_sa", iterations=400, grid_size=2, block_size=48,
+            seed=123,
+        )
+        return inst, result
+
+    def test_schedule_feasible_and_tight(self, outcome):
+        inst, result = outcome
+        validate_schedule(inst, result.schedule, require_no_idle=True)
+
+    def test_best_sequence_lp_certified(self, outcome):
+        # The completion times the library reports for the winning sequence
+        # must be LP-optimal for that sequence.
+        inst, result = outcome
+        lp = lp_optimize_sequence(inst, result.best_sequence)
+        assert result.objective == pytest.approx(lp.objective, abs=1e-6)
+
+    def test_result_reproducible(self, outcome):
+        inst, result = outcome
+        again = CDDSolver(inst).solve(
+            "parallel_sa", iterations=400, grid_size=2, block_size=48,
+            seed=123,
+        )
+        assert again.objective == result.objective
+        assert np.array_equal(again.best_sequence, result.best_sequence)
+
+    def test_beats_weak_baseline(self, outcome):
+        inst, result = outcome
+        weak = CDDSolver(inst).solve("serial_sa", iterations=50, seed=1)
+        assert result.objective <= weak.objective
+
+    def test_deviation_vs_reference_is_sane(self, outcome, tmp_path):
+        inst, result = outcome
+        store = BestKnownStore(tmp_path / "bk.json")
+        ref = compute_best_known(inst, store, restarts=2, iterations=3000,
+                                 save=False)
+        deviation = (result.objective - ref) / ref * 100
+        assert deviation < 25.0  # parallel run lands near the reference
+
+
+class TestFullPipelineUCDDCP:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        inst = ucddcp_instance(25, 3)
+        result = UCDDCPSolver(inst).solve(
+            "parallel_sa", iterations=400, grid_size=2, block_size=48,
+            seed=321,
+        )
+        return inst, result
+
+    def test_schedule_feasible(self, outcome):
+        inst, result = outcome
+        validate_schedule(inst, result.schedule, require_no_idle=True)
+
+    def test_lp_certified(self, outcome):
+        inst, result = outcome
+        lp = lp_optimize_sequence(inst, result.best_sequence)
+        assert result.objective == pytest.approx(lp.objective, abs=1e-6)
+
+    def test_compression_all_or_nothing(self, outcome):
+        inst, result = outcome
+        sched = result.schedule
+        max_red = inst.max_reduction[sched.sequence]
+        compressed = sched.reduction > 0
+        assert np.allclose(sched.reduction[compressed],
+                           max_red[compressed])
+
+    def test_improves_on_cdd_relaxation_or_ties(self, outcome):
+        inst, result = outcome
+        relaxed = CDDSolver(inst.relax_to_cdd()).solve(
+            "parallel_sa", iterations=400, grid_size=2, block_size=48,
+            seed=321,
+        )
+        assert result.objective <= relaxed.objective + 1e-9
+
+
+class TestCrossProcessReproducibility:
+    def test_same_result_in_subprocess(self):
+        # Determinism must hold across interpreter instances, not just
+        # within one process (no hash-seed or dict-order dependence).
+        code = (
+            "from repro import CDDSolver, biskup_instance;"
+            "r = CDDSolver(biskup_instance(15, 0.4, 1)).solve("
+            "'parallel_sa', iterations=80, grid_size=1, block_size=32,"
+            " seed=7);"
+            "print(repr(r.objective))"
+        )
+        outs = set()
+        for _ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-c", code], capture_output=True, text=True
+            )
+            assert proc.returncode == 0, proc.stderr
+            outs.add(proc.stdout.strip())
+        assert len(outs) == 1
+
+
+class TestStoreRoundTripWithSolvers:
+    def test_best_known_json_is_portable(self, tmp_path):
+        inst = ucddcp_instance(6, 2)
+        store = BestKnownStore(tmp_path / "bk.json")
+        val = compute_best_known(inst, store, save=True)
+        raw = json.loads((tmp_path / "bk.json").read_text())
+        assert raw[inst.name]["objective"] == val
+        assert raw[inst.name]["optimal"] is True

@@ -1,0 +1,136 @@
+"""Invariance properties of the sequence optimizers.
+
+These are consequences of the problem structure that any correct
+implementation must satisfy -- cheap, high-yield hypothesis checks that
+complement the LP cross-validation:
+
+* penalty scaling: multiplying all penalties by c scales the optimum by c;
+* time scaling: multiplying all processing times and the due date by c
+  scales the optimum by c (completion times scale likewise);
+* due-date translation (unrestricted case): adding slack to an already
+  unrestricted due date leaves the optimal *cost* unchanged (the schedule
+  just translates);
+* sequence-relabeling equivariance: permuting job labels and the sequence
+  consistently changes nothing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.problems.cdd import CDDInstance
+from repro.problems.ucddcp import UCDDCPInstance
+from repro.seqopt.cdd_linear import optimize_cdd_sequence
+from repro.seqopt.ucddcp_linear import optimize_ucddcp_sequence
+from tests.conftest import cdd_instances, ucddcp_instances
+
+
+class TestPenaltyScaling:
+    @given(inst=cdd_instances(min_n=2, max_n=8), c=st.integers(2, 9))
+    def test_cdd(self, inst, c):
+        seq = np.arange(inst.n)
+        base = optimize_cdd_sequence(inst, seq)
+        scaled = CDDInstance(
+            inst.processing, c * inst.alpha, c * inst.beta, inst.due_date
+        )
+        out = optimize_cdd_sequence(scaled, seq)
+        assert out.objective == pytest.approx(c * base.objective)
+        # Optimal completion times are unchanged (same argmin).
+        np.testing.assert_allclose(out.completion, base.completion)
+
+    @given(inst=ucddcp_instances(min_n=2, max_n=8), c=st.integers(2, 9))
+    def test_ucddcp(self, inst, c):
+        seq = np.arange(inst.n)
+        base = optimize_ucddcp_sequence(inst, seq)
+        scaled = UCDDCPInstance(
+            inst.processing, inst.min_processing, c * inst.alpha,
+            c * inst.beta, c * inst.gamma, inst.due_date,
+        )
+        out = optimize_ucddcp_sequence(scaled, seq)
+        assert out.objective == pytest.approx(c * base.objective)
+        np.testing.assert_allclose(out.reduction, base.reduction)
+
+
+class TestTimeScaling:
+    @given(inst=cdd_instances(min_n=2, max_n=8), c=st.integers(2, 6))
+    def test_cdd(self, inst, c):
+        seq = np.arange(inst.n)
+        base = optimize_cdd_sequence(inst, seq)
+        scaled = CDDInstance(
+            c * inst.processing, inst.alpha, inst.beta, c * inst.due_date
+        )
+        out = optimize_cdd_sequence(scaled, seq)
+        assert out.objective == pytest.approx(c * base.objective)
+        np.testing.assert_allclose(out.completion, c * base.completion)
+
+    @given(inst=ucddcp_instances(min_n=2, max_n=8), c=st.integers(2, 6))
+    def test_ucddcp(self, inst, c):
+        seq = np.arange(inst.n)
+        base = optimize_ucddcp_sequence(inst, seq)
+        scaled = UCDDCPInstance(
+            c * inst.processing, c * inst.min_processing, inst.alpha,
+            inst.beta, inst.gamma, c * inst.due_date,
+        )
+        out = optimize_ucddcp_sequence(scaled, seq)
+        assert out.objective == pytest.approx(c * base.objective)
+        np.testing.assert_allclose(out.reduction, c * base.reduction)
+
+
+class TestDueDateTranslation:
+    @given(inst=cdd_instances(min_n=2, max_n=8), extra=st.integers(1, 40))
+    def test_unrestricted_cdd_cost_invariant(self, inst, extra):
+        # Once d >= sum(P), pushing d further right cannot change the
+        # optimal cost for a fixed sequence -- the schedule translates.
+        seq = np.arange(inst.n)
+        d0 = float(inst.processing.sum())
+        a = CDDInstance(inst.processing, inst.alpha, inst.beta, d0)
+        b = CDDInstance(inst.processing, inst.alpha, inst.beta, d0 + extra)
+        va = optimize_cdd_sequence(a, seq).objective
+        vb = optimize_cdd_sequence(b, seq).objective
+        assert va == pytest.approx(vb)
+
+    @given(inst=ucddcp_instances(min_n=2, max_n=8), extra=st.integers(1, 40))
+    def test_unrestricted_ucddcp_cost_invariant(self, inst, extra):
+        seq = np.arange(inst.n)
+        shifted = UCDDCPInstance(
+            inst.processing, inst.min_processing, inst.alpha, inst.beta,
+            inst.gamma, inst.due_date + extra,
+        )
+        va = optimize_ucddcp_sequence(inst, seq).objective
+        vb = optimize_ucddcp_sequence(shifted, seq).objective
+        assert va == pytest.approx(vb)
+
+
+class TestRelabelingEquivariance:
+    @given(inst=cdd_instances(min_n=2, max_n=8), seed=st.integers(0, 1000))
+    def test_cdd(self, inst, seed):
+        rng = np.random.default_rng(seed)
+        relabel = rng.permutation(inst.n)
+        # Relabeled instance: job relabel[i] of the new instance is job i.
+        inv = np.argsort(relabel)
+        renamed = CDDInstance(
+            inst.processing[inv], inst.alpha[inv], inst.beta[inv],
+            inst.due_date,
+        )
+        seq = rng.permutation(inst.n)
+        base = optimize_cdd_sequence(inst, seq)
+        # Same physical processing order expressed in new labels.
+        out = optimize_cdd_sequence(renamed, relabel[seq])
+        assert out.objective == pytest.approx(base.objective)
+        np.testing.assert_allclose(out.completion, base.completion)
+
+    @given(inst=ucddcp_instances(min_n=2, max_n=8), seed=st.integers(0, 1000))
+    def test_ucddcp(self, inst, seed):
+        rng = np.random.default_rng(seed)
+        relabel = rng.permutation(inst.n)
+        inv = np.argsort(relabel)
+        renamed = UCDDCPInstance(
+            inst.processing[inv], inst.min_processing[inv], inst.alpha[inv],
+            inst.beta[inv], inst.gamma[inv], inst.due_date,
+        )
+        seq = rng.permutation(inst.n)
+        base = optimize_ucddcp_sequence(inst, seq)
+        out = optimize_ucddcp_sequence(renamed, relabel[seq])
+        assert out.objective == pytest.approx(base.objective)
+        np.testing.assert_allclose(out.reduction, base.reduction)

@@ -1,0 +1,317 @@
+"""The four paper kernels on the simulated device."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import Device
+from repro.gpusim.launch import linear_config
+from repro.kernels.acceptance import make_acceptance_kernel
+from repro.kernels.data import DeviceProblemData
+from repro.kernels.fitness import (
+    make_cdd_fitness_kernel,
+    make_ucddcp_fitness_kernel,
+)
+from repro.kernels.perturbation import make_perturbation_kernel
+from repro.kernels.reduction_kernel import make_reduction_kernel
+from repro.permutation import batched_sample_distinct
+from repro.seqopt.cdd_linear import optimize_cdd_sequence
+from repro.seqopt.ucddcp_linear import optimize_ucddcp_sequence
+
+
+@pytest.fixture()
+def device():
+    return Device(seed=7)
+
+
+def upload_population(device, n, pop, seed=3, dtype=np.int32):
+    rng = np.random.default_rng(seed)
+    seqs = np.argsort(rng.random((pop, n)), axis=1).astype(dtype)
+    buf = device.malloc((pop, n), dtype, "sequences")
+    device.memcpy_htod(buf, seqs)
+    return buf, seqs
+
+
+class TestProblemData:
+    def test_cdd_upload(self, device, paper_cdd):
+        data = DeviceProblemData(device, paper_cdd)
+        assert not data.is_ucddcp
+        assert data.m is None and data.g is None
+        assert np.array_equal(data.p.array, paper_cdd.processing)
+        assert float(device.constant_mem["due_date"]) == 16.0
+        assert int(device.constant_mem["n_jobs"]) == 5
+
+    def test_ucddcp_upload(self, device, paper_ucddcp):
+        data = DeviceProblemData(device, paper_ucddcp)
+        assert data.is_ucddcp
+        assert np.array_equal(data.m.array, paper_ucddcp.min_processing)
+        assert np.array_equal(data.g.array, paper_ucddcp.gamma)
+
+    def test_free_releases_memory(self, device, paper_ucddcp):
+        used0 = device.global_mem.used_bytes
+        data = DeviceProblemData(device, paper_ucddcp)
+        assert device.global_mem.used_bytes > used0
+        data.free()
+        assert device.global_mem.used_bytes == used0
+
+    def test_transfers_are_charged(self, paper_cdd):
+        dev = Device(seed=0)
+        DeviceProblemData(dev, paper_cdd)
+        assert dev.profiler.memcpy_time() > 0
+
+
+class TestFitnessKernels:
+    def test_cdd_matches_scalar(self, device, paper_cdd):
+        data = DeviceProblemData(device, paper_cdd)
+        seq_buf, seqs = upload_population(device, 5, 64)
+        out = device.malloc(64, np.float64, "fitness")
+        device.launch(
+            make_cdd_fitness_kernel(), linear_config(64, 32),
+            seq_buf, data.p, data.a, data.b, out,
+        )
+        got = device.memcpy_dtoh(out)
+        want = [
+            optimize_cdd_sequence(paper_cdd, s.astype(np.intp)).objective
+            for s in seqs
+        ]
+        np.testing.assert_allclose(got, want)
+
+    def test_ucddcp_matches_scalar(self, device, paper_ucddcp):
+        data = DeviceProblemData(device, paper_ucddcp)
+        seq_buf, seqs = upload_population(device, 5, 64)
+        out = device.malloc(64, np.float64, "fitness")
+        device.launch(
+            make_ucddcp_fitness_kernel(), linear_config(64, 32),
+            seq_buf, data.p, data.m, data.a, data.b, data.g, out,
+        )
+        got = device.memcpy_dtoh(out)
+        want = [
+            optimize_ucddcp_sequence(paper_ucddcp, s.astype(np.intp)).objective
+            for s in seqs
+        ]
+        np.testing.assert_allclose(got, want)
+
+    def test_shared_memory_declared(self, paper_cdd, device):
+        data = DeviceProblemData(device, paper_cdd)
+        seq_buf, _ = upload_population(device, 5, 32)
+        out = device.malloc(32, np.float64)
+        k = make_cdd_fitness_kernel()
+        shared = k.shared_bytes_for(seq_buf, data.p, data.a, data.b, out)
+        assert shared == 2 * 5 * 8  # alpha + beta staged
+
+    def test_syncthreads_protocol_followed(self, device, paper_cdd):
+        data = DeviceProblemData(device, paper_cdd)
+        seq_buf, _ = upload_population(device, 5, 32)
+        out = device.malloc(32, np.float64)
+        before = device.syncthreads_count
+        device.launch(
+            make_cdd_fitness_kernel(), linear_config(32, 32),
+            seq_buf, data.p, data.a, data.b, out,
+        )
+        assert device.syncthreads_count == before + 1
+
+    def test_fitness_kernel_cost_grows_with_n(self, paper_cdd):
+        from repro.instances.biskup import biskup_instance
+
+        def one_launch_time(n):
+            dev = Device(seed=0)
+            inst = biskup_instance(n, 0.4, 1)
+            data = DeviceProblemData(dev, inst)
+            seq_buf, _ = upload_population(dev, n, 64)
+            out = dev.malloc(64, np.float64)
+            dev.reset_clocks()
+            dev.launch(
+                make_cdd_fitness_kernel(), linear_config(64, 32),
+                seq_buf, data.p, data.a, data.b, out,
+            )
+            dev.synchronize()
+            return dev.profiler.kernel_time()
+
+        assert one_launch_time(200) > one_launch_time(20)
+
+
+class TestPerturbationKernel:
+    def test_produces_valid_neighbours(self, device, paper_cdd):
+        seq_buf, seqs = upload_population(device, 5, 48)
+        cand = device.malloc((48, 5), np.int32, "candidates")
+        pos = device.malloc((48, 4), np.int64, "positions")
+        pos.array[:] = batched_sample_distinct(
+            device.rng, np.arange(48), 5, 4
+        )
+        device.launch(
+            make_perturbation_kernel(), linear_config(48, 16),
+            seq_buf, cand, pos, False,
+        )
+        out = device.memcpy_dtoh(cand)
+        for row in out:
+            assert np.array_equal(np.sort(row), np.arange(5))
+
+    def test_parent_untouched(self, device, paper_cdd):
+        seq_buf, seqs = upload_population(device, 5, 16)
+        cand = device.malloc((16, 5), np.int32)
+        pos = device.malloc((16, 4), np.int64)
+        pos.array[:] = batched_sample_distinct(
+            device.rng, np.arange(16), 5, 4
+        )
+        device.launch(
+            make_perturbation_kernel(), linear_config(16, 16),
+            seq_buf, cand, pos, False,
+        )
+        assert np.array_equal(device.memcpy_dtoh(seq_buf), seqs)
+
+    def test_untouched_positions_preserved(self, device):
+        seq_buf, seqs = upload_population(device, 8, 16)
+        cand = device.malloc((16, 8), np.int32)
+        pos = device.malloc((16, 3), np.int64)
+        pos.array[:] = batched_sample_distinct(
+            device.rng, np.arange(16), 8, 3
+        )
+        device.launch(
+            make_perturbation_kernel(), linear_config(16, 16),
+            seq_buf, cand, pos, False,
+        )
+        out = device.memcpy_dtoh(cand)
+        mask = np.ones((16, 8), bool)
+        mask[np.arange(16)[:, None], pos.array] = False
+        assert np.array_equal(out[mask], seqs[mask])
+
+
+class TestAcceptanceKernel:
+    def _setup(self, device, pop=32, n=5):
+        seqs = device.malloc((pop, n), np.int32)
+        cand = device.malloc((pop, n), np.int32)
+        seqs.array[:] = np.arange(n)
+        cand.array[:] = np.arange(n)[::-1]
+        e = device.malloc(pop, np.float64)
+        ec = device.malloc(pop, np.float64)
+        return seqs, cand, e, ec
+
+    def test_improvements_always_accepted(self, device):
+        seqs, cand, e, ec = self._setup(device)
+        e.array[:] = 100.0
+        ec.array[:] = 50.0
+        device.launch(
+            make_acceptance_kernel(), linear_config(32, 32),
+            seqs, cand, e, ec, 1e-9,
+        )
+        assert np.all(e.array == 50.0)
+        assert np.all(seqs.array == cand.array)
+
+    def test_zero_temperature_rejects_worse(self, device):
+        seqs, cand, e, ec = self._setup(device)
+        e.array[:] = 50.0
+        ec.array[:] = 100.0
+        device.launch(
+            make_acceptance_kernel(), linear_config(32, 32),
+            seqs, cand, e, ec, 0.0,
+        )
+        assert np.all(e.array == 50.0)
+        assert np.all(seqs.array[:, 0] == 0)  # parent kept
+
+    def test_high_temperature_accepts_most(self, device):
+        seqs, cand, e, ec = self._setup(device, pop=512)
+        e.array[:] = 50.0
+        ec.array[:] = 51.0  # slightly worse
+        device.launch(
+            make_acceptance_kernel(), linear_config(512, 128),
+            seqs, cand, e, ec, 1e6,
+        )
+        accepted = (e.array == 51.0).mean()
+        assert accepted > 0.95
+
+    def test_metropolis_probability_statistics(self, device):
+        # Delta = T -> acceptance probability exp(-1) ~ 0.368.
+        pop = 4096
+        seqs = device.malloc((pop, 2), np.int32)
+        cand = device.malloc((pop, 2), np.int32)
+        e = device.malloc(pop, np.float64)
+        ec = device.malloc(pop, np.float64)
+        e.array[:] = 0.0
+        ec.array[:] = 1.0
+        device.launch(
+            make_acceptance_kernel(), linear_config(pop, 256),
+            seqs, cand, e, ec, 1.0,
+        )
+        rate = (e.array == 1.0).mean()
+        assert abs(rate - np.exp(-1)) < 0.03
+
+
+class TestReductionKernel:
+    def test_finds_minimum(self, device, rng):
+        pop = 128
+        e = device.malloc(pop, np.float64)
+        e.array[:] = rng.uniform(10, 100, pop)
+        e.array[37] = 1.5
+        res = device.malloc(2, np.float64)
+        device.launch(
+            make_reduction_kernel(), linear_config(pop, 64), e, res
+        )
+        out = device.memcpy_dtoh(res)
+        assert out[0] == 1.5
+        assert int(out[1]) == 37
+
+    def test_atomic_cost_charged(self, device):
+        pop = 256
+        e = device.malloc(pop, np.float64)
+        res = device.malloc(2, np.float64)
+        device.reset_clocks()
+        device.launch(
+            make_reduction_kernel(), linear_config(pop, 64), e, res
+        )
+        device.synchronize()
+        t = device.profiler.kernel_time()
+        assert t >= pop * device.spec.atomic_op_s
+
+
+class TestTextureVariant:
+    def test_texture_kernel_same_numbers(self, device, paper_cdd):
+        data = DeviceProblemData(device, paper_cdd)
+        seq_buf, seqs = upload_population(device, 5, 32)
+        out_plain = device.malloc(32, np.float64)
+        out_tex = device.malloc(32, np.float64)
+        device.launch(
+            make_cdd_fitness_kernel(False), linear_config(32, 32),
+            seq_buf, data.p, data.a, data.b, out_plain,
+        )
+        device.launch(
+            make_cdd_fitness_kernel(True), linear_config(32, 32),
+            seq_buf, data.p, data.a, data.b, out_tex,
+        )
+        assert np.array_equal(out_plain.array, out_tex.array)
+
+    def test_texture_kernel_cheaper(self, paper_cdd):
+        from repro.instances.biskup import biskup_instance
+
+        inst = biskup_instance(500, 0.4, 1)
+
+        def launch_time(use_texture):
+            dev = Device(seed=0)
+            data = DeviceProblemData(dev, inst)
+            seq_buf, _ = upload_population(dev, 500, 192)
+            out = dev.malloc(192, np.float64)
+            dev.reset_clocks()
+            dev.launch(
+                make_cdd_fitness_kernel(use_texture),
+                linear_config(192, 192),
+                seq_buf, data.p, data.a, data.b, out,
+            )
+            dev.synchronize()
+            return dev.profiler.kernel_time()
+
+        assert launch_time(True) < launch_time(False)
+
+    def test_texture_kernel_named_distinctly(self):
+        assert make_cdd_fitness_kernel(True).name == "fitness_cdd_tex"
+        assert make_cdd_fitness_kernel(False).name == "fitness_cdd"
+        assert make_ucddcp_fitness_kernel(True).name == "fitness_ucddcp_tex"
+
+    def test_parallel_sa_texture_option(self, paper_cdd):
+        from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
+
+        base = dict(iterations=60, grid_size=1, block_size=32, seed=2)
+        plain = parallel_sa(paper_cdd, ParallelSAConfig(**base))
+        tex = parallel_sa(
+            paper_cdd, ParallelSAConfig(use_texture=True, **base)
+        )
+        # Same search trajectory, cheaper modeled time.
+        assert tex.objective == plain.objective
+        assert tex.modeled_device_time_s < plain.modeled_device_time_s

@@ -1,0 +1,111 @@
+"""Batched local-search descent over sequence neighborhoods."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.instances.biskup import biskup_instance
+from repro.seqopt.batched import batched_cdd_objective
+from repro.seqopt.exact import brute_force_cdd
+from repro.seqopt.local_search import (
+    adjacent_swap_neighbors,
+    insertion_neighbors,
+    local_search,
+)
+from tests.conftest import cdd_instances, ucddcp_instances
+
+
+class TestNeighborhoods:
+    def test_adjacent_count_and_validity(self, rng):
+        seq = rng.permutation(10)
+        nb = adjacent_swap_neighbors(seq)
+        assert nb.shape == (9, 10)
+        for row in nb:
+            assert np.array_equal(np.sort(row), np.arange(10))
+            assert (row != seq).sum() == 2
+
+    def test_adjacent_single_job(self):
+        nb = adjacent_swap_neighbors(np.array([0]))
+        assert nb.shape == (1, 1)
+
+    def test_adjacent_distinct(self, rng):
+        seq = rng.permutation(8)
+        nb = adjacent_swap_neighbors(seq)
+        assert np.unique(nb, axis=0).shape[0] == 7
+
+    def test_insertion_validity(self, rng):
+        seq = rng.permutation(7)
+        nb = insertion_neighbors(seq)
+        for row in nb:
+            assert np.array_equal(np.sort(row), np.arange(7))
+        # The identity can reappear via equivalent moves but duplicates are
+        # removed; there must be at least (n-1) genuine neighbors.
+        assert nb.shape[0] >= 6
+
+    def test_insertion_contains_all_adjacent_swaps(self, rng):
+        seq = rng.permutation(6)
+        adj = {tuple(r) for r in adjacent_swap_neighbors(seq)}
+        ins = {tuple(r) for r in insertion_neighbors(seq)}
+        assert adj <= ins
+
+
+class TestDescent:
+    def test_reaches_local_optimum(self, rng):
+        inst = biskup_instance(15, 0.4, 1)
+        res = local_search(inst, rng.permutation(15), "adjacent")
+        # No adjacent swap improves the returned sequence.
+        nb = adjacent_swap_neighbors(res.sequence)
+        vals = batched_cdd_objective(inst, nb)
+        assert vals.min() >= res.objective - 1e-9
+
+    def test_never_worse_than_start(self, rng):
+        inst = biskup_instance(20, 0.6, 2)
+        start = rng.permutation(20)
+        start_obj = batched_cdd_objective(inst, start[None, :])[0]
+        res = local_search(inst, start, "adjacent")
+        assert res.objective <= start_obj + 1e-9
+
+    def test_insertion_at_least_as_good_as_adjacent(self, rng):
+        inst = biskup_instance(12, 0.4, 3)
+        start = rng.permutation(12)
+        adj = local_search(inst, start, "adjacent")
+        ins = local_search(inst, start, "insertion")
+        assert ins.objective <= adj.objective + 1e-9
+
+    def test_small_instance_reaches_optimum(self, paper_cdd):
+        res = local_search(paper_cdd, np.arange(5), "insertion")
+        assert res.objective == pytest.approx(
+            brute_force_cdd(paper_cdd).objective
+        )
+
+    @given(inst=cdd_instances(min_n=2, max_n=7))
+    def test_result_is_permutation(self, inst):
+        res = local_search(inst, np.arange(inst.n), "adjacent")
+        assert np.array_equal(np.sort(res.sequence), np.arange(inst.n))
+
+    @given(inst=ucddcp_instances(min_n=2, max_n=6))
+    def test_ucddcp_supported(self, inst):
+        res = local_search(inst, np.arange(inst.n), "adjacent")
+        assert res.objective >= 0
+
+    def test_max_steps_respected(self, rng):
+        inst = biskup_instance(30, 0.4, 1)
+        res = local_search(inst, rng.permutation(30), "adjacent", max_steps=2)
+        assert res.steps <= 2
+
+    def test_unknown_neighborhood(self, paper_cdd):
+        with pytest.raises(ValueError, match="neighborhood"):
+            local_search(paper_cdd, np.arange(5), "tabu")
+
+    def test_polishes_metaheuristic_result(self):
+        # The hybrid use case: descend from a parallel-SA result.
+        from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
+
+        inst = biskup_instance(40, 0.4, 1)
+        sa = parallel_sa(
+            inst, ParallelSAConfig(iterations=150, grid_size=2,
+                                   block_size=32, seed=5)
+        )
+        polished = local_search(inst, sa.best_sequence, "adjacent")
+        assert polished.objective <= sa.objective + 1e-9

@@ -1,0 +1,206 @@
+"""The GPU-parallel SA (asynchronous + synchronous variants)."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
+from repro.core.sa import SerialSAConfig, sa_serial
+from repro.instances.biskup import biskup_instance
+from repro.problems.validation import validate_schedule
+
+FAST = dict(iterations=120, grid_size=2, block_size=32, seed=9)
+
+
+class TestConfig:
+    def test_population(self):
+        assert ParallelSAConfig(grid_size=4, block_size=192).population == 768
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"iterations": 0},
+            {"grid_size": 0},
+            {"block_size": 0},
+            {"pert_size": 1},
+            {"position_refresh": 0},
+            {"variant": "magic"},
+            {"sync_segment_length": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ParallelSAConfig(**kwargs)
+
+    def test_paper_defaults(self):
+        cfg = ParallelSAConfig()
+        assert cfg.grid_size == 4
+        assert cfg.block_size == 192
+        assert cfg.cooling_rate == 0.88
+        assert cfg.pert_size == 4
+        assert cfg.device_spec.name == "GeForce GT 560M"
+
+
+class TestAsyncSA:
+    def test_deterministic_under_seed(self, paper_cdd):
+        r1 = parallel_sa(paper_cdd, ParallelSAConfig(**FAST))
+        r2 = parallel_sa(paper_cdd, ParallelSAConfig(**FAST))
+        assert r1.objective == r2.objective
+        assert np.array_equal(r1.best_sequence, r2.best_sequence)
+        assert r1.modeled_device_time_s == r2.modeled_device_time_s
+
+    def test_schedule_valid(self, paper_cdd):
+        r = parallel_sa(paper_cdd, ParallelSAConfig(**FAST))
+        validate_schedule(paper_cdd, r.schedule, require_no_idle=True)
+
+    def test_finds_paper_example_optimum_region(self, paper_cdd):
+        # 64 chains on a 5-job instance should find the global optimum
+        # (brute force value) almost surely.
+        from repro.seqopt.exact import brute_force_cdd
+
+        r = parallel_sa(paper_cdd, ParallelSAConfig(**FAST))
+        assert r.objective == pytest.approx(
+            brute_force_cdd(paper_cdd).objective
+        )
+
+    def test_ensemble_beats_single_chain(self):
+        inst = biskup_instance(20, 0.4, 1)
+        par = parallel_sa(
+            inst, ParallelSAConfig(iterations=300, grid_size=2,
+                                   block_size=64, seed=4)
+        )
+        ser = sa_serial(inst, SerialSAConfig(iterations=300, seed=4))
+        assert par.objective <= ser.objective
+
+    def test_modeled_times_populated(self, paper_cdd):
+        r = parallel_sa(paper_cdd, ParallelSAConfig(**FAST))
+        assert r.modeled_device_time_s is not None
+        assert r.modeled_kernel_time_s is not None
+        assert r.modeled_memcpy_time_s is not None
+        assert r.modeled_device_time_s > r.modeled_kernel_time_s
+
+    def test_modeled_time_scales_with_iterations(self, paper_cdd):
+        short = parallel_sa(
+            paper_cdd, ParallelSAConfig(**{**FAST, "iterations": 60})
+        )
+        long = parallel_sa(
+            paper_cdd, ParallelSAConfig(**{**FAST, "iterations": 300})
+        )
+        ratio = long.modeled_device_time_s / short.modeled_device_time_s
+        assert 3.5 < ratio < 6.5  # ~5x for 5x iterations
+
+    def test_history(self, paper_cdd):
+        r = parallel_sa(
+            paper_cdd,
+            ParallelSAConfig(**{**FAST, "record_history": True}),
+        )
+        assert r.history is not None and len(r.history) == FAST["iterations"]
+        assert np.all(np.diff(r.history) <= 0)
+        assert r.history[-1] == r.objective
+
+    def test_evaluations_counted(self, paper_cdd):
+        r = parallel_sa(paper_cdd, ParallelSAConfig(**FAST))
+        assert r.evaluations == (FAST["iterations"] + 1) * 64
+
+    def test_explicit_t0(self, paper_cdd):
+        r = parallel_sa(paper_cdd, ParallelSAConfig(**{**FAST, "t0": 3.0}))
+        assert r.params["t0"] == 3.0
+
+    def test_ucddcp(self, paper_ucddcp):
+        r = parallel_sa(paper_ucddcp, ParallelSAConfig(**FAST))
+        validate_schedule(paper_ucddcp, r.schedule, require_no_idle=True)
+        # 64 chains on a 5-job instance: should be near the brute-force
+        # optimum (75 for the best sequence).
+        from repro.seqopt.exact import brute_force_ucddcp
+
+        assert r.objective <= brute_force_ucddcp(paper_ucddcp).objective * 1.1
+
+    def test_pert_clamped_to_n(self):
+        inst = biskup_instance(3, 0.6, 1)
+        r = parallel_sa(
+            inst,
+            ParallelSAConfig(iterations=50, grid_size=1, block_size=16,
+                             seed=0, pert_size=4),
+        )
+        assert r.objective >= 0
+
+
+class TestSyncSA:
+    def test_runs_and_validates(self, paper_cdd):
+        r = parallel_sa(
+            paper_cdd, ParallelSAConfig(**{**FAST, "variant": "sync"})
+        )
+        validate_schedule(paper_cdd, r.schedule, require_no_idle=True)
+
+    def test_variant_recorded(self, paper_cdd):
+        r = parallel_sa(
+            paper_cdd, ParallelSAConfig(**{**FAST, "variant": "sync"})
+        )
+        assert r.params["algorithm"] == "parallel_sa_sync"
+
+    def test_sync_broadcast_collapses_population(self):
+        # The defining mechanism of the synchronous variant (and the root of
+        # the premature convergence the paper reports): at a segment
+        # boundary every chain is reset to the reduced best state.
+        from repro.core.parallel_sa import _make_broadcast_kernel
+        from repro.gpusim.device import Device
+        from repro.gpusim.launch import linear_config
+
+        dev = Device(seed=0)
+        pop, n = 32, 8
+        seqs = dev.malloc((pop, n), np.int32)
+        rng = np.random.default_rng(0)
+        seqs.array[:] = np.argsort(rng.random((pop, n)), axis=1)
+        energy = dev.malloc(pop, np.float64)
+        energy.array[:] = rng.uniform(10, 50, pop)
+        energy.array[13] = 1.0
+        result = dev.malloc(2, np.float64)
+        result.array[:] = [1.0, 13.0]
+        best_row = seqs.array[13].copy()
+        dev.launch(
+            _make_broadcast_kernel(), linear_config(pop, 16),
+            seqs, energy, result,
+        )
+        assert np.all(seqs.array == best_row)
+        assert np.all(energy.array == 1.0)
+
+    def test_sync_cools_per_segment(self, paper_cdd):
+        # Sync cools once per segment, async once per iteration; both run
+        # the same iteration count deterministically.
+        base = {**FAST, "sync_segment_length": 5}
+        a = parallel_sa(paper_cdd, ParallelSAConfig(**base))
+        s = parallel_sa(
+            paper_cdd, ParallelSAConfig(variant="sync", **base)
+        )
+        assert a.evaluations == s.evaluations
+
+
+class TestFinalPolish:
+    def test_polish_never_hurts(self):
+        inst = biskup_instance(30, 0.6, 1)
+        base = dict(iterations=120, grid_size=2, block_size=32, seed=8)
+        plain = parallel_sa(inst, ParallelSAConfig(**base))
+        polished = parallel_sa(
+            inst, ParallelSAConfig(final_polish=True, **base)
+        )
+        assert polished.objective <= plain.objective + 1e-9
+
+    def test_polish_counts_evaluations(self, paper_cdd):
+        base = dict(iterations=50, grid_size=1, block_size=16, seed=8)
+        plain = parallel_sa(paper_cdd, ParallelSAConfig(**base))
+        polished = parallel_sa(
+            paper_cdd, ParallelSAConfig(final_polish=True, **base)
+        )
+        assert polished.evaluations > plain.evaluations
+
+    def test_polished_result_is_local_optimum(self):
+        from repro.seqopt.batched import batched_cdd_objective
+        from repro.seqopt.local_search import adjacent_swap_neighbors
+
+        inst = biskup_instance(25, 0.4, 2)
+        r = parallel_sa(
+            inst,
+            ParallelSAConfig(iterations=100, grid_size=1, block_size=32,
+                             seed=3, final_polish=True),
+        )
+        nb = adjacent_swap_neighbors(r.best_sequence)
+        assert batched_cdd_objective(inst, nb).min() >= r.objective - 1e-9

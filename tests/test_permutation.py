@@ -1,0 +1,227 @@
+"""Permutation operators: scalar and batched forms."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpusim.rng import DeviceRNG
+from repro.permutation import (
+    batched_one_point_crossover,
+    batched_partial_fisher_yates,
+    batched_random_swap,
+    batched_sample_distinct,
+    batched_two_point_crossover,
+    one_point_crossover,
+    partial_fisher_yates,
+    random_swap,
+    sample_distinct_positions,
+    two_point_crossover,
+)
+
+
+def is_perm(arr: np.ndarray) -> bool:
+    return np.array_equal(np.sort(np.asarray(arr)), np.arange(len(arr)))
+
+
+def random_perm_matrix(s: int, n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.argsort(rng.random((s, n)), axis=1)
+
+
+class TestScalarOperators:
+    @given(n=st.integers(2, 30), seed=st.integers(0, 1000))
+    def test_partial_fisher_yates_is_permutation(self, n, seed):
+        rng = np.random.default_rng(seed)
+        seq = rng.permutation(n)
+        k = min(4, n)
+        pos = sample_distinct_positions(rng, n, k)
+        out = partial_fisher_yates(rng, seq, pos)
+        assert is_perm(out)
+
+    @given(n=st.integers(4, 30), seed=st.integers(0, 1000))
+    def test_partial_fisher_yates_touches_only_positions(self, n, seed):
+        rng = np.random.default_rng(seed)
+        seq = rng.permutation(n)
+        pos = sample_distinct_positions(rng, n, 3)
+        out = partial_fisher_yates(rng, seq, pos)
+        mask = np.ones(n, bool)
+        mask[pos] = False
+        assert np.array_equal(out[mask], seq[mask])
+
+    def test_partial_fisher_yates_does_not_mutate_input(self, rng):
+        seq = rng.permutation(10)
+        before = seq.copy()
+        partial_fisher_yates(rng, seq, np.array([0, 1, 2, 3]))
+        assert np.array_equal(seq, before)
+
+    @given(n=st.integers(2, 30), seed=st.integers(0, 500))
+    def test_random_swap_swaps_exactly_two(self, n, seed):
+        rng = np.random.default_rng(seed)
+        seq = rng.permutation(n)
+        out = random_swap(rng, seq)
+        assert is_perm(out)
+        assert (out != seq).sum() == 2
+
+    def test_sample_distinct_guard(self, rng):
+        with pytest.raises(ValueError):
+            sample_distinct_positions(rng, 3, 4)
+
+    @given(n=st.integers(2, 25), seed=st.integers(0, 500))
+    def test_crossovers_produce_permutations(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x, y = rng.permutation(n), rng.permutation(n)
+        assert is_perm(one_point_crossover(rng, x, y))
+        assert is_perm(two_point_crossover(rng, x, y))
+
+    def test_one_point_preserves_prefix(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(10)
+        y = np.arange(10)[::-1].copy()
+        child = one_point_crossover(rng, x, y)
+        # Some prefix of x is preserved verbatim.
+        c = 1
+        while c < 10 and np.array_equal(child[:c], x[:c]):
+            c += 1
+        assert c > 1
+
+    def test_crossover_with_identical_parents_is_identity(self, rng):
+        x = rng.permutation(12)
+        assert np.array_equal(one_point_crossover(rng, x, x), x)
+        assert np.array_equal(two_point_crossover(rng, x, x), x)
+
+
+class TestBatchedSampling:
+    @given(n=st.integers(4, 40), k=st.integers(1, 4),
+           seed=st.integers(0, 200))
+    def test_distinct_positions(self, n, k, seed):
+        drng = DeviceRNG(seed)
+        pos = batched_sample_distinct(drng, np.arange(32), n, k)
+        assert pos.shape == (32, k)
+        assert np.all(pos >= 0) and np.all(pos < n)
+        for row in pos:
+            assert len(set(row.tolist())) == k
+
+    def test_guard(self):
+        with pytest.raises(ValueError):
+            batched_sample_distinct(DeviceRNG(0), np.arange(4), 3, 5)
+
+    def test_uniform_coverage(self):
+        counts = np.zeros(10)
+        for seed in range(40):
+            pos = batched_sample_distinct(
+                DeviceRNG(seed), np.arange(100), 10, 4
+            )
+            counts += np.bincount(pos.ravel(), minlength=10)
+        assert counts.min() > 0.8 * counts.mean()
+
+
+class TestBatchedFisherYates:
+    @given(seed=st.integers(0, 300))
+    def test_valid_permutations(self, seed):
+        drng = DeviceRNG(seed)
+        x = random_perm_matrix(24, 12, seed)
+        pos = batched_sample_distinct(drng, np.arange(24), 12, 4)
+        out = batched_partial_fisher_yates(drng, np.arange(24), x, pos)
+        for row in out:
+            assert is_perm(row)
+
+    def test_untouched_positions_preserved(self):
+        drng = DeviceRNG(5)
+        x = random_perm_matrix(16, 10, 5)
+        pos = batched_sample_distinct(drng, np.arange(16), 10, 3)
+        out = batched_partial_fisher_yates(drng, np.arange(16), x, pos)
+        mask = np.ones_like(x, bool)
+        mask[np.arange(16)[:, None], pos] = False
+        assert np.array_equal(out[mask], x[mask])
+
+    def test_out_parameter(self):
+        drng = DeviceRNG(6)
+        x = random_perm_matrix(8, 6, 6)
+        pos = batched_sample_distinct(drng, np.arange(8), 6, 2)
+        dst = np.zeros_like(x)
+        ret = batched_partial_fisher_yates(
+            drng, np.arange(8), x, pos, out=dst
+        )
+        assert ret is dst
+        for row in dst:
+            assert is_perm(row)
+
+    def test_input_not_mutated(self):
+        drng = DeviceRNG(7)
+        x = random_perm_matrix(8, 6, 7)
+        before = x.copy()
+        batched_partial_fisher_yates(
+            drng, np.arange(8), x,
+            batched_sample_distinct(drng, np.arange(8), 6, 3),
+        )
+        assert np.array_equal(x, before)
+
+
+class TestBatchedSwapAndCrossovers:
+    @given(seed=st.integers(0, 300), n=st.integers(2, 20))
+    def test_swap_valid(self, seed, n):
+        drng = DeviceRNG(seed)
+        x = random_perm_matrix(16, n, seed)
+        out = batched_random_swap(drng, np.arange(16), x)
+        for row in out:
+            assert is_perm(row)
+        assert np.all((out != x).sum(axis=1) == 2)
+
+    def test_swap_mask(self):
+        drng = DeviceRNG(1)
+        x = random_perm_matrix(10, 8, 1)
+        mask = np.arange(10) % 2 == 0
+        out = batched_random_swap(drng, np.arange(10), x, mask)
+        for i in range(10):
+            if mask[i]:
+                assert (out[i] != x[i]).sum() == 2
+            else:
+                assert np.array_equal(out[i], x[i])
+
+    @given(seed=st.integers(0, 300), n=st.integers(2, 20))
+    def test_one_point_valid(self, seed, n):
+        drng = DeviceRNG(seed)
+        x = random_perm_matrix(16, n, seed)
+        y = random_perm_matrix(16, n, seed + 999)
+        out = batched_one_point_crossover(drng, np.arange(16), x, y)
+        for row in out:
+            assert is_perm(row)
+
+    @given(seed=st.integers(0, 300), n=st.integers(2, 20))
+    def test_two_point_valid(self, seed, n):
+        drng = DeviceRNG(seed)
+        x = random_perm_matrix(16, n, seed)
+        y = random_perm_matrix(16, n, seed + 999)
+        out = batched_two_point_crossover(drng, np.arange(16), x, y)
+        for row in out:
+            assert is_perm(row)
+
+    def test_crossover_masks(self):
+        drng = DeviceRNG(2)
+        x = random_perm_matrix(12, 9, 2)
+        y = random_perm_matrix(12, 9, 3)
+        mask = np.zeros(12, bool)  # nobody crosses over
+        out1 = batched_one_point_crossover(drng, np.arange(12), x, y, mask)
+        out2 = batched_two_point_crossover(drng, np.arange(12), x, y, mask)
+        assert np.array_equal(out1, x)
+        assert np.array_equal(out2, x)
+
+    def test_identical_parents_fixed_point(self):
+        drng = DeviceRNG(3)
+        x = random_perm_matrix(12, 9, 4)
+        assert np.array_equal(
+            batched_one_point_crossover(drng, np.arange(12), x, x), x
+        )
+        assert np.array_equal(
+            batched_two_point_crossover(drng, np.arange(12), x, x), x
+        )
+
+    def test_batched_matches_scalar_semantics_n2(self):
+        # With n=2 the one-point crossover must keep x (cut=1 keeps x[0],
+        # tail is forced).
+        drng = DeviceRNG(4)
+        x = np.array([[0, 1], [1, 0]])
+        y = np.array([[1, 0], [0, 1]])
+        out = batched_one_point_crossover(drng, np.arange(2), x, y)
+        assert np.array_equal(out, x)

@@ -1,0 +1,107 @@
+"""Unit tests for the CDD problem definition."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.problems.cdd import CDDInstance
+from tests.conftest import cdd_instances
+
+
+class TestConstruction:
+    def test_basic_fields(self, paper_cdd):
+        assert paper_cdd.n == 5
+        assert paper_cdd.total_processing == 21.0
+        assert paper_cdd.due_date == 16.0
+        assert paper_cdd.is_restrictive
+
+    def test_arrays_are_readonly(self, paper_cdd):
+        with pytest.raises(ValueError):
+            paper_cdd.processing[0] = 99.0
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            CDDInstance([1, 2], [1], [1, 2], 3.0)
+
+    def test_rejects_nonpositive_processing(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            CDDInstance([1, 0], [1, 1], [1, 1], 3.0)
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CDDInstance([1, 2], [-1, 1], [1, 1], 3.0)
+
+    def test_rejects_negative_due_date(self):
+        with pytest.raises(ValueError, match="due_date"):
+            CDDInstance([1, 2], [1, 1], [1, 1], -1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            CDDInstance([1, np.nan], [1, 1], [1, 1], 3.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one job"):
+            CDDInstance([], [], [], 1.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            CDDInstance([[1, 2]], [[1, 1]], [[1, 1]], 3.0)
+
+    def test_restriction_factor(self):
+        inst = CDDInstance([10], [1], [1], 4.0)
+        assert inst.restriction_factor == pytest.approx(0.4)
+        assert inst.is_restrictive
+        inst2 = CDDInstance([10], [1], [1], 12.0)
+        assert not inst2.is_restrictive
+
+
+class TestObjective:
+    def test_earliness_tardiness_split(self, paper_cdd):
+        c = np.array([11.0, 16.0, 18.0, 22.0, 26.0])
+        e = paper_cdd.earliness(c)
+        t = paper_cdd.tardiness(c)
+        assert np.array_equal(e, [5, 0, 0, 0, 0])
+        assert np.array_equal(t, [0, 0, 2, 6, 10])
+        # Exactly one of E, T is nonzero per job.
+        assert np.all(e * t == 0)
+
+    def test_paper_value(self, paper_cdd):
+        c = np.array([11.0, 16.0, 18.0, 22.0, 26.0])
+        assert paper_cdd.objective(c) == 81.0
+
+    def test_objective_shape_check(self, paper_cdd):
+        with pytest.raises(ValueError, match="shape"):
+            paper_cdd.objective(np.zeros(3))
+
+    def test_objective_in_sequence_consistency(self, paper_cdd, rng):
+        seq = rng.permutation(5)
+        c_by_job = rng.uniform(1, 30, 5)
+        by_job = paper_cdd.objective(c_by_job)
+        by_seq = paper_cdd.objective_in_sequence(seq, c_by_job[seq])
+        assert by_seq == pytest.approx(by_job)
+
+    @given(inst=cdd_instances())
+    def test_objective_nonnegative(self, inst):
+        c = np.cumsum(inst.processing)
+        assert inst.objective(c) >= 0.0
+
+    @given(inst=cdd_instances())
+    def test_all_jobs_at_due_date_only_counts_span(self, inst):
+        # Completion exactly at d for every job: objective is zero.
+        c = np.full(inst.n, inst.due_date)
+        assert inst.objective(c) == 0.0
+
+
+class TestSerialization:
+    def test_round_trip(self, paper_cdd):
+        data = paper_cdd.to_dict()
+        back = CDDInstance.from_dict(data)
+        assert back == paper_cdd
+
+    def test_kind_check(self):
+        with pytest.raises(ValueError, match="kind"):
+            CDDInstance.from_dict({"kind": "other"})
+
+    @given(inst=cdd_instances())
+    def test_round_trip_random(self, inst):
+        assert CDDInstance.from_dict(inst.to_dict()) == inst

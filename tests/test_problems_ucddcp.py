@@ -1,0 +1,104 @@
+"""Unit tests for the UCDDCP problem definition."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.problems.cdd import CDDInstance
+from repro.problems.ucddcp import UCDDCPInstance
+from tests.conftest import ucddcp_instances
+
+
+class TestConstruction:
+    def test_basic_fields(self, paper_ucddcp):
+        assert paper_ucddcp.n == 5
+        assert paper_ucddcp.due_date == 22.0
+        assert np.array_equal(paper_ucddcp.max_reduction, [1, 0, 0, 1, 1])
+
+    def test_rejects_restrictive_due_date(self):
+        with pytest.raises(ValueError, match="unrestricted"):
+            UCDDCPInstance([5, 5], [4, 4], [1, 1], [1, 1], [1, 1], 9.0)
+
+    def test_accepts_due_date_equal_to_sum(self):
+        inst = UCDDCPInstance([5, 5], [4, 4], [1, 1], [1, 1], [1, 1], 10.0)
+        assert inst.due_date == 10.0
+
+    def test_rejects_min_above_processing(self):
+        with pytest.raises(ValueError, match="min_processing"):
+            UCDDCPInstance([5], [6], [1], [1], [1], 10.0)
+
+    def test_rejects_zero_min_processing(self):
+        with pytest.raises(ValueError, match="minimum processing"):
+            UCDDCPInstance([5], [0], [1], [1], [1], 10.0)
+
+    def test_rejects_negative_gamma(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            UCDDCPInstance([5], [4], [1], [1], [-1], 10.0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            UCDDCPInstance([5, 5], [4], [1, 1], [1, 1], [1, 1], 12.0)
+
+    def test_arrays_readonly(self, paper_ucddcp):
+        with pytest.raises(ValueError):
+            paper_ucddcp.gamma[0] = 3.0
+
+
+class TestObjective:
+    def test_paper_value(self, paper_ucddcp):
+        # Final schedule of Fig. 6: jobs 4 and 5 compressed by one unit,
+        # job 2 completing at the due date d=22; objective 77.
+        completion = np.array([17.0, 22.0, 24.0, 27.0, 30.0])
+        reduction = np.array([0.0, 0.0, 0.0, 1.0, 1.0])
+        assert paper_ucddcp.objective(completion, reduction) == 77.0
+
+    def test_rejects_excess_reduction(self, paper_ucddcp):
+        c = np.full(5, 22.0)
+        x = np.array([2.0, 0, 0, 0, 0])  # max for job 1 is 1
+        with pytest.raises(ValueError, match="reduction"):
+            paper_ucddcp.objective(c, x)
+
+    def test_rejects_negative_reduction(self, paper_ucddcp):
+        c = np.full(5, 22.0)
+        x = np.array([-1.0, 0, 0, 0, 0])
+        with pytest.raises(ValueError, match="reduction"):
+            paper_ucddcp.objective(c, x)
+
+    @given(inst=ucddcp_instances())
+    def test_zero_reduction_matches_cdd(self, inst):
+        c = np.cumsum(inst.processing)
+        x = np.zeros(inst.n)
+        cdd = inst.relax_to_cdd()
+        assert inst.objective(c, x) == pytest.approx(cdd.objective(c))
+
+    @given(inst=ucddcp_instances())
+    def test_compression_adds_gamma_cost(self, inst):
+        c = np.full(inst.n, inst.due_date)
+        x = inst.max_reduction
+        expected = float(inst.gamma @ x)
+        assert inst.objective(c, x) == pytest.approx(expected)
+
+
+class TestRelaxation:
+    def test_relax_to_cdd_fields(self, paper_ucddcp):
+        cdd = paper_ucddcp.relax_to_cdd()
+        assert isinstance(cdd, CDDInstance)
+        assert np.array_equal(cdd.processing, paper_ucddcp.processing)
+        assert np.array_equal(cdd.alpha, paper_ucddcp.alpha)
+        assert np.array_equal(cdd.beta, paper_ucddcp.beta)
+        assert cdd.due_date == paper_ucddcp.due_date
+        assert not cdd.is_restrictive
+
+
+class TestSerialization:
+    def test_round_trip(self, paper_ucddcp):
+        back = UCDDCPInstance.from_dict(paper_ucddcp.to_dict())
+        assert back == paper_ucddcp
+
+    def test_kind_check(self):
+        with pytest.raises(ValueError, match="kind"):
+            UCDDCPInstance.from_dict({"kind": "cdd"})
+
+    @given(inst=ucddcp_instances())
+    def test_round_trip_random(self, inst):
+        assert UCDDCPInstance.from_dict(inst.to_dict()) == inst

@@ -1,0 +1,128 @@
+"""Pure-Python evaluators and the LP reference itself."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.problems.cdd import CDDInstance
+from repro.problems.ucddcp import UCDDCPInstance
+from repro.seqopt.cdd_linear import cdd_objective_for_sequence
+from repro.seqopt.lp_reference import lp_optimize_sequence
+from repro.seqopt.pure_python import cdd_objective_py, ucddcp_objective_py
+from repro.seqopt.ucddcp_linear import ucddcp_objective_for_sequence
+from tests.conftest import cdd_instances, ucddcp_instances
+
+
+class TestPurePythonCDD:
+    def test_paper_example(self, paper_cdd):
+        obj = cdd_objective_py(
+            paper_cdd.processing.tolist(),
+            paper_cdd.alpha.tolist(),
+            paper_cdd.beta.tolist(),
+            paper_cdd.due_date,
+            list(range(5)),
+        )
+        assert obj == 81.0
+
+    @given(inst=cdd_instances(min_n=1, max_n=8))
+    def test_matches_numpy(self, inst):
+        rng = np.random.default_rng(inst.n)
+        for _ in range(4):
+            seq = rng.permutation(inst.n)
+            py = cdd_objective_py(
+                inst.processing.tolist(), inst.alpha.tolist(),
+                inst.beta.tolist(), inst.due_date, seq.tolist(),
+            )
+            np_val = cdd_objective_for_sequence(inst, seq)
+            assert py == pytest.approx(np_val)
+
+
+class TestPurePythonUCDDCP:
+    def test_paper_example(self, paper_ucddcp):
+        obj = ucddcp_objective_py(
+            paper_ucddcp.processing.tolist(),
+            paper_ucddcp.min_processing.tolist(),
+            paper_ucddcp.alpha.tolist(),
+            paper_ucddcp.beta.tolist(),
+            paper_ucddcp.gamma.tolist(),
+            paper_ucddcp.due_date,
+            list(range(5)),
+        )
+        assert obj == 77.0
+
+    @given(inst=ucddcp_instances(min_n=1, max_n=8))
+    def test_matches_numpy(self, inst):
+        rng = np.random.default_rng(inst.n)
+        for _ in range(4):
+            seq = rng.permutation(inst.n)
+            py = ucddcp_objective_py(
+                inst.processing.tolist(), inst.min_processing.tolist(),
+                inst.alpha.tolist(), inst.beta.tolist(),
+                inst.gamma.tolist(), inst.due_date, seq.tolist(),
+            )
+            np_val = ucddcp_objective_for_sequence(inst, seq)
+            assert py == pytest.approx(np_val)
+
+
+class TestLPReference:
+    def test_lp_result_fields(self, paper_cdd):
+        res = lp_optimize_sequence(paper_cdd, np.arange(5))
+        assert res.objective == pytest.approx(81.0)
+        assert res.completion.shape == (5,)
+        assert np.all(res.reduction == 0.0)  # CDD: X fixed to zero
+
+    def test_lp_allows_idle_but_optimum_has_none(self):
+        # Idle time is feasible in the LP; the optimum still has none.
+        inst = CDDInstance([2, 3], [1, 4], [5, 5], 5.0)
+        res = lp_optimize_sequence(inst, np.arange(2))
+        starts = res.completion - inst.processing
+        gaps = starts[1:] - res.completion[:-1]
+        assert np.all(gaps <= 1e-6)
+
+    def test_lp_honors_compression_bounds(self, paper_ucddcp):
+        res = lp_optimize_sequence(paper_ucddcp, np.arange(5))
+        ub = paper_ucddcp.max_reduction
+        assert np.all(res.reduction <= ub + 1e-9)
+        assert np.all(res.reduction >= -1e-9)
+
+    def test_lp_completion_monotone(self, paper_ucddcp):
+        res = lp_optimize_sequence(paper_ucddcp, np.arange(5))
+        assert np.all(np.diff(res.completion) > 0)
+
+    def test_lp_on_reversed_sequence(self, paper_cdd):
+        res = lp_optimize_sequence(paper_cdd, np.arange(5)[::-1].copy())
+        # Any sequence's LP optimum is >= the best sequence's optimum, and
+        # positive for this restrictive instance.
+        assert res.objective > 0
+
+    def test_single_job_lp(self):
+        inst = UCDDCPInstance([5], [3], [2], [4], [1], 10.0)
+        res = lp_optimize_sequence(inst, np.array([0]))
+        # Completing exactly at d with no compression costs nothing.
+        assert res.objective == pytest.approx(0.0)
+
+
+class TestLPEdgeCases:
+    def test_all_zero_penalties(self):
+        inst = CDDInstance([3, 4], [0, 0], [0, 0], 5.0)
+        res = lp_optimize_sequence(inst, np.arange(2))
+        assert res.objective == pytest.approx(0.0)
+
+    def test_huge_values_stable(self):
+        inst = CDDInstance([1000, 2000], [100, 50], [75, 25], 1500.0)
+        from repro.seqopt.cdd_linear import optimize_cdd_sequence
+
+        ours = optimize_cdd_sequence(inst, np.arange(2))
+        lp = lp_optimize_sequence(inst, np.arange(2))
+        assert ours.objective == pytest.approx(lp.objective, rel=1e-9)
+
+    def test_full_compression_regime(self):
+        # gamma = 0: compressing is free, every tardy/early-useful job
+        # compresses fully; LP agrees.
+        inst = UCDDCPInstance([6, 6, 6], [2, 2, 2], [5, 5, 5],
+                              [5, 5, 5], [0, 0, 0], 20.0)
+        from repro.seqopt.ucddcp_linear import optimize_ucddcp_sequence
+
+        ours = optimize_ucddcp_sequence(inst, np.arange(3))
+        lp = lp_optimize_sequence(inst, np.arange(3))
+        assert ours.objective == pytest.approx(lp.objective, abs=1e-6)

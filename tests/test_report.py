@@ -1,0 +1,79 @@
+"""EXPERIMENTS.md assembly."""
+
+from pathlib import Path
+
+from repro.experiments.report import RESULT_SECTIONS, build_report, write_report
+
+
+class TestBuildReport:
+    def test_all_sections_listed(self, tmp_path):
+        text = build_report(tmp_path)
+        for _, heading in RESULT_SECTIONS:
+            assert heading in text
+
+    def test_embeds_available_results(self, tmp_path):
+        (tmp_path / "fig11_runtime_surface.txt").write_text("SURFACE DATA")
+        text = build_report(tmp_path)
+        assert "SURFACE DATA" in text
+
+    def test_marks_missing_results(self, tmp_path):
+        text = build_report(tmp_path)
+        assert text.count("not yet generated") == len(RESULT_SECTIONS)
+
+    def test_narrative_present(self, tmp_path):
+        text = build_report(tmp_path)
+        assert "reference strength" in text
+        assert "matched-work" in text
+        assert "Reproduction inventory" in text
+
+    def test_write_report(self, tmp_path):
+        out = write_report(tmp_path, tmp_path / "E.md")
+        assert out.exists()
+        assert out.read_text().startswith("# EXPERIMENTS")
+
+    def test_sections_cover_every_published_table_and_figure(self):
+        names = [n for n, _ in RESULT_SECTIONS]
+        for required in ("table2", "table3", "table4", "table5", "fig11",
+                         "fig12", "fig13", "fig14", "fig15", "fig16",
+                         "fig17"):
+            # Figures 12/13/15/17 are embedded inside their tables' reports.
+            embedded = {"fig12": "table2", "fig13": "table3",
+                        "fig15": "table4", "fig17": "table5"}
+            key = embedded.get(required, required)
+            assert any(key in n for n in names), required
+
+
+class TestCsvExport:
+    def test_deviation_csv(self, tmp_path, tmp_store_path):
+        from repro.bestknown.store import BestKnownStore
+        from repro.experiments.config import SCALES
+        from repro.experiments.deviation import run_deviation_study
+        from repro.experiments.export import (
+            deviation_runs_csv,
+            write_study_csvs,
+        )
+
+        study = run_deviation_study(
+            "cdd", SCALES["smoke"], BestKnownStore(tmp_store_path)
+        )
+        text = deviation_runs_csv(study)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("instance,size,algorithm")
+        assert len(lines) == 1 + len(study.runs)
+        path = write_study_csvs(study, tmp_path)
+        assert path.exists() and path.suffix == ".csv"
+
+    def test_speedup_csv(self, tmp_path):
+        from repro.experiments.config import SCALES
+        from repro.experiments.export import (
+            speedup_cells_csv,
+            write_study_csvs,
+        )
+        from repro.experiments.speedup import run_speedup_study
+
+        study = run_speedup_study("cdd", SCALES["smoke"], use_cache=True)
+        text = speedup_cells_csv(study)
+        lines = text.strip().splitlines()
+        assert len(lines) == 1 + len(study.sizes) * 4
+        path = write_study_csvs(study, tmp_path)
+        assert "speedup_cells" in path.name

@@ -1,0 +1,118 @@
+"""Result records, solver misc paths and small utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import SolveResult
+from repro.core.solver import CDDSolver, UCDDCPSolver
+from repro.instances.biskup import biskup_instance
+from repro.instances.ucddcp_gen import ucddcp_instance
+from repro.problems.schedule import Schedule
+
+
+def make_result(**kwargs):
+    sched = Schedule(
+        sequence=np.array([0, 1]),
+        completion=np.array([1.0, 2.0]),
+        reduction=np.zeros(2),
+        objective=5.0,
+    )
+    base = dict(
+        schedule=sched, objective=5.0, best_sequence=np.array([0, 1]),
+        evaluations=10, wall_time_s=0.5,
+    )
+    base.update(kwargs)
+    return SolveResult(**base)
+
+
+class TestSolveResult:
+    def test_summary_cpu_only(self):
+        r = make_result()
+        s = r.summary()
+        assert "objective 5" in s
+        assert "modeled GPU" not in s
+
+    def test_summary_with_device_time(self):
+        r = make_result(modeled_device_time_s=0.1)
+        assert "modeled GPU 0.1000s" in r.summary()
+
+    def test_params_default_empty(self):
+        assert make_result().params == {}
+
+
+class TestSolverMiscPaths:
+    def test_parallel_methods_through_facade(self):
+        inst = biskup_instance(10, 0.4, 1)
+        solver = CDDSolver(inst)
+        r1 = solver.solve("parallel_sa", iterations=40, grid_size=1,
+                          block_size=16, seed=0)
+        r2 = solver.solve("parallel_dpso", iterations=40, grid_size=1,
+                          block_size=16, seed=0)
+        assert r1.objective > 0 and r2.objective > 0
+
+    def test_facade_passes_variant_options(self):
+        inst = biskup_instance(10, 0.4, 1)
+        r = CDDSolver(inst).solve(
+            "parallel_sa", iterations=40, grid_size=1, block_size=16,
+            seed=0, variant="sync",
+        )
+        assert r.params["algorithm"] == "parallel_sa_sync"
+
+    def test_ucddcp_facade_all_serial_methods(self):
+        inst = ucddcp_instance(8, 1)
+        solver = UCDDCPSolver(inst)
+        exact = solver.solve("exact")
+        for method, kwargs in (
+            ("serial_sa", {"iterations": 150}),
+            ("serial_ta", {"iterations": 150}),
+            ("serial_dpso", {"iterations": 30, "swarm_size": 8}),
+            ("serial_es", {"generations": 20}),
+        ):
+            r = solver.solve(method, seed=2, **kwargs)
+            assert r.objective >= exact.objective - 1e-9
+
+    def test_bad_config_propagates(self):
+        inst = biskup_instance(10, 0.4, 1)
+        with pytest.raises(TypeError):
+            CDDSolver(inst).solve("serial_sa", bogus_option=1)
+
+
+class TestDeviceRepr:
+    def test_spec_overrides_do_not_mutate_original(self):
+        from repro.gpusim.device import GEFORCE_GT_560M
+
+        derived = GEFORCE_GT_560M.with_overrides(num_sms=99)
+        assert derived.num_sms == 99
+        assert GEFORCE_GT_560M.num_sms == 4
+        assert derived.total_cores == 99 * GEFORCE_GT_560M.cores_per_sm
+
+    def test_instance_reprs(self):
+        inst = biskup_instance(10, 0.4, 1)
+        assert "n=10" in repr(inst)
+        u = ucddcp_instance(10, 1)
+        assert "UCDDCP" in repr(u)
+
+
+class TestResultSerialization:
+    def test_to_dict_json_round_trip(self):
+        import json
+
+        from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
+
+        inst = biskup_instance(10, 0.4, 1)
+        r = parallel_sa(
+            inst,
+            ParallelSAConfig(iterations=30, grid_size=1, block_size=16,
+                             seed=0, record_history=True),
+        )
+        data = json.loads(json.dumps(r.to_dict()))
+        assert data["objective"] == r.objective
+        assert data["best_sequence"] == r.best_sequence.tolist()
+        assert len(data["history"]) == 30
+        assert isinstance(data["params"]["algorithm"], str)
+
+    def test_to_dict_cpu_only(self):
+        r = make_result()
+        d = r.to_dict()
+        assert d["modeled_device_time_s"] is None
+        assert d["history"] is None

@@ -1,0 +1,129 @@
+"""Unit tests for Schedule and the validation layer."""
+
+import numpy as np
+import pytest
+
+from repro.problems.cdd import CDDInstance
+from repro.problems.schedule import Schedule
+from repro.problems.ucddcp import UCDDCPInstance
+from repro.problems.validation import (
+    ScheduleError,
+    check_permutation,
+    validate_schedule,
+)
+
+
+def make_schedule(seq, completion, reduction=None, objective=0.0):
+    seq = np.asarray(seq)
+    completion = np.asarray(completion, float)
+    if reduction is None:
+        reduction = np.zeros_like(completion)
+    return Schedule(sequence=seq, completion=completion,
+                    reduction=np.asarray(reduction, float),
+                    objective=objective)
+
+
+class TestSchedule:
+    def test_order_conversions(self):
+        s = make_schedule([2, 0, 1], [3.0, 7.0, 9.0])
+        by_job = s.completion_by_job()
+        assert by_job[2] == 3.0 and by_job[0] == 7.0 and by_job[1] == 9.0
+
+    def test_reduction_by_job(self):
+        s = make_schedule([1, 0], [3.0, 5.0], [0.5, 0.0])
+        assert np.array_equal(s.reduction_by_job(), [0.0, 0.5])
+
+    def test_start_times_and_gaps(self):
+        # jobs of length 3 and 2; completions 3 and 6 -> 1 unit idle.
+        s = make_schedule([0, 1], [3.0, 6.0])
+        starts = s.start_times(np.array([3.0, 2.0]))
+        assert np.array_equal(starts, [0.0, 4.0])
+        gaps = s.idle_gaps(np.array([3.0, 2.0]))
+        assert np.array_equal(gaps, [0.0, 1.0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Schedule(np.array([0, 1]), np.array([1.0]), np.zeros(2), 0.0)
+
+    def test_describe_mentions_objective(self):
+        s = make_schedule([0], [1.0], objective=42.0)
+        assert "42" in s.describe()
+
+    def test_n(self):
+        assert make_schedule([0, 1, 2], [1.0, 2.0, 3.0]).n == 3
+
+
+class TestCheckPermutation:
+    def test_accepts_valid(self):
+        check_permutation(np.array([2, 0, 1]))
+
+    def test_rejects_duplicate(self):
+        with pytest.raises(ScheduleError, match="permutation"):
+            check_permutation(np.array([0, 0, 1]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ScheduleError, match="permutation"):
+            check_permutation(np.array([1, 2, 3]))
+
+    def test_rejects_float_dtype(self):
+        with pytest.raises(ScheduleError, match="integral"):
+            check_permutation(np.array([0.0, 1.0]))
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ScheduleError, match="length"):
+            check_permutation(np.array([0, 1]), n=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ScheduleError, match="1-D"):
+            check_permutation(np.array([[0, 1]]))
+
+
+class TestValidateSchedule:
+    @pytest.fixture()
+    def inst(self):
+        return CDDInstance([3, 2], [1, 1], [2, 2], 4.0)
+
+    def test_valid_schedule_passes(self, inst):
+        # seq (0,1): C = (3,5); obj = 1*1 + 2*1 = 3
+        s = make_schedule([0, 1], [3.0, 5.0], objective=3.0)
+        validate_schedule(inst, s, require_no_idle=True)
+
+    def test_detects_overlap(self, inst):
+        s = make_schedule([0, 1], [3.0, 4.0], objective=1.0 + 0.0)
+        with pytest.raises(ScheduleError, match="overlap"):
+            validate_schedule(inst, s)
+
+    def test_detects_negative_start(self, inst):
+        s = make_schedule([0, 1], [2.0, 4.0], objective=2 * 1.0)
+        with pytest.raises(ScheduleError, match="before time zero"):
+            validate_schedule(inst, s)
+
+    def test_detects_idle_when_required(self, inst):
+        s = make_schedule([0, 1], [3.0, 6.0], objective=1.0 + 2 * 2.0)
+        validate_schedule(inst, s)  # idle allowed by default
+        with pytest.raises(ScheduleError, match="idle"):
+            validate_schedule(inst, s, require_no_idle=True)
+
+    def test_detects_objective_mismatch(self, inst):
+        s = make_schedule([0, 1], [3.0, 5.0], objective=999.0)
+        with pytest.raises(ScheduleError, match="objective mismatch"):
+            validate_schedule(inst, s)
+
+    def test_detects_compression_on_cdd(self, inst):
+        s = make_schedule([0, 1], [3.0, 5.0], [1.0, 0.0], objective=3.0)
+        with pytest.raises(ScheduleError, match="compress"):
+            validate_schedule(inst, s)
+
+    def test_ucddcp_reduction_bounds(self):
+        inst = UCDDCPInstance([3, 2], [2, 1], [1, 1], [2, 2], [1, 1], 6.0)
+        # Reduce job 0 by 2 > max 1.
+        s = make_schedule([0, 1], [1.0, 3.0], [2.0, 0.0], objective=0.0)
+        with pytest.raises(ScheduleError, match="P_i - M_i"):
+            validate_schedule(inst, s)
+
+    def test_ucddcp_valid_with_reduction(self):
+        inst = UCDDCPInstance([3, 2], [2, 1], [1, 1], [2, 2], [1, 1], 6.0)
+        # seq (0,1), X=(1,0): effective p=(2,2), completions (4,6):
+        # E_0 = 2 -> 2; job 1 on time; compression cost 1 -> total 3.
+        s = make_schedule([0, 1], [4.0, 6.0], [1.0, 0.0], objective=3.0)
+        validate_schedule(inst, s, require_no_idle=True)

@@ -1,0 +1,189 @@
+"""Solver façade, instance generators, OR-library I/O and registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import CDDSolver, UCDDCPSolver
+from repro.instances.biskup import (
+    BISKUP_H_FACTORS,
+    BISKUP_JOB_SIZES,
+    biskup_benchmark_suite,
+    biskup_instance,
+)
+from repro.instances.orlib import parse_sch, write_sch
+from repro.instances.registry import benchmark_set, registry_names
+from repro.instances.ucddcp_gen import ucddcp_benchmark_suite, ucddcp_instance
+from repro.problems.cdd import CDDInstance
+from repro.problems.ucddcp import UCDDCPInstance
+
+
+class TestSolverFacade:
+    def test_cdd_methods(self, paper_cdd):
+        solver = CDDSolver(paper_cdd)
+        fast = dict(iterations=60)
+        r1 = solver.solve("serial_sa", seed=1, **fast)
+        r2 = solver.solve("parallel_sa", seed=1, grid_size=1,
+                          block_size=32, **fast)
+        r3 = solver.solve("serial_dpso", seed=1, swarm_size=8, **fast)
+        r4 = solver.solve("parallel_dpso", seed=1, grid_size=1,
+                          block_size=32, **fast)
+        r5 = solver.solve("exact")
+        for r in (r1, r2, r3, r4):
+            assert r.objective >= r5.objective - 1e-9
+
+    def test_unknown_method(self, paper_cdd):
+        with pytest.raises(ValueError, match="unknown method"):
+            CDDSolver(paper_cdd).solve("annealing")
+
+    def test_type_checks(self, paper_cdd, paper_ucddcp):
+        with pytest.raises(TypeError):
+            CDDSolver(paper_ucddcp)
+        with pytest.raises(TypeError):
+            UCDDCPSolver(paper_cdd)
+
+    def test_exact_unrestricted_uses_dp(self):
+        rng = np.random.default_rng(1)
+        p = rng.integers(1, 10, 12).astype(float)
+        inst = CDDInstance(
+            p, rng.integers(1, 10, 12).astype(float),
+            rng.integers(1, 15, 12).astype(float), float(p.sum() + 3),
+        )
+        r = CDDSolver(inst).solve("exact")
+        assert r.params["algorithm"] == "exact"
+        assert r.objective > 0
+
+    def test_exact_ucddcp(self, paper_ucddcp):
+        r = UCDDCPSolver(paper_ucddcp).solve("exact")
+        assert r.objective <= 77.0  # identity sequence achieves 77
+
+
+class TestBiskupGenerator:
+    def test_deterministic(self):
+        a = biskup_instance(50, 0.4, 3)
+        b = biskup_instance(50, 0.4, 3)
+        assert a == b
+
+    def test_job_data_shared_across_h(self):
+        a = biskup_instance(50, 0.2, 3)
+        b = biskup_instance(50, 0.8, 3)
+        assert np.array_equal(a.processing, b.processing)
+        assert np.array_equal(a.alpha, b.alpha)
+        assert a.due_date < b.due_date
+
+    def test_value_ranges(self):
+        inst = biskup_instance(1000, 0.4, 1)
+        assert inst.processing.min() >= 1 and inst.processing.max() <= 20
+        assert inst.alpha.min() >= 1 and inst.alpha.max() <= 10
+        assert inst.beta.min() >= 1 and inst.beta.max() <= 15
+        assert float(inst.processing.sum()) * 0.4 - 1 <= inst.due_date
+
+    def test_due_date_formula(self):
+        inst = biskup_instance(100, 0.6, 2)
+        assert inst.due_date == float(np.floor(0.6 * inst.processing.sum()))
+
+    def test_replicates_differ(self):
+        assert not np.array_equal(
+            biskup_instance(50, 0.4, 1).processing,
+            biskup_instance(50, 0.4, 2).processing,
+        )
+
+    def test_sizes_differ(self):
+        assert biskup_instance(10, 0.4, 1).n == 10
+        assert biskup_instance(20, 0.4, 1).n == 20
+
+    def test_suite_counts(self):
+        suite = list(
+            biskup_benchmark_suite(sizes=(10, 20), h_factors=(0.2, 0.4),
+                                   k_values=(1, 2, 3))
+        )
+        assert len(suite) == 2 * 2 * 3
+        assert all(isinstance(i, CDDInstance) for i in suite)
+
+    def test_paper_grid_constants(self):
+        assert BISKUP_JOB_SIZES == (10, 20, 50, 100, 200, 500, 1000)
+        assert BISKUP_H_FACTORS == (0.2, 0.4, 0.6, 0.8)
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            biskup_instance(0, 0.4, 1)
+        with pytest.raises(ValueError):
+            biskup_instance(10, 0.4, 0)
+        with pytest.raises(ValueError):
+            biskup_instance(10, -0.2, 1)
+
+
+class TestUCDDCPGenerator:
+    def test_deterministic(self):
+        assert ucddcp_instance(50, 2) == ucddcp_instance(50, 2)
+
+    def test_unrestricted(self):
+        for k in range(1, 6):
+            inst = ucddcp_instance(40, k)
+            assert inst.due_date >= inst.total_processing
+
+    def test_min_processing_bounds(self):
+        inst = ucddcp_instance(500, 1)
+        assert np.all(inst.min_processing >= 1)
+        assert np.all(inst.min_processing <= inst.processing)
+
+    def test_suite(self):
+        suite = list(ucddcp_benchmark_suite(sizes=(10,), k_values=(1, 2)))
+        assert len(suite) == 2
+        assert all(isinstance(i, UCDDCPInstance) for i in suite)
+
+
+class TestOrlibIO:
+    def test_round_trip(self):
+        instances = [biskup_instance(10, 0.4, k) for k in (1, 2, 3)]
+        text = write_sch(instances)
+        parsed = parse_sch(text, h=0.4)
+        assert len(parsed) == 3
+        for orig, back in zip(instances, parsed):
+            assert np.array_equal(orig.processing, back.processing)
+            assert np.array_equal(orig.alpha, back.alpha)
+            assert np.array_equal(orig.beta, back.beta)
+            assert orig.due_date == back.due_date
+
+    def test_h_changes_due_date_only(self):
+        text = write_sch([biskup_instance(10, 0.4, 1)])
+        lo = parse_sch(text, h=0.2)[0]
+        hi = parse_sch(text, h=0.8)[0]
+        assert np.array_equal(lo.processing, hi.processing)
+        assert lo.due_date < hi.due_date
+
+    def test_explicit_n_checked(self):
+        text = write_sch([biskup_instance(10, 0.4, 1)])
+        with pytest.raises(ValueError, match="expected n"):
+            parse_sch(text, h=0.4, n=12)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_sch("", h=0.4)
+
+    def test_rejects_corrupt_token_count(self):
+        with pytest.raises(ValueError, match="divisible"):
+            parse_sch("2\n1 2 3\n4 5", h=0.4)
+
+    def test_write_requires_uniform_n(self):
+        with pytest.raises(ValueError, match="share n"):
+            write_sch([biskup_instance(10, 0.4, 1),
+                       biskup_instance(20, 0.4, 1)])
+
+    def test_write_rejects_empty(self):
+        with pytest.raises(ValueError):
+            write_sch([])
+
+
+class TestRegistry:
+    def test_names(self):
+        names = registry_names()
+        assert "cdd_smoke" in names and "ucddcp_full" in names
+
+    def test_smoke_set(self):
+        s = benchmark_set("cdd_smoke")
+        assert len(s) == 2
+        assert all(isinstance(i, CDDInstance) for i in s)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark set"):
+            benchmark_set("nope")

@@ -1,0 +1,72 @@
+"""Speedup-study internals: reference pinning and column structure."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import SCALES
+from repro.experiments.speedup import (
+    SpeedupCell,
+    _serial_sa_time,
+    run_speedup_study,
+)
+from repro.instances.biskup import biskup_instance
+
+SMOKE = SCALES["smoke"]
+
+
+class TestSerialReference:
+    def test_per_unit_cost_stable_across_budgets(self):
+        # The reference is per-iteration-measured and scaled linearly; the
+        # implied per-unit cost must be stable across budget/population
+        # combinations (within timer noise on a busy machine).
+        inst = biskup_instance(30, 0.4, 1)
+        _serial_sa_time(inst, 200, population=16)  # warm up caches
+        per_unit = [
+            _serial_sa_time(inst, iters, population=pop) / (iters * pop)
+            for iters, pop in ((1000, 64), (2000, 64), (500, 128))
+        ]
+        assert max(per_unit) / min(per_unit) < 2.5
+
+    def test_larger_instances_cost_more(self):
+        small = _serial_sa_time(biskup_instance(10, 0.4, 1), 1000, 64)
+        large = _serial_sa_time(biskup_instance(500, 0.4, 1), 1000, 64)
+        assert large > small
+
+
+class TestCellStructure:
+    def test_cell_derived_speedups(self):
+        cell = SpeedupCell(
+            size=10, algorithm="SA", iterations=100,
+            serial_cpu_s=10.0, modeled_gpu_s=2.0, measured_wall_s=4.0,
+        )
+        assert cell.speedup_modeled == 5.0
+        assert cell.speedup_measured == 2.5
+
+    def test_common_reference_across_columns(self):
+        study = run_speedup_study("cdd", SMOKE, use_cache=False)
+        # All four columns of one size divide the SAME CPU reference --
+        # the paper's one-published-number-per-size structure.
+        for n in study.sizes:
+            refs = {study.cells[(n, lab)].serial_cpu_s
+                    for lab in study.labels}
+            assert len(refs) == 1
+
+    def test_high_budget_gpu_time_about_5x(self):
+        study = run_speedup_study("cdd", SMOKE, use_cache=False)
+        gpu = study.matrix("modeled_gpu_s")
+        ratio = gpu[:, 1] / gpu[:, 0]  # SA_hi / SA_lo
+        assert np.all(ratio > 3.0) and np.all(ratio < 7.0)
+
+    def test_render_contains_both_speedup_flavours(self):
+        study = run_speedup_study("cdd", SMOKE)
+        out = study.render()
+        assert "modeled GT 560M" in out
+        assert "measured vectorized ensemble" in out
+
+    def test_runtime_curve_table_consistent_with_cells(self):
+        study = run_speedup_study("cdd", SMOKE)
+        out = study.render_runtime_curves()
+        assert "CPU serial" in out
+        # The runtime table reports every size row (right-aligned cells).
+        for n in study.sizes:
+            assert f" {n} " in out or f"\n{n} " in out

@@ -1,0 +1,77 @@
+"""Paired statistical comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import PairedComparison, compare_paired, pairwise_report
+
+
+class TestComparePaired:
+    def test_clear_winner(self, rng):
+        a = rng.normal(10, 1, 40)
+        b = a + 5.0
+        cmp = compare_paired("A", a, "B", b)
+        assert cmp.wins_a == 40 and cmp.wins_b == 0
+        assert cmp.median_diff < 0
+        assert cmp.significant
+        assert "A better" in cmp.describe()
+
+    def test_all_ties(self):
+        a = np.ones(10)
+        cmp = compare_paired("A", a, "B", a.copy())
+        assert cmp.ties == 10
+        assert cmp.p_value == 1.0
+        assert not cmp.significant
+        assert "tied" in cmp.describe()
+
+    def test_noise_not_significant(self, rng):
+        a = rng.normal(0, 1, 30)
+        b = a + rng.normal(0, 1e-3, 30) * rng.choice([-1, 1], 30)
+        cmp = compare_paired("A", a, "B", b)
+        # Symmetric tiny noise: should rarely be significant.
+        assert cmp.wins_a + cmp.wins_b + cmp.ties == 30
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            compare_paired("A", np.ones(3), "B", np.ones(4))
+        with pytest.raises(ValueError):
+            compare_paired("A", np.ones(0), "B", np.ones(0))
+        with pytest.raises(ValueError):
+            compare_paired("A", np.ones((2, 2)), "B", np.ones((2, 2)))
+
+    def test_symmetry(self, rng):
+        a = rng.normal(0, 1, 25)
+        b = rng.normal(0.5, 1, 25)
+        ab = compare_paired("A", a, "B", b)
+        ba = compare_paired("B", b, "A", a)
+        assert ab.p_value == pytest.approx(ba.p_value)
+        assert ab.wins_a == ba.wins_b
+        assert ab.median_diff == pytest.approx(-ba.median_diff)
+
+
+class TestPairwiseReport:
+    def test_all_pairs_present(self, rng):
+        samples = {
+            "X": rng.normal(0, 1, 20),
+            "Y": rng.normal(1, 1, 20),
+            "Z": rng.normal(2, 1, 20),
+        }
+        report = pairwise_report(samples)
+        assert "X vs Y" in report
+        assert "X vs Z" in report
+        assert "Y vs Z" in report
+        assert report.count("\n") == 2
+
+    def test_integration_with_deviation_study(self, tmp_store_path):
+        from repro.bestknown.store import BestKnownStore
+        from repro.experiments.config import SCALES
+        from repro.experiments.deviation import run_deviation_study
+
+        study = run_deviation_study(
+            "cdd", SCALES["smoke"], BestKnownStore(tmp_store_path)
+        )
+        report = study.significance_report()
+        assert "Wilcoxon" in study.render()
+        assert "vs" in report
+        # Per-h breakdown present for CDD.
+        assert "h factor" in study.per_h_breakdown()

@@ -1,0 +1,114 @@
+"""Property tests of the device timing model.
+
+The roofline model is only trustworthy if it responds monotonically to its
+inputs; these tests pin those directions so future calibration tweaks can't
+silently break the model's physics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpusim.device import GEFORCE_GT_560M, Device
+from repro.gpusim.kernel import KernelCost, kernel
+from repro.gpusim.launch import linear_config
+
+
+def time_one_launch(spec, threads, block, cycles, bytes_per_thread,
+                    atomics=0, shared=0.0):
+    """Modeled kernel time for one launch with the given cost."""
+    dev = Device(spec=spec, seed=0)
+    buf = dev.malloc(8)
+
+    @kernel(
+        "probe", registers=24,
+        cost=lambda ctx, b: KernelCost(
+            cycles_per_thread=cycles,
+            global_bytes_per_thread=bytes_per_thread,
+            shared_bytes_per_block=shared,
+            atomic_ops=atomics,
+        ),
+    )
+    def probe(ctx, b):
+        """No-op probe kernel."""
+
+    dev.reset_clocks()
+    dev.launch(probe, linear_config(threads, block), buf)
+    dev.synchronize()
+    return dev.profiler.kernel_time()
+
+
+SPEC = GEFORCE_GT_560M
+
+
+class TestMonotonicity:
+    @given(c=st.floats(100, 1e6), factor=st.floats(1.5, 10))
+    def test_more_cycles_never_faster(self, c, factor):
+        lo = time_one_launch(SPEC, 768, 192, c, 8.0)
+        hi = time_one_launch(SPEC, 768, 192, c * factor, 8.0)
+        assert hi >= lo
+
+    @given(b=st.floats(8, 1e5), factor=st.floats(1.5, 10))
+    def test_more_bytes_never_faster(self, b, factor):
+        lo = time_one_launch(SPEC, 768, 192, 10.0, b)
+        hi = time_one_launch(SPEC, 768, 192, 10.0, b * factor)
+        assert hi >= lo
+
+    @given(a=st.integers(0, 10_000))
+    def test_atomics_add_serial_time(self, a):
+        base = time_one_launch(SPEC, 256, 64, 10.0, 8.0, atomics=0)
+        with_atomics = time_one_launch(SPEC, 256, 64, 10.0, 8.0, atomics=a)
+        assert with_atomics == pytest.approx(
+            base + a * SPEC.atomic_op_s, rel=1e-9
+        )
+
+    def test_faster_clock_is_faster_when_compute_bound(self):
+        fast = SPEC.with_overrides(core_clock_hz=SPEC.core_clock_hz * 2)
+        t_slow = time_one_launch(SPEC, 768, 192, 1e6, 8.0)
+        t_fast = time_one_launch(fast, 768, 192, 1e6, 8.0)
+        assert t_fast < t_slow
+
+    def test_more_bandwidth_is_faster_when_memory_bound(self):
+        wide = SPEC.with_overrides(
+            mem_bandwidth_bytes_per_s=SPEC.mem_bandwidth_bytes_per_s * 4
+        )
+        t_narrow = time_one_launch(SPEC, 768, 192, 1.0, 1e5)
+        t_wide = time_one_launch(wide, 768, 192, 1.0, 1e5)
+        assert t_wide < t_narrow
+
+    def test_more_sms_never_slower(self):
+        big = SPEC.with_overrides(num_sms=SPEC.num_sms * 4)
+        t_small = time_one_launch(SPEC, 16 * 192, 192, 1e5, 8.0)
+        t_big = time_one_launch(big, 16 * 192, 192, 1e5, 8.0)
+        assert t_big <= t_small
+
+    @given(threads=st.sampled_from([192, 384, 768, 1536, 3072]))
+    def test_more_threads_never_faster_at_fixed_block(self, threads):
+        smaller = time_one_launch(SPEC, 192, 192, 1e5, 64.0)
+        larger = time_one_launch(SPEC, threads, 192, 1e5, 64.0)
+        assert larger >= smaller - 1e-12
+
+    def test_roofline_take_max(self):
+        # A strongly memory-bound kernel's time is insensitive to cycles
+        # below the bandwidth bound.
+        t1 = time_one_launch(SPEC, 768, 192, 1.0, 1e6)
+        t2 = time_one_launch(SPEC, 768, 192, 100.0, 1e6)
+        assert t1 == pytest.approx(t2, rel=1e-6)
+
+
+class TestWaveBehaviour:
+    def test_stepwise_in_blocks(self):
+        # Register-limited to 4 blocks/SM at 192 threads and 24+ registers:
+        # 16 co-resident blocks across 4 SMs.  17 blocks need a second wave
+        # on one SM -- time jumps.
+        t16 = time_one_launch(SPEC, 16 * 192, 192, 1e6, 8.0)
+        t17 = time_one_launch(SPEC, 17 * 192, 192, 1e6, 8.0)
+        assert t17 > t16 * 1.2
+
+    def test_flat_within_wave(self):
+        # 2, 3 or 4 blocks of 192: still one block per SM at most -- the
+        # busiest SM does the same work, so compute time stays flat.
+        t2 = time_one_launch(SPEC, 2 * 192, 192, 1e6, 1.0)
+        t4 = time_one_launch(SPEC, 4 * 192, 192, 1e6, 1.0)
+        assert t4 == pytest.approx(t2, rel=0.05)

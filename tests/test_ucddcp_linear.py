@@ -1,0 +1,137 @@
+"""Tests for the O(n) UCDDCP sequence optimizer (Awasthi et al. [8])."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.problems.ucddcp import UCDDCPInstance
+from repro.problems.validation import validate_schedule
+from repro.seqopt.cdd_linear import optimize_cdd_sequence
+from repro.seqopt.lp_reference import lp_optimize_sequence
+from repro.seqopt.ucddcp_linear import (
+    optimize_ucddcp_sequence,
+    ucddcp_objective_for_sequence,
+)
+from tests.conftest import permutations_of, ucddcp_instances
+
+
+class TestPaperWalkthrough:
+    """Section IV-B's illustration with d = 22."""
+
+    def test_final_objective(self, paper_ucddcp):
+        s = optimize_ucddcp_sequence(paper_ucddcp, np.arange(5))
+        assert s.objective == 77.0
+
+    def test_compressed_jobs(self, paper_ucddcp):
+        # Jobs 4 and 5 (positions 4, 5) are compressed by one unit each.
+        s = optimize_ucddcp_sequence(paper_ucddcp, np.arange(5))
+        assert np.array_equal(s.reduction, [0, 0, 0, 1, 1])
+
+    def test_cdd_stage_objective(self, paper_ucddcp):
+        # The CDD relaxation of the d=22 example optimizes to 81.
+        s = optimize_ucddcp_sequence(paper_ucddcp, np.arange(5))
+        assert s.meta["cdd_objective"] == 81.0
+
+    def test_due_date_position_unchanged(self, paper_ucddcp):
+        # Property 1: same due-date position as the CDD relaxation (job 2).
+        s = optimize_ucddcp_sequence(paper_ucddcp, np.arange(5))
+        assert s.meta["due_date_position"] == 2
+        assert s.completion[1] == 22.0
+
+    def test_final_completions(self, paper_ucddcp):
+        s = optimize_ucddcp_sequence(paper_ucddcp, np.arange(5))
+        assert np.array_equal(s.completion, [17.0, 22.0, 24.0, 27.0, 30.0])
+
+    def test_feasible_no_idle(self, paper_ucddcp):
+        s = optimize_ucddcp_sequence(paper_ucddcp, np.arange(5))
+        validate_schedule(paper_ucddcp, s, require_no_idle=True)
+
+
+class TestAgainstLP:
+    @given(inst=ucddcp_instances(min_n=1, max_n=7))
+    def test_matches_lp_identity_sequence(self, inst):
+        seq = np.arange(inst.n)
+        ours = optimize_ucddcp_sequence(inst, seq)
+        lp = lp_optimize_sequence(inst, seq)
+        assert ours.objective == pytest.approx(lp.objective, abs=1e-6)
+
+    @given(inst=ucddcp_instances(min_n=5, max_n=5), seq=permutations_of(5))
+    def test_matches_lp_random_sequence(self, inst, seq):
+        ours = optimize_ucddcp_sequence(inst, seq)
+        lp = lp_optimize_sequence(inst, seq)
+        assert ours.objective == pytest.approx(lp.objective, abs=1e-6)
+
+
+class TestStructuralProperties:
+    @given(inst=ucddcp_instances(min_n=2, max_n=8))
+    def test_never_worse_than_cdd_relaxation(self, inst):
+        # Compression is optional, so the UCDDCP optimum cannot exceed the
+        # CDD optimum of the same sequence (Property 2's premise).
+        seq = np.arange(inst.n)
+        ucd = optimize_ucddcp_sequence(inst, seq)
+        cdd = optimize_cdd_sequence(inst.relax_to_cdd(), seq)
+        assert ucd.objective <= cdd.objective + 1e-9
+        assert ucd.meta["cdd_objective"] == pytest.approx(cdd.objective)
+
+    @given(inst=ucddcp_instances(min_n=2, max_n=8))
+    def test_property1_due_date_position_preserved(self, inst):
+        seq = np.arange(inst.n)
+        ucd = optimize_ucddcp_sequence(inst, seq)
+        cdd = optimize_cdd_sequence(inst.relax_to_cdd(), seq)
+        assert ucd.meta["due_date_position"] == cdd.meta["due_date_position"]
+
+    @given(inst=ucddcp_instances(min_n=2, max_n=8))
+    def test_property2_all_or_nothing_compression(self, inst):
+        # Every compressed job is compressed to its minimum.
+        s = optimize_ucddcp_sequence(inst, np.arange(inst.n))
+        max_red = inst.max_reduction[s.sequence]
+        compressed = s.reduction > 0
+        assert np.allclose(s.reduction[compressed], max_red[compressed])
+
+    @given(inst=ucddcp_instances(min_n=2, max_n=8))
+    def test_schedule_feasible_no_idle(self, inst):
+        s = optimize_ucddcp_sequence(inst, np.arange(inst.n))
+        validate_schedule(inst, s, require_no_idle=True)
+
+    @given(inst=ucddcp_instances(min_n=2, max_n=8))
+    def test_anchored_job_stays_on_time(self, inst):
+        s = optimize_ucddcp_sequence(inst, np.arange(inst.n))
+        r = s.meta["due_date_position"]
+        if r >= 1:
+            assert s.completion[r - 1] == pytest.approx(inst.due_date)
+
+    @given(inst=ucddcp_instances(min_n=1, max_n=8))
+    def test_objective_only_variant_matches(self, inst):
+        seq = np.arange(inst.n)
+        assert ucddcp_objective_for_sequence(inst, seq) == pytest.approx(
+            optimize_ucddcp_sequence(inst, seq).objective
+        )
+
+
+class TestCompressionRules:
+    def test_tardy_job_compressed_when_beneficial(self):
+        # Two jobs, second tardy with beta > gamma: compress it.
+        inst = UCDDCPInstance([4, 4], [4, 2], [10, 10], [1, 5], [1, 2], 8.0)
+        s = optimize_ucddcp_sequence(inst, np.arange(2))
+        # Job at position 2 is tardy (r=1); beta=5 > gamma=2 -> compress.
+        assert s.reduction[1] == 2.0
+
+    def test_tardy_job_kept_when_penalty_too_high(self):
+        inst = UCDDCPInstance([4, 4], [4, 2], [10, 10], [1, 5], [1, 9], 8.0)
+        s = optimize_ucddcp_sequence(inst, np.arange(2))
+        assert s.reduction[1] == 0.0
+
+    def test_early_job_compression_pulls_predecessors(self):
+        # Three jobs all early; compressing the job at d helps when the sum
+        # of its predecessors' alphas exceeds gamma.
+        inst = UCDDCPInstance(
+            [4, 4, 4], [4, 4, 1], [6, 6, 1], [20, 20, 20], [1, 1, 2], 12.0
+        )
+        s = optimize_ucddcp_sequence(inst, np.arange(3))
+        # r = 3 (everything early, last job at d); predecessors' alpha sum
+        # is 12 > gamma_3 = 2 -> compress job 3 fully (by 3).
+        assert s.meta["due_date_position"] == 3
+        assert s.reduction[2] == 3.0
+        # Predecessors slid right: completions are d-anchored.
+        assert s.completion[2] == 12.0
+        assert np.array_equal(s.completion, [7.0, 11.0, 12.0])
