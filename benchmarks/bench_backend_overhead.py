@@ -1,0 +1,89 @@
+"""Backend overhead: vectorized host execution vs the modeled device.
+
+The gpusim backend pays for its cycle model on every launch (occupancy,
+roofline, stream and profiler bookkeeping) and for transfer charging on
+every copy; the vectorized backend runs the identical kernel bodies on host
+arrays with none of that.  This bench measures the real wall-time speedup
+of ``backend="vectorized"`` over ``backend="gpusim"`` for the parallel SA
+across job counts -- the cost of modeled timings when an experiment does
+not need them.  Identical trajectories are asserted, not assumed.
+"""
+
+import time
+
+import numpy as np
+
+import _shared
+from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
+from repro.instances.biskup import biskup_instance
+
+SIZES = (10, 100, 1000)
+ITERATIONS = 60
+REPEATS = 3
+
+
+def _best_wall(inst, config, backend):
+    best = np.inf
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = parallel_sa(inst, config, backend=backend)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _run_overhead_study():
+    rows = []
+    for n in SIZES:
+        inst = biskup_instance(n, 0.4, 1)
+        # t0 is pinned: the 5000-sample estimate costs the same on both
+        # backends and would dilute the per-launch overhead being measured.
+        config = ParallelSAConfig(
+            iterations=ITERATIONS, grid_size=2, block_size=64, seed=11,
+            t0=150.0,
+        )
+        t_gpusim, r_gpusim = _best_wall(inst, config, "gpusim")
+        t_vec, r_vec = _best_wall(inst, config, "vectorized")
+        assert r_vec.objective == r_gpusim.objective
+        assert np.array_equal(r_vec.best_sequence, r_gpusim.best_sequence)
+        rows.append((n, t_gpusim, t_vec, t_gpusim / t_vec))
+    return rows
+
+
+def _render(rows) -> str:
+    lines = [
+        "Backend overhead -- parallel SA wall time, gpusim vs vectorized",
+        f"(iterations={ITERATIONS}, 128 chains, best of {REPEATS} runs; "
+        "identical best sequence/objective asserted per size)",
+        "",
+        f"{'n':>6} {'gpusim [s]':>12} {'vectorized [s]':>15} {'speedup':>9}",
+    ]
+    for n, t_gpusim, t_vec, speedup in rows:
+        lines.append(
+            f"{n:>6} {t_gpusim:>12.4f} {t_vec:>15.4f} {speedup:>8.2f}x"
+        )
+    lines.append("")
+    lines.append(
+        "The vectorized backend skips the per-launch cost model (occupancy,"
+    )
+    lines.append(
+        "roofline, stream/profiler bookkeeping) and transfer charging; the"
+    )
+    lines.append(
+        "ensemble math itself is identical, so the advantage is largest at"
+    )
+    lines.append(
+        "small n where modeling overhead dominates the batched evaluation."
+    )
+    return "\n".join(lines)
+
+
+def test_backend_overhead(benchmark):
+    rows = benchmark.pedantic(_run_overhead_study, rounds=1, iterations=1)
+    _shared.publish("backend_overhead", _render(rows))
+
+    # At small n the simulated device's per-launch overhead (occupancy,
+    # roofline, stream, profiler) is a measurable fraction of the loop;
+    # at large n the shared batched math dominates and the gap closes, so
+    # only the small-n speedup is asserted (the rest is reported).
+    assert rows[0][3] > 1.05

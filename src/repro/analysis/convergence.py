@@ -21,11 +21,8 @@ from repro.core.parallel_sa import ParallelSAConfig, _make_broadcast_kernel
 from repro.gpusim.device import Device
 from repro.gpusim.launch import Dim3, LaunchConfig
 from repro.kernels.acceptance import make_acceptance_kernel
+from repro.core.engine.adapters import adapter_for
 from repro.kernels.data import DeviceProblemData
-from repro.kernels.fitness import (
-    make_cdd_fitness_kernel,
-    make_ucddcp_fitness_kernel,
-)
 from repro.kernels.perturbation import make_perturbation_kernel
 from repro.kernels.reduction_kernel import make_elitist_reduction_kernel
 from repro.problems.cdd import CDDInstance
@@ -72,7 +69,7 @@ def trace_parallel_sa(
 ) -> ConvergenceTrace:
     """Run the parallel SA with full per-generation instrumentation."""
     n = instance.n
-    is_ucddcp = isinstance(instance, UCDDCPInstance)
+    adapter = adapter_for(instance)
     min_position = 1 if config.variant == "domain" else 0
     pert = min(config.pert_size, n - min_position)
     pop = config.population
@@ -106,9 +103,7 @@ def trace_parallel_sa(
 
     cfg = LaunchConfig(grid=Dim3(x=config.grid_size),
                        block=Dim3(x=config.block_size))
-    fitness_kernel = (
-        make_ucddcp_fitness_kernel() if is_ucddcp else make_cdd_fitness_kernel()
-    )
+    fitness_kernel = adapter.make_fitness_kernel()
     perturbation_kernel = make_perturbation_kernel()
     acceptance_kernel = make_acceptance_kernel()
     reduction_kernel = make_elitist_reduction_kernel()
@@ -117,12 +112,8 @@ def trace_parallel_sa(
     )
 
     def launch_fitness(seq_buf, out_buf) -> None:
-        if is_ucddcp:
-            device.launch(fitness_kernel, cfg, seq_buf, data.p, data.m,
-                          data.a, data.b, data.g, out_buf)
-        else:
-            device.launch(fitness_kernel, cfg, seq_buf, data.p, data.a,
-                          data.b, out_buf)
+        device.launch(fitness_kernel, cfg, seq_buf,
+                      *data.fitness_buffers(), out_buf)
 
     best_energy.array[0] = np.inf
     launch_fitness(seqs, energy)

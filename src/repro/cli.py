@@ -13,7 +13,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.solver import CDDSolver, UCDDCPSolver
+from repro.core.engine.backends import BACKENDS, DEFAULT_BACKEND
+from repro.core.solver import CDDSolver, UCDDCPSolver, solver_methods
 from repro.experiments.config import SCALES, get_scale
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.instances.biskup import biskup_instance
@@ -41,9 +42,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--h-factor", type=float, default=0.4,
                          help="restriction factor (CDD only)")
     p_solve.add_argument(
-        "-m", "--method", default="parallel_sa",
-        choices=("parallel_sa", "parallel_dpso", "serial_sa", "serial_dpso",
-                 "serial_ta", "serial_es", "exact"),
+        "-m", "--method", default="parallel_sa", choices=solver_methods(),
     )
     p_solve.add_argument("-i", "--iterations", type=int, default=1000)
     p_solve.add_argument("--seed", type=int, default=0)
@@ -51,6 +50,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="grid size (parallel methods)")
     p_solve.add_argument("--block", type=int, default=None,
                          help="block size (parallel methods)")
+    p_solve.add_argument(
+        "--backend", choices=tuple(BACKENDS), default=DEFAULT_BACKEND,
+        help="execution backend (parallel methods): cycle-modeled gpusim "
+             "or fast vectorized host execution",
+    )
 
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
     p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -108,6 +112,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 kwargs["grid_size"] = args.grid
             if args.block is not None:
                 kwargs["block_size"] = args.block
+            kwargs["backend"] = args.backend
     result = solver.solve(args.method, **kwargs)
     print(f"instance: {inst.name}")
     print(result.summary())

@@ -14,12 +14,25 @@ the simulated device:
   (Threshold Accepting) and :mod:`~repro.core.evolution`
   ((mu + lambda) Evolutionary Strategy), the CPU comparators of Table III.
 
-Shared infrastructure: :mod:`~repro.core.cooling` (initial-temperature
-estimation and the exponential schedule), :mod:`~repro.core.results`
-(result/record types) and the high-level façade :mod:`~repro.core.solver`.
+Shared infrastructure: :mod:`~repro.core.engine` (problem adapters,
+pluggable execution backends and the shared ensemble driver),
+:mod:`~repro.core.cooling` (initial-temperature estimation and the
+exponential schedule), :mod:`~repro.core.results` (result/record types)
+and the high-level façade :mod:`~repro.core.solver`.
 """
 
 from repro.core.cooling import ExponentialCooling, estimate_initial_temperature
+from repro.core.engine import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    ExecutionBackend,
+    GpusimBackend,
+    ProblemAdapter,
+    VectorizedBackend,
+    adapter_for,
+    create_backend,
+    run_ensemble,
+)
 from repro.core.dpso import DPSOConfig, dpso_serial
 from repro.core.evolution import EvolutionStrategyConfig, evolution_strategy
 from repro.core.parallel_dpso import ParallelDPSOConfig, parallel_dpso
@@ -47,4 +60,13 @@ __all__ = [
     "parallel_dpso",
     "CDDSolver",
     "UCDDCPSolver",
+    "ProblemAdapter",
+    "adapter_for",
+    "ExecutionBackend",
+    "GpusimBackend",
+    "VectorizedBackend",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "create_backend",
+    "run_ensemble",
 ]

@@ -15,7 +15,6 @@ import numpy as np
 
 from repro.problems.cdd import CDDInstance
 from repro.problems.ucddcp import UCDDCPInstance
-from repro.seqopt.batched import batched_cdd_objective, batched_ucddcp_objective
 
 __all__ = ["ExponentialCooling", "estimate_initial_temperature"]
 
@@ -58,12 +57,11 @@ def estimate_initial_temperature(
     vectorized pass.  A zero spread (e.g. ``n == 1``) returns 0.0, which the
     acceptance rule treats as greedy descent.
     """
+    # Imported lazily: the adapter layer sits above this shared utility.
+    from repro.core.engine.adapters import adapter_for
+
     if samples < 2:
         raise ValueError("need at least 2 samples to estimate a deviation")
     gen = rng if rng is not None else np.random.default_rng(0)
     seqs = np.argsort(gen.random((samples, instance.n)), axis=1)
-    if isinstance(instance, UCDDCPInstance):
-        fitness = batched_ucddcp_objective(instance, seqs)
-    else:
-        fitness = batched_cdd_objective(instance, seqs)
-    return float(np.std(fitness))
+    return float(np.std(adapter_for(instance).batched_objective(seqs)))

@@ -22,6 +22,12 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro.core.engine.adapters import adapter_for
+from repro.core.engine.config import (
+    check_positive_iterations,
+    check_probabilities,
+)
+from repro.core.engine.driver import assemble_result
 from repro.core.results import SolveResult
 from repro.permutation import (
     one_point_crossover,
@@ -30,14 +36,6 @@ from repro.permutation import (
 )
 from repro.problems.cdd import CDDInstance
 from repro.problems.ucddcp import UCDDCPInstance
-from repro.seqopt.cdd_linear import (
-    cdd_objective_for_sequence,
-    optimize_cdd_sequence,
-)
-from repro.seqopt.ucddcp_linear import (
-    optimize_ucddcp_sequence,
-    ucddcp_objective_for_sequence,
-)
 
 __all__ = ["DPSOConfig", "dpso_serial"]
 
@@ -55,14 +53,10 @@ class DPSOConfig:
     record_history: bool = False
 
     def __post_init__(self) -> None:
-        if self.iterations < 1:
-            raise ValueError("iterations must be positive")
+        check_positive_iterations(self.iterations)
         if self.swarm_size < 2:
             raise ValueError("swarm size must be at least 2")
-        for name in ("w", "c1", "c2"):
-            v = getattr(self, name)
-            if not (0.0 <= v <= 1.0):
-                raise ValueError(f"{name} must lie in [0, 1], got {v}")
+        check_probabilities(self, "w", "c1", "c2")
 
 
 def dpso_serial(
@@ -72,12 +66,8 @@ def dpso_serial(
     """Run the serial DPSO; returns the best schedule found."""
     rng = np.random.default_rng(config.seed)
     n = instance.n
-    is_ucddcp = isinstance(instance, UCDDCPInstance)
-    evaluate = (
-        (lambda s: ucddcp_objective_for_sequence(instance, s))
-        if is_ucddcp
-        else (lambda s: cdd_objective_for_sequence(instance, s))
-    )
+    adapter = adapter_for(instance)
+    evaluate = adapter.sequence_evaluator()
 
     start = time.perf_counter()
     swarm = [rng.permutation(n) for _ in range(config.swarm_size)]
@@ -113,15 +103,9 @@ def dpso_serial(
             history[it] = gbest_fit
     wall = time.perf_counter() - start
 
-    schedule = (
-        optimize_ucddcp_sequence(instance, gbest)
-        if is_ucddcp
-        else optimize_cdd_sequence(instance, gbest)
-    )
-    return SolveResult(
-        schedule=schedule,
-        objective=schedule.objective,
-        best_sequence=gbest,
+    return assemble_result(
+        adapter,
+        gbest,
         evaluations=evaluations,
         wall_time_s=wall,
         history=history,

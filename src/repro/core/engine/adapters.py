@@ -1,0 +1,235 @@
+"""Problem adapters: the single place that knows CDD from UCDDCP.
+
+Every driver used to carry its own ``isinstance(instance, UCDDCPInstance)``
+branching -- evaluator selection, schedule reconstruction, device staging,
+fitness-kernel choice -- repeated six times across :mod:`repro.core` and
+again in :mod:`repro.kernels.data`.  A :class:`ProblemAdapter` owns all of
+that per problem family, so drivers, backends and the solver façade are
+written once against the adapter interface and :func:`adapter_for` is the
+only remaining type dispatch.
+
+The adapter splits into two facets:
+
+* the **sequence-policy layer** -- scalar objective, batched ensemble
+  objective, pure-Python evaluator (the honest serial-CPU comparator),
+  optimal-schedule reconstruction and the exact reference solver;
+* the **execution layer** -- the fitness :class:`~repro.gpusim.kernel.Kernel`
+  plus the staging recipe (named instance arrays in Figure-9 transfer order
+  and the constant-memory scalars) that an
+  :class:`~repro.core.engine.backends.ExecutionBackend` materializes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, ClassVar
+
+import numpy as np
+
+from repro.problems.cdd import CDDInstance
+from repro.problems.ucddcp import UCDDCPInstance
+from repro.seqopt.batched import batched_cdd_objective, batched_ucddcp_objective
+from repro.seqopt.cdd_linear import (
+    cdd_objective_for_sequence,
+    optimize_cdd_sequence,
+)
+from repro.seqopt.pure_python import cdd_objective_py, ucddcp_objective_py
+from repro.seqopt.ucddcp_linear import (
+    optimize_ucddcp_sequence,
+    ucddcp_objective_for_sequence,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpusim.kernel import Kernel
+    from repro.problems.schedule import Schedule
+
+__all__ = ["ProblemAdapter", "CDDAdapter", "UCDDCPAdapter", "adapter_for"]
+
+
+class ProblemAdapter(ABC):
+    """Uniform view of one problem instance for drivers and backends.
+
+    Attributes
+    ----------
+    kind:
+        Short family tag (``"cdd"`` or ``"ucddcp"``) usable in labels and
+        registry keys without type checks.
+    fitness_param_names:
+        Names of the staged instance arrays in the *kernel argument order*
+        of the family's fitness kernel (which differs from the Figure-9
+        transfer order reported by :meth:`staging_arrays`).
+    """
+
+    kind: ClassVar[str]
+    fitness_param_names: ClassVar[tuple[str, ...]]
+
+    def __init__(self, instance: CDDInstance | UCDDCPInstance) -> None:
+        self.instance = instance
+
+    @property
+    def n(self) -> int:
+        """Number of jobs."""
+        return self.instance.n
+
+    # -- sequence-policy layer -----------------------------------------
+
+    @abstractmethod
+    def objective(self, sequence: np.ndarray) -> float:
+        """Optimal penalty of one fixed job sequence (scalar O(n) pass)."""
+
+    @abstractmethod
+    def batched_objective(self, sequences: np.ndarray) -> np.ndarray:
+        """Optimal penalties of an ensemble of sequences (one per row)."""
+
+    @abstractmethod
+    def pure_python_evaluator(self) -> Callable[[np.ndarray], float]:
+        """List-based evaluator (no NumPy in the hot loop)."""
+
+    def sequence_evaluator(
+        self, pure_python: bool = False
+    ) -> Callable[[np.ndarray], float]:
+        """Scalar evaluator for serial chains; optionally pure Python."""
+        if pure_python:
+            return self.pure_python_evaluator()
+        return self.objective
+
+    @abstractmethod
+    def reconstruct(self, sequence: np.ndarray) -> "Schedule":
+        """Rebuild the full optimal-completion-time schedule of a sequence."""
+
+    @abstractmethod
+    def exact_schedule(self) -> "Schedule":
+        """Exact reference solution (exhaustive / partition DP); small n."""
+
+    # -- execution layer -----------------------------------------------
+
+    @abstractmethod
+    def make_fitness_kernel(self, use_texture: bool = False) -> "Kernel":
+        """Build the family's fitness kernel for the simulated device."""
+
+    @abstractmethod
+    def staging_arrays(self) -> tuple[tuple[str, np.ndarray], ...]:
+        """``(name, values)`` pairs in the paper's Figure-9 transfer order."""
+
+    def constants(self) -> tuple[tuple[str, np.generic], ...]:
+        """Constant-memory scalars shared by both problem families."""
+        return (
+            ("due_date", np.float64(self.instance.due_date)),
+            ("n_jobs", np.int64(self.n)),
+        )
+
+
+class CDDAdapter(ProblemAdapter):
+    """Adapter for the Common Due-Date problem."""
+
+    kind = "cdd"
+    fitness_param_names = ("processing", "alpha", "beta")
+
+    instance: CDDInstance
+
+    def objective(self, sequence: np.ndarray) -> float:
+        return cdd_objective_for_sequence(self.instance, sequence)
+
+    def batched_objective(self, sequences: np.ndarray) -> np.ndarray:
+        return batched_cdd_objective(self.instance, sequences)
+
+    def pure_python_evaluator(self) -> Callable[[np.ndarray], float]:
+        inst = self.instance
+        p = inst.processing.tolist()
+        a = inst.alpha.tolist()
+        b = inst.beta.tolist()
+        d = inst.due_date
+
+        def evaluate(seq: np.ndarray) -> float:
+            return cdd_objective_py(p, a, b, d, seq.tolist())
+
+        return evaluate
+
+    def reconstruct(self, sequence: np.ndarray) -> "Schedule":
+        return optimize_cdd_sequence(self.instance, sequence)
+
+    def exact_schedule(self) -> "Schedule":
+        from repro.seqopt.exact import brute_force_cdd, vshape_optimal_cdd
+
+        # Prefer the 2^n partition DP when applicable (unrestricted), else
+        # fall back to n! brute force.
+        if not self.instance.is_restrictive and self.n <= 20:
+            return vshape_optimal_cdd(self.instance)
+        return brute_force_cdd(self.instance)
+
+    def make_fitness_kernel(self, use_texture: bool = False) -> "Kernel":
+        from repro.kernels.fitness import make_cdd_fitness_kernel
+
+        return make_cdd_fitness_kernel(use_texture)
+
+    def staging_arrays(self) -> tuple[tuple[str, np.ndarray], ...]:
+        inst = self.instance
+        return (
+            ("processing", inst.processing),
+            ("alpha", inst.alpha),
+            ("beta", inst.beta),
+        )
+
+
+class UCDDCPAdapter(ProblemAdapter):
+    """Adapter for the unrestricted controllable-processing problem."""
+
+    kind = "ucddcp"
+    fitness_param_names = ("processing", "min_processing", "alpha", "beta",
+                           "gamma")
+
+    instance: UCDDCPInstance
+
+    def objective(self, sequence: np.ndarray) -> float:
+        return ucddcp_objective_for_sequence(self.instance, sequence)
+
+    def batched_objective(self, sequences: np.ndarray) -> np.ndarray:
+        return batched_ucddcp_objective(self.instance, sequences)
+
+    def pure_python_evaluator(self) -> Callable[[np.ndarray], float]:
+        inst = self.instance
+        p = inst.processing.tolist()
+        m = inst.min_processing.tolist()
+        a = inst.alpha.tolist()
+        b = inst.beta.tolist()
+        g = inst.gamma.tolist()
+        d = inst.due_date
+
+        def evaluate(seq: np.ndarray) -> float:
+            return ucddcp_objective_py(p, m, a, b, g, d, seq.tolist())
+
+        return evaluate
+
+    def reconstruct(self, sequence: np.ndarray) -> "Schedule":
+        return optimize_ucddcp_sequence(self.instance, sequence)
+
+    def exact_schedule(self) -> "Schedule":
+        from repro.seqopt.exact import brute_force_ucddcp
+
+        return brute_force_ucddcp(self.instance)
+
+    def make_fitness_kernel(self, use_texture: bool = False) -> "Kernel":
+        from repro.kernels.fitness import make_ucddcp_fitness_kernel
+
+        return make_ucddcp_fitness_kernel(use_texture)
+
+    def staging_arrays(self) -> tuple[tuple[str, np.ndarray], ...]:
+        inst = self.instance
+        return (
+            ("processing", inst.processing),
+            ("alpha", inst.alpha),
+            ("beta", inst.beta),
+            ("min_processing", inst.min_processing),
+            ("gamma", inst.gamma),
+        )
+
+
+def adapter_for(instance: CDDInstance | UCDDCPInstance) -> ProblemAdapter:
+    """Build the adapter for ``instance`` -- the one type-dispatch site."""
+    if isinstance(instance, UCDDCPInstance):
+        return UCDDCPAdapter(instance)
+    if isinstance(instance, CDDInstance):
+        return CDDAdapter(instance)
+    raise TypeError(
+        f"unsupported problem instance type {type(instance).__name__!r}"
+    )

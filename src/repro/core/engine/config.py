@@ -1,0 +1,97 @@
+"""Shared validation for the solver configuration dataclasses.
+
+The six ``*Config`` dataclasses used to repeat the same ``__post_init__``
+checks (iteration/grid/block positivity, perturbation-size floor, the
+``init`` policy whitelist, probability ranges, the ``population`` property).
+These helpers and mixins centralize them; the exact error messages are part
+of the public contract (tests match on them), so keep the wording stable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "check_positive_iterations",
+    "check_grid_block",
+    "check_pert_size",
+    "check_position_refresh",
+    "check_init_policy",
+    "check_probabilities",
+    "check_choice",
+    "EnsembleGeometryMixin",
+    "NeighborhoodConfigMixin",
+]
+
+INIT_POLICIES = ("random", "vshape")
+
+
+def check_positive_iterations(value: int, label: str = "iterations") -> None:
+    """Iteration/generation counts must be at least 1."""
+    if value < 1:
+        raise ValueError(f"{label} must be positive")
+
+
+def check_grid_block(grid_size: int, block_size: int) -> None:
+    """Launch geometry of the ensemble drivers must be non-degenerate."""
+    if grid_size < 1 or block_size < 1:
+        raise ValueError("grid and block sizes must be positive")
+
+
+def check_pert_size(pert_size: int) -> None:
+    """The Fisher--Yates sub-sequence needs at least two positions."""
+    if pert_size < 2:
+        raise ValueError("perturbation size must be at least 2")
+
+
+def check_position_refresh(position_refresh: int) -> None:
+    """The perturbation-position refresh period must be at least 1."""
+    if position_refresh < 1:
+        raise ValueError("position_refresh must be at least 1")
+
+
+def check_init_policy(init: str) -> None:
+    """Initial-population policy whitelist (see :mod:`repro.initialization`)."""
+    if init not in INIT_POLICIES:
+        raise ValueError(f"unknown init policy {init!r}")
+
+
+def check_probabilities(config: object, *names: str) -> None:
+    """Operator gate probabilities must be valid Bernoulli parameters."""
+    for name in names:
+        v = getattr(config, name)
+        if not (0.0 <= v <= 1.0):
+            raise ValueError(f"{name} must lie in [0, 1], got {v}")
+
+
+def check_choice(label: str, value: str, allowed: tuple[str, ...]) -> None:
+    """Enumerated-string fields (variant/coupling/...) must be known."""
+    if value not in allowed:
+        raise ValueError(f"unknown {label} {value!r}")
+
+
+class EnsembleGeometryMixin:
+    """Grid/block geometry shared by the parallel (one-chain-per-thread)
+    configurations: validation plus the derived ensemble size."""
+
+    grid_size: int
+    block_size: int
+    iterations: int
+
+    def _check_geometry(self) -> None:
+        check_positive_iterations(self.iterations)
+        check_grid_block(self.grid_size, self.block_size)
+
+    @property
+    def population(self) -> int:
+        """Total number of chains/particles (threads)."""
+        return self.grid_size * self.block_size
+
+
+class NeighborhoodConfigMixin:
+    """Fisher--Yates sub-sequence neighborhood parameters (SA/TA family)."""
+
+    pert_size: int
+    position_refresh: int
+
+    def _check_neighborhood(self) -> None:
+        check_pert_size(self.pert_size)
+        check_position_refresh(self.position_refresh)

@@ -1,0 +1,185 @@
+"""The shared generation-loop driver behind the ensemble metaheuristics.
+
+Both parallel drivers (SA and DPSO) follow the exact host program of the
+paper's Figure 9: stage the instance, allocate device state, upload the
+initial population, run ``iterations`` generations of kernel launches with
+a host synchronize per generation, then transfer the elitist best back and
+reconstruct its schedule.  :func:`run_ensemble` owns that skeleton --
+device setup, the generation loop, history recording, the two host<->device
+transfers and result assembly -- while an :class:`EnsembleStrategy` object
+contributes only what differs between algorithms: which buffers and kernels
+exist and what one generation launches.
+
+The call order against the backend is kept exactly as the original
+hand-written drivers performed it, because on the gpusim backend every
+launch/transfer charges modeled time and every RNG-consuming kernel
+advances the shared counter stream: preserving the order preserves both
+the modeled timings and the search trajectory bit-for-bit.
+
+:func:`assemble_result` is the one place a best sequence becomes a
+:class:`~repro.core.results.SolveResult`; the serial baselines use it too.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.engine.adapters import ProblemAdapter, adapter_for
+from repro.core.engine.backends import ExecutionBackend, create_backend
+from repro.core.results import SolveResult
+from repro.gpusim.launch import Dim3, LaunchConfig
+from repro.initialization import initial_population
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.problems.cdd import CDDInstance
+    from repro.problems.ucddcp import UCDDCPInstance
+
+__all__ = ["EnsembleStrategy", "run_ensemble", "assemble_result"]
+
+
+def assemble_result(
+    adapter: ProblemAdapter,
+    best_sequence: np.ndarray,
+    *,
+    evaluations: int,
+    wall_time_s: float,
+    history: np.ndarray | None = None,
+    params: dict[str, Any] | None = None,
+    **timing: float,
+) -> SolveResult:
+    """Reconstruct the best sequence's schedule and build the result."""
+    schedule = adapter.reconstruct(best_sequence)
+    return SolveResult(
+        schedule=schedule,
+        objective=schedule.objective,
+        best_sequence=np.asarray(best_sequence),
+        evaluations=evaluations,
+        wall_time_s=wall_time_s,
+        history=history,
+        params=params if params is not None else {},
+        **timing,
+    )
+
+
+class EnsembleStrategy(ABC):
+    """What one parallel metaheuristic contributes to the shared loop.
+
+    The driver calls the hooks in a fixed order (matching Figure 9):
+    ``prepare`` (host-side, may consume the host RNG for e.g. the T0
+    estimate), ``allocate`` (buffers + kernels; must set :attr:`seqs`,
+    :attr:`best_seq`, :attr:`best_energy`), ``prepare_population``,
+    ``initialize`` (first evaluation + elitism seed), then ``generation``
+    once per iteration, and finally ``finalize`` on the downloaded best.
+    """
+
+    #: Population buffer the initial sequences are uploaded into.
+    seqs: Any
+    #: Buffer holding the elitist best sequence (downloaded at the end).
+    best_seq: Any
+    #: One-element buffer of the elitist best energy (history source).
+    best_energy: Any
+
+    def __init__(self, config: Any) -> None:
+        self.config = config
+
+    @property
+    @abstractmethod
+    def algorithm(self) -> str:
+        """Label recorded in ``params['algorithm']``."""
+
+    def prepare(
+        self, adapter: ProblemAdapter, host_rng: np.random.Generator
+    ) -> None:
+        """Host-side setup before the wall clock starts (default: none)."""
+
+    @abstractmethod
+    def allocate(
+        self,
+        backend: ExecutionBackend,
+        adapter: ProblemAdapter,
+        cfg: LaunchConfig,
+    ) -> None:
+        """Allocate device state and build the kernel set."""
+
+    def prepare_population(self, init_seqs: np.ndarray) -> np.ndarray:
+        """Adjust the initial population before upload (default: none)."""
+        return init_seqs
+
+    @abstractmethod
+    def initialize(self, backend: ExecutionBackend, cfg: LaunchConfig) -> None:
+        """Evaluate the initial population and seed the elitist best."""
+
+    @abstractmethod
+    def generation(
+        self, backend: ExecutionBackend, cfg: LaunchConfig, it: int
+    ) -> None:
+        """Launch one generation's kernel pipeline (no synchronize)."""
+
+    def finalize(self, final_seq: np.ndarray) -> tuple[np.ndarray, int]:
+        """Post-process the downloaded best; returns (sequence, extra
+        objective evaluations performed)."""
+        return final_seq, 0
+
+    def params(self) -> dict[str, Any]:
+        """Algorithm-specific entries of ``SolveResult.params``."""
+        return {"algorithm": self.algorithm}
+
+
+def run_ensemble(
+    instance: "CDDInstance | UCDDCPInstance",
+    strategy: EnsembleStrategy,
+    backend: str | ExecutionBackend = "gpusim",
+) -> SolveResult:
+    """Run ``strategy`` on ``instance`` over the chosen execution backend."""
+    config = strategy.config
+    adapter = adapter_for(instance)
+    pop = config.population
+    host_rng = np.random.default_rng(config.seed)
+    strategy.prepare(adapter, host_rng)
+
+    start_wall = time.perf_counter()
+    exec_backend = create_backend(backend)
+    exec_backend.open(adapter, seed=config.seed, device_spec=config.device_spec)
+
+    cfg = LaunchConfig(
+        grid=Dim3(x=config.grid_size), block=Dim3(x=config.block_size)
+    )
+    strategy.allocate(exec_backend, adapter, cfg)
+
+    init_seqs = initial_population(
+        instance, pop, host_rng, config.init
+    ).astype(np.int32)
+    init_seqs = strategy.prepare_population(init_seqs)
+    exec_backend.upload(strategy.seqs, init_seqs)
+
+    strategy.initialize(exec_backend, cfg)
+
+    history = np.empty(config.iterations) if config.record_history else None
+    for it in range(config.iterations):
+        strategy.generation(exec_backend, cfg, it)
+        exec_backend.synchronize()
+        if history is not None:
+            history[it] = strategy.best_energy.array[0]
+
+    exec_backend.synchronize()
+    final_seq = exec_backend.download(strategy.best_seq).astype(np.intp)
+    _ = exec_backend.download(strategy.best_energy)
+    final_seq, extra_evals = strategy.finalize(final_seq)
+    wall = time.perf_counter() - start_wall
+
+    params = strategy.params()
+    params["device_spec"] = config.device_spec.name
+    params["backend"] = exec_backend.name
+    return assemble_result(
+        adapter,
+        final_seq,
+        evaluations=(config.iterations + 1) * pop + extra_evals,
+        wall_time_s=wall,
+        history=history,
+        params=params,
+        **exec_backend.timing_fields(),
+    )

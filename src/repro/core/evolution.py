@@ -24,14 +24,18 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro.core.engine.adapters import adapter_for
+from repro.core.engine.config import (
+    check_init_policy,
+    check_pert_size,
+    check_positive_iterations,
+)
+from repro.core.engine.driver import assemble_result
 from repro.core.results import SolveResult
 from repro.initialization import initial_population
 from repro.permutation import partial_fisher_yates, sample_distinct_positions
 from repro.problems.cdd import CDDInstance
 from repro.problems.ucddcp import UCDDCPInstance
-from repro.seqopt.batched import batched_cdd_objective, batched_ucddcp_objective
-from repro.seqopt.cdd_linear import optimize_cdd_sequence
-from repro.seqopt.ucddcp_linear import optimize_ucddcp_sequence
 
 __all__ = ["EvolutionStrategyConfig", "evolution_strategy"]
 
@@ -50,16 +54,13 @@ class EvolutionStrategyConfig:
     record_history: bool = False
 
     def __post_init__(self) -> None:
-        if self.generations < 1:
-            raise ValueError("generations must be positive")
+        check_positive_iterations(self.generations, "generations")
         if self.mu < 1 or self.lam < self.mu:
             raise ValueError("need lambda >= mu >= 1")
-        if self.pert_size < 2:
-            raise ValueError("perturbation size must be at least 2")
+        check_pert_size(self.pert_size)
         if self.max_mutations < 1:
             raise ValueError("max_mutations must be positive")
-        if self.init not in ("random", "vshape"):
-            raise ValueError(f"unknown init policy {self.init!r}")
+        check_init_policy(self.init)
 
 
 def evolution_strategy(
@@ -69,14 +70,11 @@ def evolution_strategy(
     """Run the serial (mu + lambda)-ES; returns the best schedule found."""
     rng = np.random.default_rng(config.seed)
     n = instance.n
-    is_ucddcp = isinstance(instance, UCDDCPInstance)
-    batched_eval = (
-        batched_ucddcp_objective if is_ucddcp else batched_cdd_objective
-    )
+    adapter = adapter_for(instance)
 
     start = time.perf_counter()
     population = initial_population(instance, config.mu, rng, config.init)
-    fitness = batched_eval(instance, population)
+    fitness = adapter.batched_objective(population)
     order = np.argsort(fitness)
     population, fitness = population[order], fitness[order]
     pert = min(config.pert_size, n)
@@ -98,7 +96,7 @@ def evolution_strategy(
                 pos = sample_distinct_positions(rng, n, pert)
                 child = partial_fisher_yates(rng, child, pos)
             offspring[i] = child
-        child_fit = batched_eval(instance, offspring)
+        child_fit = adapter.batched_objective(offspring)
         evaluations += config.lam
 
         pool = np.vstack((population, offspring))
@@ -112,15 +110,9 @@ def evolution_strategy(
     wall = time.perf_counter() - start
 
     best_seq = population[0].astype(np.intp)
-    schedule = (
-        optimize_ucddcp_sequence(instance, best_seq)
-        if is_ucddcp
-        else optimize_cdd_sequence(instance, best_seq)
-    )
-    return SolveResult(
-        schedule=schedule,
-        objective=schedule.objective,
-        best_sequence=best_seq,
+    return assemble_result(
+        adapter,
+        best_seq,
         evaluations=evaluations,
         wall_time_s=wall,
         history=history,

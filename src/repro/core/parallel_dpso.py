@@ -23,27 +23,32 @@ Per-generation kernel pipeline (both modes):
     update (F1/F2/F3 with per-thread cuRAND gates) -> fitness ->
     pbest update -> reduction
 
-Everything else (data staging, constant memory, modeled timing, the two
-host<->device transfers) matches the SA driver.
+The host program (data staging, constant memory, modeled timing, the two
+host<->device transfers) is the shared ensemble driver of
+:func:`repro.core.engine.driver.run_ensemble`; this module contributes only
+the DPSO state and kernels, and ``backend`` selects the execution backend
+exactly as for the SA.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from repro.core.results import SolveResult
-from repro.gpusim.device import GEFORCE_GT_560M, Device, DeviceSpec
-from repro.initialization import initial_population
-from repro.gpusim.kernel import Kernel, KernelCost, ThreadContext, kernel
-from repro.gpusim.launch import Dim3, LaunchConfig
-from repro.kernels.data import DeviceProblemData
-from repro.kernels.fitness import (
-    make_cdd_fitness_kernel,
-    make_ucddcp_fitness_kernel,
+from repro.core.engine.adapters import ProblemAdapter
+from repro.core.engine.backends import ExecutionBackend
+from repro.core.engine.config import (
+    EnsembleGeometryMixin,
+    check_choice,
+    check_init_policy,
+    check_probabilities,
 )
+from repro.core.engine.driver import EnsembleStrategy, run_ensemble
+from repro.core.results import SolveResult
+from repro.gpusim.device import GEFORCE_GT_560M, DeviceSpec
+from repro.gpusim.kernel import Kernel, KernelCost, ThreadContext, kernel
+from repro.gpusim.launch import LaunchConfig
 from repro.kernels.reduction_kernel import make_elitist_reduction_kernel
 from repro.permutation import (
     batched_one_point_crossover,
@@ -52,14 +57,12 @@ from repro.permutation import (
 )
 from repro.problems.cdd import CDDInstance
 from repro.problems.ucddcp import UCDDCPInstance
-from repro.seqopt.cdd_linear import optimize_cdd_sequence
-from repro.seqopt.ucddcp_linear import optimize_ucddcp_sequence
 
-__all__ = ["ParallelDPSOConfig", "parallel_dpso"]
+__all__ = ["ParallelDPSOConfig", "ParallelDPSOStrategy", "parallel_dpso"]
 
 
 @dataclass(frozen=True)
-class ParallelDPSOConfig:
+class ParallelDPSOConfig(EnsembleGeometryMixin):
     """Configuration of the parallel DPSO (one particle per thread)."""
 
     iterations: int = 1000
@@ -79,23 +82,10 @@ class ParallelDPSOConfig:
     device_spec: DeviceSpec = field(default=GEFORCE_GT_560M)
 
     def __post_init__(self) -> None:
-        if self.iterations < 1:
-            raise ValueError("iterations must be positive")
-        if self.grid_size < 1 or self.block_size < 1:
-            raise ValueError("grid and block sizes must be positive")
-        for name in ("w", "c1", "c2"):
-            v = getattr(self, name)
-            if not (0.0 <= v <= 1.0):
-                raise ValueError(f"{name} must lie in [0, 1], got {v}")
-        if self.coupling not in ("async", "ring", "coupled"):
-            raise ValueError(f"unknown coupling {self.coupling!r}")
-        if self.init not in ("random", "vshape"):
-            raise ValueError(f"unknown init policy {self.init!r}")
-
-    @property
-    def population(self) -> int:
-        """Number of particles (threads)."""
-        return self.grid_size * self.block_size
+        self._check_geometry()
+        check_probabilities(self, "w", "c1", "c2")
+        check_choice("coupling", self.coupling, ("async", "ring", "coupled"))
+        check_init_policy(self.init)
 
 
 def _make_update_kernel(w: float, c1: float, c2: float, coupling: str) -> Kernel:
@@ -176,96 +166,83 @@ def _make_pbest_kernel() -> Kernel:
     return dpso_pbest
 
 
+class ParallelDPSOStrategy(EnsembleStrategy):
+    """The DPSO-specific half of the ensemble driver.
+
+    One particle per thread; per generation the update/fitness/pbest/
+    reduction pipeline of Section VII.  The elitist best buffers double as
+    the swarm best (``gbest``) read back at the end.
+    """
+
+    config: ParallelDPSOConfig
+
+    algorithm = "parallel_dpso"
+
+    def allocate(
+        self,
+        backend: ExecutionBackend,
+        adapter: ProblemAdapter,
+        cfg: LaunchConfig,
+    ) -> None:
+        config = self.config
+        pop, n = config.population, adapter.n
+        self.seqs = backend.alloc((pop, n), np.int32, "particles")
+        self.fitness = backend.alloc(pop, np.float64, "fitness")
+        self.pbest = backend.alloc((pop, n), np.int32, "pbest")
+        self.pbest_fit = backend.alloc(pop, np.float64, "pbest_fitness")
+        self.best_seq = backend.alloc(n, np.int32, "gbest")
+        self.best_energy = backend.alloc(1, np.float64, "gbest_fitness")
+        self.result = backend.alloc(2, np.float64, "reduction_result")
+
+        self.fitness_kernel = adapter.make_fitness_kernel(config.use_texture)
+        self.update_kernel = _make_update_kernel(
+            config.w, config.c1, config.c2, config.coupling
+        )
+        self.pbest_kernel = _make_pbest_kernel()
+        self.reduction_kernel = make_elitist_reduction_kernel()
+
+    def _launch_fitness(self, backend, cfg) -> None:
+        backend.launch(
+            self.fitness_kernel, cfg, self.seqs, *backend.fitness_buffers(),
+            self.fitness,
+        )
+
+    def initialize(self, backend: ExecutionBackend, cfg: LaunchConfig) -> None:
+        # Initialization: evaluate, seed pbest; gbest via device-side elitism.
+        self.best_energy.array[0] = np.inf
+        self._launch_fitness(backend, cfg)
+        self.pbest.array[:] = self.seqs.array
+        self.pbest_fit.array[:] = self.fitness.array
+        backend.launch(
+            self.reduction_kernel, cfg, self.pbest_fit, self.pbest,
+            self.best_energy, self.best_seq, self.result,
+        )
+
+    def generation(
+        self, backend: ExecutionBackend, cfg: LaunchConfig, it: int
+    ) -> None:
+        backend.launch(
+            self.update_kernel, cfg, self.seqs, self.pbest, self.pbest_fit,
+            self.best_seq,
+        )
+        self._launch_fitness(backend, cfg)
+        backend.launch(
+            self.pbest_kernel, cfg, self.seqs, self.fitness, self.pbest,
+            self.pbest_fit,
+        )
+        backend.launch(
+            self.reduction_kernel, cfg, self.pbest_fit, self.pbest,
+            self.best_energy, self.best_seq, self.result,
+        )
+
+    def params(self) -> dict:
+        return {"algorithm": self.algorithm, **asdict(self.config)}
+
+
 def parallel_dpso(
     instance: CDDInstance | UCDDCPInstance,
     config: ParallelDPSOConfig = ParallelDPSOConfig(),
+    backend: str | ExecutionBackend = "gpusim",
 ) -> SolveResult:
-    """Run the GPU-parallel DPSO on the simulated device."""
-    n = instance.n
-    is_ucddcp = isinstance(instance, UCDDCPInstance)
-    pop = config.population
-    host_rng = np.random.default_rng(config.seed)
-
-    start_wall = time.perf_counter()
-    device = Device(spec=config.device_spec, seed=config.seed)
-    data = DeviceProblemData(device, instance)
-
-    seqs = device.malloc((pop, n), np.int32, "particles")
-    fitness = device.malloc(pop, np.float64, "fitness")
-    pbest = device.malloc((pop, n), np.int32, "pbest")
-    pbest_fit = device.malloc(pop, np.float64, "pbest_fitness")
-    gbest = device.malloc(n, np.int32, "gbest")
-    gbest_fit = device.malloc(1, np.float64, "gbest_fitness")
-    result = device.malloc(2, np.float64, "reduction_result")
-
-    init = initial_population(
-        instance, pop, host_rng, config.init
-    ).astype(np.int32)
-    device.memcpy_htod(seqs, init)
-
-    cfg = LaunchConfig(grid=Dim3(x=config.grid_size), block=Dim3(x=config.block_size))
-    fitness_kernel = (
-        make_ucddcp_fitness_kernel(config.use_texture)
-        if is_ucddcp
-        else make_cdd_fitness_kernel(config.use_texture)
-    )
-    update_kernel = _make_update_kernel(
-        config.w, config.c1, config.c2, config.coupling
-    )
-    pbest_kernel = _make_pbest_kernel()
-    reduction_kernel = make_elitist_reduction_kernel()
-
-    def launch_fitness() -> None:
-        if is_ucddcp:
-            device.launch(fitness_kernel, cfg, seqs, data.p, data.m, data.a,
-                          data.b, data.g, fitness)
-        else:
-            device.launch(fitness_kernel, cfg, seqs, data.p, data.a, data.b,
-                          fitness)
-
-    # Initialization: evaluate, seed pbest; gbest via device-side elitism.
-    gbest_fit.array[0] = np.inf
-    launch_fitness()
-    pbest.array[:] = seqs.array
-    pbest_fit.array[:] = fitness.array
-    device.launch(
-        reduction_kernel, cfg, pbest_fit, pbest, gbest_fit, gbest, result
-    )
-
-    history = np.empty(config.iterations) if config.record_history else None
-
-    for it in range(config.iterations):
-        device.launch(update_kernel, cfg, seqs, pbest, pbest_fit, gbest)
-        launch_fitness()
-        device.launch(pbest_kernel, cfg, seqs, fitness, pbest, pbest_fit)
-        device.launch(
-            reduction_kernel, cfg, pbest_fit, pbest, gbest_fit, gbest, result
-        )
-        device.synchronize()
-        if history is not None:
-            history[it] = gbest_fit.array[0]
-
-    device.synchronize()
-    final_seq = device.memcpy_dtoh(gbest).astype(np.intp)
-    _ = device.memcpy_dtoh(gbest_fit)
-    wall = time.perf_counter() - start_wall
-
-    schedule = (
-        optimize_ucddcp_sequence(instance, final_seq)
-        if is_ucddcp
-        else optimize_cdd_sequence(instance, final_seq)
-    )
-    params = {"algorithm": "parallel_dpso", **asdict(config)}
-    params["device_spec"] = config.device_spec.name
-    return SolveResult(
-        schedule=schedule,
-        objective=schedule.objective,
-        best_sequence=final_seq,
-        evaluations=(config.iterations + 1) * pop,
-        wall_time_s=wall,
-        modeled_device_time_s=device.host_time,
-        modeled_kernel_time_s=device.profiler.kernel_time(),
-        modeled_memcpy_time_s=device.profiler.memcpy_time(),
-        history=history,
-        params=params,
-    )
+    """Run the GPU-parallel DPSO over the chosen execution backend."""
+    return run_ensemble(instance, ParallelDPSOStrategy(config), backend)

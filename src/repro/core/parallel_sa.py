@@ -29,11 +29,17 @@ position -- chain ``t`` only explores sequences starting with job
 this strategy "ineffective for a job size of 50 or more" because fixing one
 position barely shrinks the (n-1)! subdomain; the strategy ablation
 reproduces exactly that.
+
+The host program (device setup, generation loop, transfers, result
+assembly) lives in :func:`repro.core.engine.driver.run_ensemble`; this
+module contributes only the SA-specific state and kernel pipeline, and the
+``backend`` argument picks the execution backend (``"gpusim"`` for modeled
+timings, ``"vectorized"`` for the same trajectory without the device
+model).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
@@ -42,29 +48,30 @@ from repro.core.cooling import (
     DEFAULT_COOLING_RATE,
     estimate_initial_temperature,
 )
-from repro.core.results import SolveResult
-from repro.gpusim.device import GEFORCE_GT_560M, Device, DeviceSpec
-from repro.initialization import initial_population
-from repro.gpusim.kernel import Kernel, KernelCost, ThreadContext, kernel
-from repro.gpusim.launch import Dim3, LaunchConfig
-from repro.kernels.acceptance import make_acceptance_kernel
-from repro.kernels.data import DeviceProblemData
-from repro.kernels.fitness import (
-    make_cdd_fitness_kernel,
-    make_ucddcp_fitness_kernel,
+from repro.core.engine.adapters import ProblemAdapter
+from repro.core.engine.backends import ExecutionBackend
+from repro.core.engine.config import (
+    EnsembleGeometryMixin,
+    NeighborhoodConfigMixin,
+    check_choice,
+    check_init_policy,
 )
+from repro.core.engine.driver import EnsembleStrategy, run_ensemble
+from repro.core.results import SolveResult
+from repro.gpusim.device import GEFORCE_GT_560M, DeviceSpec
+from repro.gpusim.kernel import Kernel, KernelCost, ThreadContext, kernel
+from repro.gpusim.launch import LaunchConfig
+from repro.kernels.acceptance import make_acceptance_kernel
 from repro.kernels.perturbation import make_perturbation_kernel
 from repro.kernels.reduction_kernel import make_elitist_reduction_kernel
 from repro.problems.cdd import CDDInstance
 from repro.problems.ucddcp import UCDDCPInstance
-from repro.seqopt.cdd_linear import optimize_cdd_sequence
-from repro.seqopt.ucddcp_linear import optimize_ucddcp_sequence
 
-__all__ = ["ParallelSAConfig", "parallel_sa"]
+__all__ = ["ParallelSAConfig", "ParallelSAStrategy", "parallel_sa"]
 
 
 @dataclass(frozen=True)
-class ParallelSAConfig:
+class ParallelSAConfig(EnsembleGeometryMixin, NeighborhoodConfigMixin):
     """Configuration of the parallel SA (paper defaults).
 
     ``grid_size * block_size`` threads run one chain each; the paper fixes
@@ -101,25 +108,12 @@ class ParallelSAConfig:
     device_spec: DeviceSpec = field(default=GEFORCE_GT_560M)
 
     def __post_init__(self) -> None:
-        if self.iterations < 1:
-            raise ValueError("iterations must be positive")
-        if self.grid_size < 1 or self.block_size < 1:
-            raise ValueError("grid and block sizes must be positive")
-        if self.pert_size < 2:
-            raise ValueError("perturbation size must be at least 2")
-        if self.position_refresh < 1:
-            raise ValueError("position_refresh must be at least 1")
-        if self.variant not in ("async", "sync", "domain"):
-            raise ValueError(f"unknown variant {self.variant!r}")
+        self._check_geometry()
+        self._check_neighborhood()
+        check_choice("variant", self.variant, ("async", "sync", "domain"))
         if self.sync_segment_length < 1:
             raise ValueError("sync_segment_length must be positive")
-        if self.init not in ("random", "vshape"):
-            raise ValueError(f"unknown init policy {self.init!r}")
-
-    @property
-    def population(self) -> int:
-        """Total number of chains (threads)."""
-        return self.grid_size * self.block_size
+        check_init_policy(self.init)
 
 
 def _make_broadcast_kernel() -> Kernel:
@@ -143,154 +137,155 @@ def _make_broadcast_kernel() -> Kernel:
     return broadcast_best
 
 
-def parallel_sa(
-    instance: CDDInstance | UCDDCPInstance,
-    config: ParallelSAConfig = ParallelSAConfig(),
-) -> SolveResult:
-    """Run the GPU-parallel SA on the simulated device.
+class ParallelSAStrategy(EnsembleStrategy):
+    """The SA-specific half of the ensemble driver.
 
-    Returns the best schedule over all chains and generations, with both the
-    measured host wall time and the modeled device time (kernels plus all
-    host<->device transfers).
+    One chain per thread; per generation the four-kernel pipeline of
+    Section VI (perturbation -> fitness -> acceptance -> elitist reduction),
+    plus the variant-specific temperature bookkeeping and the sync
+    variant's segment-boundary broadcast.
     """
-    n = instance.n
-    is_ucddcp = isinstance(instance, UCDDCPInstance)
-    min_position = 1 if config.variant == "domain" else 0
-    pert = min(config.pert_size, n - min_position)
-    if pert < 2:
-        raise ValueError(
-            "domain decomposition needs at least 3 jobs (2 free positions)"
-        )
-    pop = config.population
-    host_rng = np.random.default_rng(config.seed)
 
-    t0 = (
-        config.t0
-        if config.t0 is not None
-        else estimate_initial_temperature(instance, config.t0_samples, host_rng)
-    )
+    config: ParallelSAConfig
 
-    start_wall = time.perf_counter()
-    device = Device(spec=config.device_spec, seed=config.seed)
-    data = DeviceProblemData(device, instance)
+    @property
+    def algorithm(self) -> str:
+        return f"parallel_sa_{self.config.variant}"
 
-    # Device state -------------------------------------------------------
-    seqs = device.malloc((pop, n), np.int32, "sequences")
-    cand = device.malloc((pop, n), np.int32, "candidates")
-    energy = device.malloc(pop, np.float64, "energy")
-    cand_energy = device.malloc(pop, np.float64, "cand_energy")
-    positions = device.malloc((pop, pert), np.int64, "pert_positions")
-    best_energy = device.malloc(1, np.float64, "best_energy")
-    best_seq = device.malloc(n, np.int32, "best_sequence")
-    result = device.malloc(2, np.float64, "reduction_result")
-
-    init_seqs = initial_population(
-        instance, pop, host_rng, config.init
-    ).astype(np.int32)
-    if config.variant == "domain":
-        # Partition the space by the first job: chain t explores the
-        # subdomain of sequences starting with job t mod n.
-        first = (np.arange(pop) % n).astype(np.int32)
-        for t in range(pop):
-            row = init_seqs[t]
-            swap_idx = int(np.nonzero(row == first[t])[0][0])
-            row[0], row[swap_idx] = row[swap_idx], row[0]
-    device.memcpy_htod(seqs, init_seqs)
-
-    cfg = LaunchConfig(grid=Dim3(x=config.grid_size), block=Dim3(x=config.block_size))
-    fitness_kernel = (
-        make_ucddcp_fitness_kernel(config.use_texture)
-        if is_ucddcp
-        else make_cdd_fitness_kernel(config.use_texture)
-    )
-    perturbation_kernel = make_perturbation_kernel()
-    acceptance_kernel = make_acceptance_kernel()
-    reduction_kernel = make_elitist_reduction_kernel()
-    broadcast_kernel = _make_broadcast_kernel() if config.variant == "sync" else None
-
-    def launch_fitness(seq_buf, out_buf) -> None:
-        if is_ucddcp:
-            device.launch(
-                fitness_kernel, cfg, seq_buf, data.p, data.m, data.a,
-                data.b, data.g, out_buf,
+    def prepare(
+        self, adapter: ProblemAdapter, host_rng: np.random.Generator
+    ) -> None:
+        config = self.config
+        self.adapter = adapter
+        n = adapter.n
+        self.min_position = 1 if config.variant == "domain" else 0
+        self.pert = min(config.pert_size, n - self.min_position)
+        if self.pert < 2:
+            raise ValueError(
+                "domain decomposition needs at least 3 jobs (2 free positions)"
             )
-        else:
-            device.launch(fitness_kernel, cfg, seq_buf, data.p, data.a,
-                          data.b, out_buf)
+        self.t0 = (
+            config.t0
+            if config.t0 is not None
+            else estimate_initial_temperature(
+                adapter.instance, config.t0_samples, host_rng
+            )
+        )
+        self.temperature = self.t0
+        self.sync_countdown = config.sync_segment_length
 
-    # Initial evaluation and best tracking (device-side elitism).
-    best_energy.array[0] = np.inf
-    launch_fitness(seqs, energy)
-    device.launch(
-        reduction_kernel, cfg, energy, seqs, best_energy, best_seq, result
-    )
+    def allocate(
+        self,
+        backend: ExecutionBackend,
+        adapter: ProblemAdapter,
+        cfg: LaunchConfig,
+    ) -> None:
+        config = self.config
+        pop, n = config.population, adapter.n
+        self.seqs = backend.alloc((pop, n), np.int32, "sequences")
+        self.cand = backend.alloc((pop, n), np.int32, "candidates")
+        self.energy = backend.alloc(pop, np.float64, "energy")
+        self.cand_energy = backend.alloc(pop, np.float64, "cand_energy")
+        self.positions = backend.alloc((pop, self.pert), np.int64,
+                                       "pert_positions")
+        self.best_energy = backend.alloc(1, np.float64, "best_energy")
+        self.best_seq = backend.alloc(n, np.int32, "best_sequence")
+        self.result = backend.alloc(2, np.float64, "reduction_result")
 
-    history = (
-        np.empty(config.iterations) if config.record_history else None
-    )
-    temperature = t0
-    sync_countdown = config.sync_segment_length
+        self.fitness_kernel = adapter.make_fitness_kernel(config.use_texture)
+        self.perturbation_kernel = make_perturbation_kernel()
+        self.acceptance_kernel = make_acceptance_kernel()
+        self.reduction_kernel = make_elitist_reduction_kernel()
+        self.broadcast_kernel = (
+            _make_broadcast_kernel() if config.variant == "sync" else None
+        )
 
-    for it in range(config.iterations):
+    def prepare_population(self, init_seqs: np.ndarray) -> np.ndarray:
+        if self.config.variant == "domain":
+            # Partition the space by the first job: chain t explores the
+            # subdomain of sequences starting with job t mod n.
+            pop, n = init_seqs.shape
+            first = (np.arange(pop) % n).astype(np.int32)
+            for t in range(pop):
+                row = init_seqs[t]
+                swap_idx = int(np.nonzero(row == first[t])[0][0])
+                row[0], row[swap_idx] = row[swap_idx], row[0]
+        return init_seqs
+
+    def _launch_fitness(self, backend, cfg, seq_buf, out_buf) -> None:
+        backend.launch(
+            self.fitness_kernel, cfg, seq_buf, *backend.fitness_buffers(),
+            out_buf,
+        )
+
+    def initialize(self, backend: ExecutionBackend, cfg: LaunchConfig) -> None:
+        # Initial evaluation and best tracking (device-side elitism).
+        self.best_energy.array[0] = np.inf
+        self._launch_fitness(backend, cfg, self.seqs, self.energy)
+        backend.launch(
+            self.reduction_kernel, cfg, self.energy, self.seqs,
+            self.best_energy, self.best_seq, self.result,
+        )
+
+    def generation(
+        self, backend: ExecutionBackend, cfg: LaunchConfig, it: int
+    ) -> None:
+        config = self.config
         refresh = it % config.position_refresh == 0
-        device.launch(
-            perturbation_kernel, cfg, seqs, cand, positions, refresh,
-            min_position,
+        backend.launch(
+            self.perturbation_kernel, cfg, self.seqs, self.cand,
+            self.positions, refresh, self.min_position,
         )
-        launch_fitness(cand, cand_energy)
-        device.launch(
-            acceptance_kernel, cfg, seqs, cand, energy, cand_energy, temperature
+        self._launch_fitness(backend, cfg, self.cand, self.cand_energy)
+        backend.launch(
+            self.acceptance_kernel, cfg, self.seqs, self.cand, self.energy,
+            self.cand_energy, self.temperature,
         )
-        device.launch(
-            reduction_kernel, cfg, energy, seqs, best_energy, best_seq, result
+        backend.launch(
+            self.reduction_kernel, cfg, self.energy, self.seqs,
+            self.best_energy, self.best_seq, self.result,
         )
 
         if config.variant != "sync":
-            temperature *= config.cooling_rate
+            self.temperature *= config.cooling_rate
         else:
-            sync_countdown -= 1
-            if sync_countdown == 0:
+            self.sync_countdown -= 1
+            if self.sync_countdown == 0:
                 # Segment boundary: share the best state with every chain
                 # and move to the next temperature level.
-                assert broadcast_kernel is not None
-                device.launch(broadcast_kernel, cfg, seqs, energy, result)
-                temperature *= config.cooling_rate
-                sync_countdown = config.sync_segment_length
+                assert self.broadcast_kernel is not None
+                backend.launch(
+                    self.broadcast_kernel, cfg, self.seqs, self.energy,
+                    self.result,
+                )
+                self.temperature *= config.cooling_rate
+                self.sync_countdown = config.sync_segment_length
 
-        device.synchronize()
-        if history is not None:
-            history[it] = best_energy.array[0]
-
-    device.synchronize()
-    final_seq = device.memcpy_dtoh(best_seq).astype(np.intp)
-    _ = device.memcpy_dtoh(best_energy)
-    polish_evals = 0
-    if config.final_polish:
+    def finalize(self, final_seq: np.ndarray) -> tuple[np.ndarray, int]:
+        if not self.config.final_polish:
+            return final_seq, 0
         from repro.seqopt.local_search import local_search
 
-        polished = local_search(instance, final_seq, "adjacent")
-        final_seq = polished.sequence
-        polish_evals = polished.evaluations
-    wall = time.perf_counter() - start_wall
+        polished = local_search(self.adapter.instance, final_seq, "adjacent")
+        return polished.sequence, polished.evaluations
 
-    schedule = (
-        optimize_ucddcp_sequence(instance, final_seq)
-        if is_ucddcp
-        else optimize_cdd_sequence(instance, final_seq)
-    )
-    profiler = device.profiler
-    params = {"algorithm": f"parallel_sa_{config.variant}", **asdict(config),
-              "t0": t0}
-    params["device_spec"] = config.device_spec.name
-    return SolveResult(
-        schedule=schedule,
-        objective=schedule.objective,
-        best_sequence=final_seq,
-        evaluations=(config.iterations + 1) * pop + polish_evals,
-        wall_time_s=wall,
-        modeled_device_time_s=device.host_time,
-        modeled_kernel_time_s=profiler.kernel_time(),
-        modeled_memcpy_time_s=profiler.memcpy_time(),
-        history=history,
-        params=params,
-    )
+    def params(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            **asdict(self.config),
+            "t0": self.t0,
+        }
+
+
+def parallel_sa(
+    instance: CDDInstance | UCDDCPInstance,
+    config: ParallelSAConfig = ParallelSAConfig(),
+    backend: str | ExecutionBackend = "gpusim",
+) -> SolveResult:
+    """Run the GPU-parallel SA over the chosen execution backend.
+
+    Returns the best schedule over all chains and generations, with the
+    measured host wall time; on the ``gpusim`` backend also the modeled
+    device time (kernels plus all host<->device transfers).
+    """
+    return run_ensemble(instance, ParallelSAStrategy(config), backend)

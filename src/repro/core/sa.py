@@ -25,26 +25,25 @@ from repro.core.cooling import (
     ExponentialCooling,
     estimate_initial_temperature,
 )
+from repro.core.engine.adapters import adapter_for
+from repro.core.engine.config import (
+    NeighborhoodConfigMixin,
+    check_choice,
+    check_init_policy,
+    check_positive_iterations,
+)
+from repro.core.engine.driver import assemble_result
 from repro.core.results import SolveResult
 from repro.initialization import initial_population
 from repro.permutation import partial_fisher_yates, sample_distinct_positions
 from repro.problems.cdd import CDDInstance
 from repro.problems.ucddcp import UCDDCPInstance
-from repro.seqopt.cdd_linear import (
-    cdd_objective_for_sequence,
-    optimize_cdd_sequence,
-)
-from repro.seqopt.pure_python import cdd_objective_py, ucddcp_objective_py
-from repro.seqopt.ucddcp_linear import (
-    optimize_ucddcp_sequence,
-    ucddcp_objective_for_sequence,
-)
 
 __all__ = ["SerialSAConfig", "sa_serial"]
 
 
 @dataclass(frozen=True)
-class SerialSAConfig:
+class SerialSAConfig(NeighborhoodConfigMixin):
     """Configuration of the serial SA chain (paper defaults)."""
 
     iterations: int = 1000
@@ -59,16 +58,10 @@ class SerialSAConfig:
     record_history: bool = False
 
     def __post_init__(self) -> None:
-        if self.iterations < 1:
-            raise ValueError("iterations must be positive")
-        if self.pert_size < 2:
-            raise ValueError("perturbation size must be at least 2")
-        if self.position_refresh < 1:
-            raise ValueError("position_refresh must be at least 1")
-        if self.backend not in ("numpy", "python"):
-            raise ValueError(f"unknown backend {self.backend!r}")
-        if self.init not in ("random", "vshape"):
-            raise ValueError(f"unknown init policy {self.init!r}")
+        check_positive_iterations(self.iterations)
+        self._check_neighborhood()
+        check_choice("backend", self.backend, ("numpy", "python"))
+        check_init_policy(self.init)
 
 
 def sa_serial(
@@ -78,35 +71,10 @@ def sa_serial(
     """Run one serial SA chain on ``instance``; returns the best schedule."""
     rng = np.random.default_rng(config.seed)
     n = instance.n
-    is_ucddcp = isinstance(instance, UCDDCPInstance)
-
-    if config.backend == "python":
-        p = instance.processing.tolist()
-        a = instance.alpha.tolist()
-        b = instance.beta.tolist()
-        d = instance.due_date
-        if is_ucddcp:
-            m = instance.min_processing.tolist()
-            g = instance.gamma.tolist()
-
-            def evaluate(seq: np.ndarray) -> float:
-                return ucddcp_objective_py(p, m, a, b, g, d, seq.tolist())
-
-        else:
-
-            def evaluate(seq: np.ndarray) -> float:
-                return cdd_objective_py(p, a, b, d, seq.tolist())
-
-    else:
-        if is_ucddcp:
-
-            def evaluate(seq: np.ndarray) -> float:
-                return ucddcp_objective_for_sequence(instance, seq)
-
-        else:
-
-            def evaluate(seq: np.ndarray) -> float:
-                return cdd_objective_for_sequence(instance, seq)
+    adapter = adapter_for(instance)
+    evaluate = adapter.sequence_evaluator(
+        pure_python=config.backend == "python"
+    )
 
     t0 = (
         config.t0
@@ -147,15 +115,9 @@ def sa_serial(
             history[it] = best_energy
     wall = time.perf_counter() - start
 
-    schedule = (
-        optimize_ucddcp_sequence(instance, best_seq)
-        if is_ucddcp
-        else optimize_cdd_sequence(instance, best_seq)
-    )
-    return SolveResult(
-        schedule=schedule,
-        objective=schedule.objective,
-        best_sequence=best_seq,
+    return assemble_result(
+        adapter,
+        best_seq,
         evaluations=config.iterations + 1,
         wall_time_s=wall,
         history=history,

@@ -2,6 +2,10 @@
 
 Downstream users interact with these classes: pick a problem instance,
 pick a method, get a fully reconstructed optimal-completion-time schedule.
+Methods are looked up in a registry (:data:`_BaseSolver._METHODS`), so the
+set of advertised methods cannot drift from the actual dispatch; parallel
+methods additionally accept ``backend="gpusim"|"vectorized"`` to pick the
+execution backend of :mod:`repro.core.engine.backends`.
 
 >>> from repro import CDDSolver, biskup_instance
 >>> inst = biskup_instance(n=20, h=0.4, k=1)
@@ -13,11 +17,14 @@ True
 from __future__ import annotations
 
 import time
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.core.dpso import DPSOConfig, dpso_serial
+from repro.core.engine.adapters import adapter_for
+from repro.core.engine.backends import DEFAULT_BACKEND
 from repro.core.evolution import EvolutionStrategyConfig, evolution_strategy
 from repro.core.parallel_dpso import ParallelDPSOConfig, parallel_dpso
 from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
@@ -27,20 +34,63 @@ from repro.core.threshold import ThresholdAcceptingConfig, threshold_accepting
 from repro.problems.cdd import CDDInstance
 from repro.problems.schedule import Schedule
 from repro.problems.ucddcp import UCDDCPInstance
-from repro.seqopt.exact import (
-    brute_force_cdd,
-    brute_force_ucddcp,
-    vshape_optimal_cdd,
-)
 
-__all__ = ["CDDSolver", "UCDDCPSolver"]
+__all__ = ["CDDSolver", "UCDDCPSolver", "solver_methods"]
+
+
+@dataclass(frozen=True)
+class _MethodSpec:
+    """One registered solve method: how to turn kwargs into a result."""
+
+    run: Callable[["_BaseSolver"], SolveResult]
+    #: Whether the method understands the ``backend=`` execution-backend
+    #: keyword (only the engine-driven parallel methods do; for
+    #: ``serial_sa`` the name ``backend`` is an evaluator config field).
+    accepts_backend: bool = False
+
+
+def _engine_method(config_cls: type, driver: Callable[..., SolveResult]):
+    """A parallel method: config + engine driver with backend selection."""
+
+    def run(solver: "_BaseSolver", **params: Any) -> SolveResult:
+        backend = params.pop("backend", DEFAULT_BACKEND)
+        return driver(solver.instance, config_cls(**params), backend=backend)
+
+    return _MethodSpec(run=run, accepts_backend=True)
+
+
+def _serial_method(config_cls: type, driver: Callable[..., SolveResult]):
+    """A serial baseline: config + driver, host execution only."""
+
+    def run(solver: "_BaseSolver", **params: Any) -> SolveResult:
+        return driver(solver.instance, config_cls(**params))
+
+    return _MethodSpec(run=run)
+
+
+def _exact_method() -> _MethodSpec:
+    def run(solver: "_BaseSolver", **params: Any) -> SolveResult:
+        return solver._solve_exact(**params)
+
+    return _MethodSpec(run=run)
 
 
 class _BaseSolver:
     """Shared method dispatch for both problem façades."""
 
-    _METHODS = ("parallel_sa", "parallel_dpso", "serial_sa", "serial_dpso",
-                "serial_ta", "serial_es", "exact")
+    _METHODS: dict[str, _MethodSpec] = {
+        "parallel_sa": _engine_method(ParallelSAConfig, parallel_sa),
+        "parallel_dpso": _engine_method(ParallelDPSOConfig, parallel_dpso),
+        "serial_sa": _serial_method(SerialSAConfig, sa_serial),
+        "serial_dpso": _serial_method(DPSOConfig, dpso_serial),
+        "serial_ta": _serial_method(
+            ThresholdAcceptingConfig, threshold_accepting
+        ),
+        "serial_es": _serial_method(
+            EvolutionStrategyConfig, evolution_strategy
+        ),
+        "exact": _exact_method(),
+    }
 
     def __init__(self, instance: CDDInstance | UCDDCPInstance) -> None:
         self.instance = instance
@@ -52,32 +102,19 @@ class _BaseSolver:
         algorithm), ``parallel_dpso``, ``serial_sa``, ``serial_dpso``,
         ``serial_ta`` (Threshold Accepting), ``serial_es``
         ((mu+lambda) Evolutionary Strategy -- the [18]-style baselines) or
-        ``exact`` (exhaustive / partition DP, small instances only).
+        ``exact`` (exhaustive / partition DP, small instances only).  The
+        parallel methods also take ``backend="gpusim"|"vectorized"``.
         """
-        if method == "parallel_sa":
-            return parallel_sa(self.instance, ParallelSAConfig(**params))
-        if method == "parallel_dpso":
-            return parallel_dpso(self.instance, ParallelDPSOConfig(**params))
-        if method == "serial_sa":
-            return sa_serial(self.instance, SerialSAConfig(**params))
-        if method == "serial_dpso":
-            return dpso_serial(self.instance, DPSOConfig(**params))
-        if method == "serial_ta":
-            return threshold_accepting(
-                self.instance, ThresholdAcceptingConfig(**params)
+        spec = self._METHODS.get(method)
+        if spec is None:
+            raise ValueError(
+                f"unknown method {method!r}; choose from "
+                f"{tuple(self._METHODS)}"
             )
-        if method == "serial_es":
-            return evolution_strategy(
-                self.instance, EvolutionStrategyConfig(**params)
-            )
-        if method == "exact":
-            return self._solve_exact(**params)
-        raise ValueError(
-            f"unknown method {method!r}; choose from {self._METHODS}"
-        )
+        return spec.run(self, **params)
 
     def _exact_schedule(self, **params: Any) -> Schedule:
-        raise NotImplementedError
+        return adapter_for(self.instance).exact_schedule()
 
     def _solve_exact(self, **params: Any) -> SolveResult:
         start = time.perf_counter()
@@ -93,6 +130,11 @@ class _BaseSolver:
         )
 
 
+def solver_methods() -> tuple[str, ...]:
+    """Names of all registered solve methods (CLI/choices source)."""
+    return tuple(_BaseSolver._METHODS)
+
+
 class CDDSolver(_BaseSolver):
     """Solver façade for the Common Due-Date problem."""
 
@@ -100,15 +142,6 @@ class CDDSolver(_BaseSolver):
         if not isinstance(instance, CDDInstance):
             raise TypeError("CDDSolver requires a CDDInstance")
         super().__init__(instance)
-
-    def _exact_schedule(self, **params: Any) -> Schedule:
-        # Prefer the 2^n partition DP when applicable (unrestricted), else
-        # fall back to n! brute force.
-        inst = self.instance
-        assert isinstance(inst, CDDInstance)
-        if not inst.is_restrictive and inst.n <= 20:
-            return vshape_optimal_cdd(inst)
-        return brute_force_cdd(inst)
 
 
 class UCDDCPSolver(_BaseSolver):
@@ -118,8 +151,3 @@ class UCDDCPSolver(_BaseSolver):
         if not isinstance(instance, UCDDCPInstance):
             raise TypeError("UCDDCPSolver requires a UCDDCPInstance")
         super().__init__(instance)
-
-    def _exact_schedule(self, **params: Any) -> Schedule:
-        inst = self.instance
-        assert isinstance(inst, UCDDCPInstance)
-        return brute_force_ucddcp(inst)

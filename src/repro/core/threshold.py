@@ -26,25 +26,24 @@ from repro.core.cooling import (
     DEFAULT_COOLING_RATE,
     estimate_initial_temperature,
 )
+from repro.core.engine.adapters import adapter_for
+from repro.core.engine.config import (
+    NeighborhoodConfigMixin,
+    check_init_policy,
+    check_positive_iterations,
+)
+from repro.core.engine.driver import assemble_result
 from repro.core.results import SolveResult
 from repro.initialization import initial_population
 from repro.permutation import partial_fisher_yates, sample_distinct_positions
 from repro.problems.cdd import CDDInstance
 from repro.problems.ucddcp import UCDDCPInstance
-from repro.seqopt.cdd_linear import (
-    cdd_objective_for_sequence,
-    optimize_cdd_sequence,
-)
-from repro.seqopt.ucddcp_linear import (
-    optimize_ucddcp_sequence,
-    ucddcp_objective_for_sequence,
-)
 
 __all__ = ["ThresholdAcceptingConfig", "threshold_accepting"]
 
 
 @dataclass(frozen=True)
-class ThresholdAcceptingConfig:
+class ThresholdAcceptingConfig(NeighborhoodConfigMixin):
     """Configuration of the serial Threshold Accepting baseline."""
 
     iterations: int = 1000
@@ -58,16 +57,11 @@ class ThresholdAcceptingConfig:
     record_history: bool = False
 
     def __post_init__(self) -> None:
-        if self.iterations < 1:
-            raise ValueError("iterations must be positive")
+        check_positive_iterations(self.iterations)
         if not (0.0 < self.decay < 1.0):
             raise ValueError("decay must lie in (0, 1)")
-        if self.pert_size < 2:
-            raise ValueError("perturbation size must be at least 2")
-        if self.position_refresh < 1:
-            raise ValueError("position_refresh must be at least 1")
-        if self.init not in ("random", "vshape"):
-            raise ValueError(f"unknown init policy {self.init!r}")
+        self._check_neighborhood()
+        check_init_policy(self.init)
 
 
 def threshold_accepting(
@@ -77,12 +71,8 @@ def threshold_accepting(
     """Run one serial TA chain; returns the best schedule found."""
     rng = np.random.default_rng(config.seed)
     n = instance.n
-    is_ucddcp = isinstance(instance, UCDDCPInstance)
-    evaluate = (
-        (lambda s: ucddcp_objective_for_sequence(instance, s))
-        if is_ucddcp
-        else (lambda s: cdd_objective_for_sequence(instance, s))
-    )
+    adapter = adapter_for(instance)
+    evaluate = adapter.sequence_evaluator()
 
     theta = (
         config.theta0
@@ -115,15 +105,9 @@ def threshold_accepting(
             history[it] = best_energy
     wall = time.perf_counter() - start
 
-    schedule = (
-        optimize_ucddcp_sequence(instance, best_seq)
-        if is_ucddcp
-        else optimize_cdd_sequence(instance, best_seq)
-    )
-    return SolveResult(
-        schedule=schedule,
-        objective=schedule.objective,
-        best_sequence=best_seq,
+    return assemble_result(
+        adapter,
+        best_seq,
         evaluations=config.iterations + 1,
         wall_time_s=wall,
         history=history,

@@ -6,6 +6,12 @@ The due date d and the number of jobs n are transferred to the constant
 memory of the device to benefit from its broadcast mechanism.  For the
 UCDDCP, the minimum processing times and the compression penalties are also
 copied to the GPU."
+
+Which arrays a problem family stages (and in what order), and which scalars
+go to constant memory, is owned by its
+:class:`~repro.core.engine.adapters.ProblemAdapter` -- this module only
+executes the recipe against a device, so there is no per-family branching
+here.
 """
 
 from __future__ import annotations
@@ -34,38 +40,63 @@ class DeviceProblemData:
     """
 
     def __init__(self, device: Device, instance: CDDInstance | UCDDCPInstance):
+        # The adapter layer sits above the kernels; resolve it lazily so the
+        # import graph stays acyclic.
+        from repro.core.engine.adapters import adapter_for
+
         self.device = device
         self.instance = instance
-        self.is_ucddcp = isinstance(instance, UCDDCPInstance)
+        self.adapter = adapter_for(instance)
+        self.is_ucddcp = self.adapter.kind == "ucddcp"
 
-        n = instance.n
-        self.p: DeviceBuffer = device.malloc(n, np.float64, "processing")
-        self.a: DeviceBuffer = device.malloc(n, np.float64, "alpha")
-        self.b: DeviceBuffer = device.malloc(n, np.float64, "beta")
-        device.memcpy_htod(self.p, instance.processing)
-        device.memcpy_htod(self.a, instance.alpha)
-        device.memcpy_htod(self.b, instance.beta)
-
-        self.m: DeviceBuffer | None = None
-        self.g: DeviceBuffer | None = None
-        if self.is_ucddcp:
-            assert isinstance(instance, UCDDCPInstance)
-            self.m = device.malloc(n, np.float64, "min_processing")
-            self.g = device.malloc(n, np.float64, "gamma")
-            device.memcpy_htod(self.m, instance.min_processing)
-            device.memcpy_htod(self.g, instance.gamma)
+        self._buffers: dict[str, DeviceBuffer] = {}
+        for name, values in self.adapter.staging_arrays():
+            buf = device.malloc(len(values), np.float64, name)
+            device.memcpy_htod(buf, values)
+            self._buffers[name] = buf
 
         # Broadcast scalars through constant memory.
-        device.upload_constant("due_date", np.float64(instance.due_date))
-        device.upload_constant("n_jobs", np.int64(n))
+        for name, value in self.adapter.constants():
+            device.upload_constant(name, value)
 
     @property
     def n(self) -> int:
         """Number of jobs."""
         return self.instance.n
 
+    @property
+    def p(self) -> DeviceBuffer:
+        """Processing times."""
+        return self._buffers["processing"]
+
+    @property
+    def a(self) -> DeviceBuffer:
+        """Earliness penalties."""
+        return self._buffers["alpha"]
+
+    @property
+    def b(self) -> DeviceBuffer:
+        """Tardiness penalties."""
+        return self._buffers["beta"]
+
+    @property
+    def m(self) -> DeviceBuffer | None:
+        """Minimum processing times (UCDDCP only)."""
+        return self._buffers.get("min_processing")
+
+    @property
+    def g(self) -> DeviceBuffer | None:
+        """Compression penalties (UCDDCP only)."""
+        return self._buffers.get("gamma")
+
+    def fitness_buffers(self) -> tuple[DeviceBuffer, ...]:
+        """Staged buffers in the fitness kernel's argument order."""
+        return tuple(
+            self._buffers[name] for name in self.adapter.fitness_param_names
+        )
+
     def free(self) -> None:
         """Release all device allocations."""
-        for buf in (self.p, self.a, self.b, self.m, self.g):
-            if buf is not None:
-                buf.free()
+        for buf in self._buffers.values():
+            buf.free()
+        self._buffers.clear()

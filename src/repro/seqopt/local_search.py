@@ -21,7 +21,6 @@ import numpy as np
 
 from repro.problems.cdd import CDDInstance
 from repro.problems.ucddcp import UCDDCPInstance
-from repro.seqopt.batched import batched_cdd_objective, batched_ucddcp_objective
 
 __all__ = [
     "LocalSearchResult",
@@ -96,19 +95,18 @@ def local_search(
         expand = insertion_neighbors
     else:
         raise ValueError(f"unknown neighborhood {neighborhood!r}")
-    batched_eval = (
-        batched_ucddcp_objective
-        if isinstance(instance, UCDDCPInstance)
-        else batched_cdd_objective
-    )
+    # Imported lazily: the adapter layer lives above seqopt in the stack.
+    from repro.core.engine.adapters import adapter_for
+
+    batched_eval = adapter_for(instance).batched_objective
 
     seq = np.asarray(sequence, dtype=np.intp).copy()
-    current = float(batched_eval(instance, seq[None, :])[0])
+    current = float(batched_eval(seq[None, :])[0])
     evaluations = 1
     steps = 0
     while steps < max_steps:
         neighbors = expand(seq)
-        values = batched_eval(instance, neighbors)
+        values = batched_eval(neighbors)
         evaluations += len(values)
         k = int(np.argmin(values))
         if values[k] >= current - 1e-12:
