@@ -17,6 +17,8 @@ reproducible bit-for-bit across machines.
 from __future__ import annotations
 
 import zlib
+from dataclasses import asdict
+from typing import Sequence
 
 from repro.bestknown.store import BestKnownEntry, BestKnownStore
 from repro.core.sa import SerialSAConfig, sa_serial
@@ -28,7 +30,7 @@ from repro.seqopt.exact import (
     vshape_optimal_cdd,
 )
 
-__all__ = ["compute_best_known"]
+__all__ = ["compute_best_known", "recompute_best_known"]
 
 _EXACT_BRUTE_LIMIT = 9
 _EXACT_DP_LIMIT = 18
@@ -102,3 +104,58 @@ def _compute(
         optimal=False,
         meta={"restarts": restarts, "iterations": iterations},
     )
+
+
+def _recompute_unit_fn(
+    instance: CDDInstance | UCDDCPInstance, *, restarts: int, iterations: int
+):
+    """Work-unit body: one instance's reference value as a plain dict."""
+
+    def run() -> dict:
+        entry = _compute(instance, restarts=restarts, iterations=iterations)
+        return {"name": instance.name, **asdict(entry)}
+
+    return run
+
+
+def recompute_best_known(
+    instances: Sequence[CDDInstance | UCDDCPInstance],
+    store: BestKnownStore | None = None,
+    *,
+    restarts: int = 4,
+    iterations: int = 8000,
+    runner=None,
+    save: bool = True,
+):
+    """Recompute reference values for a whole benchmark set resiliently.
+
+    Each instance is one work unit of a
+    :class:`repro.resilience.ResilientRunner`: completed values are
+    checkpointed as they finish (an interrupted precompute resumes where
+    it stopped, and a hard kill loses at most the in-flight instance),
+    then folded into the store, which is saved atomically.  Returns the
+    :class:`RunReport`.
+    """
+    from repro.resilience import ResilientRunner, WorkUnit
+
+    store = store if store is not None else BestKnownStore()
+    runner = runner or ResilientRunner()
+
+    units = [
+        WorkUnit(
+            key=inst.name,
+            run=_recompute_unit_fn(
+                inst, restarts=restarts, iterations=iterations
+            ),
+        )
+        for inst in instances
+    ]
+    checkpoint = runner.checkpoint_for("bestknown")
+    report = runner.run_units(units, checkpoint)
+    for outcome in report.completed:
+        payload = dict(outcome.payload)
+        name = payload.pop("name")
+        store.update(name, BestKnownEntry(**payload))
+    if save and report.completed:
+        store.save()
+    return report

@@ -5,15 +5,25 @@ the method that produced it, and whether it is provably optimal.  The store
 is monotone: an update only ever lowers a stored objective (a new "best
 known" must actually be better), mirroring how best-known tables evolve in
 the literature.
+
+Durability: saves go through an atomic temp-file + rename, so a crash
+mid-save never leaves a half-written database.  A corrupted store file
+(truncated write from an older version, stray editor damage) is moved
+aside to ``<name>.corrupt`` and the store starts empty instead of raising
+-- best-knowns are recomputable, the experiment run is the thing worth
+protecting.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any
+
+from repro.resilience.atomic import atomic_write_text
 
 __all__ = ["BestKnownEntry", "BestKnownStore", "default_store_path"]
 
@@ -55,16 +65,40 @@ class BestKnownStore:
             self._load()
 
     def _load(self) -> None:
-        raw = json.loads(self.path.read_text())
-        self._entries = {
-            name: BestKnownEntry(**rec) for name, rec in raw.items()
-        }
+        try:
+            raw = json.loads(self.path.read_text())
+            if not isinstance(raw, dict):
+                raise ValueError("store root must be a JSON object")
+            self._entries = {
+                name: BestKnownEntry(**rec) for name, rec in raw.items()
+            }
+        except (json.JSONDecodeError, TypeError, ValueError) as exc:
+            backup = self._quarantine()
+            warnings.warn(
+                f"best-known store {self.path} is corrupted ({exc}); "
+                f"moved it to {backup} and starting empty",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._entries = {}
+
+    def _quarantine(self) -> Path:
+        """Move the unreadable store file aside; returns the backup path."""
+        backup = self.path.with_suffix(self.path.suffix + ".corrupt")
+        i = 1
+        while backup.exists():
+            backup = self.path.with_suffix(f"{self.path.suffix}.corrupt{i}")
+            i += 1
+        os.replace(self.path, backup)
+        return backup
 
     def save(self) -> None:
-        """Persist the store (creating parent directories)."""
+        """Persist the store atomically (creating parent directories)."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
         payload = {name: asdict(e) for name, e in sorted(self._entries.items())}
-        self.path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        atomic_write_text(
+            self.path, json.dumps(payload, indent=1, sort_keys=True)
+        )
 
     def __contains__(self, name: str) -> bool:
         return name in self._entries

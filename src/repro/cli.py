@@ -6,6 +6,15 @@ Commands
 ``experiment``  regenerate a paper table/figure (``repro experiment table2``)
 ``list``        list experiments, benchmark sets and device presets
 ``profile``     run one parallel SA and print the nvprof-style summary
+``bestknown``   precompute reference values for a benchmark set
+``trace``       convergence/diversity trace of the parallel SA
+``report``      assemble EXPERIMENTS.md from results/
+
+``experiment`` and ``bestknown`` run through the resilience layer
+(:mod:`repro.resilience`): ``--resume`` replays checkpointed work units,
+``--max-retries``/``--unit-timeout`` bound transient-failure retries, and
+``--inject-fault`` arms deterministic fault injection for testing.  Exit
+codes: 0 clean, 1 with permanently failed cells, 130 when interrupted.
 """
 
 from __future__ import annotations
@@ -59,6 +68,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
     p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
     p_exp.add_argument("--scale", choices=sorted(SCALES), default=None)
+    p_exp.add_argument(
+        "--checkpoint-dir", default="results/checkpoints",
+        help="directory for per-study work-unit checkpoints "
+             "(default: %(default)s; 'none' disables checkpointing)",
+    )
+    p_exp.add_argument(
+        "--resume", action="store_true",
+        help="replay completed work units from the checkpoint instead of "
+             "recomputing them (bit-identical continuation of an "
+             "interrupted run)",
+    )
+    p_exp.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retries per work unit on transient device errors",
+    )
+    p_exp.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-work-unit wall-clock deadline (checked between retry "
+             "attempts)",
+    )
+    p_exp.add_argument(
+        "--backend", choices=tuple(BACKENDS), default=DEFAULT_BACKEND,
+        help="execution backend for the study's solver runs",
+    )
+    p_exp.add_argument(
+        "--inject-fault", default=None, metavar="OP:AT:KIND[:repeat]",
+        help="deterministic fault injection for testing, e.g. "
+             "'launch:100:transient' or 'malloc:1:oom:repeat' "
+             "(kinds: transient, timeout, oom, fatal, interrupt)",
+    )
 
     sub.add_parser("list", help="list experiments and benchmark sets")
 
@@ -74,6 +113,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_best.add_argument("set_name", help="registry name, e.g. cdd_quick")
     p_best.add_argument("--restarts", type=int, default=4)
     p_best.add_argument("--iterations", type=int, default=8000)
+    p_best.add_argument(
+        "--checkpoint-dir", default="results/checkpoints",
+        help="directory for the precompute checkpoint "
+             "(default: %(default)s; 'none' disables checkpointing)",
+    )
+    p_best.add_argument(
+        "--resume", action="store_true",
+        help="skip reference values already checkpointed by an "
+             "interrupted precompute",
+    )
+    p_best.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retries per instance on transient device errors",
+    )
 
     p_trace = sub.add_parser(
         "trace",
@@ -120,11 +173,66 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+_RESUME_HINT = "interrupted — checkpoint flushed; rerun with --resume to continue"
+
+
+def _build_runner(args: argparse.Namespace):
+    """A ResilientRunner from the shared resilience CLI flags."""
+    from repro.resilience import (
+        FaultPlan,
+        ResilientRunner,
+        RetryPolicy,
+        parse_fault,
+    )
+
+    plan = None
+    if getattr(args, "inject_fault", None):
+        plan = FaultPlan([parse_fault(args.inject_fault)])
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if checkpoint_dir in (None, "none"):
+        checkpoint_dir = None
+    return ResilientRunner(
+        policy=RetryPolicy(
+            max_retries=args.max_retries,
+            unit_timeout_s=getattr(args, "unit_timeout", None),
+        ),
+        checkpoint_dir=checkpoint_dir,
+        resume=args.resume,
+        fault_plan=plan,
+        backend=getattr(args, "backend", "gpusim"),
+        progress=lambda msg: print(f"  [{msg}]", file=sys.stderr),
+    )
+
+
+def _finish_resilient(runner) -> int:
+    """Shared exit-code policy: 130 interrupted, 1 failed cells, 0 clean."""
+    if runner.interrupted:
+        print(f"\n{_RESUME_HINT}", file=sys.stderr)
+        return 130
+    failed = runner.failed_units
+    if failed:
+        print(
+            f"\n{len(failed)} work unit(s) failed permanently "
+            "(marked — in the tables above)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
+    runner = _build_runner(args)
     print(f"# experiment {args.name} at scale '{scale.name}'\n")
-    print(run_experiment(args.name, scale))
-    return 0
+    try:
+        print(run_experiment(args.name, scale, runner))
+    except KeyboardInterrupt:
+        # A Ctrl-C between work units (inside one, the runner degrades
+        # gracefully and never re-raises).  Completed units are already
+        # checkpointed -- just point at the resume path.
+        print(f"\n{_RESUME_HINT}", file=sys.stderr)
+        return 130
+    return _finish_resilient(runner)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -172,21 +280,26 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_bestknown(args: argparse.Namespace) -> int:
-    from repro.bestknown.compute import compute_best_known
+    from repro.bestknown.compute import recompute_best_known
     from repro.bestknown.store import BestKnownStore
     from repro.instances.registry import benchmark_set
 
     store = BestKnownStore()
     instances = benchmark_set(args.set_name)
-    for inst in instances:
-        val = compute_best_known(
-            inst, store, restarts=args.restarts,
-            iterations=args.iterations, save=False,
+    runner = _build_runner(args)
+    try:
+        report = recompute_best_known(
+            instances, store, restarts=args.restarts,
+            iterations=args.iterations, runner=runner,
         )
-        print(f"{inst.name}: {val:g}")
-    store.save()
-    print(f"\n{len(instances)} reference values in {store.path}")
-    return 0
+    except KeyboardInterrupt:
+        store.save()
+        print(f"\n{_RESUME_HINT}", file=sys.stderr)
+        return 130
+    for outcome in report.completed:
+        print(f"{outcome.payload['name']}: {outcome.payload['objective']:g}")
+    print(f"\n{len(report.completed)} reference values in {store.path}")
+    return _finish_resilient(runner)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:

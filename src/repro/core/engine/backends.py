@@ -37,6 +37,7 @@ from repro.kernels.data import DeviceProblemData
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.engine.adapters import ProblemAdapter
     from repro.gpusim.launch import LaunchConfig
+    from repro.resilience.faults import FaultPlan
 
 __all__ = [
     "ExecutionBackend",
@@ -62,6 +63,13 @@ class ExecutionBackend(ABC):
     #: Whether :meth:`timing_fields` reports modeled device/kernels/memcpy
     #: durations (only the cycle-modeled backend does).
     models_device_time: ClassVar[bool]
+
+    def __init__(self, fault_plan: "FaultPlan | None" = None) -> None:
+        #: Optional deterministic fault injection (see
+        #: :mod:`repro.resilience.faults`).  The plan's call counters are
+        #: cumulative over the plan, not the backend, so reopening the
+        #: backend (a retry) does not re-arm an already-fired fault.
+        self.fault_plan = fault_plan
 
     @abstractmethod
     def open(
@@ -112,7 +120,9 @@ class GpusimBackend(ExecutionBackend):
     def open(
         self, adapter: "ProblemAdapter", seed: int, device_spec: DeviceSpec
     ) -> None:
-        self.device = Device(spec=device_spec, seed=seed)
+        self.device = Device(
+            spec=device_spec, seed=seed, fault_plan=self.fault_plan
+        )
         self.data = DeviceProblemData(self.device, adapter.instance)
 
     def alloc(self, shape, dtype, label: str = ""):
@@ -201,6 +211,8 @@ class VectorizedBackend(ExecutionBackend):
             self.constant.upload(name, value)
 
     def alloc(self, shape, dtype, label: str = "") -> _HostBuffer:
+        if self.fault_plan is not None:
+            self.fault_plan.record("malloc")
         return _HostBuffer(np.zeros(shape, dtype=dtype), label)
 
     def upload(self, buf: _HostBuffer, host: np.ndarray) -> None:
@@ -210,6 +222,11 @@ class VectorizedBackend(ExecutionBackend):
         return buf.array.copy()
 
     def launch(self, kern: Kernel, config: "LaunchConfig", *args: Any) -> None:
+        # Kernel launches are 1:1 with the gpusim backend (the driver issues
+        # the identical pipeline), so launch-indexed fault plans fire at the
+        # same point on both backends -- asserted in the parity tests.
+        if self.fault_plan is not None:
+            self.fault_plan.record("launch")
         ctx = ThreadContext(
             config=config, constant=self.constant,
             rng=self.rng, device=self._shim,  # type: ignore[arg-type]
@@ -232,12 +249,23 @@ BACKENDS: dict[str, type[ExecutionBackend]] = {
 DEFAULT_BACKEND = GpusimBackend.name
 
 
-def create_backend(backend: str | ExecutionBackend) -> ExecutionBackend:
-    """Resolve a backend name (or pass through a ready instance)."""
+def create_backend(
+    backend: str | ExecutionBackend, fault_plan: "FaultPlan | None" = None
+) -> ExecutionBackend:
+    """Resolve a backend name (or pass through a ready instance).
+
+    ``fault_plan`` attaches deterministic fault injection to a
+    newly-created backend; a passed-through instance keeps whatever plan
+    it already carries (``fault_plan`` must then be ``None``).
+    """
     if isinstance(backend, ExecutionBackend):
+        if fault_plan is not None:
+            raise ValueError(
+                "cannot attach a fault plan to an existing backend instance"
+            )
         return backend
     try:
-        return BACKENDS[backend]()
+        return BACKENDS[backend](fault_plan=fault_plan)
     except KeyError:
         raise ValueError(
             f"unknown backend {backend!r}; choose from {tuple(BACKENDS)}"

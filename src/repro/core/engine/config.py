@@ -17,8 +17,12 @@ __all__ = [
     "check_init_policy",
     "check_probabilities",
     "check_choice",
+    "check_retries",
+    "check_timeout",
+    "check_backoff",
     "EnsembleGeometryMixin",
     "NeighborhoodConfigMixin",
+    "RetryPolicyMixin",
 ]
 
 INIT_POLICIES = ("random", "vshape")
@@ -68,6 +72,30 @@ def check_choice(label: str, value: str, allowed: tuple[str, ...]) -> None:
         raise ValueError(f"unknown {label} {value!r}")
 
 
+def check_retries(value: int, label: str = "max_retries") -> None:
+    """Retry budgets are counts of *re*-attempts: zero is fine, less is not."""
+    if value < 0:
+        raise ValueError(f"{label} must be >= 0, got {value}")
+
+
+def check_timeout(value: float | None, label: str = "unit_timeout_s") -> None:
+    """Deadlines are either absent (``None``) or strictly positive seconds."""
+    if value is not None and not value > 0:
+        raise ValueError(f"{label} must be positive, got {value}")
+
+
+def check_backoff(base_s: float, factor: float, max_s: float) -> None:
+    """Exponential-backoff knobs must describe a non-shrinking schedule."""
+    if base_s < 0:
+        raise ValueError(f"backoff_base_s must be >= 0, got {base_s}")
+    if factor < 1.0:
+        raise ValueError(f"backoff_factor must be >= 1, got {factor}")
+    if max_s < base_s:
+        raise ValueError(
+            f"backoff_max_s ({max_s}) must be >= backoff_base_s ({base_s})"
+        )
+
+
 class EnsembleGeometryMixin:
     """Grid/block geometry shared by the parallel (one-chain-per-thread)
     configurations: validation plus the derived ensemble size."""
@@ -95,3 +123,24 @@ class NeighborhoodConfigMixin:
     def _check_neighborhood(self) -> None:
         check_pert_size(self.pert_size)
         check_position_refresh(self.position_refresh)
+
+
+class RetryPolicyMixin:
+    """Retry/backoff/deadline knobs of the resilient execution layer.
+
+    Shared by :class:`repro.resilience.RetryPolicy` (and anything else that
+    grows retry semantics) so the CLI, the experiments harness and the
+    best-known recompute all reject bad knobs with the same messages.
+    """
+
+    max_retries: int
+    backoff_base_s: float
+    backoff_factor: float
+    backoff_max_s: float
+    unit_timeout_s: float | None
+
+    def _check_retry_policy(self) -> None:
+        check_retries(self.max_retries)
+        check_timeout(self.unit_timeout_s)
+        check_backoff(self.backoff_base_s, self.backoff_factor,
+                      self.backoff_max_s)

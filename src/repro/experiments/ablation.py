@@ -28,6 +28,14 @@ from repro.gpusim.launch import linear_config, occupancy
 from repro.instances.biskup import biskup_instance
 from repro.kernels.data import DeviceProblemData
 from repro.kernels.fitness import make_cdd_fitness_kernel
+from repro.resilience import ResilientRunner, RunReport, WorkUnit
+
+
+def _ablation_footnote(report: RunReport | None) -> str:
+    """Footnote section for a rendered ablation ("" when clean)."""
+    if report is None:
+        return ""
+    return report.footnote()
 
 __all__ = [
     "BlockSizeAblation",
@@ -60,6 +68,7 @@ class BlockSizeAblation:
     kernel_time_s: np.ndarray
     occupancy_pct: np.ndarray
     limiter: list[str]
+    report: RunReport | None = None
 
     def render(self) -> str:
         """Table of block size vs modeled kernel time and occupancy."""
@@ -67,7 +76,7 @@ class BlockSizeAblation:
             [b, self.kernel_time_s[i], self.occupancy_pct[i], self.limiter[i]]
             for i, b in enumerate(self.block_sizes)
         ]
-        return render_table(
+        tab = render_table(
             ["Block", "fitness time (s)", "occupancy %", "limited by"],
             rows,
             title=(
@@ -75,26 +84,17 @@ class BlockSizeAblation:
                 f"CDD n={self.n_jobs} (paper picks 192)"
             ),
         )
+        footnote = _ablation_footnote(self.report)
+        return f"{tab}\n\n{footnote}" if footnote else tab
 
 
-def run_blocksize_ablation(
-    scale: ExperimentScale | None = None,
-    total_threads: int = 768,
-) -> BlockSizeAblation:
-    """Sweep the block size at a fixed total thread count."""
-    scale = scale or get_scale()
-    n = scale.fig11_n
-    instance = biskup_instance(n, 0.4, 1)
-    kernel = make_cdd_fitness_kernel()
-    sizes = tuple(
-        b for b in scale.blocksize_candidates
-        if b <= min(total_threads, GEFORCE_GT_560M.max_threads_per_block)
-    )
-    times = np.zeros(len(sizes))
-    occs = np.zeros(len(sizes))
-    limiters: list[str] = []
-    for i, block in enumerate(sizes):
-        device = Device(seed=1)
+def _blocksize_point_fn(instance, n: int, block: int, total_threads: int,
+                        fault_plan):
+    """Work-unit body of one block-size point."""
+
+    def run() -> dict:
+        kernel = make_cdd_fitness_kernel()
+        device = Device(seed=1, fault_plan=fault_plan)
         data = DeviceProblemData(device, instance)
         seqs = device.malloc((total_threads, n), np.int32, "sequences")
         out = device.malloc(total_threads, np.float64, "fitness")
@@ -107,13 +107,54 @@ def run_blocksize_ablation(
         device.reset_clocks()
         device.launch(kernel, cfg, seqs, data.p, data.a, data.b, out)
         device.synchronize()
-        times[i] = device.profiler.kernel_time()
         occ = occupancy(
             GEFORCE_GT_560M, block, kernel.registers_per_thread,
             kernel.shared_bytes_for(seqs, data.p, data.a, data.b, out),
         )
-        occs[i] = occ.occupancy * 100.0
-        limiters.append(occ.limiter)
+        return {
+            "block": block,
+            "kernel_time_s": float(device.profiler.kernel_time()),
+            "occupancy_pct": float(occ.occupancy * 100.0),
+            "limiter": occ.limiter,
+        }
+
+    return run
+
+
+def run_blocksize_ablation(
+    scale: ExperimentScale | None = None,
+    total_threads: int = 768,
+    runner: ResilientRunner | None = None,
+) -> BlockSizeAblation:
+    """Sweep the block size at a fixed total thread count."""
+    scale = scale or get_scale()
+    runner = runner or ResilientRunner()
+    n = scale.fig11_n
+    instance = biskup_instance(n, 0.4, 1)
+    sizes = tuple(
+        b for b in scale.blocksize_candidates
+        if b <= min(total_threads, GEFORCE_GT_560M.max_threads_per_block)
+    )
+    units = [
+        WorkUnit(
+            key=f"block{block}",
+            run=_blocksize_point_fn(instance, n, block, total_threads,
+                                    runner.fault_plan),
+        )
+        for block in sizes
+    ]
+    checkpoint = runner.checkpoint_for(f"ablation_blocksize_{scale.name}")
+    report = runner.run_units(units, checkpoint)
+
+    times = np.full(len(sizes), np.nan)
+    occs = np.full(len(sizes), np.nan)
+    limiters: list[str] = ["—"] * len(sizes)
+    by_block = {o.payload["block"]: o.payload for o in report.completed}
+    for i, block in enumerate(sizes):
+        if block in by_block:
+            times[i] = by_block[block]["kernel_time_s"]
+            occs[i] = by_block[block]["occupancy_pct"]
+            limiters[i] = by_block[block]["limiter"]
     return BlockSizeAblation(
         total_threads=total_threads,
         n_jobs=n,
@@ -121,6 +162,7 @@ def run_blocksize_ablation(
         kernel_time_s=times,
         occupancy_pct=occs,
         limiter=limiters,
+        report=report,
     )
 
 
@@ -135,6 +177,7 @@ class SyncAsyncAblation:
     async_objective: np.ndarray
     sync_objective: np.ndarray
     sync_premature_pct: np.ndarray  # % by which sync is worse
+    report: RunReport | None = None
 
     def render(self) -> str:
         """Comparison table (positive last column = sync is worse)."""
@@ -147,48 +190,77 @@ class SyncAsyncAblation:
             ]
             for i, n in enumerate(self.sizes)
         ]
-        return render_table(
+        tab = render_table(
             ["Jobs", "async obj", "sync obj", "sync worse by %"],
             rows,
             title="Async vs synchronous parallel SA (equal budgets)",
         )
+        footnote = _ablation_footnote(self.report)
+        return f"{tab}\n\n{footnote}" if footnote else tab
+
+
+def _syncasync_point_fn(n: int, variant: str, replicates: int,
+                        scale: ExperimentScale, backend):
+    """Work-unit body: one SA variant's replicate mean at one size."""
+
+    def run() -> dict:
+        instance = biskup_instance(n, 0.4, 1)
+        vals = []
+        for r in range(replicates):
+            seed = zlib.crc32(f"syncasync:{n}:{r}".encode()) & 0x7FFFFFFF
+            vals.append(
+                parallel_sa(
+                    instance,
+                    ParallelSAConfig(
+                        iterations=scale.iterations_low,
+                        grid_size=scale.grid_size,
+                        block_size=scale.block_size,
+                        variant=variant,
+                        seed=seed,
+                    ),
+                    backend=backend,
+                ).objective
+            )
+        return {"size": n, "variant": variant,
+                "objective": float(np.mean(vals))}
+
+    return run
 
 
 def run_sync_vs_async(
-    scale: ExperimentScale | None = None, replicates: int = 3
+    scale: ExperimentScale | None = None,
+    replicates: int = 3,
+    runner: ResilientRunner | None = None,
 ) -> SyncAsyncAblation:
     """Compare the two Ferreiro parallelization strategies."""
     scale = scale or get_scale()
+    runner = runner or ResilientRunner()
     sizes = scale.sizes[: min(4, len(scale.sizes))]
-    async_obj = np.zeros(len(sizes))
-    sync_obj = np.zeros(len(sizes))
-    for i, n in enumerate(sizes):
-        instance = biskup_instance(n, 0.4, 1)
-        a_vals, s_vals = [], []
-        for r in range(replicates):
-            seed = zlib.crc32(f"syncasync:{n}:{r}".encode()) & 0x7FFFFFFF
-            base = dict(
-                iterations=scale.iterations_low,
-                grid_size=scale.grid_size,
-                block_size=scale.block_size,
-                seed=seed,
-            )
-            a_vals.append(
-                parallel_sa(instance, ParallelSAConfig(**base)).objective
-            )
-            s_vals.append(
-                parallel_sa(
-                    instance, ParallelSAConfig(variant="sync", **base)
-                ).objective
-            )
-        async_obj[i] = np.mean(a_vals)
-        sync_obj[i] = np.mean(s_vals)
+    backend = runner.solver_backend()
+    units = [
+        WorkUnit(
+            key=f"n{n}|{variant}",
+            run=_syncasync_point_fn(n, variant, replicates, scale, backend),
+        )
+        for n in sizes
+        for variant in ("async", "sync")
+    ]
+    checkpoint = runner.checkpoint_for(f"ablation_syncasync_{scale.name}")
+    report = runner.run_units(units, checkpoint)
+
+    objs = {
+        (o.payload["size"], o.payload["variant"]): o.payload["objective"]
+        for o in report.completed
+    }
+    async_obj = np.array([objs.get((n, "async"), np.nan) for n in sizes])
+    sync_obj = np.array([objs.get((n, "sync"), np.nan) for n in sizes])
     worse = (sync_obj - async_obj) / async_obj * 100.0
     return SyncAsyncAblation(
         sizes=tuple(sizes),
         async_objective=async_obj,
         sync_objective=sync_obj,
         sync_premature_pct=worse,
+        report=report,
     )
 
 
@@ -202,25 +274,24 @@ class CoolingAblation:
     n_jobs: int
     rates: tuple[float, ...]
     objective: np.ndarray
+    report: RunReport | None = None
 
     def render(self) -> str:
         """Table of cooling rate vs mean objective (0.88 is the paper pick)."""
         rows = [[mu, self.objective[i]] for i, mu in enumerate(self.rates)]
-        return render_table(
+        tab = render_table(
             ["mu", "mean objective"], rows,
             title=f"Cooling-rate ablation (CDD n={self.n_jobs})",
         )
+        footnote = _ablation_footnote(self.report)
+        return f"{tab}\n\n{footnote}" if footnote else tab
 
 
-def run_cooling_ablation(
-    scale: ExperimentScale | None = None, replicates: int = 3
-) -> CoolingAblation:
-    """Sweep the exponential cooling rate on a mid-size instance."""
-    scale = scale or get_scale()
-    n = scale.fig11_n
-    instance = biskup_instance(n, 0.4, 1)
-    objs = np.zeros(len(scale.cooling_rates))
-    for i, mu in enumerate(scale.cooling_rates):
+def _cooling_point_fn(instance, mu: float, replicates: int,
+                      scale: ExperimentScale, backend):
+    """Work-unit body of one cooling-rate point."""
+
+    def run() -> dict:
         vals = []
         for r in range(replicates):
             seed = zlib.crc32(f"cooling:{mu}:{r}".encode()) & 0x7FFFFFFF
@@ -234,11 +305,40 @@ def run_cooling_ablation(
                         cooling_rate=mu,
                         seed=seed,
                     ),
+                    backend=backend,
                 ).objective
             )
-        objs[i] = np.mean(vals)
+        return {"mu": mu, "objective": float(np.mean(vals))}
+
+    return run
+
+
+def run_cooling_ablation(
+    scale: ExperimentScale | None = None,
+    replicates: int = 3,
+    runner: ResilientRunner | None = None,
+) -> CoolingAblation:
+    """Sweep the exponential cooling rate on a mid-size instance."""
+    scale = scale or get_scale()
+    runner = runner or ResilientRunner()
+    n = scale.fig11_n
+    instance = biskup_instance(n, 0.4, 1)
+    backend = runner.solver_backend()
+    units = [
+        WorkUnit(
+            key=f"mu{mu}",
+            run=_cooling_point_fn(instance, mu, replicates, scale, backend),
+        )
+        for mu in scale.cooling_rates
+    ]
+    checkpoint = runner.checkpoint_for(f"ablation_cooling_{scale.name}")
+    report = runner.run_units(units, checkpoint)
+
+    by_mu = {o.payload["mu"]: o.payload["objective"]
+             for o in report.completed}
+    objs = np.array([by_mu.get(mu, np.nan) for mu in scale.cooling_rates])
     return CoolingAblation(
-        n_jobs=n, rates=scale.cooling_rates, objective=objs
+        n_jobs=n, rates=scale.cooling_rates, objective=objs, report=report
     )
 
 
@@ -252,6 +352,7 @@ class TextureAblation:
     n_jobs: int
     plain_s: float
     texture_s: float
+    report: RunReport | None = None
 
     @property
     def saving_pct(self) -> float:
@@ -260,7 +361,7 @@ class TextureAblation:
 
     def render(self) -> str:
         """Two-row comparison table."""
-        return render_table(
+        tab = render_table(
             ["fitness kernel", "modeled time (ms)"],
             [["global-memory gathers", self.plain_s * 1e3],
              ["texture-cached gathers", self.texture_s * 1e3],
@@ -270,18 +371,16 @@ class TextureAblation:
                 f"n={self.n_jobs}, 768 threads"
             ),
         )
+        footnote = _ablation_footnote(self.report)
+        return f"{tab}\n\n{footnote}" if footnote else tab
 
 
-def run_texture_ablation(
-    scale: ExperimentScale | None = None, total_threads: int = 768
-) -> TextureAblation:
-    """Compare the modeled fitness-kernel time with the texture path on."""
-    scale = scale or get_scale()
-    n = scale.fig11_n
-    instance = biskup_instance(n, 0.4, 1)
-    times = {}
-    for use_texture in (False, True):
-        device = Device(seed=1)
+def _texture_point_fn(instance, n: int, use_texture: bool,
+                      total_threads: int, fault_plan):
+    """Work-unit body of one texture-path variant."""
+
+    def run() -> dict:
+        device = Device(seed=1, fault_plan=fault_plan)
         data = DeviceProblemData(device, instance)
         seqs = device.malloc((total_threads, n), np.int32, "sequences")
         out = device.malloc(total_threads, np.float64, "fitness")
@@ -295,9 +394,40 @@ def run_texture_ablation(
         device.reset_clocks()
         device.launch(kernel, cfg, seqs, data.p, data.a, data.b, out)
         device.synchronize()
-        times[use_texture] = device.profiler.kernel_time()
+        return {"use_texture": use_texture,
+                "kernel_time_s": float(device.profiler.kernel_time())}
+
+    return run
+
+
+def run_texture_ablation(
+    scale: ExperimentScale | None = None,
+    total_threads: int = 768,
+    runner: ResilientRunner | None = None,
+) -> TextureAblation:
+    """Compare the modeled fitness-kernel time with the texture path on."""
+    scale = scale or get_scale()
+    runner = runner or ResilientRunner()
+    n = scale.fig11_n
+    instance = biskup_instance(n, 0.4, 1)
+    units = [
+        WorkUnit(
+            key="texture" if use_texture else "plain",
+            run=_texture_point_fn(instance, n, use_texture, total_threads,
+                                  runner.fault_plan),
+        )
+        for use_texture in (False, True)
+    ]
+    checkpoint = runner.checkpoint_for(f"ablation_texture_{scale.name}")
+    report = runner.run_units(units, checkpoint)
+
+    times = {o.payload["use_texture"]: o.payload["kernel_time_s"]
+             for o in report.completed}
     return TextureAblation(
-        n_jobs=n, plain_s=times[False], texture_s=times[True]
+        n_jobs=n,
+        plain_s=times.get(False, float("nan")),
+        texture_s=times.get(True, float("nan")),
+        report=report,
     )
 
 
@@ -312,6 +442,7 @@ class CouplingAblation:
     async_objective: np.ndarray
     ring_objective: np.ndarray
     coupled_objective: np.ndarray
+    report: RunReport | None = None
 
     def render(self) -> str:
         """Comparison table; the async deficit is the paper's DPSO story."""
@@ -327,47 +458,82 @@ class CouplingAblation:
             ]
             for i, n in enumerate(self.sizes)
         ]
-        return render_table(
+        tab = render_table(
             ["Jobs", "async (paper)", "ring (lbest)", "coupled (gbest)",
              "async worse by %"],
             rows,
             title="DPSO coupling ablation (equal budgets)",
         )
+        footnote = _ablation_footnote(self.report)
+        return f"{tab}\n\n{footnote}" if footnote else tab
+
+
+def _coupling_point_fn(n: int, coupling: str, replicates: int,
+                       scale: ExperimentScale, backend):
+    """Work-unit body: one DPSO coupling's replicate mean at one size."""
+
+    def run() -> dict:
+        from repro.core.parallel_dpso import ParallelDPSOConfig, parallel_dpso
+
+        instance = biskup_instance(n, 0.4, 1)
+        vals = []
+        for r in range(replicates):
+            seed = zlib.crc32(f"coupling:{n}:{r}".encode()) & 0x7FFFFFFF
+            vals.append(
+                parallel_dpso(
+                    instance,
+                    ParallelDPSOConfig(
+                        iterations=scale.iterations_low,
+                        grid_size=scale.grid_size,
+                        block_size=scale.block_size,
+                        coupling=coupling,
+                        seed=seed,
+                    ),
+                    backend=backend,
+                ).objective
+            )
+        return {"size": n, "coupling": coupling,
+                "objective": float(np.mean(vals))}
+
+    return run
 
 
 def run_coupling_ablation(
-    scale: ExperimentScale | None = None, replicates: int = 2
+    scale: ExperimentScale | None = None,
+    replicates: int = 2,
+    runner: ResilientRunner | None = None,
 ) -> CouplingAblation:
     """The DPSO coupling spectrum: isolated (paper) / ring / full swarm."""
-    from repro.core.parallel_dpso import ParallelDPSOConfig, parallel_dpso
-
     scale = scale or get_scale()
+    runner = runner or ResilientRunner()
     sizes = scale.sizes[: min(4, len(scale.sizes))]
-    objs = {c: np.zeros(len(sizes)) for c in ("async", "ring", "coupled")}
-    for i, n in enumerate(sizes):
-        instance = biskup_instance(n, 0.4, 1)
-        for coupling in objs:
-            vals = []
-            for r in range(replicates):
-                seed = zlib.crc32(f"coupling:{n}:{r}".encode()) & 0x7FFFFFFF
-                vals.append(
-                    parallel_dpso(
-                        instance,
-                        ParallelDPSOConfig(
-                            iterations=scale.iterations_low,
-                            grid_size=scale.grid_size,
-                            block_size=scale.block_size,
-                            coupling=coupling,
-                            seed=seed,
-                        ),
-                    ).objective
-                )
-            objs[coupling][i] = np.mean(vals)
+    couplings = ("async", "ring", "coupled")
+    backend = runner.solver_backend()
+    units = [
+        WorkUnit(
+            key=f"n{n}|{coupling}",
+            run=_coupling_point_fn(n, coupling, replicates, scale, backend),
+        )
+        for n in sizes
+        for coupling in couplings
+    ]
+    checkpoint = runner.checkpoint_for(f"ablation_coupling_{scale.name}")
+    report = runner.run_units(units, checkpoint)
+
+    objs = {
+        (o.payload["size"], o.payload["coupling"]): o.payload["objective"]
+        for o in report.completed
+    }
+    series = {
+        c: np.array([objs.get((n, c), np.nan) for n in sizes])
+        for c in couplings
+    }
     return CouplingAblation(
         sizes=tuple(sizes),
-        async_objective=objs["async"],
-        ring_objective=objs["ring"],
-        coupled_objective=objs["coupled"],
+        async_objective=series["async"],
+        ring_objective=series["ring"],
+        coupled_objective=series["coupled"],
+        report=report,
     )
 
 
@@ -381,13 +547,14 @@ class RefreshAblation:
     n_jobs: int
     intervals: tuple[int, ...]
     objective: np.ndarray
+    report: RunReport | None = None
 
     def render(self) -> str:
         """Quality per refresh interval (1 = fresh positions each move)."""
         rows = [
             [itv, self.objective[i]] for i, itv in enumerate(self.intervals)
         ]
-        return render_table(
+        tab = render_table(
             ["refresh interval", "mean objective"],
             rows,
             title=(
@@ -395,19 +562,15 @@ class RefreshAblation:
                 f"n={self.n_jobs}; Section VI's ambiguous '10')"
             ),
         )
+        footnote = _ablation_footnote(self.report)
+        return f"{tab}\n\n{footnote}" if footnote else tab
 
 
-def run_refresh_ablation(
-    scale: ExperimentScale | None = None,
-    intervals: tuple[int, ...] = (1, 2, 5, 10, 25),
-    replicates: int = 2,
-) -> RefreshAblation:
-    """Sweep the refresh cadence of the SA perturbation positions."""
-    scale = scale or get_scale()
-    n = scale.fig11_n
-    instance = biskup_instance(n, 0.4, 1)
-    objs = np.zeros(len(intervals))
-    for i, itv in enumerate(intervals):
+def _refresh_point_fn(instance, itv: int, replicates: int,
+                      scale: ExperimentScale, backend):
+    """Work-unit body of one refresh-interval point."""
+
+    def run() -> dict:
         vals = []
         for r in range(replicates):
             seed = zlib.crc32(f"refresh:{itv}:{r}".encode()) & 0x7FFFFFFF
@@ -421,10 +584,41 @@ def run_refresh_ablation(
                         position_refresh=itv,
                         seed=seed,
                     ),
+                    backend=backend,
                 ).objective
             )
-        objs[i] = np.mean(vals)
-    return RefreshAblation(n_jobs=n, intervals=intervals, objective=objs)
+        return {"interval": itv, "objective": float(np.mean(vals))}
+
+    return run
+
+
+def run_refresh_ablation(
+    scale: ExperimentScale | None = None,
+    intervals: tuple[int, ...] = (1, 2, 5, 10, 25),
+    replicates: int = 2,
+    runner: ResilientRunner | None = None,
+) -> RefreshAblation:
+    """Sweep the refresh cadence of the SA perturbation positions."""
+    scale = scale or get_scale()
+    runner = runner or ResilientRunner()
+    n = scale.fig11_n
+    instance = biskup_instance(n, 0.4, 1)
+    backend = runner.solver_backend()
+    units = [
+        WorkUnit(
+            key=f"interval{itv}",
+            run=_refresh_point_fn(instance, itv, replicates, scale, backend),
+        )
+        for itv in intervals
+    ]
+    checkpoint = runner.checkpoint_for(f"ablation_refresh_{scale.name}")
+    report = runner.run_units(units, checkpoint)
+
+    by_itv = {o.payload["interval"]: o.payload["objective"]
+              for o in report.completed}
+    objs = np.array([by_itv.get(itv, np.nan) for itv in intervals])
+    return RefreshAblation(n_jobs=n, intervals=intervals, objective=objs,
+                           report=report)
 
 
 # ----------------------------------------------------------------------
@@ -438,6 +632,7 @@ class StrategyAblation:
     async_objective: np.ndarray
     sync_objective: np.ndarray
     domain_objective: np.ndarray
+    report: RunReport | None = None
 
     def render(self) -> str:
         """Per-size comparison; the paper keeps async and dismisses the rest."""
@@ -448,7 +643,7 @@ class StrategyAblation:
                 n, a, self.sync_objective[i], self.domain_objective[i],
                 100.0 * (self.domain_objective[i] - a) / a,
             ])
-        return render_table(
+        tab = render_table(
             ["Jobs", "async (paper)", "sync", "domain decomp.",
              "domain vs async %"],
             rows,
@@ -457,39 +652,74 @@ class StrategyAblation:
                 "Markov chains vs domain decomposition"
             ),
         )
+        footnote = _ablation_footnote(self.report)
+        return f"{tab}\n\n{footnote}" if footnote else tab
+
+
+def _strategy_point_fn(n: int, variant: str, replicates: int,
+                       scale: ExperimentScale, backend):
+    """Work-unit body: one parallelization strategy at one size."""
+
+    def run() -> dict:
+        instance = biskup_instance(n, 0.4, 1)
+        vals = []
+        for r in range(replicates):
+            seed = zlib.crc32(
+                f"strategy:{variant}:{n}:{r}".encode()
+            ) & 0x7FFFFFFF
+            vals.append(
+                parallel_sa(
+                    instance,
+                    ParallelSAConfig(
+                        iterations=scale.iterations_low,
+                        grid_size=scale.grid_size,
+                        block_size=scale.block_size,
+                        variant=variant,
+                        seed=seed,
+                    ),
+                    backend=backend,
+                ).objective
+            )
+        return {"size": n, "variant": variant,
+                "objective": float(np.mean(vals))}
+
+    return run
 
 
 def run_strategy_ablation(
-    scale: ExperimentScale | None = None, replicates: int = 2
+    scale: ExperimentScale | None = None,
+    replicates: int = 2,
+    runner: ResilientRunner | None = None,
 ) -> StrategyAblation:
     """Async vs sync vs domain-decomposition parallel SA at equal budgets."""
     scale = scale or get_scale()
+    runner = runner or ResilientRunner()
     sizes = tuple(n for n in scale.sizes if n >= 3)[: min(4, len(scale.sizes))]
-    objs = {v: np.zeros(len(sizes)) for v in ("async", "sync", "domain")}
-    for i, n in enumerate(sizes):
-        instance = biskup_instance(n, 0.4, 1)
-        for variant in objs:
-            vals = []
-            for r in range(replicates):
-                seed = zlib.crc32(
-                    f"strategy:{variant}:{n}:{r}".encode()
-                ) & 0x7FFFFFFF
-                vals.append(
-                    parallel_sa(
-                        instance,
-                        ParallelSAConfig(
-                            iterations=scale.iterations_low,
-                            grid_size=scale.grid_size,
-                            block_size=scale.block_size,
-                            variant=variant,
-                            seed=seed,
-                        ),
-                    ).objective
-                )
-            objs[variant][i] = np.mean(vals)
+    variants = ("async", "sync", "domain")
+    backend = runner.solver_backend()
+    units = [
+        WorkUnit(
+            key=f"n{n}|{variant}",
+            run=_strategy_point_fn(n, variant, replicates, scale, backend),
+        )
+        for n in sizes
+        for variant in variants
+    ]
+    checkpoint = runner.checkpoint_for(f"ablation_strategy_{scale.name}")
+    report = runner.run_units(units, checkpoint)
+
+    objs = {
+        (o.payload["size"], o.payload["variant"]): o.payload["objective"]
+        for o in report.completed
+    }
+    series = {
+        v: np.array([objs.get((n, v), np.nan) for n in sizes])
+        for v in variants
+    }
     return StrategyAblation(
         sizes=sizes,
-        async_objective=objs["async"],
-        sync_objective=objs["sync"],
-        domain_objective=objs["domain"],
+        async_objective=series["async"],
+        sync_objective=series["sync"],
+        domain_objective=series["domain"],
+        report=report,
     )

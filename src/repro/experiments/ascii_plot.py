@@ -25,10 +25,13 @@ def bar_chart(
     """Horizontal bar chart; negative values render to the left marker."""
     if len(labels) != len(values):
         raise ValueError("labels and values must align")
-    vmax = max((abs(v) for v in values), default=0.0) or 1.0
+    vmax = max((abs(v) for v in values if v == v), default=0.0) or 1.0
     lw = max((len(s) for s in labels), default=0)
     lines = [title] if title else []
     for lab, v in zip(labels, values):
+        if v != v:  # NaN: a failed/missing cell renders as an em-dash bar
+            lines.append(f"{lab.rjust(lw)} |— (no data)")
+            continue
         n = int(round(abs(v) / vmax * width))
         sign = "-" if v < 0 else ""
         lines.append(f"{lab.rjust(lw)} |{sign}{_BAR * n} {v:g}")
@@ -43,7 +46,8 @@ def grouped_bar_chart(
 ) -> str:
     """One bar block per group with a labelled bar per series."""
     vmax = max(
-        (abs(v) for vals in series.values() for v in vals), default=0.0
+        (abs(v) for vals in series.values() for v in vals if v == v),
+        default=0.0,
     ) or 1.0
     sw = max(len(s) for s in series)
     lines = [title] if title else []
@@ -51,6 +55,9 @@ def grouped_bar_chart(
         lines.append(f"{g}:")
         for name, vals in series.items():
             v = vals[gi]
+            if v != v:  # NaN: a failed/missing cell
+                lines.append(f"  {name.rjust(sw)} |— (no data)")
+                continue
             n = int(round(abs(v) / vmax * width))
             sign = "-" if v < 0 else ""
             lines.append(f"  {name.rjust(sw)} |{sign}{_BAR * n} {v:g}")

@@ -10,14 +10,20 @@ generation budget in ratio 1:5) over 40 benchmark instances, where
 reproduces the study end to end: instances from the generators, ``Z_best``
 from :mod:`repro.bestknown`, the four runs per instance on the simulated
 device, and per-size aggregation.
+
+The study is decomposed into explicit work units -- one
+``(instance, algorithm, budget)`` cell each -- executed through a
+:class:`repro.resilience.ResilientRunner`: transient device failures are
+retried, completed cells are checkpointed crash-safely, a resumed run
+replays them bit-identically, and permanently failed cells degrade to a
+``—`` mark plus a footnote instead of killing the whole table.
 """
 
 from __future__ import annotations
 
-import json
+import math
 import zlib
 from dataclasses import asdict, dataclass, field
-from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -38,6 +44,7 @@ from repro.instances.biskup import biskup_instance
 from repro.instances.ucddcp_gen import ucddcp_instance
 from repro.problems.cdd import CDDInstance
 from repro.problems.ucddcp import UCDDCPInstance
+from repro.resilience import ResilientRunner, RunReport, WorkUnit
 
 __all__ = ["DeviationRun", "DeviationStudy", "run_deviation_study"]
 
@@ -67,18 +74,35 @@ class DeviationStudy:
     # mean deviation per size per algorithm, shape (len(sizes), 4)
     mean_deviation: np.ndarray
     runs: list[DeviationRun] = field(default_factory=list)
+    #: Resilience report of the run that produced this study (failed /
+    #: skipped cells end up here and in the rendered footnote).
+    report: RunReport | None = None
 
     def significance_report(self) -> str:
-        """Pairwise Wilcoxon comparisons over per-instance deviations."""
+        """Pairwise Wilcoxon comparisons over per-instance deviations.
+
+        Samples are paired per instance, so the comparison is restricted
+        to instances every algorithm completed (failed cells of a
+        degraded run drop that instance from the pairing, not the test).
+        """
         from repro.analysis.stats import pairwise_report
 
-        samples = {}
-        for lab in self.labels:
-            vals = [r.deviation_pct for r in self.runs if r.algorithm == lab]
-            if vals:
-                samples[lab] = np.asarray(vals)
-        if len(samples) < 2:
+        by_label: dict[str, dict[str, float]] = {
+            lab: {} for lab in self.labels
+        }
+        for r in self.runs:
+            by_label[r.algorithm][r.instance] = r.deviation_pct
+        common = set.intersection(
+            *(set(vals) for vals in by_label.values())
+        ) if all(by_label.values()) else set()
+        if not common:
             return "(not enough data for significance tests)"
+        # Keep the canonical run order (clean runs stay byte-identical).
+        order = [n for n in by_label[self.labels[0]] if n in common]
+        samples = {
+            lab: np.asarray([by_label[lab][name] for name in order])
+            for lab in self.labels
+        }
         return pairwise_report(samples)
 
     def per_h_breakdown(self) -> str:
@@ -110,7 +134,11 @@ class DeviationStudy:
         )
         rows = []
         for i, n in enumerate(self.sizes):
-            rows.append([n, *self.mean_deviation[i]])
+            rows.append([
+                n,
+                *("—" if math.isnan(v) else float(v)
+                  for v in self.mean_deviation[i]),
+            ])
         ours = render_table(
             ["Jobs", *self.labels], rows,
             title=(
@@ -141,6 +169,10 @@ class DeviationStudy:
         per_h = self.per_h_breakdown()
         if per_h:
             sections.append(per_h)
+        if self.report is not None:
+            footnote = self.report.footnote()
+            if footnote:
+                sections.append(footnote)
         return "\n\n".join(sections)
 
     def column(self, label: str) -> np.ndarray:
@@ -167,18 +199,63 @@ def _instances_for_size(
     raise ValueError(f"unknown problem {problem!r}")
 
 
-def _load_checkpoint(path: Path) -> dict[str, DeviationRun]:
-    if not path.exists():
-        return {}
-    raw = json.loads(path.read_text())
-    return {key: DeviationRun(**rec) for key, rec in raw.items()}
+def _cell_fn(
+    inst: CDDInstance | UCDDCPInstance,
+    n: int,
+    algo: str,
+    iters: int,
+    label: str,
+    scale: ExperimentScale,
+    store: BestKnownStore,
+    backend,
+) -> Callable[[], dict]:
+    """The work-unit body of one (instance, algorithm, budget) cell."""
 
+    def run() -> dict:
+        z_best = compute_best_known(
+            inst, store,
+            restarts=scale.bestknown_restarts,
+            iterations=scale.bestknown_iterations,
+        )
+        seed = _seed_for(inst.name, f"{algo}_{iters}")
+        if algo == "sa":
+            result = parallel_sa(
+                inst,
+                ParallelSAConfig(
+                    iterations=iters,
+                    grid_size=scale.grid_size,
+                    block_size=scale.block_size,
+                    seed=seed,
+                ),
+                backend=backend,
+            )
+        else:
+            result = parallel_dpso(
+                inst,
+                ParallelDPSOConfig(
+                    iterations=iters,
+                    grid_size=scale.grid_size,
+                    block_size=scale.block_size,
+                    seed=seed,
+                ),
+                backend=backend,
+            )
+        dev = (result.objective - z_best) / z_best * 100.0
+        return asdict(DeviationRun(
+            instance=inst.name,
+            size=n,
+            algorithm=label,
+            objective=float(result.objective),
+            best_known=float(z_best),
+            deviation_pct=float(dev),
+            wall_time_s=float(result.wall_time_s),
+            modeled_device_time_s=(
+                None if result.modeled_device_time_s is None
+                else float(result.modeled_device_time_s)
+            ),
+        ))
 
-def _save_checkpoint(path: Path, done: dict[str, DeviationRun]) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps({k: asdict(r) for k, r in done.items()}, indent=0)
-    )
+    return run
 
 
 def run_deviation_study(
@@ -186,17 +263,20 @@ def run_deviation_study(
     scale: ExperimentScale | None = None,
     store: BestKnownStore | None = None,
     progress: Callable[[str], None] | None = None,
-    checkpoint_path: str | Path | None = None,
+    runner: ResilientRunner | None = None,
 ) -> DeviationStudy:
     """Run the full deviation study for ``problem`` at ``scale``.
 
-    ``checkpoint_path`` enables incremental persistence: every completed
-    (instance, algorithm) run is recorded in a JSON file and skipped on
-    resume -- essential for the hours-long ``full`` scale, where a study
-    can be interrupted and continued without losing work.
+    ``runner`` supplies the resilience layer: retries, the checkpoint
+    store (``--resume`` replays completed cells bit-identically), fault
+    injection and the execution backend.  Without one, a default runner
+    (no checkpointing) is used and failed cells still degrade gracefully.
     """
     scale = scale or get_scale()
     store = store or BestKnownStore()
+    runner = runner or ResilientRunner(progress=progress)
+    if progress is not None and runner.progress is None:
+        runner.progress = progress
     labels = (
         f"SA_{scale.iterations_low}",
         f"SA_{scale.iterations_high}",
@@ -204,70 +284,29 @@ def run_deviation_study(
         f"DPSO_{scale.iterations_high}",
     )
     sizes = scale.sizes
-    ckpt = Path(checkpoint_path) if checkpoint_path else None
-    done = _load_checkpoint(ckpt) if ckpt else {}
-    runs: list[DeviationRun] = []
+    variants = (
+        ("sa", scale.iterations_low),
+        ("sa", scale.iterations_high),
+        ("dpso", scale.iterations_low),
+        ("dpso", scale.iterations_high),
+    )
+    backend = runner.solver_backend()
 
+    units: list[WorkUnit] = []
     for n in sizes:
-        instances = _instances_for_size(problem, n, scale)
-        for inst in instances:
-            z_best: float | None = None
-            for j, (algo, iters) in enumerate(
-                (
-                    ("sa", scale.iterations_low),
-                    ("sa", scale.iterations_high),
-                    ("dpso", scale.iterations_low),
-                    ("dpso", scale.iterations_high),
-                )
-            ):
-                key = f"{inst.name}|{labels[j]}"
-                if key in done:
-                    runs.append(done[key])
-                    continue
-                if z_best is None:
-                    z_best = compute_best_known(
-                        inst, store,
-                        restarts=scale.bestknown_restarts,
-                        iterations=scale.bestknown_iterations,
-                    )
-                seed = _seed_for(inst.name, f"{algo}_{iters}")
-                if algo == "sa":
-                    result = parallel_sa(
-                        inst,
-                        ParallelSAConfig(
-                            iterations=iters,
-                            grid_size=scale.grid_size,
-                            block_size=scale.block_size,
-                            seed=seed,
-                        ),
-                    )
-                else:
-                    result = parallel_dpso(
-                        inst,
-                        ParallelDPSOConfig(
-                            iterations=iters,
-                            grid_size=scale.grid_size,
-                            block_size=scale.block_size,
-                            seed=seed,
-                        ),
-                    )
-                dev = (result.objective - z_best) / z_best * 100.0
-                run = DeviationRun(
-                    instance=inst.name,
-                    size=n,
-                    algorithm=labels[j],
-                    objective=result.objective,
-                    best_known=z_best,
-                    deviation_pct=dev,
-                    wall_time_s=result.wall_time_s,
-                    modeled_device_time_s=result.modeled_device_time_s,
-                )
-                runs.append(run)
-                done[key] = run
-            if ckpt:
-                _save_checkpoint(ckpt, done)
-            if progress:
-                progress(f"{inst.name}: done")
+        for inst in _instances_for_size(problem, n, scale):
+            for j, (algo, iters) in enumerate(variants):
+                units.append(WorkUnit(
+                    key=f"{inst.name}|{labels[j]}",
+                    run=_cell_fn(inst, n, algo, iters, labels[j], scale,
+                                 store, backend),
+                ))
+
+    checkpoint = runner.checkpoint_for(f"deviation_{problem}_{scale.name}")
+    report = runner.run_units(units, checkpoint)
+    runs = [
+        DeviationRun(**outcome.payload) for outcome in report.completed
+    ]
 
     means = np.zeros((len(sizes), 4))
     for si, n in enumerate(sizes):
@@ -283,4 +322,5 @@ def run_deviation_study(
         sizes=sizes,
         mean_deviation=means,
         runs=runs,
+        report=report,
     )

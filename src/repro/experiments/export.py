@@ -14,6 +14,7 @@ from pathlib import Path
 
 from repro.experiments.deviation import DeviationStudy
 from repro.experiments.speedup import SpeedupStudy
+from repro.resilience import atomic_write_text
 
 __all__ = [
     "deviation_runs_csv",
@@ -50,7 +51,9 @@ def speedup_cells_csv(study: SpeedupStudy) -> str:
     ])
     for n in study.sizes:
         for lab in study.labels:
-            c = study.cells[(n, lab)]
+            c = study.cells.get((n, lab))
+            if c is None:  # failed cell: absent from the CSV, noted in render
+                continue
             writer.writerow([
                 c.size, c.algorithm, c.iterations,
                 f"{c.serial_cpu_s:.6f}", f"{c.modeled_gpu_s:.6f}",
@@ -69,8 +72,8 @@ def write_study_csvs(
     results.mkdir(parents=True, exist_ok=True)
     if isinstance(study, DeviationStudy):
         path = results / f"{study.problem}_deviation_runs.csv"
-        path.write_text(deviation_runs_csv(study))
+        atomic_write_text(path, deviation_runs_csv(study))
     else:
         path = results / f"{study.problem}_speedup_cells.csv"
-        path.write_text(speedup_cells_csv(study))
+        atomic_write_text(path, speedup_cells_csv(study))
     return path

@@ -1,4 +1,9 @@
-"""Experiment dispatch: run any table/figure by id and print its report."""
+"""Experiment dispatch: run any table/figure by id and print its report.
+
+Every experiment accepts an optional :class:`repro.resilience.ResilientRunner`
+which supplies retries, checkpoint/resume and fault injection; without one
+each study builds a default runner (no checkpointing, same results).
+"""
 
 from __future__ import annotations
 
@@ -17,67 +22,70 @@ from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.deviation import run_deviation_study
 from repro.experiments.runtime import run_runtime_curves, run_runtime_surface
 from repro.experiments.speedup import run_speedup_study
+from repro.resilience import ResilientRunner
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
 
 
-def _table2(scale: ExperimentScale) -> str:
-    return run_deviation_study("cdd", scale).render()
+def _table2(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+    return run_deviation_study("cdd", scale, runner=runner).render()
 
 
-def _table3(scale: ExperimentScale) -> str:
-    return run_speedup_study("cdd", scale).render()
+def _table3(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+    return run_speedup_study("cdd", scale, runner=runner).render()
 
 
-def _table4(scale: ExperimentScale) -> str:
-    return run_deviation_study("ucddcp", scale).render()
+def _table4(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+    return run_deviation_study("ucddcp", scale, runner=runner).render()
 
 
-def _table5(scale: ExperimentScale) -> str:
-    return run_speedup_study("ucddcp", scale).render()
+def _table5(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+    return run_speedup_study("ucddcp", scale, runner=runner).render()
 
 
-def _fig11(scale: ExperimentScale) -> str:
-    return run_runtime_surface(scale).render()
+def _fig11(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+    return run_runtime_surface(scale, runner=runner).render()
 
 
-def _fig14(scale: ExperimentScale) -> str:
-    return run_runtime_curves("cdd", scale).render()
+def _fig14(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+    return run_runtime_curves("cdd", scale, runner=runner).render()
 
 
-def _fig16(scale: ExperimentScale) -> str:
-    return run_runtime_curves("ucddcp", scale).render()
+def _fig16(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+    return run_runtime_curves("ucddcp", scale, runner=runner).render()
 
 
-def _blocksize(scale: ExperimentScale) -> str:
-    return run_blocksize_ablation(scale).render()
+def _blocksize(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+    return run_blocksize_ablation(scale, runner=runner).render()
 
 
-def _sync(scale: ExperimentScale) -> str:
-    return run_sync_vs_async(scale).render()
+def _sync(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+    return run_sync_vs_async(scale, runner=runner).render()
 
 
-def _cooling(scale: ExperimentScale) -> str:
-    return run_cooling_ablation(scale).render()
+def _cooling(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+    return run_cooling_ablation(scale, runner=runner).render()
 
 
-def _texture(scale: ExperimentScale) -> str:
-    return run_texture_ablation(scale).render()
+def _texture(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+    return run_texture_ablation(scale, runner=runner).render()
 
 
-def _coupling(scale: ExperimentScale) -> str:
-    return run_coupling_ablation(scale).render()
+def _coupling(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+    return run_coupling_ablation(scale, runner=runner).render()
 
 
-def _refresh(scale: ExperimentScale) -> str:
-    return run_refresh_ablation(scale).render()
+def _refresh(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+    return run_refresh_ablation(scale, runner=runner).render()
 
 
-def _strategy(scale: ExperimentScale) -> str:
-    return run_strategy_ablation(scale).render()
+def _strategy(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+    return run_strategy_ablation(scale, runner=runner).render()
 
 
-EXPERIMENTS: dict[str, Callable[[ExperimentScale], str]] = {
+EXPERIMENTS: dict[
+    str, Callable[[ExperimentScale, ResilientRunner | None], str]
+] = {
     "table2": _table2,
     "fig12": _table2,  # Figure 12 is the bar chart of Table II
     "table3": _table3,
@@ -99,7 +107,11 @@ EXPERIMENTS: dict[str, Callable[[ExperimentScale], str]] = {
 }
 
 
-def run_experiment(name: str, scale: ExperimentScale | None = None) -> str:
+def run_experiment(
+    name: str,
+    scale: ExperimentScale | None = None,
+    runner: ResilientRunner | None = None,
+) -> str:
     """Run experiment ``name`` and return its rendered report."""
     try:
         fn = EXPERIMENTS[name]
@@ -107,4 +119,4 @@ def run_experiment(name: str, scale: ExperimentScale | None = None) -> str:
         raise KeyError(
             f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return fn(scale or get_scale())
+    return fn(scale or get_scale(), runner)

@@ -27,6 +27,7 @@ from repro.gpusim.launch import linear_config
 from repro.instances.ucddcp_gen import ucddcp_instance
 from repro.kernels.data import DeviceProblemData
 from repro.kernels.fitness import make_ucddcp_fitness_kernel
+from repro.resilience import ResilientRunner, RunReport, WorkUnit
 
 __all__ = [
     "RuntimeSurface",
@@ -45,6 +46,9 @@ class RuntimeSurface:
     generations: tuple[int, ...]
     seconds: np.ndarray  # shape (len(thread_counts), len(generations))
     per_launch_s: np.ndarray  # shape (len(thread_counts),)
+    #: Resilience report of the measurement pass (failed thread counts are
+    #: NaN rows, listed in the rendered footnote).
+    report: RunReport | None = None
 
     def render(self) -> str:
         """The surface as a table plus per-thread-count launch durations."""
@@ -66,24 +70,21 @@ class RuntimeSurface:
             list(self.thread_counts), series, logy=True,
             title="runtime vs threads (one line per generation count)",
         )
-        return "\n\n".join((tab, fig))
+        sections = [tab, fig]
+        if self.report is not None:
+            footnote = self.report.footnote()
+            if footnote:
+                sections.append(footnote)
+        return "\n\n".join(sections)
 
 
-def run_runtime_surface(
-    scale: ExperimentScale | None = None,
-    block_size: int = 192,
-) -> RuntimeSurface:
-    """Regenerate the Figure 11 surface at the scale's grid."""
-    scale = scale or get_scale()
-    n = scale.fig11_n
-    instance = ucddcp_instance(n, 1)
-    thread_counts = scale.fig11_thread_counts
-    generations = scale.fig11_generations
+def _surface_point_fn(instance, n: int, threads: int, block_size: int,
+                      fault_plan):
+    """Work-unit body of one thread-count point of the Fig 11 surface."""
 
-    per_launch = np.zeros(len(thread_counts))
-    kernel = make_ucddcp_fitness_kernel()
-    for i, threads in enumerate(thread_counts):
-        device = Device(seed=1)
+    def run() -> dict:
+        kernel = make_ucddcp_fitness_kernel()
+        device = Device(seed=1, fault_plan=fault_plan)
         data = DeviceProblemData(device, instance)
         seqs = device.malloc((threads, n), np.int32, "sequences")
         out = device.malloc(threads, np.float64, "fitness")
@@ -96,7 +97,50 @@ def run_runtime_surface(
         device.launch(kernel, cfg, seqs, data.p, data.m, data.a, data.b,
                       data.g, out)
         device.synchronize()
-        per_launch[i] = device.profiler.kernel_time()
+        return {
+            "threads": threads,
+            "per_launch_s": float(device.profiler.kernel_time()),
+        }
+
+    return run
+
+
+def run_runtime_surface(
+    scale: ExperimentScale | None = None,
+    block_size: int = 192,
+    runner: ResilientRunner | None = None,
+) -> RuntimeSurface:
+    """Regenerate the Figure 11 surface at the scale's grid.
+
+    Each thread count is one work unit of ``runner``; a failed point
+    leaves a NaN row in the surface instead of aborting the figure.
+    """
+    scale = scale or get_scale()
+    runner = runner or ResilientRunner()
+    n = scale.fig11_n
+    instance = ucddcp_instance(n, 1)
+    thread_counts = scale.fig11_thread_counts
+    generations = scale.fig11_generations
+
+    units = [
+        WorkUnit(
+            key=f"ucddcp_n{n}|threads{threads}",
+            run=_surface_point_fn(instance, n, threads, block_size,
+                                  runner.fault_plan),
+        )
+        for threads in thread_counts
+    ]
+    checkpoint = runner.checkpoint_for(f"runtime_surface_{scale.name}")
+    report = runner.run_units(units, checkpoint)
+
+    per_launch = np.full(len(thread_counts), np.nan)
+    by_threads = {
+        o.payload["threads"]: o.payload["per_launch_s"]
+        for o in report.completed
+    }
+    for i, threads in enumerate(thread_counts):
+        if threads in by_threads:
+            per_launch[i] = by_threads[threads]
 
     seconds = per_launch[:, None] * np.asarray(generations)[None, :]
     return RuntimeSurface(
@@ -105,6 +149,7 @@ def run_runtime_surface(
         generations=generations,
         seconds=seconds,
         per_launch_s=per_launch,
+        report=report,
     )
 
 
@@ -120,7 +165,10 @@ class RuntimeCurves:
 
 
 def run_runtime_curves(
-    problem: str = "cdd", scale: ExperimentScale | None = None
+    problem: str = "cdd",
+    scale: ExperimentScale | None = None,
+    runner: ResilientRunner | None = None,
 ) -> RuntimeCurves:
     """Regenerate the Figure 14 (CDD) or 16 (UCDDCP) curves."""
-    return RuntimeCurves(study=run_speedup_study(problem, scale))
+    return RuntimeCurves(study=run_speedup_study(problem, scale,
+                                                 runner=runner))

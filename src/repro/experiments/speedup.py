@@ -20,7 +20,7 @@ per-iteration cost of SA/DPSO is constant).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from repro.experiments.paper_data import (
 from repro.experiments.tables import render_table
 from repro.instances.biskup import biskup_instance
 from repro.instances.ucddcp_gen import ucddcp_instance
+from repro.resilience import ResilientRunner, RunReport, WorkUnit
 
 __all__ = ["SpeedupCell", "SpeedupStudy", "run_speedup_study"]
 
@@ -74,13 +75,18 @@ class SpeedupStudy:
     labels: tuple[str, str, str, str]
     sizes: tuple[int, ...]
     cells: dict[tuple[int, str], SpeedupCell] = field(default_factory=dict)
+    #: Resilience report of the measurement pass (failed cells are NaN in
+    #: the matrices and listed in the rendered footnote).
+    report: RunReport | None = None
 
     def matrix(self, attr: str) -> np.ndarray:
-        """``(len(sizes), 4)`` matrix of a cell attribute."""
-        out = np.zeros((len(self.sizes), len(self.labels)))
+        """``(len(sizes), 4)`` matrix of a cell attribute (NaN = failed)."""
+        out = np.full((len(self.sizes), len(self.labels)), np.nan)
         for i, n in enumerate(self.sizes):
             for j, lab in enumerate(self.labels):
-                out[i, j] = getattr(self.cells[(n, lab)], attr)
+                cell = self.cells.get((n, lab))
+                if cell is not None:
+                    out[i, j] = getattr(cell, attr)
         return out
 
     def render(self) -> str:
@@ -120,16 +126,23 @@ class SpeedupStudy:
                 else "Fig 17 analogue (UCDDCP speedups)"
             ),
         )
-        return "\n\n".join((t1, t2, t3, chart))
+        sections = [t1, t2, t3, chart]
+        if self.report is not None:
+            footnote = self.report.footnote()
+            if footnote:
+                sections.append(footnote)
+        return "\n\n".join(sections)
 
     def render_runtime_curves(self) -> str:
         """Figure 14/16 analogue: runtimes of the four variants + CPU."""
         gpu = self.matrix("modeled_gpu_s")
         # The CPU curve of Figs 14/16: the serial reference at the high
-        # iteration budget.
-        cpu = np.array(
-            [self.cells[(n, self.labels[1])].serial_cpu_s for n in self.sizes]
-        )
+        # iteration budget (NaN where that cell failed).
+        cpu = np.array([
+            c.serial_cpu_s if (c := self.cells.get((n, self.labels[1])))
+            else np.nan
+            for n in self.sizes
+        ])
         series = {
             lab: gpu[:, j].tolist() for j, lab in enumerate(self.labels)
         }
@@ -165,20 +178,90 @@ def _serial_sa_time(instance, iterations: int, population: int) -> float:
 _STUDY_CACHE: dict[tuple[str, str], SpeedupStudy] = {}
 
 
+def _speedup_cell_fn(
+    instance,
+    n: int,
+    algo: str,
+    iters: int,
+    label: str,
+    scale: ExperimentScale,
+    references: dict[int, float],
+    backend,
+):
+    """Work-unit body of one (size, algorithm) timing cell.
+
+    One *common, fixed* CPU reference per size, mirroring the paper:
+    Table III/V divide a single published CPU runtime per job count
+    ([7]/[8]) by each variant's GPU time.  We pin the reference to the
+    matched-work serial SA at the *low* budget -- so the high-budget
+    columns come out ~5x smaller and the DPSO columns shrink by exactly
+    how much slower the DPSO kernels are, as in the paper.  The reference
+    is measured once per size and shared by the size's four cells.
+    """
+
+    def run() -> dict:
+        if n not in references:
+            references[n] = _serial_sa_time(
+                instance, scale.iterations_low, scale.population
+            )
+        cpu_reference = references[n]
+        start = time.perf_counter()
+        if algo == "sa":
+            result = parallel_sa(
+                instance,
+                ParallelSAConfig(
+                    iterations=iters,
+                    grid_size=scale.grid_size,
+                    block_size=scale.block_size,
+                    seed=31,
+                ),
+                backend=backend,
+            )
+        else:
+            result = parallel_dpso(
+                instance,
+                ParallelDPSOConfig(
+                    iterations=iters,
+                    grid_size=scale.grid_size,
+                    block_size=scale.block_size,
+                    seed=31,
+                ),
+                backend=backend,
+            )
+        wall = time.perf_counter() - start
+        assert result.modeled_device_time_s is not None
+        return asdict(SpeedupCell(
+            size=n,
+            algorithm=label,
+            iterations=iters,
+            serial_cpu_s=float(cpu_reference),
+            modeled_gpu_s=float(result.modeled_device_time_s),
+            measured_wall_s=float(wall),
+        ))
+
+    return run
+
+
 def run_speedup_study(
     problem: str = "cdd",
     scale: ExperimentScale | None = None,
     use_cache: bool = True,
+    runner: ResilientRunner | None = None,
 ) -> SpeedupStudy:
     """Collect timing cells for all sizes and the four algorithm variants.
 
     Results are memoized per (problem, scale) within the process so the
-    table and figure benches can share one measurement pass.
+    table and figure benches can share one measurement pass.  ``runner``
+    adds the resilience layer (retries, checkpoints, fault injection);
+    note that checkpointed cells replay their originally *measured*
+    timings verbatim -- restored wall times describe the interrupted run,
+    as any timing log would.
     """
     scale = scale or get_scale()
     key = (problem, scale.name)
     if use_cache and key in _STUDY_CACHE:
         return _STUDY_CACHE[key]
+    runner = runner or ResilientRunner()
 
     labels = (
         f"SA_{scale.iterations_low}",
@@ -189,62 +272,37 @@ def run_speedup_study(
     study = SpeedupStudy(
         problem=problem, scale=scale.name, labels=labels, sizes=scale.sizes
     )
-    pop = scale.population
+    # Speedups are *about* the modeled device: always solve on gpusim.
+    backend = runner.solver_backend("gpusim")
+    references: dict[int, float] = {}
+    variants = (
+        ("sa", scale.iterations_low),
+        ("sa", scale.iterations_high),
+        ("dpso", scale.iterations_low),
+        ("dpso", scale.iterations_high),
+    )
 
+    units: list[WorkUnit] = []
     for n in scale.sizes:
         instance = (
             biskup_instance(n, scale.h_factors[0], scale.k_values[0])
             if problem == "cdd"
             else ucddcp_instance(n, scale.k_values[0])
         )
-        # One *common, fixed* CPU reference per size, mirroring the paper:
-        # Table III/V divide a single published CPU runtime per job count
-        # ([7]/[8]) by each variant's GPU time.  We pin the reference to the
-        # matched-work serial SA at the *low* budget -- so the high-budget
-        # columns come out ~5x smaller and the DPSO columns shrink by
-        # exactly how much slower the DPSO kernels are, as in the paper.
-        cpu_reference = _serial_sa_time(instance, scale.iterations_low, pop)
-        for j, (algo, iters) in enumerate(
-            (
-                ("sa", scale.iterations_low),
-                ("sa", scale.iterations_high),
-                ("dpso", scale.iterations_low),
-                ("dpso", scale.iterations_high),
-            )
-        ):
-            start = time.perf_counter()
-            if algo == "sa":
-                result = parallel_sa(
-                    instance,
-                    ParallelSAConfig(
-                        iterations=iters,
-                        grid_size=scale.grid_size,
-                        block_size=scale.block_size,
-                        seed=31,
-                    ),
-                )
-                cpu_s = cpu_reference
-            else:
-                result = parallel_dpso(
-                    instance,
-                    ParallelDPSOConfig(
-                        iterations=iters,
-                        grid_size=scale.grid_size,
-                        block_size=scale.block_size,
-                        seed=31,
-                    ),
-                )
-                cpu_s = cpu_reference
-            wall = time.perf_counter() - start
-            assert result.modeled_device_time_s is not None
-            study.cells[(n, labels[j])] = SpeedupCell(
-                size=n,
-                algorithm=labels[j],
-                iterations=iters,
-                serial_cpu_s=cpu_s,
-                modeled_gpu_s=result.modeled_device_time_s,
-                measured_wall_s=wall,
-            )
+        for j, (algo, iters) in enumerate(variants):
+            units.append(WorkUnit(
+                key=f"{problem}_n{n}|{labels[j]}",
+                run=_speedup_cell_fn(instance, n, algo, iters, labels[j],
+                                     scale, references, backend),
+            ))
+
+    checkpoint = runner.checkpoint_for(f"speedup_{problem}_{scale.name}")
+    report = runner.run_units(units, checkpoint)
+    for outcome in report.completed:
+        cell = SpeedupCell(**outcome.payload)
+        study.cells[(cell.size, cell.algorithm)] = cell
+    study.report = report
+
     if use_cache:
         _STUDY_CACHE[key] = study
     return study

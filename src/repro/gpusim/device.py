@@ -156,13 +156,19 @@ class Device:
         Seed for the device RNG (the cuRAND stand-in).
     profile:
         Record every activity in :attr:`profiler`.
+    fault_plan:
+        Optional :class:`repro.resilience.FaultPlan`: deterministically
+        raises a chosen :class:`CudaError` on the N-th launch/allocation,
+        so the resilient execution layer can be tested against realistic
+        device failures.
     """
 
     def __init__(
         self, spec: DeviceSpec = GEFORCE_GT_560M, seed: int = 0,
-        profile: bool = True,
+        profile: bool = True, fault_plan: Any | None = None,
     ) -> None:
         self.spec = spec
+        self.fault_plan = fault_plan
         self.global_mem = GlobalMemory(spec.global_mem_bytes)
         self.constant_mem = ConstantMemory(spec.constant_mem_bytes)
         self.rng = DeviceRNG(seed)
@@ -210,6 +216,8 @@ class Device:
         label: str = "",
     ) -> DeviceBuffer:
         """Allocate device global memory (see :class:`GlobalMemory`)."""
+        if self.fault_plan is not None:
+            self.fault_plan.record("malloc")
         return self.global_mem.alloc(shape, dtype, label)
 
     def memcpy_htod(self, buf: DeviceBuffer, host: np.ndarray) -> None:
@@ -275,6 +283,10 @@ class Device:
         is enqueued on the stream (asynchronous semantics -- the host clock
         does not advance until a synchronizing call).
         """
+        if self.fault_plan is not None:
+            # Counted before any work, so an injected fault prevents the
+            # launch exactly as a driver error would (nothing enqueued).
+            self.fault_plan.record("launch")
         config.validate(self.spec)
         shared = kern.shared_bytes_for(*args) + config.shared_mem_bytes
         if shared > self.spec.shared_mem_per_block:

@@ -14,6 +14,8 @@ __all__ = [
     "DeviceAllocationError",
     "InvalidHandleError",
     "ConstantMemoryError",
+    "DeviceUnavailableError",
+    "LaunchTimeoutError",
 ]
 
 
@@ -40,3 +42,20 @@ class InvalidHandleError(CudaError):
 
 class ConstantMemoryError(CudaError):
     """Constant-memory capacity exceeded or unknown symbol referenced."""
+
+
+class DeviceUnavailableError(CudaError):
+    """The device is momentarily unusable (``cudaErrorDevicesUnavailable``).
+
+    On real hardware this is a co-tenancy/driver condition that clears on
+    its own; the resilient execution layer classifies it as *transient*
+    and retries with backoff.
+    """
+
+
+class LaunchTimeoutError(CudaError):
+    """A launch exceeded the watchdog (``cudaErrorLaunchTimeout``).
+
+    Display-attached devices kill long kernels; a retry (possibly after
+    the display load subsides) can succeed, so this is also *transient*.
+    """

@@ -1,0 +1,53 @@
+"""Crash-safe file writes: temp file + fsync + atomic rename.
+
+A plain ``path.write_text`` truncates the destination before writing, so a
+crash (or an OOM kill) mid-write leaves a corrupted, half-written file --
+which for the best-known store or a checkpoint means losing *all* prior
+work, not just the interrupted record.  :func:`atomic_write_text` writes
+the full payload to a temporary file in the same directory, flushes it to
+disk, and atomically renames it over the destination, so readers only ever
+observe either the old complete content or the new complete content.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: Path | str, text: str) -> None:
+    """Atomically replace ``path``'s content with ``text``.
+
+    The temporary file lives in the destination directory (``os.replace``
+    must not cross filesystems) and is fsync'd before the rename; the
+    directory entry is fsync'd after, so the rename itself survives a
+    power loss.  On any failure the temporary file is removed and the
+    destination is untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    # Durability of the rename: fsync the containing directory (best
+    # effort -- not every platform allows opening directories).
+    with contextlib.suppress(OSError):
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)

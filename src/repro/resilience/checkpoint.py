@@ -1,0 +1,100 @@
+"""Durable per-unit progress: an append-only JSONL checkpoint store.
+
+One study run owns one checkpoint file under ``results/checkpoints/``;
+every completed work unit appends one JSON record::
+
+    {"schema": 1, "key": "biskup_n10_k1_h0.4|SA_60", "attempts": 1,
+     "payload": {...}}
+
+Persistence is crash-safe: each append rewrites the file through
+:func:`repro.resilience.atomic.atomic_write_text` (temp file + fsync +
+rename), so the on-disk file is always a complete, parseable snapshot.
+Loading is nevertheless *tolerant*: unparseable or truncated lines (a
+checkpoint written by an older, non-atomic build, or a file damaged out of
+band) are skipped and counted rather than aborting the resume -- losing
+one cell to corruption must not lose the run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.resilience.atomic import atomic_write_text
+
+__all__ = ["CheckpointStore", "CHECKPOINT_SCHEMA"]
+
+CHECKPOINT_SCHEMA = 1
+
+
+class CheckpointStore:
+    """JSONL map from work-unit key to its completed payload.
+
+    ``fresh=True`` (a run started without ``--resume``) discards any
+    existing file so stale cells from an earlier configuration cannot leak
+    into a new run; ``fresh=False`` loads existing records and skips those
+    units.
+    """
+
+    def __init__(self, path: Path | str, fresh: bool = False) -> None:
+        self.path = Path(path)
+        self._records: dict[str, dict[str, Any]] = {}
+        self.skipped_lines = 0
+        if fresh:
+            self.path.unlink(missing_ok=True)
+        elif self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                key = record["key"]
+                record["payload"]
+            except (json.JSONDecodeError, TypeError, KeyError):
+                # A truncated tail line (pre-atomic writer, torn write) or
+                # garbage: skip it; the unit simply reruns.
+                self.skipped_lines += 1
+                continue
+            self._records[key] = record
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def keys(self) -> Iterator[str]:
+        """Checkpointed unit keys, in completion order."""
+        return iter(self._records)
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The full record for ``key`` (``None`` if not checkpointed)."""
+        return self._records.get(key)
+
+    def payload(self, key: str) -> Any | None:
+        """Just the payload for ``key`` (``None`` if not checkpointed)."""
+        record = self._records.get(key)
+        return None if record is None else record["payload"]
+
+    def append(self, key: str, payload: Any, attempts: int = 1) -> None:
+        """Record one completed unit and persist the file atomically."""
+        self._records[key] = {
+            "schema": CHECKPOINT_SCHEMA,
+            "key": key,
+            "attempts": attempts,
+            "payload": payload,
+        }
+        self.flush()
+
+    def flush(self) -> None:
+        """Write the current snapshot to disk (temp + fsync + rename)."""
+        lines = [
+            json.dumps(record, sort_keys=True)
+            for record in self._records.values()
+        ]
+        atomic_write_text(self.path, "\n".join(lines) + ("\n" if lines else ""))

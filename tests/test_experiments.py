@@ -214,38 +214,65 @@ class TestNewAblations:
 
 
 class TestCheckpointing:
+    def _runner(self, tmp_path, resume):
+        from repro.resilience import ResilientRunner
+
+        return ResilientRunner(checkpoint_dir=tmp_path, resume=resume)
+
     def test_checkpoint_resume_skips_done_work(self, tmp_path, tmp_store_path):
         from repro.bestknown.store import BestKnownStore
         from repro.experiments.deviation import run_deviation_study
 
-        ckpt = tmp_path / "ckpt.json"
         store = BestKnownStore(tmp_store_path)
-        first = run_deviation_study("cdd", SMOKE, store,
-                                    checkpoint_path=ckpt)
+        first = run_deviation_study(
+            "cdd", SMOKE, store, runner=self._runner(tmp_path, resume=False)
+        )
+        ckpt = tmp_path / "deviation_cdd_smoke.jsonl"
         assert ckpt.exists()
         import time
 
         t0 = time.perf_counter()
-        second = run_deviation_study("cdd", SMOKE, store,
-                                     checkpoint_path=ckpt)
+        second = run_deviation_study(
+            "cdd", SMOKE, store, runner=self._runner(tmp_path, resume=True)
+        )
         resumed_in = time.perf_counter() - t0
         # Resuming does no solver work: it must be near-instant.
         assert resumed_in < 2.0
+        assert all(o.from_checkpoint for o in second.report.completed)
         np.testing.assert_allclose(second.mean_deviation,
                                    first.mean_deviation)
 
-    def test_checkpoint_is_json(self, tmp_path, tmp_store_path):
+    def test_without_resume_checkpoint_is_discarded(self, tmp_path,
+                                                    tmp_store_path):
+        from repro.bestknown.store import BestKnownStore
+        from repro.experiments.deviation import run_deviation_study
+
+        store = BestKnownStore(tmp_store_path)
+        run_deviation_study(
+            "cdd", SMOKE, store, runner=self._runner(tmp_path, resume=False)
+        )
+        again = run_deviation_study(
+            "cdd", SMOKE, store, runner=self._runner(tmp_path, resume=False)
+        )
+        # A fresh (non-resume) run recomputes everything.
+        assert not any(o.from_checkpoint for o in again.report.completed)
+
+    def test_checkpoint_is_jsonl(self, tmp_path, tmp_store_path):
         import json
 
         from repro.bestknown.store import BestKnownStore
         from repro.experiments.deviation import run_deviation_study
 
-        ckpt = tmp_path / "ckpt.json"
         run_deviation_study(
             "cdd", SMOKE, BestKnownStore(tmp_store_path),
-            checkpoint_path=ckpt,
+            runner=self._runner(tmp_path, resume=False),
         )
-        raw = json.loads(ckpt.read_text())
-        key = next(iter(raw))
-        assert "|SA_" in key or "|DPSO_" in key
-        assert "deviation_pct" in raw[key]
+        lines = (
+            (tmp_path / "deviation_cdd_smoke.jsonl")
+            .read_text().strip().splitlines()
+        )
+        assert lines
+        rec = json.loads(lines[0])
+        assert "|SA_" in rec["key"] or "|DPSO_" in rec["key"]
+        assert "deviation_pct" in rec["payload"]
+        assert rec["schema"] == 1

@@ -106,17 +106,45 @@ class TestDeviceFailures:
 
 
 class TestStoreFailures:
-    def test_corrupt_json_raises(self, tmp_path):
+    def test_corrupt_json_recovered(self, tmp_path):
+        # A corrupted store must not kill the experiment run: the bad file
+        # is moved aside (evidence preserved) and the store starts empty.
         path = tmp_path / "bestknown.json"
         path.write_text("{not json")
-        with pytest.raises(json.JSONDecodeError):
-            BestKnownStore(path)
+        with pytest.warns(RuntimeWarning, match="corrupted"):
+            store = BestKnownStore(path)
+        assert len(store) == 0
+        backup = tmp_path / "bestknown.json.corrupt"
+        assert backup.read_text() == "{not json"
+        assert not path.exists()
 
-    def test_missing_fields_raise(self, tmp_path):
+    def test_missing_fields_recovered(self, tmp_path):
         path = tmp_path / "bestknown.json"
         path.write_text(json.dumps({"x": {"objective": 1.0}}))
-        with pytest.raises(TypeError):
-            BestKnownStore(path)
+        with pytest.warns(RuntimeWarning, match="corrupted"):
+            store = BestKnownStore(path)
+        assert len(store) == 0
+        assert (tmp_path / "bestknown.json.corrupt").exists()
+
+    def test_second_corruption_gets_numbered_backup(self, tmp_path):
+        path = tmp_path / "bestknown.json"
+        for _ in range(2):
+            path.write_text("]")
+            with pytest.warns(RuntimeWarning):
+                BestKnownStore(path)
+        assert (tmp_path / "bestknown.json.corrupt").exists()
+        assert (tmp_path / "bestknown.json.corrupt1").exists()
+
+    def test_recovered_store_saves_cleanly(self, tmp_path):
+        from repro.bestknown.store import BestKnownEntry
+
+        path = tmp_path / "bestknown.json"
+        path.write_text("oops")
+        with pytest.warns(RuntimeWarning):
+            store = BestKnownStore(path)
+        store.update("a", BestKnownEntry(1.0, "x"))
+        store.save()
+        assert BestKnownStore(path).get("a").objective == 1.0
 
     def test_save_creates_parents(self, tmp_path):
         path = tmp_path / "deep" / "nested" / "bestknown.json"
@@ -126,6 +154,127 @@ class TestStoreFailures:
         store.update("a", BestKnownEntry(1.0, "x"))
         store.save()
         assert path.exists()
+
+    def test_save_is_atomic_no_temp_residue(self, tmp_path):
+        from repro.bestknown.store import BestKnownEntry
+
+        path = tmp_path / "bestknown.json"
+        store = BestKnownStore(path)
+        store.update("a", BestKnownEntry(1.0, "x"))
+        store.save()
+        leftovers = [p for p in tmp_path.iterdir() if p.name != path.name]
+        assert leftovers == []
+
+
+class TestInjectedFaults:
+    """Deterministic fault injection through the resilience layer."""
+
+    def _study(self, store, runner):
+        from repro.experiments.config import SCALES
+        from repro.experiments.deviation import run_deviation_study
+
+        return run_deviation_study("cdd", SCALES["smoke"], store,
+                                   runner=runner)
+
+    @pytest.fixture()
+    def store(self, tmp_store_path):
+        return BestKnownStore(tmp_store_path)
+
+    def _runner(self, plan=None, **kwargs):
+        from repro.resilience import ResilientRunner, RetryPolicy
+
+        return ResilientRunner(
+            policy=RetryPolicy(max_retries=2, backoff_base_s=0.0,
+                               backoff_max_s=0.0),
+            fault_plan=plan,
+            sleep=lambda s: None,
+            **kwargs,
+        )
+
+    def test_transient_fault_retried_to_success(self, store):
+        from repro.resilience import FaultPlan, FaultSpec
+
+        plan = FaultPlan([FaultSpec(op="launch", at=300, kind="transient")])
+        clean = self._study(store, self._runner())
+        faulted = self._study(store, self._runner(plan))
+
+        report = faulted.report
+        assert not report.failed
+        retried = [o for o in report.completed if o.attempts > 1]
+        assert len(retried) == 1 and retried[0].attempts == 2
+        # The retried cell recomputes from the same seed: identical study.
+        np.testing.assert_array_equal(clean.mean_deviation,
+                                      faulted.mean_deviation)
+        assert plan.fired == [("launch", 300, "transient")]
+
+    def test_fatal_fault_fails_without_retry(self, store):
+        from repro.resilience import FaultPlan, FaultSpec
+
+        plan = FaultPlan([FaultSpec(op="launch", at=300, kind="fatal")])
+        study = self._study(store, self._runner(plan))
+
+        report = study.report
+        assert len(report.failed) == 1
+        failed = report.failed[0]
+        assert failed.attempts == 1  # fatal: no retry spent
+        assert failed.error_kind == "fatal"
+        assert "InvalidLaunchError" in failed.error
+        # The rest of the table still renders, with the cell marked.
+        out = study.render()
+        assert "—" in out and failed.key in out
+        assert np.isnan(study.mean_deviation).sum() == 1
+
+    def test_oom_fault_is_fatal(self, store):
+        from repro.resilience import FaultPlan, FaultSpec
+
+        plan = FaultPlan([FaultSpec(op="malloc", at=3, kind="oom")])
+        study = self._study(store, self._runner(plan))
+        assert len(study.report.failed) == 1
+        assert study.report.failed[0].error_kind == "fatal"
+
+    def test_resume_after_kill_bit_identical(self, store, tmp_path):
+        from repro.resilience import FaultPlan, FaultSpec
+
+        clean = self._study(store, self._runner())
+
+        # Simulated Ctrl-C partway through the study: the "interrupt"
+        # fault raises KeyboardInterrupt on the Nth launch.
+        plan = FaultPlan([FaultSpec(op="launch", at=1200, kind="interrupt")])
+        killed = self._study(
+            store, self._runner(plan, checkpoint_dir=tmp_path)
+        )
+        assert killed.report.interrupted
+        done_before = len(killed.report.completed)
+        assert 0 < done_before < len(killed.report.outcomes)
+
+        resumed = self._study(
+            store, self._runner(checkpoint_dir=tmp_path, resume=True)
+        )
+        restored = [o for o in resumed.report.completed if o.from_checkpoint]
+        assert len(restored) == done_before  # nothing recomputed
+        np.testing.assert_array_equal(clean.mean_deviation,
+                                      resumed.mean_deviation)
+        assert clean.render() == resumed.render()
+
+    def test_fault_parity_across_backends(self, store, tmp_store_path):
+        """Launch-indexed faults fire identically on both backends.
+
+        The driver issues the identical kernel pipeline on gpusim and
+        vectorized, so a launch-indexed fault plan must fire at the same
+        cumulative launch index on each.
+        """
+        from repro.resilience import FaultPlan, FaultSpec
+
+        fired = {}
+        for backend in ("gpusim", "vectorized"):
+            plan = FaultPlan([FaultSpec(op="launch", at=500, kind="fatal")])
+            study = self._study(
+                BestKnownStore(tmp_store_path),
+                self._runner(plan, backend=backend),
+            )
+            assert len(study.report.failed) == 1
+            fired[backend] = (plan.fired, study.report.failed[0].key)
+        assert fired["gpusim"] == fired["vectorized"]
 
 
 class TestSolverInputFailures:
