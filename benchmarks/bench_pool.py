@@ -1,0 +1,94 @@
+"""Host-side pool throughput: batched ``solve_many`` vs the serial loop.
+
+The pool exists to spread independent instance solves across CPU cores.
+This bench measures the wall-clock effect directly: one benchmark-set
+sweep (>= 10 instances) solved serially, then through
+``solve_many(workers=4)``, with identical per-instance results asserted.
+On a multi-core host the pool wins roughly linearly up to the core count;
+on a single-core container the process overhead makes it a wash -- the
+table reports ``os.cpu_count()`` so the number can be read in context.
+"""
+
+import os
+import time
+import warnings
+
+import numpy as np
+
+import _shared
+from repro.core.solver import solve_many, solver_for
+from repro.instances.biskup import biskup_instance
+
+WORKERS = 4
+SOLVE_KW = dict(
+    backend="vectorized", iterations=120, grid_size=2, block_size=32, seed=13
+)
+
+
+def _instances():
+    # 12 instances: 10..45 jobs across the restrictive h factors.
+    return [
+        biskup_instance(n, h, 1)
+        for n in (10, 25, 45)
+        for h in (0.2, 0.4, 0.6, 0.8)
+    ]
+
+
+def _run_pool_study():
+    instances = _instances()
+
+    start = time.perf_counter()
+    serial = [
+        solver_for(inst).solve("parallel_sa", **SOLVE_KW)
+        for inst in instances
+    ]
+    t_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)  # cpu oversubscribe
+        items = solve_many(
+            instances, "parallel_sa", workers=WORKERS, **SOLVE_KW
+        )
+    t_pool = time.perf_counter() - start
+
+    assert all(item.ok for item in items)
+    for ref, item in zip(serial, items):
+        assert item.result.objective == ref.objective
+        assert np.array_equal(item.result.best_sequence, ref.best_sequence)
+    return len(instances), t_serial, t_pool
+
+
+def _render(n_instances, t_serial, t_pool) -> str:
+    ncpu = os.cpu_count() or 1
+    speedup = t_serial / t_pool
+    lines = [
+        f"Pool throughput -- solve_many({WORKERS} workers) vs serial loop",
+        f"({n_instances} CDD instances, parallel SA, "
+        f"iterations={SOLVE_KW['iterations']}, 64 chains; identical "
+        "per-instance results asserted)",
+        "",
+        f"{'mode':>22} {'wall [s]':>10}",
+        f"{'serial loop':>22} {t_serial:>10.3f}",
+        f"{f'solve_many x{WORKERS}':>22} {t_pool:>10.3f}",
+        "",
+        f"speedup {speedup:.2f}x on {ncpu} CPU core(s)",
+        "",
+        "Each instance solves in its own process with bounded in-flight",
+        "work; the win tracks the host's core count (a single-core runner",
+        "only measures the process/pickle overhead).",
+    ]
+    return "\n".join(lines)
+
+
+def test_solve_many_throughput(benchmark):
+    n_instances, t_serial, t_pool = benchmark.pedantic(
+        _run_pool_study, rounds=1, iterations=1
+    )
+    _shared.publish("pool_throughput", _render(n_instances, t_serial, t_pool))
+
+    # The result contract is asserted inside the study; the wall-clock win
+    # is asserted only where it can exist (the CI benchmark job runs on
+    # multi-core runners; single-core containers just publish the table).
+    if (os.cpu_count() or 1) >= 4:
+        assert t_pool < t_serial

@@ -28,7 +28,7 @@ Quickstart
 """
 
 from repro.core.results import SolveResult
-from repro.core.solver import CDDSolver, UCDDCPSolver
+from repro.core.solver import CDDSolver, UCDDCPSolver, solve_many, solver_for
 from repro.instances.biskup import biskup_instance
 from repro.instances.ucddcp_gen import ucddcp_instance
 from repro.problems.cdd import CDDInstance
@@ -46,6 +46,8 @@ __all__ = [
     "CDDSolver",
     "UCDDCPSolver",
     "SolveResult",
+    "solve_many",
+    "solver_for",
     "biskup_instance",
     "ucddcp_instance",
     "optimize_cdd_sequence",

@@ -135,6 +135,11 @@ def recompute_best_known(
     it stopped, and a hard kill loses at most the in-flight instance),
     then folded into the store, which is saved atomically.  Returns the
     :class:`RunReport`.
+
+    A runner configured with ``workers=N`` (CLI: ``bestknown --workers N``)
+    recomputes instances concurrently; unit bodies are pure computations
+    returning plain dicts, and the store fold/save happens here in the
+    parent, so concurrency cannot race the store file.
     """
     from repro.resilience import ResilientRunner, WorkUnit
 

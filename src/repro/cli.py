@@ -61,8 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="block size (parallel methods)")
     p_solve.add_argument(
         "--backend", choices=tuple(BACKENDS), default=DEFAULT_BACKEND,
-        help="execution backend (parallel methods): cycle-modeled gpusim "
-             "or fast vectorized host execution",
+        help="execution backend (parallel methods): cycle-modeled gpusim, "
+             "fast vectorized host execution, or multiprocess sharding "
+             "across worker processes",
+    )
+    p_solve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for --backend multiprocess "
+             "(default: one per CPU, capped at the grid size)",
     )
 
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
@@ -89,8 +95,15 @@ def build_parser() -> argparse.ArgumentParser:
              "attempts)",
     )
     p_exp.add_argument(
-        "--backend", choices=tuple(BACKENDS), default=DEFAULT_BACKEND,
-        help="execution backend for the study's solver runs",
+        "--backend", choices=tuple(BACKENDS), default=None,
+        help="execution backend for the study's solver runs (default: "
+             "each study's preference — vectorized for quality tables, "
+             "gpusim where modeled timings are the measurement)",
+    )
+    p_exp.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run the study's work units on N worker processes "
+             "(default: serial)",
     )
     p_exp.add_argument(
         "--inject-fault", default=None, metavar="OP:AT:KIND[:repeat]",
@@ -126,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_best.add_argument(
         "--max-retries", type=int, default=2,
         help="retries per instance on transient device errors",
+    )
+    p_best.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="recompute reference values on N worker processes "
+             "(default: serial)",
     )
 
     p_trace = sub.add_parser(
@@ -166,6 +184,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             if args.block is not None:
                 kwargs["block_size"] = args.block
             kwargs["backend"] = args.backend
+            if args.workers is not None:
+                if args.backend != "multiprocess":
+                    print("--workers requires --backend multiprocess",
+                          file=sys.stderr)
+                    return 2
+                kwargs["workers"] = args.workers
     result = solver.solve(args.method, **kwargs)
     print(f"instance: {inst.name}")
     print(result.summary())
@@ -199,7 +223,8 @@ def _build_runner(args: argparse.Namespace):
         checkpoint_dir=checkpoint_dir,
         resume=args.resume,
         fault_plan=plan,
-        backend=getattr(args, "backend", "gpusim"),
+        backend=getattr(args, "backend", None),
+        workers=getattr(args, "workers", None),
         progress=lambda msg: print(f"  [{msg}]", file=sys.stderr),
     )
 

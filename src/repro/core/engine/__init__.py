@@ -10,9 +10,10 @@ along two orthogonal axes:
   type-dispatch site in the codebase.
 * **Where it runs** -- an
   :class:`~repro.core.engine.backends.ExecutionBackend`: the cycle-modeled
-  simulated CUDA device (``"gpusim"``) or direct vectorized host execution
-  of the same kernel bodies (``"vectorized"``), bit-identical trajectories
-  either way.
+  simulated CUDA device (``"gpusim"``), direct vectorized host execution
+  of the same kernel bodies (``"vectorized"``), or the vectorized path
+  sharded across worker processes (``"multiprocess"``,
+  :mod:`repro.pool`) -- bit-identical trajectories all three ways.
 
 :mod:`~repro.core.engine.driver` hosts the shared generation loop the
 parallel drivers plug strategy objects into, and
@@ -31,6 +32,7 @@ from repro.core.engine.backends import (
     DEFAULT_BACKEND,
     ExecutionBackend,
     GpusimBackend,
+    MultiprocessBackend,
     VectorizedBackend,
     create_backend,
 )
@@ -48,6 +50,7 @@ __all__ = [
     "ExecutionBackend",
     "GpusimBackend",
     "VectorizedBackend",
+    "MultiprocessBackend",
     "BACKENDS",
     "DEFAULT_BACKEND",
     "create_backend",

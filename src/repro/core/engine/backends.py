@@ -28,10 +28,11 @@ from typing import TYPE_CHECKING, Any, ClassVar
 
 import numpy as np
 
+from repro.core.engine.config import check_workers
 from repro.gpusim.device import Device, DeviceSpec
 from repro.gpusim.kernel import Kernel, ThreadContext
 from repro.gpusim.memory import ConstantMemory
-from repro.gpusim.rng import DeviceRNG
+from repro.gpusim.rng import DeviceRNG, OffsetRNG
 from repro.kernels.data import DeviceProblemData
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -43,6 +44,7 @@ __all__ = [
     "ExecutionBackend",
     "GpusimBackend",
     "VectorizedBackend",
+    "MultiprocessBackend",
     "BACKENDS",
     "DEFAULT_BACKEND",
     "create_backend",
@@ -195,10 +197,24 @@ class VectorizedBackend(ExecutionBackend):
     name = "vectorized"
     models_device_time = False
 
+    def __init__(
+        self,
+        fault_plan: "FaultPlan | None" = None,
+        thread_offset: int = 0,
+    ) -> None:
+        super().__init__(fault_plan=fault_plan)
+        #: Global thread id of this backend's local thread 0.  Non-zero only
+        #: when the backend runs one shard of a larger ensemble (the
+        #: multiprocess backend's workers); the RNG is then offset so local
+        #: threads draw exactly the streams of their global counterparts.
+        self.thread_offset = thread_offset
+
     def open(
         self, adapter: "ProblemAdapter", seed: int, device_spec: DeviceSpec
     ) -> None:
-        self.rng = DeviceRNG(seed)
+        self.rng: DeviceRNG | OffsetRNG = DeviceRNG(seed)
+        if self.thread_offset:
+            self.rng = OffsetRNG(self.rng, self.thread_offset)
         self.constant = ConstantMemory()
         self._shim = _HostDeviceShim(device_spec)
         self._staged: dict[str, _HostBuffer] = {}
@@ -240,10 +256,71 @@ class VectorizedBackend(ExecutionBackend):
         return tuple(self._staged[name] for name in self._fitness_names)
 
 
+class MultiprocessBackend(ExecutionBackend):
+    """Shard the chain ensemble across worker processes.
+
+    Unlike the other backends this is a *driver-level* strategy, not a
+    kernel-level one: :func:`repro.core.engine.driver.run_ensemble` detects
+    it and hands the whole solve to
+    :func:`repro.pool.sharding.run_sharded_ensemble`, which splits the
+    ensemble into contiguous block ranges, runs each slice through a
+    :class:`VectorizedBackend` (with an RNG thread offset) in a worker
+    process, and merges the shard results bit-identically to the unsharded
+    run.  The CUDA-shaped primitives are therefore never called on an
+    instance of this class.
+    """
+
+    name = "multiprocess"
+    models_device_time = False
+
+    def __init__(
+        self,
+        fault_plan: "FaultPlan | None" = None,
+        workers: int | None = None,
+        context: str | None = None,
+    ) -> None:
+        super().__init__(fault_plan=fault_plan)
+        check_workers(workers)
+        #: Worker-process count; ``None`` picks ``min(os.cpu_count(),
+        #: grid_size)`` at shard-planning time.
+        self.workers = workers
+        #: multiprocessing start method (``None`` = platform default).
+        self.context = context
+
+    def _never(self, primitive: str) -> RuntimeError:
+        return RuntimeError(
+            f"MultiprocessBackend.{primitive} should never be called: "
+            "run_ensemble delegates multiprocess solves to "
+            "repro.pool.sharding.run_sharded_ensemble"
+        )
+
+    def open(self, adapter, seed, device_spec) -> None:
+        raise self._never("open")
+
+    def alloc(self, shape, dtype, label: str = ""):
+        raise self._never("alloc")
+
+    def upload(self, buf, host) -> None:
+        raise self._never("upload")
+
+    def download(self, buf):
+        raise self._never("download")
+
+    def launch(self, kern, config, *args) -> None:
+        raise self._never("launch")
+
+    def synchronize(self) -> None:
+        raise self._never("synchronize")
+
+    def fitness_buffers(self):
+        raise self._never("fitness_buffers")
+
+
 #: Registered execution backends, keyed by the public ``backend=`` name.
 BACKENDS: dict[str, type[ExecutionBackend]] = {
     GpusimBackend.name: GpusimBackend,
     VectorizedBackend.name: VectorizedBackend,
+    MultiprocessBackend.name: MultiprocessBackend,
 }
 
 DEFAULT_BACKEND = GpusimBackend.name

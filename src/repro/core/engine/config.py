@@ -9,6 +9,9 @@ of the public contract (tests match on them), so keep the wording stable.
 
 from __future__ import annotations
 
+import os
+import warnings
+
 __all__ = [
     "check_positive_iterations",
     "check_grid_block",
@@ -20,6 +23,7 @@ __all__ = [
     "check_retries",
     "check_timeout",
     "check_backoff",
+    "check_workers",
     "EnsembleGeometryMixin",
     "NeighborhoodConfigMixin",
     "RetryPolicyMixin",
@@ -93,6 +97,26 @@ def check_backoff(base_s: float, factor: float, max_s: float) -> None:
     if max_s < base_s:
         raise ValueError(
             f"backoff_max_s ({max_s}) must be >= backoff_base_s ({base_s})"
+        )
+
+
+def check_workers(value: int | None, label: str = "workers") -> None:
+    """Worker-process counts: ``None`` means "pick for me", else >= 1.
+
+    Oversubscription is legal (the pool degrades to time-slicing) but almost
+    never what the caller wanted, so it warns instead of raising.
+    """
+    if value is None:
+        return
+    if value < 1:
+        raise ValueError(f"{label} must be >= 1, got {value}")
+    ncpu = os.cpu_count()
+    if ncpu is not None and value > ncpu:
+        warnings.warn(
+            f"{label}={value} exceeds os.cpu_count()={ncpu}; "
+            "workers will time-slice",
+            RuntimeWarning,
+            stacklevel=3,
         )
 
 

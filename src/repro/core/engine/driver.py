@@ -29,7 +29,11 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.core.engine.adapters import ProblemAdapter, adapter_for
-from repro.core.engine.backends import ExecutionBackend, create_backend
+from repro.core.engine.backends import (
+    ExecutionBackend,
+    MultiprocessBackend,
+    create_backend,
+)
 from repro.core.results import SolveResult
 from repro.gpusim.launch import Dim3, LaunchConfig
 from repro.initialization import initial_population
@@ -91,6 +95,17 @@ class EnsembleStrategy(ABC):
     def algorithm(self) -> str:
         """Label recorded in ``params['algorithm']``."""
 
+    @property
+    def shardable(self) -> bool:
+        """Whether chains evolve independently (no cross-chain kernel reads).
+
+        The multiprocess backend may split a shardable ensemble into
+        contiguous per-worker slices; an unshardable one (e.g. a variant
+        that broadcasts state across the whole ensemble each generation)
+        runs whole in a single worker.  See docs/parallel.md.
+        """
+        return True
+
     def prepare(
         self, adapter: ProblemAdapter, host_rng: np.random.Generator
     ) -> None:
@@ -136,13 +151,21 @@ def run_ensemble(
 ) -> SolveResult:
     """Run ``strategy`` on ``instance`` over the chosen execution backend."""
     config = strategy.config
+    exec_backend = create_backend(backend)
+    if isinstance(exec_backend, MultiprocessBackend):
+        # Driver-level backend: the solve is sharded across worker
+        # processes (bit-identical to the vectorized path; see
+        # docs/parallel.md) instead of driven through the primitives below.
+        from repro.pool.sharding import run_sharded_ensemble
+
+        return run_sharded_ensemble(instance, strategy, exec_backend)
+
     adapter = adapter_for(instance)
     pop = config.population
     host_rng = np.random.default_rng(config.seed)
     strategy.prepare(adapter, host_rng)
 
     start_wall = time.perf_counter()
-    exec_backend = create_backend(backend)
     exec_backend.open(adapter, seed=config.seed, device_spec=config.device_spec)
 
     cfg = LaunchConfig(

@@ -178,6 +178,13 @@ class ParallelDPSOStrategy(EnsembleStrategy):
 
     algorithm = "parallel_dpso"
 
+    @property
+    def shardable(self) -> bool:
+        # "ring" reads neighbour pbests across the whole ensemble (the ring
+        # wraps over shard boundaries) and "coupled" broadcasts the reduced
+        # swarm best; only the paper's asynchronous mode is chain-local.
+        return self.config.coupling == "async"
+
     def allocate(
         self,
         backend: ExecutionBackend,

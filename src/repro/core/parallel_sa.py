@@ -152,6 +152,12 @@ class ParallelSAStrategy(EnsembleStrategy):
     def algorithm(self) -> str:
         return f"parallel_sa_{self.config.variant}"
 
+    @property
+    def shardable(self) -> bool:
+        # The sync variant's segment-boundary broadcast copies one chain's
+        # state to every chain -- a cross-chain read no shard can see.
+        return self.config.variant != "sync"
+
     def prepare(
         self, adapter: ProblemAdapter, host_rng: np.random.Generator
     ) -> None:

@@ -24,7 +24,11 @@ import numpy as np
 
 from repro.core.dpso import DPSOConfig, dpso_serial
 from repro.core.engine.adapters import adapter_for
-from repro.core.engine.backends import DEFAULT_BACKEND
+from repro.core.engine.backends import (
+    DEFAULT_BACKEND,
+    ExecutionBackend,
+    MultiprocessBackend,
+)
 from repro.core.evolution import EvolutionStrategyConfig, evolution_strategy
 from repro.core.parallel_dpso import ParallelDPSOConfig, parallel_dpso
 from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
@@ -35,7 +39,13 @@ from repro.problems.cdd import CDDInstance
 from repro.problems.schedule import Schedule
 from repro.problems.ucddcp import UCDDCPInstance
 
-__all__ = ["CDDSolver", "UCDDCPSolver", "solver_methods"]
+__all__ = [
+    "CDDSolver",
+    "UCDDCPSolver",
+    "solver_methods",
+    "solver_for",
+    "solve_many",
+]
 
 
 @dataclass(frozen=True)
@@ -54,6 +64,19 @@ def _engine_method(config_cls: type, driver: Callable[..., SolveResult]):
 
     def run(solver: "_BaseSolver", **params: Any) -> SolveResult:
         backend = params.pop("backend", DEFAULT_BACKEND)
+        workers = params.pop("workers", None)
+        if workers is not None:
+            if backend == "multiprocess":
+                backend = MultiprocessBackend(workers=workers)
+            elif isinstance(backend, ExecutionBackend):
+                raise ValueError(
+                    "pass workers= via the backend instance, not both"
+                )
+            else:
+                raise ValueError(
+                    "workers= requires backend='multiprocess' "
+                    f"(got backend={backend!r})"
+                )
         return driver(solver.instance, config_cls(**params), backend=backend)
 
     return _MethodSpec(run=run, accepts_backend=True)
@@ -151,3 +174,33 @@ class UCDDCPSolver(_BaseSolver):
         if not isinstance(instance, UCDDCPInstance):
             raise TypeError("UCDDCPSolver requires a UCDDCPInstance")
         super().__init__(instance)
+
+
+def solver_for(instance: CDDInstance | UCDDCPInstance) -> _BaseSolver:
+    """The matching façade for an instance (the one type-dispatch site
+    batch drivers and pool workers share)."""
+    if isinstance(instance, CDDInstance):
+        return CDDSolver(instance)
+    if isinstance(instance, UCDDCPInstance):
+        return UCDDCPSolver(instance)
+    raise TypeError(
+        f"no solver for instance type {type(instance).__name__!r}"
+    )
+
+
+def solve_many(
+    instances: "list | tuple",
+    method: str = "parallel_sa",
+    workers: int | None = None,
+    **solve_kwargs: Any,
+):
+    """Solve many instances with one configuration on a process pool.
+
+    Façade entry point for :func:`repro.pool.batch.solve_many`: results
+    come back in input order as ``BatchItem`` records, one per instance,
+    with per-instance error isolation — a failed solve fills its slot
+    with an error record instead of crashing the batch.
+    """
+    from repro.pool.batch import solve_many as _pool_solve_many
+
+    return _pool_solve_many(instances, method, workers=workers, **solve_kwargs)

@@ -236,7 +236,7 @@ def run_sync_vs_async(
     scale = scale or get_scale()
     runner = runner or ResilientRunner()
     sizes = scale.sizes[: min(4, len(scale.sizes))]
-    backend = runner.solver_backend()
+    backend = runner.solver_backend(prefer="vectorized")
     units = [
         WorkUnit(
             key=f"n{n}|{variant}",
@@ -323,7 +323,7 @@ def run_cooling_ablation(
     runner = runner or ResilientRunner()
     n = scale.fig11_n
     instance = biskup_instance(n, 0.4, 1)
-    backend = runner.solver_backend()
+    backend = runner.solver_backend(prefer="vectorized")
     units = [
         WorkUnit(
             key=f"mu{mu}",
@@ -508,7 +508,7 @@ def run_coupling_ablation(
     runner = runner or ResilientRunner()
     sizes = scale.sizes[: min(4, len(scale.sizes))]
     couplings = ("async", "ring", "coupled")
-    backend = runner.solver_backend()
+    backend = runner.solver_backend(prefer="vectorized")
     units = [
         WorkUnit(
             key=f"n{n}|{coupling}",
@@ -603,7 +603,7 @@ def run_refresh_ablation(
     runner = runner or ResilientRunner()
     n = scale.fig11_n
     instance = biskup_instance(n, 0.4, 1)
-    backend = runner.solver_backend()
+    backend = runner.solver_backend(prefer="vectorized")
     units = [
         WorkUnit(
             key=f"interval{itv}",
@@ -696,7 +696,7 @@ def run_strategy_ablation(
     runner = runner or ResilientRunner()
     sizes = tuple(n for n in scale.sizes if n >= 3)[: min(4, len(scale.sizes))]
     variants = ("async", "sync", "domain")
-    backend = runner.solver_backend()
+    backend = runner.solver_backend(prefer="vectorized")
     units = [
         WorkUnit(
             key=f"n{n}|{variant}",

@@ -290,7 +290,10 @@ def run_deviation_study(
         ("dpso", scale.iterations_low),
         ("dpso", scale.iterations_high),
     )
-    backend = runner.solver_backend()
+    # A quality table: modeled device timings are not the measurement, so
+    # solve on the fast vectorized backend (same trajectories bit-for-bit)
+    # unless the user pinned one with --backend.
+    backend = runner.solver_backend(prefer="vectorized")
 
     units: list[WorkUnit] = []
     for n in sizes:

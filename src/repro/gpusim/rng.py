@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["DeviceRNG", "splitmix64"]
+__all__ = ["DeviceRNG", "OffsetRNG", "splitmix64"]
 
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
@@ -120,3 +120,60 @@ class DeviceRNG:
             salted = self._seed ^ (np.uint64(salt & 0xFFFFFFFFFFFFFFFF) * _GOLDEN)
         child_seed = int(splitmix64(salted))
         return DeviceRNG(child_seed)
+
+
+class OffsetRNG:
+    """A :class:`DeviceRNG` view whose thread ids are shifted by a constant.
+
+    A sharded ensemble runs chains ``[offset, offset + s)`` of the global
+    population in a worker whose *local* thread ids are ``[0, s)``.  Because
+    thread ``t``'s stream depends only on ``(seed, t, k)``, wrapping the
+    worker's generator so that local id ``t`` draws as global id
+    ``t + offset`` reproduces exactly the numbers those chains would have
+    drawn in the unsharded run -- the foundation of the multiprocess
+    backend's bit-identity contract (see docs/parallel.md).
+    """
+
+    __slots__ = ("_inner", "_offset")
+
+    def __init__(self, inner: DeviceRNG, offset: int) -> None:
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        self._inner = inner
+        self._offset = np.uint64(offset)
+
+    @property
+    def seed(self) -> int:
+        return self._inner.seed
+
+    @property
+    def counter(self) -> int:
+        return self._inner.counter
+
+    @property
+    def offset(self) -> int:
+        """The global thread id of this view's local thread 0."""
+        return int(self._offset)
+
+    def _shift(self, thread_ids: np.ndarray) -> np.ndarray:
+        with np.errstate(over="ignore"):
+            return (
+                np.asarray(thread_ids, dtype=np.uint64) + self._offset
+            ).astype(np.uint64)
+
+    def raw(self, thread_ids: np.ndarray) -> np.ndarray:
+        return self._inner.raw(self._shift(thread_ids))
+
+    def uniform(self, thread_ids: np.ndarray) -> np.ndarray:
+        return self._inner.uniform(self._shift(thread_ids))
+
+    def randint(
+        self, thread_ids: np.ndarray, low: int, high: int
+    ) -> np.ndarray:
+        return self._inner.randint(self._shift(thread_ids), low, high)
+
+    def uniform_matrix(self, thread_ids: np.ndarray, draws: int) -> np.ndarray:
+        return self._inner.uniform_matrix(self._shift(thread_ids), draws)
+
+    def spawn(self, salt: int) -> DeviceRNG:
+        return self._inner.spawn(salt)

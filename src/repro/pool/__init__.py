@@ -1,0 +1,31 @@
+"""Process-pool execution subsystem.
+
+One pool primitive, three consumers:
+
+* :mod:`repro.pool.sharding` -- the ``multiprocess`` execution backend:
+  shard one chain ensemble across worker processes, bit-identical to the
+  ``vectorized`` backend (see docs/parallel.md for the determinism
+  contract).
+* :mod:`repro.pool.batch` -- ``solve_many``: fan one solver configuration
+  out over many problem instances with bounded in-flight work, ordered
+  results and per-instance error isolation.
+* ``ResilientRunner.run_units(..., workers=N)`` -- parallel work-unit
+  execution for every study and the best-known recompute
+  (:mod:`repro.resilience.runner`).
+"""
+
+from repro.pool.batch import BatchError, BatchItem, solve_many
+from repro.pool.executor import PoolFuture, ProcessPool, WorkerCrashError
+from repro.pool.sharding import ShardPlan, plan_shards, run_sharded_ensemble
+
+__all__ = [
+    "BatchError",
+    "BatchItem",
+    "solve_many",
+    "PoolFuture",
+    "ProcessPool",
+    "WorkerCrashError",
+    "ShardPlan",
+    "plan_shards",
+    "run_sharded_ensemble",
+]

@@ -1,0 +1,132 @@
+"""Batched multi-instance solving: one configuration, many instances.
+
+The benchmark-set workloads (all 280 Biskup–Feldmann instances, UCDDCP
+sweeps) are embarrassingly parallel *across instances*.  :func:`solve_many`
+fans one façade ``solve`` configuration out over a list of instances on
+the shared :class:`~repro.pool.executor.ProcessPool`:
+
+* bounded in-flight work (at most ``workers`` solves at a time),
+* results collected **in input order** regardless of completion order,
+* per-instance **error isolation** — a solve that raises yields a
+  :class:`BatchError` record in its slot; the batch never crashes and the
+  surviving results keep their indices.
+
+Determinism: each solve seeds its own RNG from its config exactly as a
+serial loop would, so a batch run produces the same per-instance results
+as ``[solver_for(i).solve(method, **kw) for i in instances]``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
+
+from repro.pool.executor import ProcessPool, WorkerCrashError
+from repro.pool.worker import solve_one
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.results import SolveResult
+    from repro.problems.cdd import CDDInstance
+    from repro.problems.ucddcp import UCDDCPInstance
+
+__all__ = ["BatchError", "BatchItem", "solve_many", "iter_solve_many"]
+
+Instance = "CDDInstance | UCDDCPInstance"
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchError:
+    """The error record an isolated per-instance failure degrades to."""
+
+    index: int
+    error: str
+    error_type: str
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchItem:
+    """One slot of a finished batch: the result or its error record."""
+
+    index: int
+    instance: Any
+    result: "SolveResult | None"
+    error: BatchError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+def iter_solve_many(
+    instances: Sequence[Any],
+    method: str = "parallel_sa",
+    workers: int | None = None,
+    context: str | None = None,
+    **solve_kwargs: Any,
+) -> Iterator[BatchItem]:
+    """Yield :class:`BatchItem` per instance in **completion** order.
+
+    The streaming variant of :func:`solve_many` — use it to render
+    progress or start post-processing before the stragglers finish.
+    """
+    pool = ProcessPool(workers=workers, context=context)
+    tasks = [
+        (solve_one, (instance, method, dict(solve_kwargs)))
+        for instance in instances
+    ]
+    for index, status, value in pool.imap_unordered(tasks):
+        if status == "interrupt":
+            raise KeyboardInterrupt
+        if status == "ok":
+            yield BatchItem(index=index, instance=instances[index],
+                           result=value)
+        else:
+            kind = ("worker_crash" if isinstance(value, WorkerCrashError)
+                    else type(value).__name__)
+            yield BatchItem(
+                index=index,
+                instance=instances[index],
+                result=None,
+                error=BatchError(index=index, error=str(value),
+                                 error_type=kind),
+            )
+
+
+def solve_many(
+    instances: Sequence[Any],
+    method: str = "parallel_sa",
+    workers: int | None = None,
+    context: str | None = None,
+    **solve_kwargs: Any,
+) -> list[BatchItem]:
+    """Solve every instance with one configuration; results in input order.
+
+    ``solve_kwargs`` are forwarded to the façade ``solve`` (``config=``,
+    ``backend=``, method kwargs...).  A failed instance occupies its slot
+    with ``item.ok == False`` and a populated ``item.error``.
+    """
+    items: list[BatchItem | None] = [None] * len(instances)
+    for item in iter_solve_many(
+        instances, method, workers=workers, context=context, **solve_kwargs
+    ):
+        items[item.index] = item
+    out = [item for item in items if item is not None]
+    assert len(out) == len(instances)
+    return out
+
+
+def batch_wall_time(
+    instances: Sequence[Any],
+    method: str = "parallel_sa",
+    workers: int | None = None,
+    **solve_kwargs: Any,
+) -> tuple[list[BatchItem], float]:
+    """``solve_many`` plus its wall-clock — the benchmark helper."""
+    start = time.perf_counter()
+    items = solve_many(instances, method, workers=workers, **solve_kwargs)
+    return items, time.perf_counter() - start

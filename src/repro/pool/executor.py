@@ -1,0 +1,189 @@
+"""The pool primitive: bounded process-per-task execution.
+
+Every parallel feature in this repo (ensemble sharding, ``solve_many``,
+``ResilientRunner.run_units(workers=N)``) funnels through
+:class:`ProcessPool`, so the concurrency semantics live in exactly one
+place:
+
+* **Bounded in-flight work** -- at most ``workers`` child processes exist
+  at any moment; remaining tasks queue on the host.
+* **Process-per-task** -- each task runs in a fresh child (no long-lived
+  worker loop).  Tasks here are whole solver invocations (seconds to
+  minutes), so the ~1 ms fork cost is noise, and a fresh process per task
+  means a crashed or leaky task can never poison a sibling.
+* **Error isolation** -- a task that raises delivers its exception as a
+  *value*; a task whose process dies outright (segfault, ``kill -9``)
+  delivers :class:`WorkerCrashError`.  The pool itself never raises for a
+  task failure.
+* **Interrupt propagation** -- ``KeyboardInterrupt`` in a child is
+  re-raised on the host when its result is collected, preserving the
+  resilient runner's stop-scheduling/flush/skip semantics.
+
+Results travel over one ``multiprocessing.Pipe`` per task and are
+multiplexed with :func:`multiprocessing.connection.wait`, so a slow task
+never blocks collection of a fast one.
+
+The default start method is the platform's (``fork`` on Linux), which
+permits closure tasks.  Payloads used by the library itself are built
+spawn-safe (module-level functions + picklable arguments) so the pool also
+works under ``spawn``/``forkserver`` via ``context=``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from multiprocessing.connection import Connection, wait
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.core.engine.config import check_workers
+
+__all__ = ["ProcessPool", "PoolFuture", "WorkerCrashError", "default_workers"]
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died without reporting a result."""
+
+
+def default_workers(cap: int | None = None) -> int:
+    """The pool size used when the caller does not choose one."""
+    n = os.cpu_count() or 1
+    if cap is not None:
+        n = min(n, cap)
+    return max(n, 1)
+
+
+def _child_main(conn: Connection, fn: Callable[..., Any], args: tuple) -> None:
+    """Child entry point: run the task, ship one tagged result, exit."""
+    try:
+        value = fn(*args)
+        conn.send(("ok", value))
+    except KeyboardInterrupt:
+        conn.send(("interrupt", None))
+    except BaseException as exc:  # noqa: BLE001 - exceptions travel as values
+        try:
+            conn.send(("error", exc))
+        except Exception:
+            # Unpicklable exception: degrade to its repr, keep the type name.
+            conn.send(("error", RuntimeError(f"unpicklable {exc!r}")))
+    finally:
+        conn.close()
+
+
+class PoolFuture:
+    """Handle for one in-flight task (internal to :class:`ProcessPool`)."""
+
+    __slots__ = ("index", "process", "connection", "outcome")
+
+    def __init__(
+        self, index: int, process: mp.process.BaseProcess, connection: Connection
+    ) -> None:
+        self.index = index
+        self.process = process
+        self.connection = connection
+        #: ``("ok"|"error"|"interrupt", value)`` once collected.
+        self.outcome: tuple[str, Any] | None = None
+
+
+class ProcessPool:
+    """Run tasks in child processes, at most ``workers`` at a time.
+
+    Parameters
+    ----------
+    workers:
+        Maximum concurrent child processes (``None`` = ``os.cpu_count()``).
+    context:
+        multiprocessing start-method name (``"fork"``/``"spawn"``/
+        ``"forkserver"``); ``None`` uses the platform default.
+    """
+
+    def __init__(
+        self, workers: int | None = None, context: str | None = None
+    ) -> None:
+        check_workers(workers)
+        self.workers = workers if workers is not None else default_workers()
+        self._ctx = mp.get_context(context)
+
+    # -- core: completion-ordered iteration ----------------------------
+
+    def imap_unordered(
+        self, tasks: Sequence[tuple[Callable[..., Any], tuple]]
+    ) -> Iterator[tuple[int, str, Any]]:
+        """Yield ``(index, status, value)`` as tasks finish.
+
+        ``status`` is ``"ok"`` (value = task return), ``"error"`` (value =
+        the exception, including :class:`WorkerCrashError` for a dead
+        worker), or ``"interrupt"`` (child saw ``KeyboardInterrupt``).
+        Generator cleanup (including an exception in the consumer)
+        terminates all in-flight children.
+        """
+        pending: list[tuple[int, Callable[..., Any], tuple]] = [
+            (i, fn, args) for i, (fn, args) in enumerate(tasks)
+        ]
+        pending.reverse()  # pop() from the front of the original order
+        inflight: dict[Connection, PoolFuture] = {}
+        try:
+            while pending or inflight:
+                while pending and len(inflight) < self.workers:
+                    index, fn, args = pending.pop()
+                    recv, send = self._ctx.Pipe(duplex=False)
+                    proc = self._ctx.Process(
+                        target=_child_main, args=(send, fn, args)
+                    )
+                    proc.start()
+                    # The parent must not hold the child's write end open,
+                    # or a dead child would never raise EOFError on recv.
+                    send.close()
+                    inflight[recv] = PoolFuture(index, proc, recv)
+                for conn in wait(list(inflight)):
+                    fut = inflight.pop(conn)  # type: ignore[index]
+                    try:
+                        status, value = fut.connection.recv()
+                    except EOFError:
+                        status, value = "error", WorkerCrashError(
+                            f"worker process for task {fut.index} died "
+                            "without reporting a result"
+                        )
+                    finally:
+                        fut.connection.close()
+                    fut.process.join()
+                    yield fut.index, status, value
+        finally:
+            for fut in inflight.values():
+                fut.connection.close()
+                if fut.process.is_alive():
+                    fut.process.terminate()
+                fut.process.join()
+
+    # -- conveniences ---------------------------------------------------
+
+    def map(
+        self, fn: Callable[..., Any], argtuples: Iterable[tuple]
+    ) -> list[tuple[str, Any]]:
+        """Run ``fn(*args)`` for each argtuple; ``(status, value)`` in order.
+
+        A child ``KeyboardInterrupt`` is re-raised on the host after all
+        children have been reaped.
+        """
+        tasks = [(fn, args) for args in argtuples]
+        results: list[tuple[str, Any] | None] = [None] * len(tasks)
+        interrupted = False
+        for index, status, value in self.imap_unordered(tasks):
+            if status == "interrupt":
+                interrupted = True
+                results[index] = ("interrupt", None)
+            else:
+                results[index] = (status, value)
+        if interrupted:
+            raise KeyboardInterrupt
+        return [r for r in results if r is not None]
+
+    def run_thunks(
+        self, thunks: Sequence[Callable[[], Any]]
+    ) -> list[tuple[str, Any]]:
+        """Run argument-less callables; results in submission order."""
+        return self.map(_call_thunk, [(t,) for t in thunks])
+
+
+def _call_thunk(thunk: Callable[[], Any]) -> Any:
+    return thunk()

@@ -1,0 +1,188 @@
+"""Bit-identical ensemble sharding — the ``multiprocess`` backend's engine.
+
+The chain ensemble of :func:`repro.core.engine.driver.run_ensemble` is
+embarrassingly parallel whenever no kernel reads another chain's state:
+chain ``t``'s trajectory depends only on its initial sequence and its RNG
+stream, and the stream depends only on ``(seed, t, draw_round)`` — never on
+how many chains run alongside it (see :class:`repro.gpusim.rng.DeviceRNG`).
+Sharding therefore splits the grid into contiguous block ranges, runs each
+range in a worker process on a :class:`VectorizedBackend` whose RNG is
+offset by the shard's first global row, and merges.
+
+**Determinism contract** (asserted in ``tests/test_pool.py``, explained in
+docs/parallel.md): for a fixed seed the merged best energy, best sequence
+and history are bit-identical to the unsharded ``vectorized``/``gpusim``
+run, for any worker count.  The merge reproduces the elitist reduction's
+tie-breaks exactly: the reduction only overwrites on a *strict* energy
+improvement and breaks within-round ties by lowest thread index, so the
+global winner is the shard whose best energy is lowest, reached in the
+earliest round, from the lowest shard index (shards are ascending block
+ranges, so the lowest tied shard contains the lowest tied global thread).
+
+Strategies whose kernels *do* couple chains opt out via
+``EnsembleStrategy.shardable`` (the sync-SA broadcast and the ring/coupled
+DPSO couplings read across chains); they fall back to one shard — the
+whole ensemble in a single worker process, still trajectory-identical,
+just without intra-solve parallelism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import warnings
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.engine.adapters import adapter_for
+from repro.core.engine.backends import MultiprocessBackend
+from repro.initialization import initial_population
+from repro.pool.executor import ProcessPool, default_workers
+from repro.pool.worker import ShardResult, run_shard
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine.driver import EnsembleStrategy
+    from repro.core.results import SolveResult
+    from repro.problems.cdd import CDDInstance
+    from repro.problems.ucddcp import UCDDCPInstance
+
+__all__ = ["ShardPlan", "plan_shards", "run_sharded_ensemble"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardPlan:
+    """Contiguous block ranges: shard ``i`` runs ``blocks[i]`` blocks
+    starting at global row ``row_offsets[i]``."""
+
+    row_offsets: tuple[int, ...]
+    blocks: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+def plan_shards(
+    grid_size: int,
+    block_size: int,
+    workers: int | None,
+    shardable: bool = True,
+    algorithm: str = "",
+) -> ShardPlan:
+    """Split ``grid_size`` blocks into at most ``workers`` contiguous shards.
+
+    Sharding granularity is whole blocks (a block is the natural CUDA unit
+    and keeps shard populations multiples of ``block_size``).  An
+    unshardable strategy degrades to one shard with a ``RuntimeWarning``
+    when the caller explicitly asked for more.
+    """
+    if not shardable:
+        if workers is not None and workers > 1:
+            warnings.warn(
+                f"{algorithm or 'this strategy'} couples chains across the "
+                "ensemble and cannot be sharded; running the whole ensemble "
+                "in one worker process",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        nshards = 1
+    else:
+        nshards = min(
+            workers if workers is not None else default_workers(cap=grid_size),
+            grid_size,
+        )
+    base, extra = divmod(grid_size, nshards)
+    blocks = tuple(base + (1 if i < extra else 0) for i in range(nshards))
+    offsets, acc = [], 0
+    for b in blocks:
+        offsets.append(acc * block_size)
+        acc += b
+    return ShardPlan(row_offsets=tuple(offsets), blocks=blocks)
+
+
+def run_sharded_ensemble(
+    instance: "CDDInstance | UCDDCPInstance",
+    strategy: "EnsembleStrategy",
+    backend: MultiprocessBackend,
+) -> "SolveResult":
+    """Run one ensemble solve sharded across worker processes.
+
+    The parent owns everything that is host-global in the unsharded run:
+    the host RNG (``prepare`` + the full initial population, including the
+    global-row-indexed ``prepare_population`` hook), the shard merge, and
+    ``finalize`` on the merged best.  Workers own the generation loop for
+    their slice (:func:`repro.pool.worker.run_shard`).
+    """
+    from repro.core.engine.driver import assemble_result
+
+    config = strategy.config
+    adapter = adapter_for(instance)
+    pop = config.population
+    host_rng = np.random.default_rng(config.seed)
+    strategy.prepare(adapter, host_rng)
+
+    start_wall = time.perf_counter()
+    plan = plan_shards(
+        config.grid_size,
+        config.block_size,
+        backend.workers,
+        shardable=strategy.shardable,
+        algorithm=strategy.algorithm,
+    )
+
+    init_seqs = initial_population(
+        instance, pop, host_rng, config.init
+    ).astype(np.int32)
+    init_seqs = strategy.prepare_population(init_seqs)
+
+    tasks = []
+    for lo, nblocks in zip(plan.row_offsets, plan.blocks):
+        rows = init_seqs[lo : lo + nblocks * config.block_size]
+        tasks.append(
+            (
+                run_shard,
+                (instance, type(strategy), config, lo, nblocks, rows,
+                 backend.fault_plan),
+            )
+        )
+
+    shards: list[ShardResult | None] = [None] * len(tasks)
+    pool = ProcessPool(workers=len(tasks), context=backend.context)
+    for index, status, value in pool.imap_unordered(tasks):
+        if status == "interrupt":
+            raise KeyboardInterrupt
+        if status == "error":
+            raise value
+        shards[index] = value
+    results = [s for s in shards if s is not None]
+    assert len(results) == len(tasks)
+
+    # Merge, reproducing the elitist reduction's tie-breaks (strict
+    # improvement, earliest round, lowest global thread index).
+    def first_round(shard: ShardResult) -> int:
+        return int(np.nonzero(shard.ext_history == shard.best_energy)[0][0])
+
+    winner = min(
+        range(len(results)),
+        key=lambda i: (results[i].best_energy, first_round(results[i]), i),
+    )
+    merged_ext = results[0].ext_history.copy()
+    for shard in results[1:]:
+        np.minimum(merged_ext, shard.ext_history, out=merged_ext)
+    history = merged_ext[1:] if config.record_history else None
+
+    final_seq, extra_evals = strategy.finalize(results[winner].best_seq)
+    wall = time.perf_counter() - start_wall
+
+    params = strategy.params()
+    params["device_spec"] = config.device_spec.name
+    params["backend"] = backend.name
+    params["workers"] = len(results)
+    return assemble_result(
+        adapter,
+        final_seq,
+        evaluations=(config.iterations + 1) * pop + extra_evals,
+        wall_time_s=wall,
+        history=history,
+        params=params,
+    )

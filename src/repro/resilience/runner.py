@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
-from repro.core.engine.config import RetryPolicyMixin
+from repro.core.engine.config import RetryPolicyMixin, check_workers
 from repro.gpusim.errors import (
     DeviceUnavailableError,
     LaunchTimeoutError,
@@ -172,7 +172,12 @@ class ResilientRunner:
         Optional :class:`FaultPlan` threaded into every backend/device the
         studies create through this runner (test/CI fault injection).
     backend:
-        Default execution backend name the studies should solve on.
+        Execution backend name the studies should solve on; ``None`` (the
+        default) lets each study pick its own preference (see
+        :meth:`solver_backend`).
+    workers:
+        Default worker-process count for :meth:`run_units`; ``None`` or 1
+        keeps the serial in-process loop.
     sleep / clock:
         Injectable timing primitives (tests replace them to run instantly).
     """
@@ -183,7 +188,8 @@ class ResilientRunner:
         checkpoint_dir: Path | str | None = None,
         resume: bool = False,
         fault_plan: FaultPlan | None = None,
-        backend: str = "gpusim",
+        backend: str | None = None,
+        workers: int | None = None,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
         progress: Callable[[str], None] | None = None,
@@ -195,6 +201,8 @@ class ResilientRunner:
         self.resume = resume
         self.fault_plan = fault_plan
         self.backend = backend
+        check_workers(workers)
+        self.workers = workers
         self._sleep = sleep
         self._clock = clock
         self.progress = progress
@@ -215,19 +223,27 @@ class ResilientRunner:
             )
         return self._stores[study_id]
 
-    def solver_backend(self, name: str | None = None):
+    def solver_backend(self, name: str | None = None, *,
+                       prefer: str | None = None):
         """What the studies should pass as ``backend=`` to the solvers.
+
+        Resolution order: an explicit ``name`` (a study that *needs* a
+        specific backend, e.g. the speedup table needs modeled timings),
+        then the runner's configured ``backend`` (the user's ``--backend``),
+        then the study's ``prefer`` (e.g. ``"vectorized"`` for quality
+        studies where modeled timings are not the measurement), then the
+        registry default.
 
         Without a fault plan this is just the backend *name* (each solve
         creates its own backend -- byte-identical to the pre-resilience
         behavior).  With a plan, a shared backend instance carries the
         plan's cumulative fault counters across units and retries.
         """
-        resolved = name or self.backend
+        from repro.core.engine.backends import DEFAULT_BACKEND, create_backend
+
+        resolved = name or self.backend or prefer or DEFAULT_BACKEND
         if self.fault_plan is None:
             return resolved
-        from repro.core.engine.backends import create_backend
-
         return create_backend(resolved, fault_plan=self.fault_plan)
 
     # ------------------------------------------------------------------
@@ -250,9 +266,23 @@ class ResilientRunner:
         self,
         units: Sequence[WorkUnit],
         checkpoint: CheckpointStore | None = None,
+        workers: int | None = None,
     ) -> RunReport:
-        """Run ``units`` in order; never raises except KeyboardInterrupt
-        *outside* a unit (inside one it degrades to a graceful stop)."""
+        """Run ``units``; never raises except KeyboardInterrupt *outside*
+        a unit (inside one it degrades to a graceful stop).
+
+        ``workers`` (default: the runner's configured count) > 1 executes
+        units concurrently in worker processes — same outcomes, same
+        checkpoint/resume and retry semantics, with each unit's whole
+        retry loop (and any fault-plan counters it sees) confined to its
+        own process, so fault injection stays deterministic *per unit*
+        under concurrency (docs/parallel.md).  Outcomes are always
+        reported in unit-definition order.
+        """
+        check_workers(workers)
+        effective = workers if workers is not None else self.workers
+        if effective is not None and effective > 1 and len(units) > 1:
+            return self._run_units_parallel(units, checkpoint, effective)
         report = RunReport()
         for unit in units:
             if report.interrupted:
@@ -281,6 +311,84 @@ class ResilientRunner:
             if outcome.ok and checkpoint is not None:
                 checkpoint.append(unit.key, outcome.payload, outcome.attempts)
             report.outcomes.append(outcome)
+        self.reports.append(report)
+        return report
+
+    def _run_units_parallel(
+        self,
+        units: Sequence[WorkUnit],
+        checkpoint: CheckpointStore | None,
+        workers: int,
+    ) -> RunReport:
+        """Concurrent ``run_units``: checkpointed units replay first, the
+        rest run on a bounded process pool (one unit = one child running
+        the full :meth:`_attempt` retry loop).
+
+        Requires a fork-capable platform: unit closures and the runner
+        itself reach the children by process inheritance, not pickling.
+        An interrupt reported by any unit stops scheduling, terminates
+        in-flight units and marks everything not yet completed skipped —
+        completed outcomes received before the interrupt are already
+        checkpointed, exactly like the serial path's flush-and-skip.
+        """
+        from repro.pool.executor import ProcessPool
+
+        report = RunReport()
+        outcomes: dict[int, UnitOutcome] = {}
+        pending: list[int] = []
+        for i, unit in enumerate(units):
+            cached = checkpoint.get(unit.key) if checkpoint else None
+            if cached is not None:
+                outcomes[i] = UnitOutcome(
+                    key=unit.key, status="ok", payload=cached["payload"],
+                    attempts=int(cached.get("attempts", 1)),
+                    from_checkpoint=True,
+                )
+                self._note(f"{unit.key}: restored from checkpoint")
+            else:
+                pending.append(i)
+
+        pool = ProcessPool(workers=workers, context="fork")
+        tasks = [(_attempt_in_worker, (self, units[i])) for i in pending]
+        results = pool.imap_unordered(tasks)
+        try:
+            for task_index, status, value in results:
+                i = pending[task_index]
+                unit = units[i]
+                if status == "interrupt":
+                    report.interrupted = True
+                    outcomes[i] = UnitOutcome(
+                        key=unit.key, status="skipped",
+                        error_kind="interrupted",
+                    )
+                    self._note(f"{unit.key}: interrupted")
+                    break
+                if status == "error":
+                    # The unit's process died or its outcome could not be
+                    # returned; classify like any other unit failure.
+                    kind = classify_error(value)
+                    self._note(f"{unit.key}: failed ({kind}: {value})")
+                    outcomes[i] = UnitOutcome(
+                        key=unit.key, status="failed", attempts=1,
+                        error=f"{type(value).__name__}: {value}",
+                        error_kind=kind,
+                    )
+                    continue
+                outcome: UnitOutcome = value
+                if outcome.ok and checkpoint is not None:
+                    checkpoint.append(
+                        unit.key, outcome.payload, outcome.attempts
+                    )
+                outcomes[i] = outcome
+        finally:
+            results.close()  # terminates any in-flight children
+
+        for i, unit in enumerate(units):
+            if i not in outcomes:
+                outcomes[i] = UnitOutcome(
+                    key=unit.key, status="skipped", error_kind="interrupted",
+                )
+        report.outcomes = [outcomes[i] for i in range(len(units))]
         self.reports.append(report)
         return report
 
@@ -331,3 +439,14 @@ class ResilientRunner:
     def _note(self, message: str) -> None:
         if self.progress is not None:
             self.progress(message)
+
+
+def _attempt_in_worker(runner: ResilientRunner, unit: WorkUnit) -> UnitOutcome:
+    """Child-process body of the parallel ``run_units`` mode.
+
+    Runs the unit's *entire* retry loop in the child so retry counts, and
+    any fault-plan counters the unit's closure sees (a fork-copied plan
+    starts at the parent's state), accumulate per unit — never shared
+    across concurrently running units.
+    """
+    return runner._attempt(unit)
