@@ -70,6 +70,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --backend multiprocess "
              "(default: one per CPU, capped at the grid size)",
     )
+    p_solve.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard wall-clock deadline for --backend multiprocess; "
+             "a hung shard is killed and (with --task-retries) re-run "
+             "bit-identically",
+    )
+    p_solve.add_argument(
+        "--task-retries", type=int, default=0, metavar="K",
+        help="in-pool retries of crashed/hung shards before the solve "
+             "fails (--backend multiprocess)",
+    )
+    p_solve.add_argument(
+        "--inject-pool-fault", default=None, metavar="KIND:TASK[:repeat]",
+        help="deterministic pool-transport fault injection for testing, "
+             "e.g. 'kill:1' or 'hang:0' or 'corrupt-payload:0:repeat' "
+             "(--backend multiprocess)",
+    )
 
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
     p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -111,6 +128,18 @@ def build_parser() -> argparse.ArgumentParser:
              "'launch:100:transient' or 'malloc:1:oom:repeat' "
              "(kinds: transient, timeout, oom, fatal, interrupt)",
     )
+    p_exp.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="with --workers: per-unit wall-clock watchdog; a hung "
+             "worker is killed and the unit retried without stalling "
+             "siblings",
+    )
+    p_exp.add_argument(
+        "--inject-pool-fault", default=None, metavar="KIND:TASK[:repeat]",
+        help="with --workers: deterministic pool-transport fault "
+             "injection, e.g. 'kill:1' (retried) or 'kill:1:repeat' "
+             "(quarantined); kinds: kill, hang, corrupt-payload",
+    )
 
     sub.add_parser("list", help="list experiments and benchmark sets")
 
@@ -144,6 +173,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, metavar="N",
         help="recompute reference values on N worker processes "
              "(default: serial)",
+    )
+    p_best.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="with --workers: per-instance wall-clock watchdog "
+             "(hung worker killed and retried)",
+    )
+    p_best.add_argument(
+        "--inject-pool-fault", default=None, metavar="KIND:TASK[:repeat]",
+        help="with --workers: deterministic pool-transport fault "
+             "injection (kinds: kill, hang, corrupt-payload)",
     )
 
     p_trace = sub.add_parser(
@@ -184,12 +223,31 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             if args.block is not None:
                 kwargs["block_size"] = args.block
             kwargs["backend"] = args.backend
-            if args.workers is not None:
+            supervision_flags = (
+                ("--workers", "workers", args.workers),
+                ("--task-timeout", "task_timeout", args.task_timeout),
+                ("--inject-pool-fault", "pool_faults",
+                 args.inject_pool_fault),
+            )
+            if args.task_retries:
+                supervision_flags += (
+                    ("--task-retries", "task_retries", args.task_retries),
+                )
+            for flag, key, value in supervision_flags:
+                if value is None:
+                    continue
                 if args.backend != "multiprocess":
-                    print("--workers requires --backend multiprocess",
+                    print(f"{flag} requires --backend multiprocess",
                           file=sys.stderr)
                     return 2
-                kwargs["workers"] = args.workers
+                if key == "pool_faults":
+                    from repro.pool.faults import (
+                        PoolFaultPlan,
+                        parse_pool_fault,
+                    )
+
+                    value = PoolFaultPlan([parse_pool_fault(value)])
+                kwargs[key] = value
     result = solver.solve(args.method, **kwargs)
     print(f"instance: {inst.name}")
     print(result.summary())
@@ -202,6 +260,7 @@ _RESUME_HINT = "interrupted — checkpoint flushed; rerun with --resume to conti
 
 def _build_runner(args: argparse.Namespace):
     """A ResilientRunner from the shared resilience CLI flags."""
+    from repro.pool.faults import PoolFaultPlan, parse_pool_fault
     from repro.resilience import (
         FaultPlan,
         ResilientRunner,
@@ -212,6 +271,9 @@ def _build_runner(args: argparse.Namespace):
     plan = None
     if getattr(args, "inject_fault", None):
         plan = FaultPlan([parse_fault(args.inject_fault)])
+    pool_plan = None
+    if getattr(args, "inject_pool_fault", None):
+        pool_plan = PoolFaultPlan([parse_pool_fault(args.inject_pool_fault)])
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
     if checkpoint_dir in (None, "none"):
         checkpoint_dir = None
@@ -225,6 +287,8 @@ def _build_runner(args: argparse.Namespace):
         fault_plan=plan,
         backend=getattr(args, "backend", None),
         workers=getattr(args, "workers", None),
+        task_timeout_s=getattr(args, "task_timeout", None),
+        pool_faults=pool_plan,
         progress=lambda msg: print(f"  [{msg}]", file=sys.stderr),
     )
 

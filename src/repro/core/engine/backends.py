@@ -28,7 +28,11 @@ from typing import TYPE_CHECKING, Any, ClassVar
 
 import numpy as np
 
-from repro.core.engine.config import check_workers
+from repro.core.engine.config import (
+    check_retries,
+    check_timeout,
+    check_workers,
+)
 from repro.gpusim.device import Device, DeviceSpec
 from repro.gpusim.kernel import Kernel, ThreadContext
 from repro.gpusim.memory import ConstantMemory
@@ -278,14 +282,29 @@ class MultiprocessBackend(ExecutionBackend):
         fault_plan: "FaultPlan | None" = None,
         workers: int | None = None,
         context: str | None = None,
+        task_timeout: float | None = None,
+        task_retries: int = 0,
+        pool_faults: "Any | None" = None,
     ) -> None:
         super().__init__(fault_plan=fault_plan)
         check_workers(workers)
+        check_timeout(task_timeout, "task_timeout")
+        check_retries(task_retries, "task_retries")
         #: Worker-process count; ``None`` picks ``min(os.cpu_count(),
         #: grid_size)`` at shard-planning time.
         self.workers = workers
         #: multiprocessing start method (``None`` = platform default).
         self.context = context
+        #: Per-shard wall-clock deadline: a shard exceeding it is killed
+        #: and (given ``task_retries``) deterministically re-run — shard
+        #: replays are bit-identical, so supervision never changes results.
+        self.task_timeout = task_timeout
+        #: In-pool retries of abnormally-died shards (crash/timeout/
+        #: corrupt payload) before the solve fails.
+        self.task_retries = task_retries
+        #: Optional :class:`repro.pool.faults.PoolFaultPlan` injecting
+        #: deterministic transport faults into the shard workers.
+        self.pool_faults = pool_faults
 
     def _never(self, primitive: str) -> RuntimeError:
         return RuntimeError(

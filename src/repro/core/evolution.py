@@ -13,6 +13,14 @@ from Evolutionary Strategies.  This module implements a permutation
 * survivors are the best ``mu`` of parents plus offspring (elitist "+"
   selection).
 
+``walkers`` independent ES populations run batched (the same multi-chain
+knob the TA baseline has): every generation scores all
+``walkers * lambda`` offspring with **one**
+``adapter.batched_objective`` pass, so extra chains cost one larger
+vectorized evaluation rather than extra Python loops.  Per-walker draws
+run in walker order from one shared host RNG, and ``walkers=1``
+reproduces the original single-chain ES byte-for-byte.
+
 It serves two roles: a quality-competitive serial reference for the
 best-known computation, and the stand-in for [18] in speedup discussions.
 """
@@ -52,6 +60,9 @@ class EvolutionStrategyConfig:
     seed: int = 0
     init: str = "random"
     record_history: bool = False
+    #: Independent ES populations evaluated together in one batched
+    #: objective pass per generation (1 = the classic single chain).
+    walkers: int = 1
 
     def __post_init__(self) -> None:
         check_positive_iterations(self.generations, "generations")
@@ -61,55 +72,76 @@ class EvolutionStrategyConfig:
         if self.max_mutations < 1:
             raise ValueError("max_mutations must be positive")
         check_init_policy(self.init)
+        if self.walkers < 1:
+            raise ValueError(f"walkers must be >= 1, got {self.walkers}")
 
 
 def evolution_strategy(
     instance: CDDInstance | UCDDCPInstance,
     config: EvolutionStrategyConfig = EvolutionStrategyConfig(),
 ) -> SolveResult:
-    """Run the serial (mu + lambda)-ES; returns the best schedule found."""
+    """Run ``config.walkers`` (mu + lambda)-ES chains; best schedule wins.
+
+    The walkers never interact: each keeps its own population, fitness
+    ranking and stagnation counter; only the objective evaluation is
+    batched across them.  The final result is the best incumbent over all
+    walkers (ties to the lowest walker index).
+    """
     rng = np.random.default_rng(config.seed)
     n = instance.n
+    mu, lam, walkers = config.mu, config.lam, config.walkers
     adapter = adapter_for(instance)
 
     start = time.perf_counter()
-    population = initial_population(instance, config.mu, rng, config.init)
-    fitness = adapter.batched_objective(population)
-    order = np.argsort(fitness)
-    population, fitness = population[order], fitness[order]
+    # One host-RNG draw fills rows walker-major, so the first ``mu`` rows
+    # (walker 0) equal the single-walker initial population bit-for-bit.
+    population = initial_population(
+        instance, mu * walkers, rng, config.init
+    ).reshape(walkers, mu, n)
+    fitness = adapter.batched_objective(
+        population.reshape(walkers * mu, n)
+    ).reshape(walkers, mu)
+    for w in range(walkers):
+        order = np.argsort(fitness[w])
+        population[w], fitness[w] = population[w][order], fitness[w][order]
     pert = min(config.pert_size, n)
-    evaluations = config.mu
+    evaluations = mu * walkers
 
     history = (
         np.empty(config.generations) if config.record_history else None
     )
-    stagnation = 0
+    stagnation = np.zeros(walkers, dtype=np.intp)
+    offspring = np.empty((walkers, lam, n), dtype=population.dtype)
     for gen in range(config.generations):
-        # Mutation strength: more shuffles while progressing, fewer when
-        # stagnating (intensify around the incumbents).
-        high = max(1, config.max_mutations - stagnation // 5)
-        offspring = np.empty((config.lam, n), dtype=population.dtype)
-        for i in range(config.lam):
-            parent = population[int(rng.integers(0, config.mu))]
-            child = parent
-            for _ in range(int(rng.integers(1, high + 1))):
-                pos = sample_distinct_positions(rng, n, pert)
-                child = partial_fisher_yates(rng, child, pos)
-            offspring[i] = child
-        child_fit = adapter.batched_objective(offspring)
-        evaluations += config.lam
+        for w in range(walkers):
+            # Mutation strength: more shuffles while progressing, fewer
+            # when stagnating (intensify around the incumbents).
+            high = max(1, config.max_mutations - int(stagnation[w]) // 5)
+            for i in range(lam):
+                parent = population[w][int(rng.integers(0, mu))]
+                child = parent
+                for _ in range(int(rng.integers(1, high + 1))):
+                    pos = sample_distinct_positions(rng, n, pert)
+                    child = partial_fisher_yates(rng, child, pos)
+                offspring[w, i] = child
+        child_fit = adapter.batched_objective(
+            offspring.reshape(walkers * lam, n)
+        ).reshape(walkers, lam)
+        evaluations += lam * walkers
 
-        pool = np.vstack((population, offspring))
-        pool_fit = np.concatenate((fitness, child_fit))
-        order = np.argsort(pool_fit, kind="stable")[: config.mu]
-        improved = pool_fit[order[0]] < fitness[0] - 1e-12
-        population, fitness = pool[order], pool_fit[order]
-        stagnation = 0 if improved else stagnation + 1
+        for w in range(walkers):
+            pool = np.vstack((population[w], offspring[w]))
+            pool_fit = np.concatenate((fitness[w], child_fit[w]))
+            order = np.argsort(pool_fit, kind="stable")[:mu]
+            improved = pool_fit[order[0]] < fitness[w][0] - 1e-12
+            population[w], fitness[w] = pool[order], pool_fit[order]
+            stagnation[w] = 0 if improved else stagnation[w] + 1
         if history is not None:
-            history[gen] = fitness[0]
+            history[gen] = fitness[:, 0].min()
     wall = time.perf_counter() - start
 
-    best_seq = population[0].astype(np.intp)
+    best_w = int(np.argmin(fitness[:, 0]))
+    best_seq = population[best_w][0].astype(np.intp)
     return assemble_result(
         adapter,
         best_seq,

@@ -65,16 +65,24 @@ def _engine_method(config_cls: type, driver: Callable[..., SolveResult]):
     def run(solver: "_BaseSolver", **params: Any) -> SolveResult:
         backend = params.pop("backend", DEFAULT_BACKEND)
         workers = params.pop("workers", None)
-        if workers is not None:
+        supervision = {
+            key: params.pop(key)
+            for key in ("task_timeout", "task_retries", "pool_faults")
+            if key in params
+        }
+        if workers is not None or supervision:
+            knob = "workers=" if workers is not None else (
+                f"{next(iter(supervision))}="
+            )
             if backend == "multiprocess":
-                backend = MultiprocessBackend(workers=workers)
+                backend = MultiprocessBackend(workers=workers, **supervision)
             elif isinstance(backend, ExecutionBackend):
                 raise ValueError(
-                    "pass workers= via the backend instance, not both"
+                    f"pass {knob} via the backend instance, not both"
                 )
             else:
                 raise ValueError(
-                    "workers= requires backend='multiprocess' "
+                    f"{knob} requires backend='multiprocess' "
                     f"(got backend={backend!r})"
                 )
         return driver(solver.instance, config_cls(**params), backend=backend)

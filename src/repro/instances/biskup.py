@@ -24,6 +24,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.instances.validate import validate_job_fields
 from repro.problems.cdd import CDDInstance
 
 __all__ = [
@@ -77,10 +78,11 @@ def biskup_instance(
     p = rng.integers(_P_LOW, _P_HIGH + 1, n).astype(np.float64)
     a = rng.integers(_ALPHA_LOW, _ALPHA_HIGH + 1, n).astype(np.float64)
     b = rng.integers(_BETA_LOW, _BETA_HIGH + 1, n).astype(np.float64)
+    name = f"biskup_n{n}_k{k}_h{h:g}"
+    validate_job_fields(name, p, alpha=a, beta=b)
     d = float(np.floor(h * p.sum()))
     return CDDInstance(
-        processing=p, alpha=a, beta=b, due_date=d,
-        name=f"biskup_n{n}_k{k}_h{h:g}",
+        processing=p, alpha=a, beta=b, due_date=d, name=name,
     )
 
 

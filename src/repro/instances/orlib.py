@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.instances.validate import validate_job_fields
 from repro.problems.cdd import CDDInstance
 
 __all__ = ["parse_sch", "write_sch"]
@@ -62,17 +63,23 @@ def parse_sch(
     elif n != inferred:
         raise ValueError(f"expected n={n}, file contains n={inferred}")
 
-    values = np.asarray(body, dtype=np.float64).reshape(count, n, 3)
+    try:
+        values = np.asarray(body, dtype=np.float64).reshape(count, n, 3)
+    except ValueError:
+        raise ValueError(
+            "sch file contains non-numeric job data"
+        ) from None
     instances = []
     for k in range(count):
         p = values[k, :, 0]
         a = values[k, :, 1]
         b = values[k, :, 2]
+        name = f"{name_prefix}_n{n}_k{k + 1}_h{h:g}"
+        validate_job_fields(name, p, alpha=a, beta=b)
         d = float(np.floor(h * p.sum()))
         instances.append(
             CDDInstance(
-                processing=p, alpha=a, beta=b, due_date=d,
-                name=f"{name_prefix}_n{n}_k{k + 1}_h{h:g}",
+                processing=p, alpha=a, beta=b, due_date=d, name=name,
             )
         )
     return instances

@@ -24,6 +24,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.instances.validate import validate_job_fields
 from repro.problems.ucddcp import UCDDCPInstance
 
 __all__ = [
@@ -56,10 +57,12 @@ def ucddcp_instance(n: int, k: int = 1, base_seed: int = 20150429) -> UCDDCPInst
     m = rng.integers(1, p.astype(np.int64) + 1).astype(np.float64)
     g = rng.integers(_GAMMA_LOW, _GAMMA_HIGH + 1, n).astype(np.float64)
     u = rng.uniform(1.0, 1.2)
+    name = f"ucddcp_n{n}_k{k}"
+    validate_job_fields(name, p, alpha=a, beta=b, gamma=g, min_processing=m)
     d = float(np.ceil(u * p.sum()))
     return UCDDCPInstance(
         processing=p, min_processing=m, alpha=a, beta=b, gamma=g,
-        due_date=d, name=f"ucddcp_n{n}_k{k}",
+        due_date=d, name=name,
     )
 
 

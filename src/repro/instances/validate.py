@@ -1,0 +1,74 @@
+"""Loader-side validation of benchmark job data.
+
+The instance dataclasses (:mod:`repro.problems.cdd`,
+:mod:`repro.problems.ucddcp`) reject malformed data, but their errors
+cannot say *which* instance of a 280-instance benchmark file was broken.
+The loaders (``parse_sch``, the Biskup and UCDDCP generators) therefore
+run :func:`validate_job_fields` first: every violation — negative or zero
+processing times, ``M_i > P_i``, non-finite penalty weights — raises a
+``ValueError`` naming the instance, the offending field and the first bad
+job index, instead of letting a NaN objective surface three layers
+downstream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["validate_job_fields"]
+
+
+def _first_bad(mask: np.ndarray) -> int:
+    return int(np.flatnonzero(mask)[0])
+
+
+def _check(name: str, field: str, values: np.ndarray,
+           *, positive: bool = False) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    bad = ~np.isfinite(arr)
+    if bad.any():
+        i = _first_bad(bad)
+        raise ValueError(
+            f"instance {name!r}: field {field!r} is not finite at job {i} "
+            f"(value {arr[i]})"
+        )
+    bad = arr <= 0 if positive else arr < 0
+    if bad.any():
+        i = _first_bad(bad)
+        bound = "strictly positive" if positive else "non-negative"
+        raise ValueError(
+            f"instance {name!r}: field {field!r} must be {bound}; "
+            f"job {i} has value {arr[i]}"
+        )
+    return arr
+
+
+def validate_job_fields(
+    name: str,
+    processing: np.ndarray,
+    *,
+    alpha: np.ndarray | None = None,
+    beta: np.ndarray | None = None,
+    gamma: np.ndarray | None = None,
+    min_processing: np.ndarray | None = None,
+) -> None:
+    """Validate one instance's job data; raise a naming ``ValueError``.
+
+    Checks: all fields finite; processing (and min_processing) strictly
+    positive; penalty weights non-negative; ``M_i <= P_i`` jobwise.
+    """
+    p = _check(name, "processing", processing, positive=True)
+    for field, values in (("alpha", alpha), ("beta", beta),
+                          ("gamma", gamma)):
+        if values is not None:
+            _check(name, field, values)
+    if min_processing is not None:
+        m = _check(name, "min_processing", min_processing, positive=True)
+        if m.shape == p.shape:
+            bad = m > p
+            if bad.any():
+                i = _first_bad(bad)
+                raise ValueError(
+                    f"instance {name!r}: min_processing exceeds processing "
+                    f"at job {i} (M={m[i]} > P={p[i]})"
+                )

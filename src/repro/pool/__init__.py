@@ -12,10 +12,30 @@ One pool primitive, three consumers:
 * ``ResilientRunner.run_units(..., workers=N)`` -- parallel work-unit
   execution for every study and the best-known recompute
   (:mod:`repro.resilience.runner`).
+
+The pool supervises its children (:mod:`repro.pool.executor`): per-task
+wall-clock deadlines, in-pool retries of abnormal deaths, poison-task
+quarantine with structured reports (:mod:`repro.pool.errors`), content
+digests on every result crossing the pipe, and a deterministic transport
+fault plan for chaos testing (:mod:`repro.pool.faults`).
 """
 
 from repro.pool.batch import BatchError, BatchItem, solve_many
-from repro.pool.executor import PoolFuture, ProcessPool, WorkerCrashError
+from repro.pool.errors import (
+    PayloadIntegrityError,
+    PoisonTaskError,
+    PoisonTaskReport,
+    TaskAttempt,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.pool.executor import PoolFuture, ProcessPool
+from repro.pool.faults import (
+    POOL_FAULT_KINDS,
+    PoolFaultPlan,
+    PoolFaultSpec,
+    parse_pool_fault,
+)
 from repro.pool.sharding import ShardPlan, plan_shards, run_sharded_ensemble
 
 __all__ = [
@@ -25,6 +45,15 @@ __all__ = [
     "PoolFuture",
     "ProcessPool",
     "WorkerCrashError",
+    "WorkerTimeoutError",
+    "PayloadIntegrityError",
+    "TaskAttempt",
+    "PoisonTaskReport",
+    "PoisonTaskError",
+    "POOL_FAULT_KINDS",
+    "PoolFaultPlan",
+    "PoolFaultSpec",
+    "parse_pool_fault",
     "ShardPlan",
     "plan_shards",
     "run_sharded_ensemble",

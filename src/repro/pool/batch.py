@@ -9,7 +9,17 @@ the shared :class:`~repro.pool.executor.ProcessPool`:
 * results collected **in input order** regardless of completion order,
 * per-instance **error isolation** — a solve that raises yields a
   :class:`BatchError` record in its slot; the batch never crashes and the
-  surviving results keep their indices.
+  surviving results keep their indices,
+* optional **supervision** — ``task_timeout`` reaps hung solves,
+  ``task_retries`` respawns crashed/timed-out/corrupted ones, and a solve
+  that fails every attempt degrades to a ``poison_task`` error record
+  carrying its full :class:`~repro.pool.errors.PoisonTaskReport`,
+* **end-to-end integrity** — every returned solution is re-validated by
+  the independent schedule checker
+  (:func:`repro.problems.validation.validate_schedule`) before it is
+  accepted; a result that survived the transport digest but violates a
+  structural constraint degrades to a ``validation`` error record rather
+  than polluting downstream tables.
 
 Determinism: each solve seeds its own RNG from its config exactly as a
 serial loop would, so a batch run produces the same per-instance results
@@ -22,8 +32,16 @@ import dataclasses
 import time
 from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
-from repro.pool.executor import ProcessPool, WorkerCrashError
+from repro.pool.errors import (
+    PayloadIntegrityError,
+    PoisonTaskError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.pool.executor import ProcessPool
+from repro.pool.faults import PoolFaultPlan
 from repro.pool.worker import solve_one
+from repro.problems.validation import ScheduleError, validate_schedule
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.results import SolveResult
@@ -37,11 +55,17 @@ Instance = "CDDInstance | UCDDCPInstance"
 
 @dataclasses.dataclass(frozen=True)
 class BatchError:
-    """The error record an isolated per-instance failure degrades to."""
+    """The error record an isolated per-instance failure degrades to.
+
+    ``report`` carries the quarantine evidence (a
+    :class:`~repro.pool.errors.PoisonTaskReport` as JSON) when
+    ``error_type == "poison_task"``.
+    """
 
     index: int
     error: str
     error_type: str
+    report: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -62,11 +86,40 @@ class BatchItem:
         return self.result is not None
 
 
+def _error_kind(value: BaseException) -> str:
+    """The structured ``error_type`` string for a pool-surfaced failure."""
+    if isinstance(value, PoisonTaskError):
+        return "poison_task"
+    if isinstance(value, WorkerTimeoutError):
+        return "worker_timeout"
+    if isinstance(value, PayloadIntegrityError):
+        return "payload_integrity"
+    if isinstance(value, WorkerCrashError):
+        return "worker_crash"
+    return type(value).__name__
+
+
+def _error_item(index: int, instance: Any, value: BaseException) -> BatchItem:
+    report = (
+        value.report.to_json() if isinstance(value, PoisonTaskError) else None
+    )
+    return BatchItem(
+        index=index,
+        instance=instance,
+        result=None,
+        error=BatchError(index=index, error=str(value),
+                         error_type=_error_kind(value), report=report),
+    )
+
+
 def iter_solve_many(
     instances: Sequence[Any],
     method: str = "parallel_sa",
     workers: int | None = None,
     context: str | None = None,
+    task_timeout: float | None = None,
+    task_retries: int = 0,
+    pool_faults: PoolFaultPlan | None = None,
     **solve_kwargs: Any,
 ) -> Iterator[BatchItem]:
     """Yield :class:`BatchItem` per instance in **completion** order.
@@ -74,27 +127,31 @@ def iter_solve_many(
     The streaming variant of :func:`solve_many` — use it to render
     progress or start post-processing before the stragglers finish.
     """
-    pool = ProcessPool(workers=workers, context=context)
+    pool = ProcessPool(
+        workers=workers, context=context, task_timeout=task_timeout,
+        task_retries=task_retries, fault_plan=pool_faults,
+    )
     tasks = [
         (solve_one, (instance, method, dict(solve_kwargs)))
         for instance in instances
     ]
-    for index, status, value in pool.imap_unordered(tasks):
+    labels = [getattr(inst, "name", f"task{i}")
+              for i, inst in enumerate(instances)]
+    for index, status, value in pool.imap_unordered(tasks, labels=labels):
         if status == "interrupt":
             raise KeyboardInterrupt
-        if status == "ok":
-            yield BatchItem(index=index, instance=instances[index],
-                           result=value)
-        else:
-            kind = ("worker_crash" if isinstance(value, WorkerCrashError)
-                    else type(value).__name__)
-            yield BatchItem(
-                index=index,
-                instance=instances[index],
-                result=None,
-                error=BatchError(index=index, error=str(value),
-                                 error_type=kind),
-            )
+        if status != "ok":
+            yield _error_item(index, instances[index], value)
+            continue
+        try:
+            # Defense in depth: the transport digest proves the bytes
+            # arrived intact; the independent checker proves the *content*
+            # is a feasible schedule whose stored objective recomputes.
+            validate_schedule(instances[index], value.schedule)
+        except ScheduleError as exc:
+            yield _error_item(index, instances[index], exc)
+            continue
+        yield BatchItem(index=index, instance=instances[index], result=value)
 
 
 def solve_many(
@@ -102,6 +159,9 @@ def solve_many(
     method: str = "parallel_sa",
     workers: int | None = None,
     context: str | None = None,
+    task_timeout: float | None = None,
+    task_retries: int = 0,
+    pool_faults: PoolFaultPlan | None = None,
     **solve_kwargs: Any,
 ) -> list[BatchItem]:
     """Solve every instance with one configuration; results in input order.
@@ -112,7 +172,9 @@ def solve_many(
     """
     items: list[BatchItem | None] = [None] * len(instances)
     for item in iter_solve_many(
-        instances, method, workers=workers, context=context, **solve_kwargs
+        instances, method, workers=workers, context=context,
+        task_timeout=task_timeout, task_retries=task_retries,
+        pool_faults=pool_faults, **solve_kwargs,
     ):
         items[item.index] = item
     out = [item for item in items if item is not None]

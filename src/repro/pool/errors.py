@@ -1,0 +1,113 @@
+"""Pool transport errors and the poison-task quarantine records.
+
+A leaf module (imports only :mod:`repro.gpusim.errors`) so every pool
+consumer — and the resilience layer's classifier — can name these types
+without circular imports.  Importing it registers the *transient* pool
+errors with the shared taxonomy: a worker killed by the OOM killer or a
+watchdog timeout is worth retrying, while a :class:`PoisonTaskError`
+(the same task already failed K consecutive times) is fatal by
+construction — more retries are exactly what the quarantine exists to
+stop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.gpusim.errors import register_transient
+
+__all__ = [
+    "WorkerCrashError",
+    "WorkerTimeoutError",
+    "PayloadIntegrityError",
+    "TaskAttempt",
+    "PoisonTaskReport",
+    "PoisonTaskError",
+]
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died without reporting a result.
+
+    Covers hard deaths (segfault, ``kill -9``, OOM killer) and transport
+    failures where the pipe closed or delivered an undecodable message.
+    """
+
+
+class WorkerTimeoutError(WorkerCrashError):
+    """A worker exceeded its per-task wall-clock deadline and was killed.
+
+    The pool SIGTERMs the child, escalates to SIGKILL after a short grace
+    period, and surfaces this error.  Transient: a hung task is often a
+    co-tenancy artifact (page-cache stall, CPU starvation) that a retry
+    clears.
+    """
+
+
+class PayloadIntegrityError(WorkerCrashError):
+    """A result crossed the pipe but failed its content-digest check.
+
+    The child ships ``(pickle blob, sha256 digest)``; a mismatch on
+    receipt means the bytes were corrupted in transit.  A subclass of
+    :class:`WorkerCrashError` because the delivered result is exactly as
+    unusable as no result at all — and equally worth one more attempt.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskAttempt:
+    """One failed attempt in a task's supervision history."""
+
+    attempt: int  # 1-based
+    outcome: str  # "crash" | "timeout" | "integrity"
+    error: str
+    exitcode: int | None = None  # negative = killed by that signal
+
+    def to_json(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class PoisonTaskReport:
+    """Structured evidence for a quarantined task.
+
+    Everything an operator needs to reproduce the failure offline: which
+    task (index and label), and the outcome, error text and exit
+    code/signal of every consecutive failed attempt.
+    """
+
+    index: int
+    label: str
+    attempts: tuple[TaskAttempt, ...]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "consecutive_failures": len(self.attempts),
+            "attempts": [a.to_json() for a in self.attempts],
+        }
+
+    def summary(self) -> str:
+        kinds = ", ".join(a.outcome for a in self.attempts)
+        return (
+            f"task {self.label!r} quarantined after "
+            f"{len(self.attempts)} consecutive failed attempts ({kinds}); "
+            f"last error: {self.attempts[-1].error}"
+        )
+
+
+class PoisonTaskError(RuntimeError):
+    """A task was quarantined after K consecutive abnormal failures.
+
+    Deliberately *not* registered transient: the pool has already spent
+    the retry budget proving that this task reliably kills its worker.
+    """
+
+    def __init__(self, report: PoisonTaskReport) -> None:
+        super().__init__(report.summary())
+        self.report = report
+
+
+register_transient(WorkerCrashError, WorkerTimeoutError)

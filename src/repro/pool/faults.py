@@ -1,0 +1,123 @@
+"""Deterministic fault injection for the pool transport.
+
+The gpusim device layer proves its fault tolerance against a
+:class:`repro.resilience.faults.FaultPlan`; this module extends the same
+idea to the process-pool transport, where the failure modes are process
+deaths rather than driver errors.  A :class:`PoolFaultPlan` arms a
+directive for an exact ``(task index, attempt)`` point in the child
+lifecycle:
+
+* ``kill`` — the child exits abruptly before reporting (models segfault,
+  ``kill -9``, the OOM killer); the parent observes ``EOFError`` and
+  surfaces :class:`~repro.pool.errors.WorkerCrashError`.
+* ``hang`` — the child stalls forever before running its task; only the
+  pool's ``task_timeout`` watchdog can reap it
+  (:class:`~repro.pool.errors.WorkerTimeoutError`).
+* ``corrupt-payload`` — the child runs the task, computes the result's
+  content digest, then flips a byte of the pickled blob before sending;
+  the parent's digest check surfaces
+  :class:`~repro.pool.errors.PayloadIntegrityError`.
+
+By default a spec fires on the task's *first* attempt only, so the retry
+succeeds — the transient-fault shape supervision must absorb.
+``:repeat`` makes it fire on every attempt, which is what drives a task
+into poison quarantine.  Directives travel to the child as plain strings,
+so injection works identically under ``fork`` and ``spawn``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine.config import check_choice
+
+__all__ = [
+    "POOL_FAULT_KINDS",
+    "PoolFaultSpec",
+    "PoolFaultPlan",
+    "parse_pool_fault",
+]
+
+POOL_FAULT_KINDS = ("kill", "hang", "corrupt-payload")
+
+
+@dataclass(frozen=True)
+class PoolFaultSpec:
+    """Inject ``kind`` into the child running task ``task_index``.
+
+    ``repeat=False`` (the default) fires on attempt 1 only — the retry
+    runs clean.  ``repeat=True`` fires on every attempt, modeling a task
+    that deterministically kills its worker.
+    """
+
+    kind: str
+    task_index: int
+    repeat: bool = False
+
+    def __post_init__(self) -> None:
+        check_choice("pool fault kind", self.kind, POOL_FAULT_KINDS)
+        if self.task_index < 0:
+            raise ValueError(
+                f"pool fault task index must be >= 0, got {self.task_index}"
+            )
+
+
+class PoolFaultPlan:
+    """A reproducible schedule of pool-transport faults.
+
+    The parent asks :meth:`directive` at every child spawn; a matching
+    spec returns its kind string (shipped to the child) and is logged in
+    :attr:`fired` as ``(kind, task_index, attempt)`` for replay
+    assertions.
+    """
+
+    def __init__(
+        self, specs: tuple[PoolFaultSpec, ...] | list[PoolFaultSpec] = ()
+    ) -> None:
+        self.specs = tuple(specs)
+        self.fired: list[tuple[str, int, int]] = []
+
+    def wants_hang(self) -> bool:
+        """Whether any spec injects a hang (needs a task_timeout to reap)."""
+        return any(spec.kind == "hang" for spec in self.specs)
+
+    def directive(self, task_index: int, attempt: int) -> str | None:
+        """The fault kind to arm for this spawn (``None`` = run clean).
+
+        ``attempt`` is 1-based.  At most one spec fires per spawn; with
+        several matching specs the first wins.
+        """
+        for spec in self.specs:
+            if spec.task_index != task_index:
+                continue
+            if attempt == 1 or spec.repeat:
+                self.fired.append((spec.kind, task_index, attempt))
+                return spec.kind
+        return None
+
+
+def parse_pool_fault(text: str) -> PoolFaultSpec:
+    """Parse a CLI pool-fault spec: ``KIND:TASK_INDEX[:repeat]``.
+
+    Examples: ``kill:1`` (task 1's first worker dies, the retry
+    succeeds), ``hang:0`` (task 0 stalls until the watchdog reaps it),
+    ``corrupt-payload:2:repeat`` (task 2's result is corrupted on every
+    attempt and the task ends up quarantined).
+    """
+    parts = text.split(":")
+    if len(parts) not in (2, 3) or (len(parts) == 3 and parts[2] != "repeat"):
+        raise ValueError(
+            f"bad pool fault spec {text!r}; expected KIND:TASK_INDEX[:repeat],"
+            f" e.g. kill:1 (kinds: {POOL_FAULT_KINDS})"
+        )
+    kind, index_text = parts[:2]
+    try:
+        task_index = int(index_text)
+    except ValueError:
+        raise ValueError(
+            f"bad pool fault spec {text!r}: task index {index_text!r} "
+            "is not an integer"
+        ) from None
+    return PoolFaultSpec(
+        kind=kind, task_index=task_index, repeat=len(parts) == 3
+    )

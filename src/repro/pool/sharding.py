@@ -40,6 +40,7 @@ from repro.core.engine.backends import MultiprocessBackend
 from repro.initialization import initial_population
 from repro.pool.executor import ProcessPool, default_workers
 from repro.pool.worker import ShardResult, run_shard
+from repro.problems.validation import validate_schedule
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.engine.driver import EnsembleStrategy
@@ -147,8 +148,15 @@ def run_sharded_ensemble(
         )
 
     shards: list[ShardResult | None] = [None] * len(tasks)
-    pool = ProcessPool(workers=len(tasks), context=backend.context)
-    for index, status, value in pool.imap_unordered(tasks):
+    pool = ProcessPool(
+        workers=len(tasks),
+        context=backend.context,
+        task_timeout=backend.task_timeout,
+        task_retries=backend.task_retries,
+        fault_plan=backend.pool_faults,
+    )
+    labels = [f"{instance.name}:shard{i}" for i in range(len(tasks))]
+    for index, status, value in pool.imap_unordered(tasks, labels=labels):
         if status == "interrupt":
             raise KeyboardInterrupt
         if status == "error":
@@ -178,7 +186,7 @@ def run_sharded_ensemble(
     params["device_spec"] = config.device_spec.name
     params["backend"] = backend.name
     params["workers"] = len(results)
-    return assemble_result(
+    result = assemble_result(
         adapter,
         final_seq,
         evaluations=(config.iterations + 1) * pop + extra_evals,
@@ -186,3 +194,9 @@ def run_sharded_ensemble(
         history=history,
         params=params,
     )
+    # Defense in depth: shard payloads already passed the transport digest;
+    # re-validate the merged solution with the independent checker so a
+    # corrupted-but-well-formed payload cannot become a silently wrong
+    # answer (a violation raises ScheduleError here, at the merge).
+    validate_schedule(instance, result.schedule)
+    return result

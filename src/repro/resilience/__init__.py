@@ -7,7 +7,11 @@ transient/fatal taxonomy, the checkpoint file format and resume semantics.
 """
 
 from repro.resilience.atomic import atomic_write_text
-from repro.resilience.checkpoint import CHECKPOINT_SCHEMA, CheckpointStore
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointStore,
+    record_crc,
+)
 from repro.resilience.faults import (
     FAULT_KINDS,
     FAULT_OPS,
@@ -29,6 +33,7 @@ __all__ = [
     "atomic_write_text",
     "CHECKPOINT_SCHEMA",
     "CheckpointStore",
+    "record_crc",
     "FAULT_KINDS",
     "FAULT_OPS",
     "FaultPlan",

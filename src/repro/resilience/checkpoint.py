@@ -3,29 +3,43 @@
 One study run owns one checkpoint file under ``results/checkpoints/``;
 every completed work unit appends one JSON record::
 
-    {"schema": 1, "key": "biskup_n10_k1_h0.4|SA_60", "attempts": 1,
-     "payload": {...}}
+    {"attempts": 1, "crc": "5f3a9c21", "key": "biskup_n10_k1_h0.4|SA_60",
+     "payload": {...}, "schema": 2}
 
 Persistence is crash-safe: each append rewrites the file through
 :func:`repro.resilience.atomic.atomic_write_text` (temp file + fsync +
 rename), so the on-disk file is always a complete, parseable snapshot.
-Loading is nevertheless *tolerant*: unparseable or truncated lines (a
-checkpoint written by an older, non-atomic build, or a file damaged out of
-band) are skipped and counted rather than aborting the resume -- losing
-one cell to corruption must not lose the run.
+
+Loading is *tolerant but honest*.  Every schema-2 line carries a CRC-32 of
+its canonical record text; a line that fails to parse, lacks its CRC, or
+fails the CRC check (bit rot, a torn write from an out-of-band editor, a
+truncated tail from a pre-atomic build) is **quarantined**: the raw line
+is preserved verbatim in a ``<file>.quarantine`` sidecar and counted in
+:attr:`CheckpointStore.skipped_lines`, and the unit simply reruns.  A
+resumed run therefore never silently replays a corrupt payload — losing
+one cell to corruption must not lose the run, but it must not poison it
+either.  Legacy schema-1 lines (no CRC) are accepted as-is.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
 from typing import Any, Iterator
 
 from repro.resilience.atomic import atomic_write_text
 
-__all__ = ["CheckpointStore", "CHECKPOINT_SCHEMA"]
+__all__ = ["CheckpointStore", "CHECKPOINT_SCHEMA", "record_crc"]
 
-CHECKPOINT_SCHEMA = 1
+CHECKPOINT_SCHEMA = 2
+
+
+def record_crc(record: dict[str, Any]) -> str:
+    """CRC-32 (8 hex digits) of a record's canonical JSON, sans ``crc``."""
+    body = {key: value for key, value in record.items() if key != "crc"}
+    text = json.dumps(body, sort_keys=True)
+    return f"{zlib.crc32(text.encode('utf-8')) & 0xFFFFFFFF:08x}"
 
 
 class CheckpointStore:
@@ -33,12 +47,16 @@ class CheckpointStore:
 
     ``fresh=True`` (a run started without ``--resume``) discards any
     existing file so stale cells from an earlier configuration cannot leak
-    into a new run; ``fresh=False`` loads existing records and skips those
-    units.
+    into a new run; ``fresh=False`` loads existing records, quarantines
+    corrupt lines, and skips the intact units.
     """
 
     def __init__(self, path: Path | str, fresh: bool = False) -> None:
         self.path = Path(path)
+        #: Sidecar preserving rejected lines verbatim (evidence, not data).
+        self.quarantine_path = self.path.with_name(
+            self.path.name + ".quarantine"
+        )
         self._records: dict[str, dict[str, Any]] = {}
         self.skipped_lines = 0
         if fresh:
@@ -47,6 +65,7 @@ class CheckpointStore:
             self._load()
 
     def _load(self) -> None:
+        rejected: list[str] = []
         for line in self.path.read_text().splitlines():
             line = line.strip()
             if not line:
@@ -57,10 +76,20 @@ class CheckpointStore:
                 record["payload"]
             except (json.JSONDecodeError, TypeError, KeyError):
                 # A truncated tail line (pre-atomic writer, torn write) or
-                # garbage: skip it; the unit simply reruns.
-                self.skipped_lines += 1
+                # garbage: quarantine it; the unit simply reruns.
+                rejected.append(line)
                 continue
+            if int(record.get("schema", 1)) >= 2:
+                # Schema 2+: the line must carry a matching content CRC.
+                crc = record.get("crc")
+                if not isinstance(crc, str) or crc != record_crc(record):
+                    rejected.append(line)
+                    continue
             self._records[key] = record
+        if rejected:
+            self.skipped_lines = len(rejected)
+            with self.quarantine_path.open("a") as sidecar:
+                sidecar.write("\n".join(rejected) + "\n")
 
     def __contains__(self, key: str) -> bool:
         return key in self._records
@@ -83,12 +112,14 @@ class CheckpointStore:
 
     def append(self, key: str, payload: Any, attempts: int = 1) -> None:
         """Record one completed unit and persist the file atomically."""
-        self._records[key] = {
+        record = {
             "schema": CHECKPOINT_SCHEMA,
             "key": key,
             "attempts": attempts,
             "payload": payload,
         }
+        record["crc"] = record_crc(record)
+        self._records[key] = record
         self.flush()
 
     def flush(self) -> None:

@@ -30,11 +30,20 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
-from repro.core.engine.config import RetryPolicyMixin, check_workers
+from repro.core.engine.config import (
+    RetryPolicyMixin,
+    check_timeout,
+    check_workers,
+)
 from repro.gpusim.errors import (
     DeviceUnavailableError,
     LaunchTimeoutError,
 )
+from repro.gpusim.errors import classify_error as _classify_registered
+
+# Importing the pool errors registers the transient transport types
+# (WorkerCrashError, WorkerTimeoutError) with the shared taxonomy.
+from repro.pool.errors import PoisonTaskError, PoisonTaskReport
 from repro.resilience.checkpoint import CheckpointStore
 from repro.resilience.faults import FaultPlan
 
@@ -48,9 +57,10 @@ __all__ = [
     "ResilientRunner",
 ]
 
-#: Error types a retry can plausibly clear.  Everything else -- including
-#: ``DeviceAllocationError`` (an oversized instance will not fit on the
-#: second try either) and all configuration errors -- is fatal.
+#: The *device-side* transient types (kept for backward compatibility).
+#: The full taxonomy lives in :mod:`repro.gpusim.errors`: every failure
+#: domain registers its transient types there, and :func:`classify_error`
+#: consults the registry -- which also covers the pool transport errors.
 TRANSIENT_ERRORS: tuple[type[BaseException], ...] = (
     DeviceUnavailableError,
     LaunchTimeoutError,
@@ -58,8 +68,14 @@ TRANSIENT_ERRORS: tuple[type[BaseException], ...] = (
 
 
 def classify_error(exc: BaseException) -> str:
-    """``"transient"`` or ``"fatal"`` per the gpusim error taxonomy."""
-    return "transient" if isinstance(exc, TRANSIENT_ERRORS) else "fatal"
+    """``"transient"`` or ``"fatal"`` per the shared error taxonomy.
+
+    Transients: the device-side momentary errors above plus the pool
+    transport errors (a crashed or hung worker is worth one more try).
+    A :class:`~repro.pool.errors.PoisonTaskError` is deliberately fatal:
+    it *is* the exhausted retry budget.
+    """
+    return _classify_registered(exc)
 
 
 @dataclass(frozen=True)
@@ -178,6 +194,16 @@ class ResilientRunner:
     workers:
         Default worker-process count for :meth:`run_units`; ``None`` or 1
         keeps the serial in-process loop.
+    task_timeout_s:
+        Per-task wall-clock deadline for the *parallel* mode's worker
+        processes: a hung unit is killed (SIGTERM, then SIGKILL) and
+        retried under the policy's budget, without stalling siblings.
+        Serial mode keeps the honest between-attempts
+        ``policy.unit_timeout_s`` contract instead.
+    pool_faults:
+        Optional :class:`repro.pool.faults.PoolFaultPlan` injecting
+        deterministic transport faults into the parallel mode's workers
+        (test/CI chaos drills).
     sleep / clock:
         Injectable timing primitives (tests replace them to run instantly).
     """
@@ -190,6 +216,8 @@ class ResilientRunner:
         fault_plan: FaultPlan | None = None,
         backend: str | None = None,
         workers: int | None = None,
+        task_timeout_s: float | None = None,
+        pool_faults: "Any | None" = None,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
         progress: Callable[[str], None] | None = None,
@@ -202,7 +230,10 @@ class ResilientRunner:
         self.fault_plan = fault_plan
         self.backend = backend
         check_workers(workers)
+        check_timeout(task_timeout_s, "task_timeout_s")
         self.workers = workers
+        self.task_timeout_s = task_timeout_s
+        self.pool_faults = pool_faults
         self._sleep = sleep
         self._clock = clock
         self.progress = progress
@@ -348,9 +379,17 @@ class ResilientRunner:
             else:
                 pending.append(i)
 
-        pool = ProcessPool(workers=workers, context="fork")
+        pool = ProcessPool(
+            workers=workers,
+            context="fork",
+            task_timeout=self.task_timeout_s,
+            task_retries=self.policy.max_retries,
+            retry_delay=self.policy.backoff_s,
+            fault_plan=self.pool_faults,
+        )
         tasks = [(_attempt_in_worker, (self, units[i])) for i in pending]
-        results = pool.imap_unordered(tasks)
+        labels = [units[i].key for i in pending]
+        results = pool.imap_unordered(tasks, labels=labels)
         try:
             for task_index, status, value in results:
                 i = pending[task_index]
@@ -364,12 +403,18 @@ class ResilientRunner:
                     self._note(f"{unit.key}: interrupted")
                     break
                 if status == "error":
-                    # The unit's process died or its outcome could not be
-                    # returned; classify like any other unit failure.
+                    # The unit's process died abnormally (the pool already
+                    # retried it under the policy's budget) or its outcome
+                    # could not be returned; degrade the cell, keep going.
+                    if isinstance(value, PoisonTaskError):
+                        self._quarantine(value.report)
+                        attempts = len(value.report.attempts)
+                    else:
+                        attempts = 1
                     kind = classify_error(value)
                     self._note(f"{unit.key}: failed ({kind}: {value})")
                     outcomes[i] = UnitOutcome(
-                        key=unit.key, status="failed", attempts=1,
+                        key=unit.key, status="failed", attempts=attempts,
                         error=f"{type(value).__name__}: {value}",
                         error_kind=kind,
                     )
@@ -435,6 +480,31 @@ class ResilientRunner:
                     key=unit.key, status="ok", payload=payload,
                     attempts=attempt,
                 )
+
+    def _quarantine(self, report: PoisonTaskReport) -> Path | None:
+        """Persist a poison-task report under ``checkpoint_dir/quarantine/``.
+
+        The report is the operator's evidence (task label, every attempt's
+        outcome and exit code/signal); CI uploads the directory as an
+        artifact.  Without a checkpoint directory the report still reaches
+        the caller through the failed outcome's error text.
+        """
+        if self.checkpoint_dir is None:
+            return None
+        import json
+
+        from repro.resilience.atomic import atomic_write_text
+
+        safe = "".join(
+            ch if ch.isalnum() or ch in "-._" else "_" for ch in report.label
+        )
+        path = self.checkpoint_dir / "quarantine" / f"{safe}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            path, json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+        self._note(f"{report.label}: quarantined (report: {path})")
+        return path
 
     def _note(self, message: str) -> None:
         if self.progress is not None:

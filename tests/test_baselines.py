@@ -158,3 +158,60 @@ class TestEvolutionStrategy:
             paper_ucddcp, EvolutionStrategyConfig(generations=40, seed=0)
         )
         validate_schedule(paper_ucddcp, r.schedule, require_no_idle=True)
+
+
+class TestMultiWalkerES:
+    """The batched multi-chain knob: walkers=1 IS the classic ES."""
+
+    def test_walkers_one_is_default_and_byte_identical(self, paper_cdd):
+        base = EvolutionStrategyConfig(generations=30, mu=5, lam=15, seed=6,
+                                       record_history=True)
+        explicit = EvolutionStrategyConfig(generations=30, mu=5, lam=15,
+                                           seed=6, record_history=True,
+                                           walkers=1)
+        a = evolution_strategy(paper_cdd, base)
+        b = evolution_strategy(paper_cdd, explicit)
+        assert a.objective == b.objective
+        assert np.array_equal(a.best_sequence, b.best_sequence)
+        assert np.array_equal(a.history, b.history)
+
+    def test_multi_walker_deterministic_and_valid(self, paper_cdd):
+        cfg = EvolutionStrategyConfig(generations=30, mu=4, lam=12, seed=6,
+                                      walkers=4)
+        a = evolution_strategy(paper_cdd, cfg)
+        b = evolution_strategy(paper_cdd, cfg)
+        assert a.objective == b.objective
+        assert np.array_equal(a.best_sequence, b.best_sequence)
+        validate_schedule(paper_cdd, a.schedule, require_no_idle=True)
+
+    def test_evaluations_scale_with_walkers(self, paper_cdd):
+        cfg = EvolutionStrategyConfig(generations=10, mu=4, lam=12, seed=0,
+                                      walkers=3)
+        r = evolution_strategy(paper_cdd, cfg)
+        assert r.evaluations == (4 + 10 * 12) * 3
+
+    def test_history_tracks_best_over_all_walkers(self, paper_cdd):
+        r = evolution_strategy(
+            paper_cdd,
+            EvolutionStrategyConfig(generations=40, seed=1, walkers=3,
+                                    record_history=True),
+        )
+        assert np.all(np.diff(r.history) <= 0)  # elitist per walker => min too
+        assert r.history[-1] == r.objective
+
+    def test_walkers_validated(self):
+        with pytest.raises(ValueError, match="walkers"):
+            EvolutionStrategyConfig(walkers=0)
+
+    def test_walkers_recorded_in_params(self, paper_cdd):
+        r = evolution_strategy(
+            paper_cdd, EvolutionStrategyConfig(generations=5, walkers=2)
+        )
+        assert r.params["walkers"] == 2
+
+    def test_ucddcp_walkers(self, paper_ucddcp):
+        r = evolution_strategy(
+            paper_ucddcp,
+            EvolutionStrategyConfig(generations=30, seed=0, walkers=3),
+        )
+        validate_schedule(paper_ucddcp, r.schedule, require_no_idle=True)

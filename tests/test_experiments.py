@@ -275,4 +275,5 @@ class TestCheckpointing:
         rec = json.loads(lines[0])
         assert "|SA_" in rec["key"] or "|DPSO_" in rec["key"]
         assert "deviation_pct" in rec["payload"]
-        assert rec["schema"] == 1
+        assert rec["schema"] == 2
+        assert "crc" in rec

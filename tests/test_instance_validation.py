@@ -1,0 +1,110 @@
+"""Loader-side instance validation: malformed benchmark data must fail
+fast with an error naming the instance, the field and the job index —
+not surface as a NaN objective three layers downstream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.instances.biskup import biskup_instance
+from repro.instances.orlib import parse_sch, write_sch
+from repro.instances.ucddcp_gen import ucddcp_instance
+from repro.instances.validate import validate_job_fields
+
+
+class TestValidateJobFields:
+    def test_clean_data_passes(self):
+        validate_job_fields(
+            "x", np.array([1.0, 2.0]),
+            alpha=np.array([0.0, 3.0]), beta=np.array([1.0, 1.0]),
+            gamma=np.array([2.0, 2.0]), min_processing=np.array([1.0, 1.0]),
+        )
+
+    def test_zero_processing_rejected(self):
+        with pytest.raises(ValueError, match=(
+                r"instance 'bad': field 'processing' must be strictly "
+                r"positive; job 1")):
+            validate_job_fields("bad", np.array([3.0, 0.0]))
+
+    def test_negative_processing_rejected(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            validate_job_fields("bad", np.array([-1.0, 2.0]))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match=(
+                r"field 'beta' must be non-negative; job 0")):
+            validate_job_fields("bad", np.array([1.0]),
+                                beta=np.array([-2.0]))
+
+    def test_nan_weight_rejected(self):
+        with pytest.raises(ValueError, match=(
+                r"field 'alpha' is not finite at job 1")):
+            validate_job_fields("bad", np.array([1.0, 1.0]),
+                                alpha=np.array([1.0, np.nan]))
+
+    def test_infinite_processing_rejected(self):
+        with pytest.raises(ValueError, match="not finite"):
+            validate_job_fields("bad", np.array([np.inf]))
+
+    def test_min_processing_above_processing_rejected(self):
+        with pytest.raises(ValueError, match=(
+                r"min_processing exceeds processing at job 1")):
+            validate_job_fields(
+                "bad", np.array([5.0, 3.0]),
+                min_processing=np.array([2.0, 4.0]),
+            )
+
+    def test_zero_min_processing_rejected(self):
+        with pytest.raises(ValueError, match=(
+                r"field 'min_processing' must be strictly positive")):
+            validate_job_fields("bad", np.array([5.0]),
+                                min_processing=np.array([0.0]))
+
+
+class TestSchFileValidation:
+    def _file(self, rows):
+        lines = [str(len(rows) and 1)]
+        lines += [f"{p} {a} {b}" for p, a, b in rows]
+        return "\n".join(lines) + "\n"
+
+    def test_clean_file_parses(self):
+        [inst] = parse_sch(self._file([(3, 1, 2), (4, 2, 1)]), h=0.4)
+        assert inst.n == 2
+
+    def test_zero_processing_names_instance_and_field(self):
+        with pytest.raises(ValueError, match=(
+                r"instance 'orlib_n2_k1_h0\.4': field 'processing'")):
+            parse_sch(self._file([(3, 1, 2), (0, 2, 1)]), h=0.4)
+
+    def test_negative_weight_names_field(self):
+        with pytest.raises(ValueError, match="field 'alpha'"):
+            parse_sch(self._file([(3, -1, 2), (4, 2, 1)]), h=0.4)
+
+    def test_non_numeric_data_rejected(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_sch("1\n3 one 2\n4 2 1\n", h=0.4)
+
+    def test_round_trip_still_validates(self):
+        instances = parse_sch(self._file([(3, 1, 2), (4, 2, 1)]), h=0.4)
+        reparsed = parse_sch(write_sch(instances), h=0.4)
+        assert np.array_equal(reparsed[0].processing,
+                              instances[0].processing)
+
+
+class TestGeneratorsProduceValidData:
+    # The generators draw from strictly-positive ranges; running them
+    # through the validator pins that property against future edits.
+    @pytest.mark.parametrize("n", [10, 50])
+    def test_biskup(self, n):
+        inst = biskup_instance(n, 0.4, 1)
+        validate_job_fields(inst.name, inst.processing,
+                            alpha=inst.alpha, beta=inst.beta)
+
+    @pytest.mark.parametrize("n", [10, 50])
+    def test_ucddcp(self, n):
+        inst = ucddcp_instance(n, 1)
+        validate_job_fields(
+            inst.name, inst.processing, alpha=inst.alpha, beta=inst.beta,
+            gamma=inst.gamma, min_processing=inst.min_processing,
+        )
+        assert np.all(inst.min_processing <= inst.processing)

@@ -20,6 +20,7 @@ from repro.resilience import (
     atomic_write_text,
     classify_error,
     parse_fault,
+    record_crc,
 )
 
 
@@ -94,7 +95,94 @@ class TestCheckpointStore:
         lines = path.read_text().strip().splitlines()
         records = [json.loads(line) for line in lines]
         assert [r["key"] for r in records] == ["k1", "k2"]
-        assert all(r["schema"] == 1 for r in records)
+        assert all(r["schema"] == 2 for r in records)
+        assert all(r["crc"] == record_crc(r) for r in records)
+
+
+class TestCheckpointIntegrity:
+    """Schema-2 per-line CRC: bit rot is quarantined, never replayed."""
+
+    def test_record_crc_ignores_key_order_and_crc_field(self):
+        a = {"schema": 2, "key": "k", "payload": {"x": 1}, "attempts": 1}
+        b = {"payload": {"x": 1}, "attempts": 1, "key": "k", "schema": 2,
+             "crc": "deadbeef"}
+        assert record_crc(a) == record_crc(b)
+        assert len(record_crc(a)) == 8
+
+    def test_corrupt_payload_line_quarantined(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        CheckpointStore(path).append("good", {"v": 1})
+        store = CheckpointStore(path)
+        store.append("rotten", {"v": 2})
+        # Flip one payload character on disk: the stored CRC no longer
+        # matches the canonical record text.
+        lines = path.read_text().splitlines()
+        lines[-1] = lines[-1].replace('"v": 2', '"v": 3')
+        path.write_text("\n".join(lines) + "\n")
+
+        reloaded = CheckpointStore(path)
+        assert "good" in reloaded
+        assert "rotten" not in reloaded
+        assert reloaded.skipped_lines == 1
+        sidecar = reloaded.quarantine_path.read_text().splitlines()
+        assert sidecar == [lines[-1]]
+
+    def test_missing_crc_on_schema2_line_quarantined(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text(
+            json.dumps({"schema": 2, "key": "nocrc", "payload": 1}) + "\n"
+        )
+        store = CheckpointStore(path)
+        assert len(store) == 0
+        assert store.skipped_lines == 1
+
+    def test_legacy_schema1_lines_still_accepted(self, tmp_path):
+        # Pre-CRC checkpoints must keep resuming: schema-1 lines carry no
+        # crc and are trusted as-is.
+        path = tmp_path / "s.jsonl"
+        path.write_text(
+            json.dumps({"schema": 1, "key": "old", "payload": 42,
+                        "attempts": 1}) + "\n"
+        )
+        store = CheckpointStore(path)
+        assert store.payload("old") == 42
+        assert store.skipped_lines == 0
+
+    def test_resume_over_corrupt_last_line_is_bit_identical(self, tmp_path):
+        """The acceptance drill: corrupt the checkpoint's last line, resume,
+        and the final outcome payloads match a clean run exactly — the
+        corrupt cell reruns, the intact cells replay verbatim."""
+        import warnings
+
+        units = [WorkUnit(key=f"u{i}", run=_payload_unit(i))
+                 for i in range(4)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            first = ResilientRunner(checkpoint_dir=tmp_path, workers=2)
+            clean = first.run_units(units, first.checkpoint_for("study"))
+        assert all(o.ok for o in clean.outcomes)
+
+        path = tmp_path / "study.jsonl"
+        lines = path.read_text().splitlines()
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]  # torn tail write
+        path.write_text("\n".join(lines) + "\n")
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            second = ResilientRunner(checkpoint_dir=tmp_path, workers=2,
+                                     resume=True)
+            resumed = second.run_units(units, second.checkpoint_for("study"))
+        assert ([(o.key, o.status, o.payload) for o in resumed.outcomes]
+                == [(o.key, o.status, o.payload) for o in clean.outcomes])
+        replayed = [o.key for o in resumed.outcomes if o.from_checkpoint]
+        assert len(replayed) == 3  # the torn cell was recomputed
+        assert path.with_name("study.jsonl.quarantine").exists()
+
+
+def _payload_unit(v):
+    def run():
+        return {"v": v}
+    return run
 
 
 class TestFaultSpecs:
