@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= quick
 
-.PHONY: install test bench bench-smoke report examples clean
+.PHONY: install test lint bench bench-smoke report examples clean
 
 install:
 	pip install -e .
@@ -13,6 +13,9 @@ test:
 
 test-fast:
 	REPRO_HYPOTHESIS_PROFILE=dev $(PYTHON) -m pytest tests/ -x -q
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.cli lint src
 
 bench:
 	REPRO_SCALE=$(SCALE) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -9,6 +9,7 @@ Commands
 ``bestknown``   precompute reference values for a benchmark set
 ``trace``       convergence/diversity trace of the parallel SA
 ``report``      assemble EXPERIMENTS.md from results/
+``lint``        run the determinism/concurrency static analyzer (docs/lint.md)
 
 ``experiment`` and ``bestknown`` run through the resilience layer
 (:mod:`repro.resilience`): ``--resume`` replays checkpointed work units,
@@ -147,6 +148,8 @@ def build_parser() -> argparse.ArgumentParser:
                             help="profile one parallel SA run (nvprof style)")
     p_prof.add_argument("-n", "--jobs", type=int, default=100)
     p_prof.add_argument("-i", "--iterations", type=int, default=200)
+    p_prof.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for the profiled run")
 
     p_best = sub.add_parser(
         "bestknown",
@@ -200,6 +203,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument("--results", default="results")
     p_report.add_argument("--output", default="EXPERIMENTS.md")
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the determinism/concurrency static analyzer over the "
+             "source tree (rule catalog: docs/lint.md)",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
     return parser
 
 
@@ -337,7 +349,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     inst = biskup_instance(args.jobs, 0.4, 1)
     result = parallel_sa(
-        inst, ParallelSAConfig(iterations=args.iterations, seed=0)
+        inst, ParallelSAConfig(iterations=args.iterations, seed=args.seed)
     )
     print(f"instance: {inst.name}")
     print(result.summary())
@@ -349,11 +361,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.kernels.fitness import make_cdd_fitness_kernel
     import numpy as np
 
-    device = Device(spec=GEFORCE_GT_560M, seed=0)
+    device = Device(spec=GEFORCE_GT_560M, seed=args.seed)
     data = DeviceProblemData(device, inst)
     seqs = device.malloc((768, inst.n), np.int32, "sequences")
     out = device.malloc(768, np.float64, "fitness")
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(args.seed)
     device.memcpy_htod(
         seqs, np.argsort(rng.random((768, inst.n)), axis=1).astype(np.int32)
     )
@@ -419,6 +431,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -430,6 +448,7 @@ def main(argv: list[str] | None = None) -> int:
         "bestknown": _cmd_bestknown,
         "trace": _cmd_trace,
         "report": _cmd_report,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -16,7 +16,7 @@ from repro.problems.ucddcp import UCDDCPInstance
 
 __all__ = ["benchmark_set", "registry_names"]
 
-_REGISTRY: dict[str, Callable[[], list]] = {
+_REGISTRY: dict[str, Callable[[], list[CDDInstance | UCDDCPInstance]]] = {
     # The paper's full CDD evaluation grid: 7 sizes x 10 replicates x 4 h.
     "cdd_full": lambda: list(biskup_benchmark_suite()),
     # Reduced grid for single-core runs: 4 sizes x 3 replicates x 2 h.

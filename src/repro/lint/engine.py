@@ -1,0 +1,145 @@
+"""The analysis driver: discover files, run scoped rules, audit output.
+
+Per file: parse (a syntax error becomes an ``RPL999`` finding, never a
+crash), run every rule the policy scopes to that path, filter findings
+through the inline suppressions, then audit the suppressions themselves
+(``RPL000``).  Findings come back sorted by ``(path, line, col, code)``
+so text and JSON output are byte-stable for identical input — CI diffs
+the artifact across runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.model import Finding, SourceFile
+from repro.lint.policy import Policy, PolicyError
+from repro.lint.rules import RULES, iter_rules
+from repro.lint.suppress import apply_suppressions, scan_suppressions
+
+__all__ = ["LintEngine", "LintResult"]
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    findings: list[Finding]
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+class LintEngine:
+    """Runs the registered rules under a policy.
+
+    Parameters
+    ----------
+    policy:
+        The repo policy (``Policy()`` for built-in defaults).
+    root:
+        Repo root that file paths are reported relative to; rule scoping
+        and policy patterns match these relative paths.
+    select / ignore:
+        Final command-line overrides applied *on top of* the policy:
+        ``select`` restricts checking to the listed codes, ``ignore``
+        drops codes.  Unknown codes raise :class:`PolicyError` (the CLI
+        maps it to exit 2).
+    """
+
+    def __init__(
+        self,
+        policy: Policy | None = None,
+        root: Path | None = None,
+        select: Iterable[str] | None = None,
+        ignore: Iterable[str] = (),
+    ) -> None:
+        self.policy = policy if policy is not None else Policy()
+        self.root = (root if root is not None else Path.cwd()).resolve()
+        known = frozenset(RULES) | {"RPL000", "RPL999"}
+        self.policy.validate_codes(known)
+        self.select = (
+            frozenset(c.upper() for c in select) if select is not None
+            else None
+        )
+        self.ignore = frozenset(c.upper() for c in ignore)
+        for code in sorted((self.select or frozenset()) | self.ignore):
+            if code not in known:
+                raise PolicyError(
+                    f"unknown rule code {code}; known: {sorted(known)}"
+                )
+
+    # -- discovery ------------------------------------------------------
+
+    def discover(self, paths: Sequence[Path]) -> list[Path]:
+        """Python files under ``paths``, sorted for stable output."""
+        files: set[Path] = set()
+        for path in paths:
+            if path.is_dir():
+                files.update(path.rglob("*.py"))
+            elif path.is_file():
+                files.add(path)
+            else:
+                raise PolicyError(f"no such file or directory: {path}")
+        return sorted(files)
+
+    # -- execution ------------------------------------------------------
+
+    def lint_paths(self, paths: Sequence[Path]) -> LintResult:
+        """Lint every ``*.py`` file under ``paths``."""
+        findings: list[Finding] = []
+        files = self.discover(paths)
+        for file_path in files:
+            rel = self._relative(file_path)
+            text = file_path.read_text(encoding="utf-8")
+            findings.extend(self.lint_source(text, rel))
+        return LintResult(findings=sorted(findings), files_checked=len(files))
+
+    def lint_source(self, text: str, rel_path: str) -> list[Finding]:
+        """Lint one module given as text (the test fixtures' entry point)."""
+        try:
+            tree = ast.parse(text)
+        except SyntaxError as exc:
+            return [Finding(
+                path=rel_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="RPL999",
+                message=f"file does not parse: {exc.msg}",
+                severity="error",
+                rule="parse-error",
+            )]
+        src = SourceFile(text, rel_path, tree)
+        raw: list[Finding] = []
+        for rule in iter_rules():
+            if not self._enabled(rule.code):
+                continue
+            if not self.policy.rule_applies(
+                rule.code, rule.default_paths, src.path
+            ):
+                continue
+            raw.extend(rule.check(src))
+        suppressions = scan_suppressions(text, src.path)
+        audited = apply_suppressions(raw, suppressions)
+        return sorted(f for f in audited if self._enabled(f.code))
+
+    # -- helpers ---------------------------------------------------------
+
+    def _enabled(self, code: str) -> bool:
+        if code in self.ignore:
+            return False
+        if self.select is not None and code not in self.select:
+            return False
+        return True
+
+    def _relative(self, file_path: Path) -> str:
+        resolved = file_path.resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return resolved.as_posix()

@@ -1,0 +1,132 @@
+"""Shared data model of the analyzer: findings and parsed source files.
+
+A :class:`SourceFile` bundles everything a rule may need — the source
+text, the parsed AST, and an *import map* resolving local binding names
+back to fully qualified module paths (``np`` → ``numpy``, ``default_rng``
+→ ``numpy.random.default_rng``), so rules match semantics rather than
+spelling: ``np.random.seed``, ``numpy.random.seed`` and
+``from numpy.random import seed`` all resolve to the same dotted name.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import PurePosixPath
+from typing import Any
+
+__all__ = ["Finding", "SourceFile", "dotted_name"]
+
+#: Ordering of severities, most severe first (used only for display).
+SEVERITIES = ("error", "warning")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str = dataclasses.field(compare=False)
+    severity: str = dataclasses.field(default="error", compare=False)
+    rule: str = dataclasses.field(default="", compare=False)
+
+    def to_json(self) -> dict[str, Any]:
+        """Stable JSON shape (documented in docs/lint.md)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": self.severity,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The familiar one-line ``path:line:col: CODE message`` form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} {self.message}"
+        )
+
+
+class SourceFile:
+    """One parsed module under analysis.
+
+    Parameters
+    ----------
+    text:
+        Full source text.
+    rel_path:
+        Path the findings should report, *relative to the repo root* in
+        POSIX form — rule scoping and policy exemptions match against it.
+    tree:
+        The parsed module (``ast.parse(text)``); the caller owns parse
+        errors so the engine can turn them into findings rather than
+        crashes.
+    """
+
+    def __init__(self, text: str, rel_path: str, tree: ast.Module) -> None:
+        self.text = text
+        self.path = str(PurePosixPath(rel_path))
+        self.tree = tree
+        self._imports: dict[str, str] | None = None
+
+    # -- import resolution ---------------------------------------------
+
+    @property
+    def imports(self) -> dict[str, str]:
+        """Binding name → fully qualified module/attribute path."""
+        if self._imports is None:
+            table: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.asname is not None:
+                            table[alias.asname] = alias.name
+                        else:
+                            # ``import a.b`` binds ``a`` (to package a).
+                            root = alias.name.split(".", 1)[0]
+                            table[root] = root
+                elif isinstance(node, ast.ImportFrom):
+                    if node.level or node.module is None:
+                        continue  # relative imports never name stdlib/numpy
+                    for alias in node.names:
+                        bound = alias.asname or alias.name
+                        table[bound] = f"{node.module}.{alias.name}"
+            self._imports = table
+        return self._imports
+
+    def resolve_call(self, func: ast.expr) -> str | None:
+        """Fully qualified dotted name of a call target, if derivable.
+
+        Only attribute chains rooted at an *imported* binding resolve
+        (``np.random.seed`` → ``numpy.random.seed``); chains rooted at
+        local objects (``self._rng.random``) return ``None`` so rules
+        never guess about instance state.  A bare imported name resolves
+        through ``from``-imports (``default_rng`` →
+        ``numpy.random.default_rng``).
+        """
+        parts = dotted_name(func)
+        if parts is None:
+            return None
+        root, rest = parts[0], parts[1:]
+        resolved_root = self.imports.get(root)
+        if resolved_root is None:
+            return None
+        return ".".join((resolved_root, *rest))
+
+
+def dotted_name(node: ast.expr) -> tuple[str, ...] | None:
+    """``a.b.c`` attribute chain as ``("a", "b", "c")``, else ``None``."""
+    chain: list[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    chain.append(node.id)
+    return tuple(reversed(chain))

@@ -1,0 +1,179 @@
+"""Path-scoped policy from ``pyproject.toml [tool.repro-lint]``.
+
+The policy answers one question per (rule, file): *does this rule apply
+here?*  Three layers compose, most specific last:
+
+1. the rule's built-in ``default_paths`` (its natural habitat),
+2. ``[tool.repro-lint.rules.RPLxxx] include = [...]`` replacing that
+   scope, and
+3. ``exclude = [...]`` carving out exemptions — which **require** a
+   ``reason`` string, mirroring the inline-suppression contract: no
+   silenced rule without a recorded why.
+
+Top-level keys: ``select`` (restrict to listed codes), ``ignore``
+(disable codes repo-wide), ``exclude`` (paths no rule visits).  Path
+patterns are repo-relative POSIX prefixes: ``src/repro/pool/`` matches
+the package, ``src/repro/cli.py`` exactly that file.  Unknown keys or
+codes are configuration errors (CLI exit 2), never silently ignored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["Policy", "RuleScope", "PolicyError", "path_matches"]
+
+try:  # Python 3.11+; the repo supports 3.10 where tomli may be absent.
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on 3.10
+    tomllib = None  # type: ignore[assignment]
+
+
+class PolicyError(ValueError):
+    """A malformed ``[tool.repro-lint]`` table (CLI usage error, exit 2)."""
+
+
+def path_matches(rel_path: str, pattern: str) -> bool:
+    """Prefix-match a repo-relative POSIX path against a policy pattern."""
+    pattern = pattern.strip().lstrip("./")
+    if not pattern:
+        return False
+    if rel_path == pattern.rstrip("/"):
+        return True
+    return rel_path.startswith(pattern.rstrip("/") + "/")
+
+
+@dataclasses.dataclass(frozen=True)
+class RuleScope:
+    """Per-rule policy overrides."""
+
+    include: tuple[str, ...] | None = None
+    exclude: tuple[str, ...] = ()
+    reason: str | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class Policy:
+    """Validated repo policy (empty defaults when no table is present)."""
+
+    select: tuple[str, ...] | None = None
+    ignore: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    rules: Mapping[str, RuleScope] = dataclasses.field(default_factory=dict)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def load(cls, root: Path) -> "Policy":
+        """Read ``<root>/pyproject.toml``; absent file/table = defaults."""
+        path = root / "pyproject.toml"
+        if not path.is_file():
+            return cls()
+        if tomllib is None:  # pragma: no cover - 3.10 without tomli
+            raise PolicyError(
+                f"cannot read {path}: tomllib unavailable on this "
+                "interpreter; run the linter under Python >= 3.11"
+            )
+        with path.open("rb") as fh:
+            data = tomllib.load(fh)
+        table = data.get("tool", {}).get("repro-lint", {})
+        return cls.from_table(table, origin=str(path))
+
+    @classmethod
+    def from_table(
+        cls, table: Mapping[str, Any], origin: str = "[tool.repro-lint]"
+    ) -> "Policy":
+        """Validate a raw TOML table into a :class:`Policy`."""
+        known = {"select", "ignore", "exclude", "rules"}
+        unknown = sorted(set(table) - known)
+        if unknown:
+            raise PolicyError(
+                f"{origin}: unknown key(s) {unknown}; expected {sorted(known)}"
+            )
+        select = _str_list(table, "select", origin)
+        rules: dict[str, RuleScope] = {}
+        for code, scope_table in dict(table.get("rules", {})).items():
+            rules[str(code).upper()] = _rule_scope(
+                code, scope_table, origin
+            )
+        return cls(
+            select=tuple(select) if select is not None else None,
+            ignore=tuple(_str_list(table, "ignore", origin) or ()),
+            exclude=tuple(_str_list(table, "exclude", origin) or ()),
+            rules=rules,
+        )
+
+    # -- queries ---------------------------------------------------------
+
+    def rule_applies(
+        self, code: str, default_paths: tuple[str, ...], rel_path: str
+    ) -> bool:
+        """Whether rule ``code`` should check the file at ``rel_path``."""
+        if any(path_matches(rel_path, pat) for pat in self.exclude):
+            return False
+        if code in self.ignore:
+            return False
+        if self.select is not None and code not in self.select:
+            return False
+        scope = self.rules.get(code, RuleScope())
+        include = scope.include if scope.include is not None else default_paths
+        if include and not any(path_matches(rel_path, p) for p in include):
+            return False
+        if any(path_matches(rel_path, p) for p in scope.exclude):
+            return False
+        return True
+
+    def validate_codes(self, known_codes: frozenset[str]) -> None:
+        """Reject references to codes no rule defines (config rot)."""
+        referenced = set(self.ignore) | set(self.rules)
+        if self.select is not None:
+            referenced |= set(self.select)
+        unknown = sorted(code for code in referenced
+                         if code not in known_codes)
+        if unknown:
+            raise PolicyError(
+                f"[tool.repro-lint] references unknown rule code(s) "
+                f"{unknown}; known: {sorted(known_codes)}"
+            )
+
+
+def _str_list(
+    table: Mapping[str, Any], key: str, origin: str
+) -> list[str] | None:
+    value = table.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise PolicyError(f"{origin}: `{key}` must be a list of strings")
+    return [item.strip() for item in value]
+
+
+def _rule_scope(code: Any, table: Any, origin: str) -> RuleScope:
+    where = f"{origin}: rules.{code}"
+    if not isinstance(table, Mapping):
+        raise PolicyError(f"{where} must be a table")
+    known = {"include", "exclude", "reason"}
+    unknown = sorted(set(table) - known)
+    if unknown:
+        raise PolicyError(
+            f"{where}: unknown key(s) {unknown}; expected {sorted(known)}"
+        )
+    include = _str_list(table, "include", where)
+    exclude = _str_list(table, "exclude", where) or []
+    reason = table.get("reason")
+    if reason is not None and not isinstance(reason, str):
+        raise PolicyError(f"{where}: `reason` must be a string")
+    if exclude and not (reason and reason.strip()):
+        raise PolicyError(
+            f"{where}: `exclude` requires a non-empty `reason` — an "
+            "exemption without a recorded rationale is a silenced bug"
+        )
+    return RuleScope(
+        include=tuple(include) if include is not None else None,
+        exclude=tuple(exclude),
+        reason=reason,
+    )

@@ -1,0 +1,76 @@
+"""Finding renderers: human text and schema-stable JSON.
+
+The JSON shape is a public contract (CI uploads it as an artifact and
+``tests/test_lint_cli.py`` pins it):
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "tool": "repro-lint",
+      "files_checked": 87,
+      "counts": {"RPL003": 1},
+      "findings": [
+        {"path": "src/repro/x.py", "line": 3, "col": 5,
+         "code": "RPL003", "severity": "error",
+         "rule": "seeded-generators-only", "message": "..."}
+      ]
+    }
+
+``version`` bumps only on breaking shape changes; adding keys is
+non-breaking.  Findings are pre-sorted by ``(path, line, col, code)``
+and counts are emitted with sorted keys, so identical input produces
+byte-identical output.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.lint.model import Finding
+
+__all__ = ["render_findings", "render_text", "render_json"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], files_checked: int) -> str:
+    """One line per finding plus a summary tail."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        counts = Counter(f.code for f in findings)
+        breakdown = ", ".join(
+            f"{code}: {n}" for code, n in sorted(counts.items())
+        )
+        lines.append(
+            f"\n{len(findings)} finding(s) in {files_checked} file(s) "
+            f"({breakdown})"
+        )
+    else:
+        lines.append(f"{files_checked} file(s) checked, no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_checked: int) -> str:
+    """The artifact form; see the module docstring for the contract."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "files_checked": files_checked,
+        "counts": dict(sorted(Counter(f.code for f in findings).items())),
+        "findings": [f.to_json() for f in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+def render_findings(
+    findings: Sequence[Finding], files_checked: int, fmt: str = "text"
+) -> str:
+    """Dispatch on ``fmt`` (``"text"`` or ``"json"``)."""
+    if fmt == "json":
+        return render_json(findings, files_checked)
+    if fmt == "text":
+        return render_text(findings, files_checked)
+    raise ValueError(f"unknown format {fmt!r}; expected 'text' or 'json'")

@@ -1,0 +1,124 @@
+"""Inline suppressions: ``# repro-lint: disable=RPL001 -- why``.
+
+A suppression silences findings of the listed codes *on its own physical
+line* and must carry a rationale after ``--`` — a silenced rule without a
+recorded reason is indistinguishable from a forgotten bug.  The engine
+audits every suppression after filtering: one that silenced nothing
+(stale after a refactor), names an unknown code, or lacks a rationale is
+itself reported under the meta code ``RPL000``, so suppressions can never
+rot silently.  ``RPL000`` is deliberately not suppressible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+from typing import Iterable
+
+from repro.lint.model import Finding
+
+__all__ = ["Suppression", "scan_suppressions", "apply_suppressions"]
+
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Za-z0-9,\s]+?)"
+    r"(?:\s+--\s*(?P<reason>\S.*))?$"
+)
+
+
+@dataclasses.dataclass
+class Suppression:
+    """One inline disable comment."""
+
+    path: str
+    line: int
+    col: int
+    codes: tuple[str, ...]
+    reason: str | None
+    used: set[str] = dataclasses.field(default_factory=set)
+
+
+def scan_suppressions(text: str, path: str) -> dict[int, Suppression]:
+    """All disable comments in ``text``, keyed by physical line.
+
+    Tokenized rather than regexed over raw lines so ``repro-lint:``
+    inside string literals (e.g. this analyzer's own tests) never parses
+    as a directive.  An unreadable token stream yields no suppressions —
+    the engine reports the parse failure separately.
+    """
+    table: dict[int, Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        comments = [
+            tok for tok in tokens if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return table
+    for tok in comments:
+        match = _PATTERN.search(tok.string)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip().upper()
+            for code in match.group("codes").split(",")
+            if code.strip()
+        )
+        line = tok.start[0]
+        table[line] = Suppression(
+            path=path,
+            line=line,
+            col=tok.start[1] + 1,
+            codes=codes,
+            reason=match.group("reason"),
+        )
+    return table
+
+
+def apply_suppressions(
+    findings: Iterable[Finding],
+    suppressions: dict[int, Suppression],
+) -> list[Finding]:
+    """Filter suppressed findings, then audit the suppressions themselves.
+
+    Returns the surviving findings plus one ``RPL000`` finding per
+    suppression defect: a code that silenced nothing, a code no rule
+    defines, or a missing ``-- rationale``.
+    """
+    from repro.lint.rules import META_CODES, RULES
+
+    kept: list[Finding] = []
+    for finding in findings:
+        supp = suppressions.get(finding.line)
+        if (
+            supp is not None
+            and finding.code in supp.codes
+            and finding.code not in META_CODES
+        ):
+            supp.used.add(finding.code)
+            continue
+        kept.append(finding)
+
+    for supp in suppressions.values():
+        problems: list[str] = []
+        for code in supp.codes:
+            if code in META_CODES:
+                problems.append(f"{code} is a meta code and cannot be "
+                                "suppressed")
+            elif code not in RULES:
+                problems.append(f"unknown code {code}")
+            elif code not in supp.used:
+                problems.append(f"{code} matched no finding on this line")
+        if supp.reason is None:
+            problems.append("missing rationale (append `-- <why>`)")
+        for problem in problems:
+            kept.append(Finding(
+                path=supp.path,
+                line=supp.line,
+                col=supp.col,
+                code="RPL000",
+                message=f"suppression defect: {problem}",
+                severity="error",
+                rule="suppression-audit",
+            ))
+    return kept

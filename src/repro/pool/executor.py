@@ -388,7 +388,11 @@ class ProcessPool:
         label = names[fut.index]
         try:
             try:
-                message = fut.connection.recv()
+                # Bounded by construction: only connections that wait()
+                # reported ready (or poll() confirmed) reach _collect, so
+                # recv() returns without blocking; hung children are the
+                # watchdog's job, not this read's.
+                message = fut.connection.recv()  # repro-lint: disable=RPL008 -- recv only after wait()/poll() readiness; hangs are reaped by the deadline watchdog
             finally:
                 fut.connection.close()
             fut.process.join()

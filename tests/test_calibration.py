@@ -7,9 +7,6 @@ modeled per-generation time is measured over a short run and extrapolated
 to the paper's budget.
 """
 
-import numpy as np
-import pytest
-
 from repro.core.parallel_dpso import ParallelDPSOConfig, parallel_dpso
 from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
 from repro.experiments.paper_data import PAPER_RUNTIME_ANCHORS

@@ -1,7 +1,6 @@
 """Multi-dimensional launch geometry and thread-context indexing."""
 
 import numpy as np
-import pytest
 
 from repro.gpusim.device import GEFORCE_GT_560M, Device
 from repro.gpusim.kernel import KernelCost, kernel

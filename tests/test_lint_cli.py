@@ -1,0 +1,135 @@
+"""``repro lint`` CLI contract: exit codes 0/1/2 and the stable JSON
+artifact schema CI uploads."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = "def tidy(seed):\n    return seed\n"
+
+DIRTY = textwrap.dedent(
+    """
+    import numpy as np
+    def fresh():
+        return np.random.default_rng()
+    """
+)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A minimal repo layout the linter can treat as a root."""
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+    return tmp_path
+
+
+def write(tree, name, code):
+    path = tree / "src" / "repro" / "core" / name
+    path.write_text(code)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tree, capsys):
+        write(tree, "tidy.py", CLEAN)
+        rc = main(["lint", "--root", str(tree), str(tree / "src")])
+        assert rc == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tree, capsys):
+        write(tree, "dirty.py", DIRTY)
+        rc = main(["lint", "--root", str(tree), str(tree / "src")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "RPL003" in out and "dirty.py:4" in out
+
+    def test_missing_path_exits_two(self, tree, capsys):
+        rc = main(["lint", "--root", str(tree), str(tree / "nowhere")])
+        assert rc == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_select_code_exits_two(self, tree, capsys):
+        write(tree, "tidy.py", CLEAN)
+        rc = main(["lint", "--root", str(tree), "--select", "RPL314",
+                   str(tree / "src")])
+        assert rc == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_malformed_policy_exits_two(self, tree, capsys):
+        write(tree, "tidy.py", CLEAN)
+        (tree / "pyproject.toml").write_text(
+            "[tool.repro-lint.rules.RPL001]\nexclude = ['src/']\n"
+        )
+        rc = main(["lint", "--root", str(tree), str(tree / "src")])
+        assert rc == 2
+        assert "reason" in capsys.readouterr().err
+
+    def test_bad_flag_usage_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--format", "yaml"])
+        assert excinfo.value.code == 2
+
+    def test_select_ignore_roundtrip(self, tree, capsys):
+        write(tree, "dirty.py", DIRTY)
+        assert main(["lint", "--root", str(tree), "--ignore", "RPL003",
+                     str(tree / "src")]) == 0
+        assert main(["lint", "--root", str(tree), "--select", "RPL003",
+                     str(tree / "src")]) == 1
+        capsys.readouterr()
+
+
+class TestJsonSchema:
+    def read_payload(self, capsys):
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["tool"] == "repro-lint"
+        return payload
+
+    def test_clean_payload_shape(self, tree, capsys):
+        write(tree, "tidy.py", CLEAN)
+        rc = main(["lint", "--root", str(tree), "--format", "json",
+                   str(tree / "src")])
+        assert rc == 0
+        payload = self.read_payload(capsys)
+        assert payload["files_checked"] == 1
+        assert payload["counts"] == {}
+        assert payload["findings"] == []
+
+    def test_finding_payload_shape(self, tree, capsys):
+        write(tree, "dirty.py", DIRTY)
+        rc = main(["lint", "--root", str(tree), "--format", "json",
+                   str(tree / "src")])
+        assert rc == 1
+        payload = self.read_payload(capsys)
+        assert payload["counts"] == {"RPL003": 1}
+        (finding,) = payload["findings"]
+        assert set(finding) == {
+            "path", "line", "col", "code", "severity", "rule", "message",
+        }
+        assert finding["path"] == "src/repro/core/dirty.py"
+        assert finding["code"] == "RPL003"
+        assert finding["severity"] == "error"
+        assert finding["rule"] == "seeded-generators-only"
+
+    def test_json_output_is_byte_stable(self, tree, capsys):
+        write(tree, "dirty.py", DIRTY)
+        main(["lint", "--root", str(tree), "--format", "json",
+              str(tree / "src")])
+        first = capsys.readouterr().out
+        main(["lint", "--root", str(tree), "--format", "json",
+              str(tree / "src")])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestListRules:
+    def test_catalog_listing(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPL001", "RPL008", "RPL000", "RPL999"):
+            assert code in out

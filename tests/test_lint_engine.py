@@ -1,0 +1,194 @@
+"""Engine behavior: suppressions (with audit), policy scoping, selection,
+parse-error handling, and output stability."""
+
+import textwrap
+
+import pytest
+
+from repro.lint.engine import LintEngine
+from repro.lint.policy import Policy, PolicyError, path_matches
+from repro.lint.suppress import scan_suppressions
+
+CORE_PATH = "src/repro/core/fixture.py"
+
+VIOLATION = """
+import random
+def perturb(seq):
+    random.shuffle(seq)
+"""
+
+
+def lint(code, path=CORE_PATH, **engine_kwargs):
+    engine = LintEngine(policy=engine_kwargs.pop("policy", Policy()),
+                        **engine_kwargs)
+    return engine.lint_source(textwrap.dedent(code), path)
+
+
+class TestSuppressions:
+    def test_suppression_with_rationale_silences_finding(self):
+        findings = lint(
+            """
+            import random
+            def perturb(seq):
+                random.shuffle(seq)  # repro-lint: disable=RPL001 -- test fixture exercising the legacy path
+            """
+        )
+        assert findings == []
+
+    def test_suppression_without_rationale_is_audited(self):
+        findings = lint(
+            """
+            import random
+            def perturb(seq):
+                random.shuffle(seq)  # repro-lint: disable=RPL001
+            """
+        )
+        assert [f.code for f in findings] == ["RPL000"]
+        assert "missing rationale" in findings[0].message
+
+    def test_unused_suppression_is_audited(self):
+        findings = lint(
+            """
+            def clean():
+                return 1  # repro-lint: disable=RPL001 -- stale after refactor
+            """
+        )
+        assert [f.code for f in findings] == ["RPL000"]
+        assert "matched no finding" in findings[0].message
+
+    def test_unknown_code_is_audited(self):
+        findings = lint(
+            """
+            def clean():
+                return 1  # repro-lint: disable=RPL042 -- no such rule
+            """
+        )
+        assert [f.code for f in findings] == ["RPL000"]
+        assert "unknown code RPL042" in findings[0].message
+
+    def test_suppression_only_covers_its_own_line(self):
+        findings = lint(
+            """
+            import random
+            def perturb(seq):  # repro-lint: disable=RPL001 -- wrong line
+                random.shuffle(seq)
+            """
+        )
+        codes = sorted(f.code for f in findings)
+        assert codes == ["RPL000", "RPL001"]  # unused + unsuppressed
+
+    def test_multiple_codes_one_comment(self):
+        findings = lint(
+            """
+            import random, time
+            def perturb(seq):
+                random.shuffle(seq); time.time()  # repro-lint: disable=RPL001,RPL002 -- fixture
+            """
+        )
+        assert findings == []
+
+    def test_directive_inside_string_is_not_a_suppression(self):
+        table = scan_suppressions(
+            'text = "# repro-lint: disable=RPL001 -- not a comment"\n',
+            "f.py",
+        )
+        assert table == {}
+
+    def test_meta_code_cannot_be_suppressed(self):
+        findings = lint(
+            """
+            def clean():
+                return 1  # repro-lint: disable=RPL000 -- nice try
+            """
+        )
+        assert [f.code for f in findings] == ["RPL000"]
+        assert "meta code" in findings[0].message
+
+
+class TestPolicyScoping:
+    def test_rule_exclude_requires_reason(self):
+        with pytest.raises(PolicyError, match="requires a non-empty `reason`"):
+            Policy.from_table(
+                {"rules": {"RPL001": {"exclude": ["src/repro/core/"]}}}
+            )
+
+    def test_exclude_with_reason_exempts_path(self):
+        policy = Policy.from_table({
+            "rules": {"RPL001": {
+                "exclude": ["src/repro/core/fixture.py"],
+                "reason": "fixture exercises the legacy API deliberately",
+            }},
+        })
+        assert lint(VIOLATION, policy=policy) == []
+        # ...but only that path: a sibling is still checked.
+        other = lint(VIOLATION, path="src/repro/core/other.py",
+                     policy=policy)
+        assert [f.code for f in other] == ["RPL001"]
+
+    def test_include_overrides_default_scope(self):
+        policy = Policy.from_table({
+            "rules": {"RPL001": {"include": ["src/repro/experiments/"]}},
+        })
+        # Default scope no longer applies...
+        assert lint(VIOLATION, policy=policy) == []
+        # ...the policy scope does.
+        widened = lint(VIOLATION, path="src/repro/experiments/fixture.py",
+                       policy=policy)
+        assert [f.code for f in widened] == ["RPL001"]
+
+    def test_global_exclude_skips_every_rule(self):
+        policy = Policy.from_table({"exclude": ["src/repro/core/"]})
+        assert lint(VIOLATION, policy=policy) == []
+
+    def test_policy_ignore_and_select(self):
+        assert lint(VIOLATION,
+                    policy=Policy.from_table({"ignore": ["RPL001"]})) == []
+        assert lint(VIOLATION,
+                    policy=Policy.from_table({"select": ["RPL002"]})) == []
+
+    def test_unknown_policy_key_rejected(self):
+        with pytest.raises(PolicyError, match="unknown key"):
+            Policy.from_table({"surprise": True})
+
+    def test_unknown_rule_code_rejected_at_engine_construction(self):
+        with pytest.raises(PolicyError, match="unknown rule code"):
+            LintEngine(policy=Policy.from_table({"ignore": ["RPL0XX"]}))
+
+    def test_path_matches_prefix_and_exact(self):
+        assert path_matches("src/repro/pool/executor.py", "src/repro/pool/")
+        assert path_matches("src/repro/cli.py", "src/repro/cli.py")
+        assert not path_matches("src/repro/pooling.py", "src/repro/pool")
+        assert not path_matches("src/repro/cli.py", "")
+
+
+class TestEngineSelection:
+    def test_cli_select_restricts(self):
+        findings = lint(VIOLATION, select=["RPL002"])
+        assert findings == []
+        findings = lint(VIOLATION, select=["RPL001"])
+        assert [f.code for f in findings] == ["RPL001"]
+
+    def test_cli_ignore_drops(self):
+        assert lint(VIOLATION, ignore=["RPL001"]) == []
+
+    def test_unknown_cli_code_rejected(self):
+        with pytest.raises(PolicyError, match="unknown rule code"):
+            LintEngine(select=["RPL314"])
+
+    def test_parse_error_becomes_rpl999(self):
+        findings = lint("def broken(:\n")
+        assert [f.code for f in findings] == ["RPL999"]
+        assert findings[0].severity == "error"
+
+    def test_findings_sorted_and_stable(self):
+        code = """
+        import random, time
+        def a(seq):
+            time.time()
+            random.shuffle(seq)
+        """
+        first = lint(code)
+        second = lint(code)
+        assert first == second
+        assert first == sorted(first)
+        assert [f.code for f in first] == ["RPL002", "RPL001"]  # line order

@@ -1,0 +1,43 @@
+"""The self-lint guard: ``repro lint src/`` must stay clean forever.
+
+This is the teeth of the analyzer — it runs over the real tree under the
+real ``pyproject.toml`` policy as part of tier-1, so any new global-state
+RNG call, wall-clock read in a deterministic path, spawn-unpicklable pool
+payload or unclassified error path fails the suite.  Fix the violation,
+or record a *reasoned* exemption (inline ``-- rationale`` or a policy
+``reason =``); rationale-less suppressions are themselves findings.
+"""
+
+from pathlib import Path
+
+from repro.lint.engine import LintEngine
+from repro.lint.policy import Policy
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_source_tree_is_lint_clean():
+    engine = LintEngine(
+        policy=Policy.load(REPO_ROOT),
+        root=REPO_ROOT,
+    )
+    result = engine.lint_paths([REPO_ROOT / "src"])
+    assert result.files_checked > 80  # the whole tree, not a subset
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert result.clean, (
+        f"repro lint found violations in src/ — fix them or add a "
+        f"reasoned exemption (docs/lint.md):\n{rendered}"
+    )
+
+
+def test_policy_loads_and_references_known_rules():
+    # A broken [tool.repro-lint] table must fail loudly here, not only
+    # when someone happens to run the CLI.
+    policy = Policy.load(REPO_ROOT)
+    # The two standing exemptions are deliberate and documented; keep
+    # their reasons non-empty so the audit trail survives edits.
+    for code, scope in policy.rules.items():
+        if scope.exclude:
+            assert scope.reason and scope.reason.strip(), (
+                f"policy exemption for {code} lost its rationale"
+            )

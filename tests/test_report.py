@@ -1,6 +1,5 @@
 """EXPERIMENTS.md assembly."""
 
-from pathlib import Path
 
 from repro.experiments.report import RESULT_SECTIONS, build_report, write_report
 

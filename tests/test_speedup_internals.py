@@ -1,7 +1,6 @@
 """Speedup-study internals: reference pinning and column structure."""
 
 import numpy as np
-import pytest
 
 from repro.experiments.config import SCALES
 from repro.experiments.speedup import (

@@ -5,7 +5,6 @@ inputs; these tests pin those directions so future calibration tweaks can't
 silently break the model's physics.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
