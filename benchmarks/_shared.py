@@ -5,10 +5,16 @@ figure, the speedup tables and the runtime-curve figures), so each study is
 computed once per pytest session and re-rendered by every bench that needs
 it.  Reports are accumulated here and flushed both to ``results/*.txt`` and
 to the pytest terminal summary (see ``conftest.py``).
+
+The modeled device of the timing benches comes from the profile registry:
+``pytest benchmarks/ --device-profile ampere`` (or the
+``REPRO_DEVICE_PROFILE`` environment variable) sweeps the whole timing
+suite to another GPU generation; quality benches are unaffected.
 """
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 from pathlib import Path
 
@@ -25,10 +31,25 @@ from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.deviation import DeviationStudy, run_deviation_study
 from repro.experiments.runtime import RuntimeSurface, run_runtime_surface
 from repro.experiments.speedup import SpeedupStudy, run_speedup_study
+from repro.gpusim.profiles import DEFAULT_PROFILE, get_profile
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 _REPORTS: dict[str, str] = {}
+
+_DEVICE_PROFILE = os.environ.get("REPRO_DEVICE_PROFILE", DEFAULT_PROFILE)
+
+
+def set_device_profile(name: str) -> None:
+    """Select the registry profile the timing benches model (validated)."""
+    global _DEVICE_PROFILE
+    get_profile(name)
+    _DEVICE_PROFILE = name
+
+
+def device_profile() -> str:
+    """The active device-profile key (flag > env > registry default)."""
+    return _DEVICE_PROFILE
 
 
 def scale() -> ExperimentScale:
@@ -45,7 +66,8 @@ def deviation_study(problem: str) -> DeviationStudy:
 @lru_cache(maxsize=None)
 def speedup_study(problem: str) -> SpeedupStudy:
     """Memoized speedup study (Tables III/V, Figures 13/14/16/17)."""
-    return run_speedup_study(problem, scale())
+    return run_speedup_study(problem, scale(),
+                             device_profile=device_profile())
 
 
 @lru_cache(maxsize=None)
@@ -57,7 +79,7 @@ def runtime_surface() -> RuntimeSurface:
 @lru_cache(maxsize=None)
 def blocksize_ablation() -> BlockSizeAblation:
     """Memoized block-size ablation."""
-    return run_blocksize_ablation(scale())
+    return run_blocksize_ablation(scale(), device_profile=device_profile())
 
 
 @lru_cache(maxsize=None)
@@ -89,7 +111,7 @@ def texture_ablation():
     """Memoized texture-memory ablation (paper future work)."""
     from repro.experiments.ablation import run_texture_ablation
 
-    return run_texture_ablation(scale())
+    return run_texture_ablation(scale(), device_profile=device_profile())
 
 
 @lru_cache(maxsize=None)

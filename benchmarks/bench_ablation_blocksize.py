@@ -17,8 +17,11 @@ def test_blocksize_ablation(benchmark):
     _shared.publish("ablation_blocksize", res.render())
 
     assert 192 in res.block_sizes
-    # The paper's 192 must be within 25% of the best modeled time.
-    i192 = res.block_sizes.index(192)
-    assert res.kernel_time_s[i192] <= res.kernel_time_s.min() * 1.25
+    if _shared.device_profile() == "gt560m":
+        # The 192-thread sweet spot is a GT 560M observation (4 SMs); on
+        # generations with many more SMs smaller blocks can win, so the
+        # closeness bound is pinned to the paper's device.
+        i192 = res.block_sizes.index(192)
+        assert res.kernel_time_s[i192] <= res.kernel_time_s.min() * 1.25
     # Occupancy is reported for every candidate.
     assert np.all(res.occupancy_pct > 0)

@@ -4,15 +4,22 @@ Unlike the table/figure benches (which time one full experiment pass),
 these use pytest-benchmark conventionally: repeated rounds of the hot
 primitives -- the batched O(n) evaluators that implement the fitness
 kernel, the perturbation operator, and the scalar/pure-Python evaluators
-that define the serial CPU baseline.
+that define the serial CPU baseline.  The modeled-launch bench runs on
+the device selected by ``--device-profile`` (registry key; default the
+paper's GT 560M).
 """
 
 import numpy as np
 import pytest
 
+import _shared
+from repro.gpusim.device import Device
+from repro.gpusim.profiles import get_profile
 from repro.gpusim.rng import DeviceRNG
 from repro.instances.biskup import biskup_instance
 from repro.instances.ucddcp_gen import ucddcp_instance
+from repro.kernels.data import DeviceProblemData
+from repro.kernels.fitness import make_cdd_fitness_kernel
 from repro.permutation import (
     batched_partial_fisher_yates,
     batched_sample_distinct,
@@ -73,3 +80,34 @@ def test_perturbation_operator(benchmark):
 
     out = benchmark(run)
     assert out.shape == seqs.shape
+
+
+@pytest.mark.parametrize("n", [50, 500])
+def test_modeled_fitness_launch(benchmark, n):
+    """Simulator overhead of one cost-modeled launch on the active profile.
+
+    Times the *simulation* (occupancy + roofline accounting + vectorized
+    body), not the modeled duration itself; the assertion pins the modeled
+    time to the profile's spec so a registry mix-up fails loudly.
+    """
+    profile = get_profile(_shared.device_profile())
+    inst = biskup_instance(n, 0.4, 1)
+    device = Device(spec=profile.spec, seed=0,
+                    timing=profile.create_timing_model())
+    data = DeviceProblemData(device, inst)
+    total = 4 * POP
+    seqs = device.malloc((total, n), np.int32, "sequences")
+    out = device.malloc(total, np.float64, "fitness")
+    device.memcpy_htod(seqs, _sequences(n, pop=total).astype(np.int32))
+    kernel = make_cdd_fitness_kernel()
+    from repro.gpusim.launch import linear_config
+
+    cfg = linear_config(total, POP)
+
+    def run():
+        device.reset_clocks()
+        device.launch(kernel, cfg, seqs, data.p, data.a, data.b, out)
+        return device.synchronize()
+
+    modeled = benchmark(run)
+    assert modeled > profile.spec.kernel_launch_overhead_s

@@ -11,6 +11,23 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 import _shared  # noqa: E402
 
 
+def pytest_addoption(parser):
+    """Benchmark-suite flags."""
+    parser.addoption(
+        "--device-profile", default=None,
+        help="modeled GPU generation for the timing benches "
+             "(a repro.gpusim.profiles key, e.g. gt560m, pascal, ampere; "
+             "default: REPRO_DEVICE_PROFILE or gt560m)",
+    )
+
+
+def pytest_configure(config):
+    """Route the chosen profile into the shared study runners."""
+    chosen = config.getoption("--device-profile")
+    if chosen is not None:
+        _shared.set_device_profile(chosen)
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     """Print every regenerated table/figure after the benchmark run."""
     reports = _shared.collected_reports()

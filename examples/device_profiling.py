@@ -7,9 +7,11 @@ Shows the gpusim substrate as a user would employ the CUDA profiler
 performance and memory usage by using the Nvidia CUDA profiler"):
 
 1. run the four-kernel SA generation pipeline on a GT 560M model and print
-   the nvprof-style time breakdown;
+   the nvprof-style time breakdown plus the timing-model component
+   attribution (overhead vs compute vs memory vs atomics);
 2. compare occupancy across block sizes for the fitness kernel;
-3. contrast the modeled runtime on a stronger device (Tesla K20).
+3. contrast the modeled runtime across registered GPU generations
+   (the device-profile registry; see docs/device_profiles.md).
 """
 
 import numpy as np
@@ -17,10 +19,11 @@ import numpy as np
 from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
 from repro.gpusim import (
     GEFORCE_GT_560M,
-    TESLA_K20,
     Device,
+    get_profile,
     linear_config,
     occupancy,
+    profile_names,
 )
 from repro.instances.biskup import biskup_instance
 from repro.kernels.acceptance import make_acceptance_kernel
@@ -65,6 +68,8 @@ def profile_generation_pipeline(n: int = 200, pop: int = 768,
         device.synchronize()
 
     print(device.profiler.summary())
+    print()
+    print(device.profiler.component_summary())
     print(f"\nmodeled wall time: {device.host_time * 1e3:.3f} ms "
           f"(kernels {device.profiler.kernel_time() * 1e3:.3f} ms, "
           f"transfers {device.profiler.memcpy_time() * 1e3:.3f} ms)")
@@ -86,17 +91,21 @@ def occupancy_table(n: int = 200) -> None:
 
 
 def device_comparison(n: int = 500) -> None:
-    """The same SA run on two modeled devices."""
+    """The same SA run on every registered GPU generation."""
     print("\n--- device comparison: modeled parallel SA runtime ---")
     inst = biskup_instance(n, 0.4, 1)
-    for spec in (GEFORCE_GT_560M, TESLA_K20):
+    for key in profile_names():
+        profile = get_profile(key)
         r = parallel_sa(
             inst,
             ParallelSAConfig(iterations=200, grid_size=4, block_size=192,
-                             seed=3, device_spec=spec),
+                             seed=3, device_profile=key),
         )
-        print(f"{spec.name:>22}: modeled {r.modeled_device_time_s:.3f} s, "
+        print(f"{key:>8} ({profile.spec.name}, {profile.generation}): "
+              f"modeled {r.modeled_device_time_s:.3f} s, "
               f"objective {r.objective:g}")
+    print("(identical objectives by design: the timing model never "
+          "steers the search)")
 
 
 if __name__ == "__main__":

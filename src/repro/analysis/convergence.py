@@ -81,7 +81,10 @@ def trace_parallel_sa(
         else estimate_initial_temperature(instance, config.t0_samples, host_rng)
     )
 
-    device = Device(spec=config.device_spec, seed=config.seed)
+    device = Device(
+        spec=config.resolve_device_spec(), seed=config.seed,
+        timing=config.resolve_timing_model(),
+    )
     data = DeviceProblemData(device, instance)
     seqs = device.malloc((pop, n), np.int32, "sequences")
     cand = device.malloc((pop, n), np.int32, "candidates")

@@ -42,6 +42,7 @@ from repro.kernels.data import DeviceProblemData
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.engine.adapters import ProblemAdapter
     from repro.gpusim.launch import LaunchConfig
+    from repro.gpusim.timing import TimingModel
     from repro.resilience.faults import FaultPlan
 
 __all__ = [
@@ -79,9 +80,14 @@ class ExecutionBackend(ABC):
 
     @abstractmethod
     def open(
-        self, adapter: "ProblemAdapter", seed: int, device_spec: DeviceSpec
+        self, adapter: "ProblemAdapter", seed: int, device_spec: DeviceSpec,
+        timing: "TimingModel | None" = None,
     ) -> None:
-        """Initialize RNG/storage and stage the adapter's instance data."""
+        """Initialize RNG/storage and stage the adapter's instance data.
+
+        ``timing`` is the profile's timing-model bundle; only the
+        cycle-modeled backend uses it (``None`` = calibrated default).
+        """
 
     @abstractmethod
     def alloc(
@@ -124,10 +130,12 @@ class GpusimBackend(ExecutionBackend):
     data: DeviceProblemData
 
     def open(
-        self, adapter: "ProblemAdapter", seed: int, device_spec: DeviceSpec
+        self, adapter: "ProblemAdapter", seed: int, device_spec: DeviceSpec,
+        timing: "TimingModel | None" = None,
     ) -> None:
         self.device = Device(
-            spec=device_spec, seed=seed, fault_plan=self.fault_plan
+            spec=device_spec, seed=seed, fault_plan=self.fault_plan,
+            timing=timing,
         )
         self.data = DeviceProblemData(self.device, adapter.instance)
 
@@ -214,7 +222,8 @@ class VectorizedBackend(ExecutionBackend):
         self.thread_offset = thread_offset
 
     def open(
-        self, adapter: "ProblemAdapter", seed: int, device_spec: DeviceSpec
+        self, adapter: "ProblemAdapter", seed: int, device_spec: DeviceSpec,
+        timing: "TimingModel | None" = None,
     ) -> None:
         self.rng: DeviceRNG | OffsetRNG = DeviceRNG(seed)
         if self.thread_offset:
@@ -313,7 +322,7 @@ class MultiprocessBackend(ExecutionBackend):
             "repro.pool.sharding.run_sharded_ensemble"
         )
 
-    def open(self, adapter, seed, device_spec) -> None:
+    def open(self, adapter, seed, device_spec, timing=None) -> None:
         raise self._never("open")
 
     def alloc(self, shape, dtype, label: str = ""):

@@ -11,6 +11,13 @@ from __future__ import annotations
 
 import os
 import warnings
+from typing import TYPE_CHECKING
+
+from repro.gpusim.profiles import get_profile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpusim.device import DeviceSpec
+    from repro.gpusim.timing import TimingModel
 
 __all__ = [
     "check_positive_iterations",
@@ -24,6 +31,7 @@ __all__ = [
     "check_timeout",
     "check_backoff",
     "check_workers",
+    "DeviceSelectionMixin",
     "EnsembleGeometryMixin",
     "NeighborhoodConfigMixin",
     "RetryPolicyMixin",
@@ -118,6 +126,42 @@ def check_workers(value: int | None, label: str = "workers") -> None:
             RuntimeWarning,
             stacklevel=3,
         )
+
+
+class DeviceSelectionMixin:
+    """Device selection shared by the parallel configurations.
+
+    Two fields pick the modeled device: ``device_profile`` names a
+    registered generation (:mod:`repro.gpusim.profiles`; default the
+    paper's GT 560M), and ``device_spec`` -- when not ``None`` --
+    overrides it with an explicit :class:`~repro.gpusim.device.DeviceSpec`
+    (the ablation-bench path: ``spec.with_overrides(...)`` copies have no
+    registry name).  Consumers must go through :meth:`resolve_device_spec`
+    / :meth:`resolve_timing_model` rather than reading the fields raw.
+    """
+
+    device_profile: str
+    device_spec: "DeviceSpec | None"
+
+    def _check_device(self) -> None:
+        # Resolve eagerly so an unknown profile name fails at config
+        # construction with the registry listed, not mid-solve.
+        if self.device_spec is None:
+            get_profile(self.device_profile)
+
+    def resolve_device_spec(self) -> "DeviceSpec":
+        """The spec launches are modeled on (explicit spec wins)."""
+        if self.device_spec is not None:
+            return self.device_spec
+        return get_profile(self.device_profile).spec
+
+    def resolve_timing_model(self) -> "TimingModel":
+        """The timing bundle the profile charges time through."""
+        if self.device_spec is not None:
+            from repro.gpusim.timing import TimingModel
+
+            return TimingModel.default()
+        return get_profile(self.device_profile).create_timing_model()
 
 
 class EnsembleGeometryMixin:

@@ -165,8 +165,12 @@ def run_ensemble(
     host_rng = np.random.default_rng(config.seed)
     strategy.prepare(adapter, host_rng)
 
+    device_spec = config.resolve_device_spec()
     start_wall = time.perf_counter()
-    exec_backend.open(adapter, seed=config.seed, device_spec=config.device_spec)
+    exec_backend.open(
+        adapter, seed=config.seed, device_spec=device_spec,
+        timing=config.resolve_timing_model(),
+    )
 
     cfg = LaunchConfig(
         grid=Dim3(x=config.grid_size), block=Dim3(x=config.block_size)
@@ -195,7 +199,10 @@ def run_ensemble(
     wall = time.perf_counter() - start_wall
 
     params = strategy.params()
-    params["device_spec"] = config.device_spec.name
+    params["device_spec"] = device_spec.name
+    params["device_profile"] = (
+        None if config.device_spec is not None else config.device_profile
+    )
     params["backend"] = exec_backend.name
     return assemble_result(
         adapter,

@@ -39,6 +39,7 @@ import numpy as np
 from repro.core.engine.adapters import ProblemAdapter
 from repro.core.engine.backends import ExecutionBackend
 from repro.core.engine.config import (
+    DeviceSelectionMixin,
     EnsembleGeometryMixin,
     check_choice,
     check_init_policy,
@@ -46,7 +47,8 @@ from repro.core.engine.config import (
 )
 from repro.core.engine.driver import EnsembleStrategy, run_ensemble
 from repro.core.results import SolveResult
-from repro.gpusim.device import GEFORCE_GT_560M, DeviceSpec
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.profiles import DEFAULT_PROFILE
 from repro.gpusim.kernel import Kernel, KernelCost, ThreadContext, kernel
 from repro.gpusim.launch import LaunchConfig
 from repro.kernels.reduction_kernel import make_elitist_reduction_kernel
@@ -62,7 +64,7 @@ __all__ = ["ParallelDPSOConfig", "ParallelDPSOStrategy", "parallel_dpso"]
 
 
 @dataclass(frozen=True)
-class ParallelDPSOConfig(EnsembleGeometryMixin):
+class ParallelDPSOConfig(EnsembleGeometryMixin, DeviceSelectionMixin):
     """Configuration of the parallel DPSO (one particle per thread)."""
 
     iterations: int = 1000
@@ -79,10 +81,14 @@ class ParallelDPSOConfig(EnsembleGeometryMixin):
     # Route read-only gathers in the fitness kernel through the modeled
     # texture cache (the paper's future-work item).
     use_texture: bool = False
-    device_spec: DeviceSpec = field(default=GEFORCE_GT_560M)
+    # Modeled device: a registered profile name, or an explicit spec
+    # (e.g. a with_overrides copy) that takes precedence when set.
+    device_profile: str = DEFAULT_PROFILE
+    device_spec: DeviceSpec | None = field(default=None)
 
     def __post_init__(self) -> None:
         self._check_geometry()
+        self._check_device()
         check_probabilities(self, "w", "c1", "c2")
         check_choice("coupling", self.coupling, ("async", "ring", "coupled"))
         check_init_policy(self.init)

@@ -51,6 +51,7 @@ from repro.core.cooling import (
 from repro.core.engine.adapters import ProblemAdapter
 from repro.core.engine.backends import ExecutionBackend
 from repro.core.engine.config import (
+    DeviceSelectionMixin,
     EnsembleGeometryMixin,
     NeighborhoodConfigMixin,
     check_choice,
@@ -58,7 +59,8 @@ from repro.core.engine.config import (
 )
 from repro.core.engine.driver import EnsembleStrategy, run_ensemble
 from repro.core.results import SolveResult
-from repro.gpusim.device import GEFORCE_GT_560M, DeviceSpec
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.profiles import DEFAULT_PROFILE
 from repro.gpusim.kernel import Kernel, KernelCost, ThreadContext, kernel
 from repro.gpusim.launch import LaunchConfig
 from repro.kernels.acceptance import make_acceptance_kernel
@@ -71,7 +73,9 @@ __all__ = ["ParallelSAConfig", "ParallelSAStrategy", "parallel_sa"]
 
 
 @dataclass(frozen=True)
-class ParallelSAConfig(EnsembleGeometryMixin, NeighborhoodConfigMixin):
+class ParallelSAConfig(
+    EnsembleGeometryMixin, NeighborhoodConfigMixin, DeviceSelectionMixin
+):
     """Configuration of the parallel SA (paper defaults).
 
     ``grid_size * block_size`` threads run one chain each; the paper fixes
@@ -105,11 +109,15 @@ class ParallelSAConfig(EnsembleGeometryMixin, NeighborhoodConfigMixin):
     # Hybrid extension: descend from the final best sequence with the
     # batched adjacent-swap local search (repro.seqopt.local_search).
     final_polish: bool = False
-    device_spec: DeviceSpec = field(default=GEFORCE_GT_560M)
+    # Modeled device: a registered profile name, or an explicit spec
+    # (e.g. a with_overrides copy) that takes precedence when set.
+    device_profile: str = DEFAULT_PROFILE
+    device_spec: DeviceSpec | None = field(default=None)
 
     def __post_init__(self) -> None:
         self._check_geometry()
         self._check_neighborhood()
+        self._check_device()
         check_choice("variant", self.variant, ("async", "sync", "domain"))
         if self.sync_segment_length < 1:
             raise ValueError("sync_segment_length must be positive")

@@ -23,7 +23,8 @@ import numpy as np
 from repro.core.parallel_sa import ParallelSAConfig, parallel_sa
 from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.tables import render_table
-from repro.gpusim.device import GEFORCE_GT_560M, Device
+from repro.gpusim.device import Device
+from repro.gpusim.profiles import DEFAULT_PROFILE, get_profile
 from repro.gpusim.launch import linear_config, occupancy
 from repro.instances.biskup import biskup_instance
 from repro.kernels.data import DeviceProblemData
@@ -89,12 +90,14 @@ class BlockSizeAblation:
 
 
 def _blocksize_point_fn(instance, n: int, block: int, total_threads: int,
-                        fault_plan):
+                        fault_plan, device_profile: str = DEFAULT_PROFILE):
     """Work-unit body of one block-size point."""
 
     def run() -> dict:
+        profile = get_profile(device_profile)
         kernel = make_cdd_fitness_kernel()
-        device = Device(seed=1, fault_plan=fault_plan)
+        device = Device(spec=profile.spec, seed=1, fault_plan=fault_plan,
+                        timing=profile.create_timing_model())
         data = DeviceProblemData(device, instance)
         seqs = device.malloc((total_threads, n), np.int32, "sequences")
         out = device.malloc(total_threads, np.float64, "fitness")
@@ -108,7 +111,7 @@ def _blocksize_point_fn(instance, n: int, block: int, total_threads: int,
         device.launch(kernel, cfg, seqs, data.p, data.a, data.b, out)
         device.synchronize()
         occ = occupancy(
-            GEFORCE_GT_560M, block, kernel.registers_per_thread,
+            profile.spec, block, kernel.registers_per_thread,
             kernel.shared_bytes_for(seqs, data.p, data.a, data.b, out),
         )
         return {
@@ -125,25 +128,30 @@ def run_blocksize_ablation(
     scale: ExperimentScale | None = None,
     total_threads: int = 768,
     runner: ResilientRunner | None = None,
+    device_profile: str = DEFAULT_PROFILE,
 ) -> BlockSizeAblation:
     """Sweep the block size at a fixed total thread count."""
     scale = scale or get_scale()
     runner = runner or ResilientRunner()
+    spec = get_profile(device_profile).spec
     n = scale.fig11_n
     instance = biskup_instance(n, 0.4, 1)
     sizes = tuple(
         b for b in scale.blocksize_candidates
-        if b <= min(total_threads, GEFORCE_GT_560M.max_threads_per_block)
+        if b <= min(total_threads, spec.max_threads_per_block)
     )
     units = [
         WorkUnit(
             key=f"block{block}",
             run=_blocksize_point_fn(instance, n, block, total_threads,
-                                    runner.fault_plan),
+                                    runner.fault_plan, device_profile),
         )
         for block in sizes
     ]
-    checkpoint = runner.checkpoint_for(f"ablation_blocksize_{scale.name}")
+    suffix = "" if device_profile == DEFAULT_PROFILE else f"_{device_profile}"
+    checkpoint = runner.checkpoint_for(
+        f"ablation_blocksize_{scale.name}{suffix}"
+    )
     report = runner.run_units(units, checkpoint)
 
     times = np.full(len(sizes), np.nan)
@@ -376,11 +384,14 @@ class TextureAblation:
 
 
 def _texture_point_fn(instance, n: int, use_texture: bool,
-                      total_threads: int, fault_plan):
+                      total_threads: int, fault_plan,
+                      device_profile: str = DEFAULT_PROFILE):
     """Work-unit body of one texture-path variant."""
 
     def run() -> dict:
-        device = Device(seed=1, fault_plan=fault_plan)
+        profile = get_profile(device_profile)
+        device = Device(spec=profile.spec, seed=1, fault_plan=fault_plan,
+                        timing=profile.create_timing_model())
         data = DeviceProblemData(device, instance)
         seqs = device.malloc((total_threads, n), np.int32, "sequences")
         out = device.malloc(total_threads, np.float64, "fitness")
@@ -404,21 +415,26 @@ def run_texture_ablation(
     scale: ExperimentScale | None = None,
     total_threads: int = 768,
     runner: ResilientRunner | None = None,
+    device_profile: str = DEFAULT_PROFILE,
 ) -> TextureAblation:
     """Compare the modeled fitness-kernel time with the texture path on."""
     scale = scale or get_scale()
     runner = runner or ResilientRunner()
+    get_profile(device_profile)  # fail fast on unknown keys
     n = scale.fig11_n
     instance = biskup_instance(n, 0.4, 1)
     units = [
         WorkUnit(
             key="texture" if use_texture else "plain",
             run=_texture_point_fn(instance, n, use_texture, total_threads,
-                                  runner.fault_plan),
+                                  runner.fault_plan, device_profile),
         )
         for use_texture in (False, True)
     ]
-    checkpoint = runner.checkpoint_for(f"ablation_texture_{scale.name}")
+    suffix = "" if device_profile == DEFAULT_PROFILE else f"_{device_profile}"
+    checkpoint = runner.checkpoint_for(
+        f"ablation_texture_{scale.name}{suffix}"
+    )
     report = runner.run_units(units, checkpoint)
 
     times = {o.payload["use_texture"]: o.payload["kernel_time_s"]

@@ -2,7 +2,11 @@
 
 Every experiment accepts an optional :class:`repro.resilience.ResilientRunner`
 which supplies retries, checkpoint/resume and fault injection; without one
-each study builds a default runner (no checkpointing, same results).
+each study builds a default runner (no checkpointing, same results).  The
+``device_profile`` argument selects the modeled GPU generation for the
+studies whose measurement *is* the modeled timing (speedup/runtime); the
+quality studies (deviation, ablations) ignore it -- their results are
+profile-independent by construction.
 """
 
 from __future__ import annotations
@@ -20,71 +24,87 @@ from repro.experiments.ablation import (
 )
 from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.deviation import run_deviation_study
+from repro.experiments.device_surface import run_device_surface_study
 from repro.experiments.runtime import run_runtime_curves, run_runtime_surface
 from repro.experiments.speedup import run_speedup_study
+from repro.gpusim.profiles import DEFAULT_PROFILE
 from repro.resilience import ResilientRunner
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
 
+_Runner = ResilientRunner | None
 
-def _table2(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+
+def _table2(scale: ExperimentScale, runner: _Runner, profile: str) -> str:
     return run_deviation_study("cdd", scale, runner=runner).render()
 
 
-def _table3(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
-    return run_speedup_study("cdd", scale, runner=runner).render()
+def _table3(scale: ExperimentScale, runner: _Runner, profile: str) -> str:
+    return run_speedup_study(
+        "cdd", scale, runner=runner, device_profile=profile
+    ).render()
 
 
-def _table4(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+def _table4(scale: ExperimentScale, runner: _Runner, profile: str) -> str:
     return run_deviation_study("ucddcp", scale, runner=runner).render()
 
 
-def _table5(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
-    return run_speedup_study("ucddcp", scale, runner=runner).render()
+def _table5(scale: ExperimentScale, runner: _Runner, profile: str) -> str:
+    return run_speedup_study(
+        "ucddcp", scale, runner=runner, device_profile=profile
+    ).render()
 
 
-def _fig11(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+def _fig11(scale: ExperimentScale, runner: _Runner, profile: str) -> str:
     return run_runtime_surface(scale, runner=runner).render()
 
 
-def _fig14(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+def _fig14(scale: ExperimentScale, runner: _Runner, profile: str) -> str:
     return run_runtime_curves("cdd", scale, runner=runner).render()
 
 
-def _fig16(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+def _fig16(scale: ExperimentScale, runner: _Runner, profile: str) -> str:
     return run_runtime_curves("ucddcp", scale, runner=runner).render()
 
 
-def _blocksize(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+def _device_surface(
+    scale: ExperimentScale, runner: _Runner, profile: str
+) -> str:
+    # The surface sweeps *all* generations by definition; the single
+    # --device-profile flag is meaningless here and ignored.
+    return run_device_surface_study("cdd", scale, runner=runner).render()
+
+
+def _blocksize(scale: ExperimentScale, runner: _Runner, profile: str) -> str:
     return run_blocksize_ablation(scale, runner=runner).render()
 
 
-def _sync(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+def _sync(scale: ExperimentScale, runner: _Runner, profile: str) -> str:
     return run_sync_vs_async(scale, runner=runner).render()
 
 
-def _cooling(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+def _cooling(scale: ExperimentScale, runner: _Runner, profile: str) -> str:
     return run_cooling_ablation(scale, runner=runner).render()
 
 
-def _texture(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+def _texture(scale: ExperimentScale, runner: _Runner, profile: str) -> str:
     return run_texture_ablation(scale, runner=runner).render()
 
 
-def _coupling(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+def _coupling(scale: ExperimentScale, runner: _Runner, profile: str) -> str:
     return run_coupling_ablation(scale, runner=runner).render()
 
 
-def _refresh(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+def _refresh(scale: ExperimentScale, runner: _Runner, profile: str) -> str:
     return run_refresh_ablation(scale, runner=runner).render()
 
 
-def _strategy(scale: ExperimentScale, runner: ResilientRunner | None) -> str:
+def _strategy(scale: ExperimentScale, runner: _Runner, profile: str) -> str:
     return run_strategy_ablation(scale, runner=runner).render()
 
 
 EXPERIMENTS: dict[
-    str, Callable[[ExperimentScale, ResilientRunner | None], str]
+    str, Callable[[ExperimentScale, _Runner, str], str]
 ] = {
     "table2": _table2,
     "fig12": _table2,  # Figure 12 is the bar chart of Table II
@@ -97,6 +117,7 @@ EXPERIMENTS: dict[
     "fig11": _fig11,
     "fig14": _fig14,
     "fig16": _fig16,
+    "device_surface": _device_surface,
     "blocksize": _blocksize,
     "sync": _sync,
     "cooling": _cooling,
@@ -111,6 +132,7 @@ def run_experiment(
     name: str,
     scale: ExperimentScale | None = None,
     runner: ResilientRunner | None = None,
+    device_profile: str = DEFAULT_PROFILE,
 ) -> str:
     """Run experiment ``name`` and return its rendered report."""
     try:
@@ -119,4 +141,4 @@ def run_experiment(
         raise KeyError(
             f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return fn(scale or get_scale(), runner)
+    return fn(scale or get_scale(), runner, device_profile)

@@ -8,7 +8,8 @@ overhead) executed as straightforward sequential pure-Python code -- the
 honest stand-in for the sequential implementations of [7]/[8]/[18] whose
 testbeds are unavailable.  Two speedups are reported per algorithm:
 
-* ``modeled``  -- serial CPU time / modeled GT 560M device time;
+* ``modeled``  -- serial CPU time / modeled device time (GT 560M by
+  default; any registered profile via ``device_profile``);
 * ``measured`` -- serial CPU time / measured wall time of the vectorized
   ensemble on this host (no device model involved).
 
@@ -35,6 +36,7 @@ from repro.experiments.paper_data import (
     TABLE5_UCDDCP_SPEEDUP,
 )
 from repro.experiments.tables import render_table
+from repro.gpusim.profiles import DEFAULT_PROFILE, get_profile
 from repro.instances.biskup import biskup_instance
 from repro.instances.ucddcp_gen import ucddcp_instance
 from repro.resilience import ResilientRunner, RunReport, WorkUnit
@@ -74,6 +76,9 @@ class SpeedupStudy:
     scale: str
     labels: tuple[str, str, str, str]
     sizes: tuple[int, ...]
+    #: Registered profile key of the modeled device and its display name.
+    device_profile: str = DEFAULT_PROFILE
+    device_name: str = "GeForce GT 560M"
     cells: dict[tuple[int, str], SpeedupCell] = field(default_factory=dict)
     #: Resilience report of the measurement pass (failed cells are NaN in
     #: the matrices and listed in the rendered footnote).
@@ -101,7 +106,7 @@ class SpeedupStudy:
             ["Jobs", *self.labels],
             [[n, *modeled[i]] for i, n in enumerate(self.sizes)],
             title=(
-                f"Speedup, serial CPU vs modeled GT 560M "
+                f"Speedup, serial CPU vs modeled {self.device_name} "
                 f"({self.problem.upper()}, scale={self.scale})"
             ),
         )
@@ -175,7 +180,7 @@ def _serial_sa_time(instance, iterations: int, population: int) -> float:
     return per_iter * iterations * population
 
 
-_STUDY_CACHE: dict[tuple[str, str], SpeedupStudy] = {}
+_STUDY_CACHE: dict[tuple[str, str, str], SpeedupStudy] = {}
 
 
 def _speedup_cell_fn(
@@ -187,6 +192,7 @@ def _speedup_cell_fn(
     scale: ExperimentScale,
     references: dict[int, float],
     backend,
+    device_profile: str = DEFAULT_PROFILE,
 ):
     """Work-unit body of one (size, algorithm) timing cell.
 
@@ -214,6 +220,7 @@ def _speedup_cell_fn(
                     grid_size=scale.grid_size,
                     block_size=scale.block_size,
                     seed=31,
+                    device_profile=device_profile,
                 ),
                 backend=backend,
             )
@@ -225,6 +232,7 @@ def _speedup_cell_fn(
                     grid_size=scale.grid_size,
                     block_size=scale.block_size,
                     seed=31,
+                    device_profile=device_profile,
                 ),
                 backend=backend,
             )
@@ -247,18 +255,21 @@ def run_speedup_study(
     scale: ExperimentScale | None = None,
     use_cache: bool = True,
     runner: ResilientRunner | None = None,
+    device_profile: str = DEFAULT_PROFILE,
 ) -> SpeedupStudy:
     """Collect timing cells for all sizes and the four algorithm variants.
 
-    Results are memoized per (problem, scale) within the process so the
-    table and figure benches can share one measurement pass.  ``runner``
-    adds the resilience layer (retries, checkpoints, fault injection);
-    note that checkpointed cells replay their originally *measured*
-    timings verbatim -- restored wall times describe the interrupted run,
-    as any timing log would.
+    Results are memoized per (problem, scale, device_profile) within the
+    process so the table and figure benches can share one measurement
+    pass.  ``device_profile`` selects the modeled generation (timings
+    change; objectives do not).  ``runner`` adds the resilience layer
+    (retries, checkpoints, fault injection); note that checkpointed cells
+    replay their originally *measured* timings verbatim -- restored wall
+    times describe the interrupted run, as any timing log would.
     """
     scale = scale or get_scale()
-    key = (problem, scale.name)
+    profile = get_profile(device_profile)
+    key = (problem, scale.name, device_profile)
     if use_cache and key in _STUDY_CACHE:
         return _STUDY_CACHE[key]
     runner = runner or ResilientRunner()
@@ -270,7 +281,8 @@ def run_speedup_study(
         f"DPSO_{scale.iterations_high}",
     )
     study = SpeedupStudy(
-        problem=problem, scale=scale.name, labels=labels, sizes=scale.sizes
+        problem=problem, scale=scale.name, labels=labels, sizes=scale.sizes,
+        device_profile=device_profile, device_name=profile.spec.name,
     )
     # Speedups are *about* the modeled device: always solve on gpusim.
     backend = runner.solver_backend("gpusim")
@@ -293,10 +305,16 @@ def run_speedup_study(
             units.append(WorkUnit(
                 key=f"{problem}_n{n}|{labels[j]}",
                 run=_speedup_cell_fn(instance, n, algo, iters, labels[j],
-                                     scale, references, backend),
+                                     scale, references, backend,
+                                     device_profile),
             ))
 
-    checkpoint = runner.checkpoint_for(f"speedup_{problem}_{scale.name}")
+    # Non-default profiles checkpoint separately; the default keeps the
+    # historical name so existing checkpoints keep resuming.
+    suffix = "" if device_profile == DEFAULT_PROFILE else f"_{device_profile}"
+    checkpoint = runner.checkpoint_for(
+        f"speedup_{problem}_{scale.name}{suffix}"
+    )
     report = runner.run_units(units, checkpoint)
     for outcome in report.completed:
         cell = SpeedupCell(**outcome.payload)

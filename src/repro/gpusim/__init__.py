@@ -22,7 +22,13 @@ execution environment:
   reproducible random streams.
 * :mod:`~repro.gpusim.reduction` -- atomic-minimum reduction with an L2
   serialization cost.
-* :mod:`~repro.gpusim.profiler` -- an nvprof-like event recorder.
+* :mod:`~repro.gpusim.profiler` -- an nvprof-like event recorder with
+  per-timing-component attribution.
+* :mod:`~repro.gpusim.timing` -- the pluggable analytic timing models
+  (launch overhead, roofline execution, PCIe transfer, atomics) bundled
+  into a :class:`~repro.gpusim.timing.TimingModel`.
+* :mod:`~repro.gpusim.profiles` -- the named device-profile registry
+  (GT 560M, generic Fermi, K20, Pascal, Ampere).
 
 The split keeps *algorithmic results* exact (pure NumPy math, identical to
 what each CUDA thread would compute) while *runtimes* come from the device
@@ -52,8 +58,16 @@ from repro.gpusim.launch import (
 )
 from repro.gpusim.memory import ConstantMemory, DeviceBuffer, GlobalMemory
 from repro.gpusim.profiler import ProfileEvent, Profiler
+from repro.gpusim.profiles import (
+    DEFAULT_PROFILE,
+    DeviceProfile,
+    get_profile,
+    profile_names,
+    register_profile,
+)
 from repro.gpusim.rng import DeviceRNG
 from repro.gpusim.stream import Stream
+from repro.gpusim.timing import KernelTiming, TimingModel
 
 __all__ = [
     "Device",
@@ -78,6 +92,13 @@ __all__ = [
     "ConstantMemory",
     "Profiler",
     "ProfileEvent",
+    "TimingModel",
+    "KernelTiming",
+    "DeviceProfile",
+    "DEFAULT_PROFILE",
+    "register_profile",
+    "get_profile",
+    "profile_names",
     "DeviceRNG",
     "Stream",
     "Event",

@@ -1,24 +1,23 @@
 """Device specifications and the :class:`Device` runtime object.
 
-The timing model charges each launch
-
-    duration = launch_overhead
-             + waves * max(compute_time_per_wave, memory_time_per_wave)
-             + serialized_atomic_time
-
-where ``waves = ceil(num_blocks / (num_sms * blocks_per_sm))`` comes from the
-occupancy calculation (Section VIII of the paper reasons exactly in these
-terms: "loading several threads within a block results in serial processing
-of the blocks through the SM"), ``compute_time_per_wave`` converts the cost
-model's per-thread cycles into SM-core time, and ``memory_time_per_wave``
-charges the global-memory traffic against the device bandwidth (a roofline:
-the slower of the two dominates).  Host<->device copies are charged PCIe
-latency plus bytes/bandwidth, and run synchronously like ``cudaMemcpy``.
+The device charges time through an injected :class:`~repro.gpusim.timing.
+TimingModel` bundle (launch overhead, the waves x max(compute, memory)
+roofline, PCIe transfers, serialized atomics); the analytic math lives in
+:mod:`repro.gpusim.timing`, the *hardware numbers* in a
+:class:`DeviceSpec`, and named generations in the
+:mod:`repro.gpusim.profiles` registry.  ``waves = ceil(num_blocks /
+(num_sms * blocks_per_sm))`` comes from the occupancy calculation
+(Section VIII of the paper reasons exactly in these terms: "loading
+several threads within a block results in serial processing of the
+blocks through the SM").  Host<->device copies are charged PCIe latency
+plus bytes/bandwidth, and run synchronously like ``cudaMemcpy``.
 
 Presets: the paper's **GeForce GT 560M** (a Fermi-class mobile part -- the
 paper's text calls it a "Kepler device", but the GT 560M is GF116 silicon;
 we model the Fermi limits), a generic desktop Fermi, and a Tesla K20 for
-contrast in the ablation benches.
+contrast in the ablation benches.  Newer generations (Pascal, Ampere) live
+only in the profile registry -- prefer ``get_profile(name).spec`` over
+importing these module constants directly.
 """
 
 from __future__ import annotations
@@ -36,11 +35,11 @@ from repro.gpusim.memory import (
     ConstantMemory,
     DeviceBuffer,
     GlobalMemory,
-    transfer_time,
 )
 from repro.gpusim.profiler import Profiler
 from repro.gpusim.rng import DeviceRNG
 from repro.gpusim.stream import Stream
+from repro.gpusim.timing import TimingModel, waves
 
 __all__ = [
     "DeviceSpec",
@@ -82,6 +81,83 @@ class DeviceSpec:
     block_dispatch_overhead_s: float = 0.3e-6
     max_block_dim: tuple[int, int, int] = (1024, 1024, 64)
     max_grid_dim: tuple[int, int, int] = (65535, 65535, 65535)
+
+    # Field groups for construction-time validation (names must stay in
+    # sync with the dataclass fields above).
+    _POSITIVE_INTS = (
+        "num_sms", "cores_per_sm", "warp_size", "max_threads_per_block",
+        "max_threads_per_sm", "max_blocks_per_sm", "registers_per_sm",
+        "shared_mem_per_sm", "shared_mem_per_block", "constant_mem_bytes",
+        "global_mem_bytes", "latency_hiding_warps",
+    )
+    _POSITIVE_FLOATS = (
+        "core_clock_hz", "mem_bandwidth_bytes_per_s",
+        "pcie_bandwidth_bytes_per_s", "instructions_per_cycle",
+    )
+    _NON_NEGATIVE_FLOATS = (
+        "pcie_latency_s", "kernel_launch_overhead_s", "atomic_op_s",
+        "block_dispatch_overhead_s",
+    )
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    def _fail(self, field: str, requirement: str, value: Any) -> None:
+        raise ValueError(
+            f"device spec {self.name!r}: field {field!r} {requirement} "
+            f"(got {value!r})"
+        )
+
+    def _validate(self) -> None:
+        """Reject physically meaningless specs at construction time.
+
+        Mirrors the loader-side style of
+        :func:`repro.instances.validate.validate_job_fields`: every
+        violation names the spec and the offending field, so a typo in a
+        new profile fails at registration instead of surfacing as a
+        nonsense modeled runtime three layers downstream.
+        """
+        if not self.name:
+            raise ValueError("device spec must have a non-empty name")
+        for field in self._POSITIVE_INTS:
+            v = getattr(self, field)
+            if not isinstance(v, int) or v < 1:
+                self._fail(field, "must be a positive integer", v)
+        for field in self._POSITIVE_FLOATS:
+            v = getattr(self, field)
+            if not math.isfinite(v) or v <= 0:
+                self._fail(field, "must be a positive finite number", v)
+        for field in self._NON_NEGATIVE_FLOATS:
+            v = getattr(self, field)
+            if not math.isfinite(v) or v < 0:
+                self._fail(field, "must be a non-negative finite number", v)
+        if self.warp_size & (self.warp_size - 1):
+            self._fail("warp_size", "must be a power of two", self.warp_size)
+        if self.shared_mem_per_block > self.shared_mem_per_sm:
+            self._fail(
+                "shared_mem_per_block",
+                f"must not exceed shared_mem_per_sm "
+                f"({self.shared_mem_per_sm})",
+                self.shared_mem_per_block,
+            )
+        if self.max_threads_per_block > self.max_threads_per_sm:
+            self._fail(
+                "max_threads_per_block",
+                f"must not exceed max_threads_per_sm "
+                f"({self.max_threads_per_sm})",
+                self.max_threads_per_block,
+            )
+        if self.warp_size > self.max_threads_per_block:
+            self._fail(
+                "warp_size",
+                f"must not exceed max_threads_per_block "
+                f"({self.max_threads_per_block})",
+                self.warp_size,
+            )
+        for field in ("compute_capability", "max_block_dim", "max_grid_dim"):
+            dims = getattr(self, field)
+            if any(not isinstance(d, int) or d < 0 for d in dims):
+                self._fail(field, "must hold non-negative integers", dims)
 
     @property
     def total_cores(self) -> int:
@@ -161,13 +237,19 @@ class Device:
         raises a chosen :class:`CudaError` on the N-th launch/allocation,
         so the resilient execution layer can be tested against realistic
         device failures.
+    timing:
+        The :class:`~repro.gpusim.timing.TimingModel` bundle all durations
+        are charged through; ``None`` uses the calibrated analytic default
+        (bit-identical to the pre-refactor inline model).
     """
 
     def __init__(
         self, spec: DeviceSpec = GEFORCE_GT_560M, seed: int = 0,
         profile: bool = True, fault_plan: Any | None = None,
+        timing: TimingModel | None = None,
     ) -> None:
         self.spec = spec
+        self.timing = timing if timing is not None else TimingModel.default()
         self.fault_plan = fault_plan
         self.global_mem = GlobalMemory(spec.global_mem_bytes)
         self.constant_mem = ConstantMemory(spec.constant_mem_bytes)
@@ -244,9 +326,7 @@ class Device:
         """Place a symbol in constant memory (with its transfer charged)."""
         self.constant_mem.upload(name, value)
         nbytes = np.asarray(value).nbytes
-        duration = transfer_time(
-            nbytes, self.spec.pcie_bandwidth_bytes_per_s, self.spec.pcie_latency_s
-        )
+        duration = self.timing.transfer_time(self.spec, nbytes)
         self.profiler.record(
             f"constant:{name}", "memcpy_htod", self._host_time, duration,
             bytes=nbytes,
@@ -254,10 +334,7 @@ class Device:
         self._host_time += duration
 
     def _charge_transfer(self, kind: str, buf: DeviceBuffer) -> None:
-        duration = transfer_time(
-            buf.nbytes, self.spec.pcie_bandwidth_bytes_per_s,
-            self.spec.pcie_latency_s,
-        )
+        duration = self.timing.transfer_time(self.spec, buf.nbytes)
         self.profiler.record(
             f"{kind}:{buf.label or 'buffer'}", kind, self._host_time, duration,
             bytes=buf.nbytes,
@@ -309,76 +386,24 @@ class Device:
         kern.fn(ctx, *args)
         cost = kern.cost_model(ctx, *args)
 
-        duration = self._model_duration(kern, config, occ.blocks_per_sm, cost,
-                                        shared)
+        timing = self.timing.kernel_timing(
+            self.spec, config, occ.blocks_per_sm, cost
+        )
+        duration = timing.total_s
         start, _ = self.stream.enqueue(self._host_time, duration)
         self.profiler.record(
             kern.name, "kernel", start, duration,
             grid=config.grid.as_tuple(), block=config.block.as_tuple(),
             occupancy=occ.occupancy, limiter=occ.limiter,
-            waves=self._waves(config.num_blocks, occ.blocks_per_sm),
+            waves=waves(self.spec, config.num_blocks, occ.blocks_per_sm),
             cycles_per_thread=cost.cycles_per_thread,
             bytes_per_thread=cost.global_bytes_per_thread,
             atomics=cost.atomic_ops,
+            roofline_limiter=timing.limiter,
+            components=timing.components(),
         )
         self._launch_count += 1
         return ctx
-
-    def _waves(self, num_blocks: int, blocks_per_sm: int) -> int:
-        per_sm_blocks = math.ceil(num_blocks / self.spec.num_sms)
-        return math.ceil(per_sm_blocks / blocks_per_sm)
-
-    def _model_duration(
-        self,
-        kern: Kernel,
-        config: LaunchConfig,
-        blocks_per_sm: int,
-        cost: "KernelCost",
-        shared_bytes: int,
-    ) -> float:
-        """Roofline duration of one launch (see module docstring).
-
-        The busiest SM processes ``ceil(num_blocks / num_sms)`` blocks over
-        the kernel's lifetime; its total thread-cycles divided by the SM's
-        issue rate give the compute time.  When fewer warps are resident
-        than the latency-hiding depth, the issue rate degrades
-        proportionally.  Global traffic is charged against the device
-        bandwidth, shared-memory staging once per block, and each block
-        pays a fixed dispatch cost -- which is what makes needlessly small
-        blocks (duplicated staging, more dispatches) and needlessly large
-        blocks (idle SMs) both lose to the paper's 192-thread sweet spot.
-        """
-        spec = self.spec
-        tpb = config.threads_per_block
-        per_sm_blocks = math.ceil(config.num_blocks / spec.num_sms)
-
-        warps_per_block = math.ceil(tpb / spec.warp_size)
-        resident_warps = min(per_sm_blocks, blocks_per_sm) * warps_per_block
-        efficiency = min(1.0, resident_warps / spec.latency_hiding_warps)
-
-        compute = (
-            cost.cycles_per_thread * per_sm_blocks * tpb
-            / (spec.cores_per_sm * spec.instructions_per_cycle)
-            / spec.core_clock_hz
-        ) / efficiency
-        memory = (
-            cost.global_bytes_per_thread * config.total_threads
-            / spec.mem_bandwidth_bytes_per_s
-        )
-        # Shared-memory staging per block at ~4x global bandwidth (on-chip).
-        staging = (
-            cost.shared_bytes_per_block * config.num_blocks
-            / (4.0 * spec.mem_bandwidth_bytes_per_s)
-        )
-        dispatch = config.num_blocks * spec.block_dispatch_overhead_s
-        atomic_time = cost.atomic_ops * spec.atomic_op_s
-        return (
-            spec.kernel_launch_overhead_s
-            + max(compute, memory)
-            + staging
-            + dispatch
-            + atomic_time
-        )
 
     # ------------------------------------------------------------------
     # Introspection hooks

@@ -78,6 +78,37 @@ class Profiler:
         """Total modeled time spent in host<->device transfers."""
         return self.total_time(["memcpy_htod", "memcpy_dtoh"])
 
+    def component_totals(self) -> dict[str, float]:
+        """Kernel time attributed to timing-model components.
+
+        Sums the per-launch ``components`` breakdown the device records
+        (overhead / compute / memory / staging / dispatch / atomic; the
+        losing roofline leg is attributed zero, so the totals sum to
+        :meth:`kernel_time`).
+        """
+        totals: dict[str, float] = {}
+        for e in self.events:
+            if e.kind != "kernel":
+                continue
+            for comp, t in e.details.get("components", {}).items():
+                totals[comp] = totals.get(comp, 0.0) + t
+        return totals
+
+    def component_summary(self) -> str:
+        """Textual attribution of kernel time to model components."""
+        totals = self.component_totals()
+        if not totals:
+            return "No kernel component attribution recorded."
+        total = sum(totals.values())
+        denom = total or 1.0
+        lines = [f"{'Time(%)':>8} {'Time':>12}  Component"]
+        for comp, t in sorted(totals.items(), key=lambda kv: -kv[1]):
+            lines.append(
+                f"{100.0 * t / denom:7.2f}% {_fmt_s(t):>12}  {comp}"
+            )
+        lines.append(f"Total attributed kernel time: {_fmt_s(total)}")
+        return "\n".join(lines)
+
     def by_name(self) -> dict[str, list[ProfileEvent]]:
         """Events grouped by activity name."""
         groups: dict[str, list[ProfileEvent]] = {}

@@ -183,7 +183,10 @@ def run_sharded_ensemble(
     wall = time.perf_counter() - start_wall
 
     params = strategy.params()
-    params["device_spec"] = config.device_spec.name
+    params["device_spec"] = config.resolve_device_spec().name
+    params["device_profile"] = (
+        None if config.device_spec is not None else config.device_profile
+    )
     params["backend"] = backend.name
     params["workers"] = len(results)
     result = assemble_result(

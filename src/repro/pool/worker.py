@@ -72,7 +72,9 @@ def run_shard(
     strategy.prepare(adapter, np.random.default_rng(config.seed))
 
     backend = VectorizedBackend(fault_plan=fault_plan, thread_offset=row_offset)
-    backend.open(adapter, seed=config.seed, device_spec=config.device_spec)
+    backend.open(
+        adapter, seed=config.seed, device_spec=config.resolve_device_spec()
+    )
     cfg = LaunchConfig(
         grid=Dim3(x=nblocks), block=Dim3(x=config.block_size)
     )

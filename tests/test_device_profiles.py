@@ -1,0 +1,172 @@
+"""The device-profile registry and the spec validation behind it.
+
+The registry is how experiments sweep GPU generations, so its contract is
+load-bearing: keys resolve to validated specs, misses name the registry,
+duplicates are rejected, and every registered profile yields a working
+timing model.  The device_surface smoke test exercises the study that
+consumes the whole registry end to end.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import get_scale
+from repro.experiments.device_surface import (
+    SURFACE_PROFILES,
+    run_device_surface_study,
+)
+from repro.gpusim.device import GEFORCE_GT_560M, DeviceSpec
+from repro.gpusim.profiles import (
+    DEFAULT_PROFILE,
+    DeviceProfile,
+    get_profile,
+    profile_names,
+    register_profile,
+)
+from repro.gpusim.timing import TimingModel
+
+
+class TestRegistry:
+    def test_expected_generations_registered(self):
+        names = profile_names()
+        for key in ("gt560m", "fermi", "k20", "pascal", "ampere"):
+            assert key in names
+
+    def test_default_profile_is_the_papers_device(self):
+        assert DEFAULT_PROFILE == "gt560m"
+        assert get_profile(DEFAULT_PROFILE).spec.name == "GeForce GT 560M"
+
+    def test_unknown_key_lists_registry(self):
+        with pytest.raises(ValueError, match="unknown device profile"):
+            get_profile("hopper")
+        with pytest.raises(ValueError, match="gt560m"):
+            get_profile("hopper")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_profile(DeviceProfile(
+                key="gt560m", generation="dup", year=2011,
+                spec=GEFORCE_GT_560M,
+            ))
+
+    def test_profiles_carry_provenance(self):
+        for key in profile_names():
+            profile = get_profile(key)
+            assert profile.key == key
+            assert profile.generation
+            assert profile.year >= 2010
+            assert profile.spec.name
+
+    def test_default_timing_factory(self):
+        model = get_profile("gt560m").create_timing_model()
+        assert isinstance(model, TimingModel)
+        # The default bundle is the analytic model the paper calibration
+        # uses; a fresh default() must behave identically.
+        assert model.transfer_time(GEFORCE_GT_560M, 4096) == (
+            TimingModel.default().transfer_time(GEFORCE_GT_560M, 4096)
+        )
+
+    def test_generational_spec_progression(self):
+        gt = get_profile("gt560m").spec
+        pascal = get_profile("pascal").spec
+        ampere = get_profile("ampere").spec
+        assert gt.num_sms < pascal.num_sms < ampere.num_sms
+        assert (gt.mem_bandwidth_bytes_per_s
+                < pascal.mem_bandwidth_bytes_per_s
+                < ampere.mem_bandwidth_bytes_per_s)
+        assert (gt.pcie_bandwidth_bytes_per_s
+                < pascal.pcie_bandwidth_bytes_per_s
+                < ampere.pcie_bandwidth_bytes_per_s)
+
+
+class TestSpecValidation:
+    def _spec_kwargs(self, **overrides):
+        kwargs = {
+            f.name: getattr(GEFORCE_GT_560M, f.name)
+            for f in dataclasses.fields(GEFORCE_GT_560M)
+        }
+        kwargs["name"] = "bad"
+        kwargs.update(overrides)
+        return kwargs
+
+    @pytest.mark.parametrize("field, value", [
+        ("num_sms", 0),
+        ("cores_per_sm", -1),
+        ("core_clock_hz", 0.0),
+        ("mem_bandwidth_bytes_per_s", -1.0),
+    ])
+    def test_positive_fields_enforced(self, field, value):
+        with pytest.raises(ValueError) as err:
+            DeviceSpec(**self._spec_kwargs(**{field: value}))
+        assert "'bad'" in str(err.value)
+        assert repr(field) in str(err.value)
+
+    def test_warp_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            DeviceSpec(**self._spec_kwargs(warp_size=24))
+
+    def test_shared_mem_per_block_bounded_by_sm(self):
+        with pytest.raises(ValueError, match="shared_mem_per_block"):
+            DeviceSpec(**self._spec_kwargs(
+                shared_mem_per_block=GEFORCE_GT_560M.shared_mem_per_sm + 1
+            ))
+
+    def test_block_threads_bounded_by_sm(self):
+        with pytest.raises(ValueError, match="max_threads_per_block"):
+            DeviceSpec(**self._spec_kwargs(
+                max_threads_per_block=GEFORCE_GT_560M.max_threads_per_sm + 1
+            ))
+
+    def test_error_names_spec_and_field(self):
+        with pytest.raises(ValueError) as err:
+            DeviceSpec(**self._spec_kwargs(num_sms=0))
+        msg = str(err.value)
+        assert "device spec 'bad'" in msg
+        assert "'num_sms'" in msg
+        assert "(got 0)" in msg
+
+    def test_registered_profiles_are_valid(self):
+        # Registration would have raised at import otherwise, but pin it:
+        # re-constructing each registered spec from its own field values
+        # must succeed.
+        for key in profile_names():
+            spec = get_profile(key).spec
+            DeviceSpec(**{
+                f.name: getattr(spec, f.name)
+                for f in dataclasses.fields(spec)
+            })
+
+
+class TestDeviceSurfaceStudy:
+    def test_smoke_surface(self, tmp_path):
+        from repro.resilience import ResilientRunner
+
+        scale = get_scale("smoke")
+        runner = ResilientRunner(checkpoint_dir=tmp_path)
+        study = run_device_surface_study("cdd", scale, runner)
+        assert study.profiles == SURFACE_PROFILES
+        assert len(study.cells) == len(scale.sizes) * len(SURFACE_PROFILES)
+
+        # Quality is profile-independent: identical objectives per size.
+        obj = study.matrix("objective")
+        assert (obj.max(axis=1) == obj.min(axis=1)).all()
+
+        # Modeled runtimes are distinct per generation (the point of the
+        # surface) and every speedup is finite and positive.
+        gpu = study.matrix("modeled_gpu_s")
+        for row in gpu:
+            assert len(set(row.tolist())) == len(SURFACE_PROFILES)
+        assert (study.matrix("speedup") > 0).all()
+
+        rendered = study.render()
+        assert "GPU generation" in rendered
+        assert "Objectives identical across generations" in rendered
+        for prof in SURFACE_PROFILES:
+            assert get_profile(prof).spec.name in rendered
+
+    def test_unknown_profile_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown device profile"):
+            run_device_surface_study(
+                "cdd", get_scale("smoke"), profiles=("gt560m", "hopper"),
+            )

@@ -37,7 +37,9 @@ class TestConfig:
         assert cfg.block_size == 192
         assert cfg.cooling_rate == 0.88
         assert cfg.pert_size == 4
-        assert cfg.device_spec.name == "GeForce GT 560M"
+        assert cfg.device_profile == "gt560m"
+        assert cfg.device_spec is None
+        assert cfg.resolve_device_spec().name == "GeForce GT 560M"
 
 
 class TestAsyncSA:

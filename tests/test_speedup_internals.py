@@ -59,7 +59,7 @@ class TestCellStructure:
     def test_render_contains_both_speedup_flavours(self):
         study = run_speedup_study("cdd", SMOKE)
         out = study.render()
-        assert "modeled GT 560M" in out
+        assert "modeled GeForce GT 560M" in out
         assert "measured vectorized ensemble" in out
 
     def test_runtime_curve_table_consistent_with_cells(self):

@@ -2,7 +2,10 @@
 
 The roofline model is only trustworthy if it responds monotonically to its
 inputs; these tests pin those directions so future calibration tweaks can't
-silently break the model's physics.
+silently break the model's physics.  The monotonicity invariants are
+asserted for *every* registered device profile (a new generation joins the
+contract just by registering), and the GT 560M golden values pin the
+refactored timing layer bit-for-bit to the pre-refactor inline model.
 """
 
 import pytest
@@ -11,7 +14,9 @@ from hypothesis import strategies as st
 
 from repro.gpusim.device import GEFORCE_GT_560M, Device
 from repro.gpusim.kernel import KernelCost, kernel
-from repro.gpusim.launch import linear_config
+from repro.gpusim.launch import linear_config, occupancy
+from repro.gpusim.profiles import get_profile, profile_names
+from repro.gpusim.timing import TimingModel, waves
 
 
 def time_one_launch(spec, threads, block, cycles, bytes_per_thread,
@@ -94,6 +99,116 @@ class TestMonotonicity:
         t1 = time_one_launch(SPEC, 768, 192, 1.0, 1e6)
         t2 = time_one_launch(SPEC, 768, 192, 100.0, 1e6)
         assert t1 == pytest.approx(t2, rel=1e-6)
+
+
+class TestEveryProfile:
+    """The monotonicity contract holds for every registered generation."""
+
+    @pytest.mark.parametrize("profile_key", profile_names())
+    def test_more_threads_never_faster(self, profile_key):
+        spec = get_profile(profile_key).spec
+        block = min(192, spec.max_threads_per_block)
+        times = [time_one_launch(spec, k * block, block, 1e5, 64.0)
+                 for k in (1, 4, 16, 64, 256)]
+        for lo, hi in zip(times, times[1:]):
+            assert hi >= lo - 1e-12
+
+    @pytest.mark.parametrize("profile_key", profile_names())
+    def test_more_cycles_never_faster(self, profile_key):
+        spec = get_profile(profile_key).spec
+        times = [time_one_launch(spec, 768, 192, c, 8.0)
+                 for c in (10.0, 1e3, 1e5, 1e7)]
+        for lo, hi in zip(times, times[1:]):
+            assert hi >= lo - 1e-12
+
+    @pytest.mark.parametrize("profile_key", profile_names())
+    def test_more_bytes_never_faster(self, profile_key):
+        spec = get_profile(profile_key).spec
+        times = [time_one_launch(spec, 768, 192, 10.0, b)
+                 for b in (8.0, 1e3, 1e5, 1e7)]
+        for lo, hi in zip(times, times[1:]):
+            assert hi >= lo - 1e-12
+
+    @pytest.mark.parametrize("profile_key", profile_names())
+    def test_more_waves_never_faster(self, profile_key):
+        spec = get_profile(profile_key).spec
+        block = 192
+        # Enough blocks to guarantee wave growth on any registered SM count.
+        base_blocks = spec.num_sms * spec.max_blocks_per_sm
+        t1 = time_one_launch(spec, base_blocks * block, block, 1e5, 8.0)
+        t2 = time_one_launch(spec, 2 * base_blocks * block, block, 1e5, 8.0)
+        assert t2 > t1
+
+    @pytest.mark.parametrize("profile_key", profile_names())
+    def test_roofline_consistency(self, profile_key):
+        """Kernel time decomposes exactly as the roofline contract says.
+
+        ``overhead + max(compute, memory) + staging + dispatch + atomics``
+        must reproduce the recorded kernel time for both a compute-bound
+        and a memory-bound probe, with the limiter label matching the
+        winning leg.
+        """
+        spec = get_profile(profile_key).spec
+        model = TimingModel.default()
+        for cycles, bpt in ((1e6, 8.0), (1.0, 1e6)):
+            cfg = linear_config(768, 192)
+            occ = occupancy(spec, cfg.threads_per_block, 24, 0)
+            cost = KernelCost(cycles_per_thread=cycles,
+                              global_bytes_per_thread=bpt,
+                              atomic_ops=16)
+            timing = model.kernel_timing(spec, cfg, occ.blocks_per_sm, cost)
+            reassembled = (timing.overhead_s
+                           + max(timing.compute_s, timing.memory_s)
+                           + timing.staging_s + timing.dispatch_s
+                           + timing.atomic_s)
+            assert timing.total_s == pytest.approx(reassembled, rel=1e-12)
+            expected_limiter = ("compute" if timing.compute_s
+                                >= timing.memory_s else "memory")
+            assert timing.limiter == expected_limiter
+            assert sum(timing.components().values()) == pytest.approx(
+                timing.total_s, rel=1e-12
+            )
+            measured = time_one_launch(spec, 768, 192, cycles, bpt,
+                                       atomics=16)
+            assert measured == pytest.approx(timing.total_s, rel=1e-12)
+
+
+# Modeled kernel times captured on the pre-refactor inline model
+# (Device._model_duration).  The refactored timing layer must reproduce
+# them *bit for bit* -- the summation order inside KernelTiming.total_s is
+# part of the contract.  Key: (profile, threads, block, cycles_per_thread,
+# bytes_per_thread, atomic_ops, shared_bytes_per_block).
+GOLDEN_KERNEL_TIMES = {
+    ("gt560m", 768, 192, 1200.0, 48.0, 0, 0.0): 1.0296774193548387e-05,
+    ("gt560m", 768, 192, 50.0, 4096.0, 768, 512.0): 9.035733333333335e-05,
+    ("gt560m", 3072, 256, 100000.0, 64.0, 0, 2048.0): 0.001041960464516129,
+    ("fermi", 768, 192, 1200.0, 48.0, 0, 0.0): 1.0628571428571428e-05,
+    ("k20", 768, 192, 1200.0, 48.0, 64, 0.0): 9.502127659574468e-06,
+}
+
+
+class TestGoldenBitIdentity:
+    @pytest.mark.parametrize("key", sorted(GOLDEN_KERNEL_TIMES))
+    def test_kernel_time_bit_identical(self, key):
+        profile, threads, block, cycles, bpt, atomics, shared = key
+        spec = get_profile(profile).spec
+        got = time_one_launch(spec, threads, block, cycles, bpt,
+                              atomics=atomics, shared=shared)
+        assert got == GOLDEN_KERNEL_TIMES[key]  # exact, no tolerance
+
+    def test_transfer_time_bit_identical(self):
+        spec = get_profile("gt560m").spec
+        model = TimingModel.default()
+        assert model.transfer_time(spec, 4096) == 1.0682666666666667e-05
+
+    def test_waves_helper_matches_occupancy(self):
+        spec = get_profile("gt560m").spec
+        occ = occupancy(spec, 192, 24, 0)
+        # 4 SMs x blocks_per_sm co-resident blocks; one more block forces
+        # a second wave.
+        resident = spec.num_sms * occ.blocks_per_sm
+        assert waves(spec, resident, occ.blocks_per_sm) == 1
+        assert waves(spec, resident + 1, occ.blocks_per_sm) == 2
 
 
 class TestWaveBehaviour:
