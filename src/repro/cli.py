@@ -3,6 +3,7 @@
 Commands
 --------
 ``solve``       solve one benchmark instance with a chosen method
+``agent``       serve pool tasks to remote solves (``--backend distributed``)
 ``experiment``  regenerate a paper table/figure (``repro experiment table2``)
 ``list``        list experiments, benchmark sets and device presets
 ``profile``     run one parallel SA and print the nvprof-style summary
@@ -99,7 +100,58 @@ def build_parser() -> argparse.ArgumentParser:
              "e.g. 'kill:1' or 'hang:0' or 'corrupt-payload:0:repeat' "
              "(--backend multiprocess)",
     )
+    p_solve.add_argument(
+        "--hosts", default=None, metavar="HOST[:PORT]:WORKERS,...",
+        help="host topology for --backend distributed, e.g. "
+             "'host1:4,host2:8' or 'localhost:7471:2,localhost:7472:2'; "
+             "worker counts fix the shard plan, so results are "
+             "bit-identical to --backend multiprocess with the same total",
+    )
+    p_solve.add_argument(
+        "--heartbeat-interval", type=float, default=None, metavar="SECONDS",
+        help="ping cadence to each host agent (--backend distributed; "
+             "default 2s)",
+    )
+    p_solve.add_argument(
+        "--heartbeat-timeout", type=float, default=None, metavar="SECONDS",
+        help="silence deadline before a host is declared dead and its "
+             "shards fail over (--backend distributed; default 10s)",
+    )
+    p_solve.add_argument(
+        "--inject-net-fault", default=None, metavar="KIND:TASK[:repeat]",
+        help="deterministic network fault injection for testing, e.g. "
+             "'disconnect:1' or 'blackhole:0' or 'corrupt-frame:0:repeat' "
+             "(kinds: disconnect, delay, partial-frame, corrupt-frame, "
+             "blackhole; --backend distributed)",
+    )
     _add_device_profile_arg(p_solve)
+
+    p_agent = sub.add_parser(
+        "agent",
+        help="serve pool tasks to remote solves (the host side of "
+             "--backend distributed; see docs/distributed.md)",
+    )
+    p_agent.add_argument(
+        "--bind", default="127.0.0.1", metavar="HOST[:PORT]",
+        help="listen address (default: %(default)s on the default agent "
+             "port; ':0' picks an ephemeral port — pair with --ready-file)",
+    )
+    p_agent.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="maximum concurrent worker processes; also this host's task "
+             "credit advertised to clients (default: %(default)s)",
+    )
+    p_agent.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock deadline enforced agent-side; a hung "
+             "task is killed and reported, never retried here (the "
+             "client owns retries)",
+    )
+    p_agent.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write the bound HOST:PORT to PATH once listening (lets "
+             "scripts and CI drills use --bind ':0')",
+    )
 
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
     p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -251,35 +303,116 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 kwargs["block_size"] = args.block
             kwargs["backend"] = args.backend
             kwargs["device_profile"] = args.device_profile
-            supervision_flags = (
-                ("--workers", "workers", args.workers),
-                ("--task-timeout", "task_timeout", args.task_timeout),
-                ("--inject-pool-fault", "pool_faults",
-                 args.inject_pool_fault),
-            )
-            if args.task_retries:
-                supervision_flags += (
-                    ("--task-retries", "task_retries", args.task_retries),
+            if args.backend == "distributed":
+                rc = _apply_distributed_flags(args, kwargs)
+                if rc is not None:
+                    return rc
+            else:
+                for flag, value in (
+                    ("--hosts", args.hosts),
+                    ("--heartbeat-interval", args.heartbeat_interval),
+                    ("--heartbeat-timeout", args.heartbeat_timeout),
+                    ("--inject-net-fault", args.inject_net_fault),
+                ):
+                    if value is not None:
+                        print(f"{flag} requires --backend distributed",
+                              file=sys.stderr)
+                        return 2
+                supervision_flags = (
+                    ("--workers", "workers", args.workers),
+                    ("--task-timeout", "task_timeout", args.task_timeout),
+                    ("--inject-pool-fault", "pool_faults",
+                     args.inject_pool_fault),
                 )
-            for flag, key, value in supervision_flags:
-                if value is None:
-                    continue
-                if args.backend != "multiprocess":
-                    print(f"{flag} requires --backend multiprocess",
-                          file=sys.stderr)
-                    return 2
-                if key == "pool_faults":
-                    from repro.pool.faults import (
-                        PoolFaultPlan,
-                        parse_pool_fault,
+                if args.task_retries:
+                    supervision_flags += (
+                        ("--task-retries", "task_retries", args.task_retries),
                     )
+                for flag, key, value in supervision_flags:
+                    if value is None:
+                        continue
+                    if args.backend != "multiprocess":
+                        print(f"{flag} requires --backend multiprocess",
+                              file=sys.stderr)
+                        return 2
+                    if key == "pool_faults":
+                        from repro.pool.faults import (
+                            PoolFaultPlan,
+                            parse_pool_fault,
+                        )
 
-                    value = PoolFaultPlan([parse_pool_fault(value)])
-                kwargs[key] = value
+                        value = PoolFaultPlan([parse_pool_fault(value)])
+                    kwargs[key] = value
     result = solver.solve(args.method, **kwargs)
     print(f"instance: {inst.name}")
     print(result.summary())
     print(result.schedule.describe())
+    return 0
+
+
+def _apply_distributed_flags(
+    args: argparse.Namespace, kwargs: dict
+) -> int | None:
+    """Translate the distributed solve flags into solver kwargs.
+
+    Returns an exit code on a usage error, ``None`` on success (kwargs
+    updated in place).
+    """
+    for flag, value in (
+        ("--workers", args.workers),
+        ("--task-timeout", args.task_timeout),
+        ("--inject-pool-fault", args.inject_pool_fault),
+    ):
+        if value is not None:
+            print(
+                f"{flag} does not apply to --backend distributed "
+                "(worker counts come from --hosts; task deadlines are "
+                "agent-side: repro agent --task-timeout)",
+                file=sys.stderr,
+            )
+            return 2
+    if args.hosts is None:
+        print("--backend distributed requires --hosts", file=sys.stderr)
+        return 2
+    kwargs["hosts"] = args.hosts
+    if args.task_retries:
+        kwargs["task_retries"] = args.task_retries
+    if args.heartbeat_interval is not None:
+        kwargs["heartbeat_interval_s"] = args.heartbeat_interval
+    if args.heartbeat_timeout is not None:
+        kwargs["heartbeat_timeout_s"] = args.heartbeat_timeout
+    if args.inject_net_fault is not None:
+        from repro.pool.faults import NetFaultPlan, parse_net_fault
+
+        kwargs["net_faults"] = NetFaultPlan(
+            [parse_net_fault(args.inject_net_fault)]
+        )
+    return None
+
+
+def _cmd_agent(args: argparse.Namespace) -> int:
+    from repro.pool.agent import HostAgent
+    from repro.pool.net import DEFAULT_AGENT_PORT
+
+    host, _, port_text = args.bind.partition(":")
+    try:
+        port = int(port_text) if port_text else DEFAULT_AGENT_PORT
+    except ValueError:
+        print(f"bad --bind {args.bind!r}; expected HOST[:PORT]",
+              file=sys.stderr)
+        return 2
+    agent = HostAgent(
+        host or "127.0.0.1", port, args.workers,
+        task_timeout=args.task_timeout,
+    )
+    if args.ready_file:
+        with open(args.ready_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{agent.label}\n")
+    print(
+        f"agent listening on {agent.label} with {args.workers} worker(s)",
+        file=sys.stderr,
+    )
+    agent.serve_forever()
     return 0
 
 
@@ -477,6 +610,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "solve": _cmd_solve,
+        "agent": _cmd_agent,
         "experiment": _cmd_experiment,
         "list": _cmd_list,
         "profile": _cmd_profile,

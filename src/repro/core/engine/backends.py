@@ -50,6 +50,7 @@ __all__ = [
     "GpusimBackend",
     "VectorizedBackend",
     "MultiprocessBackend",
+    "DistributedBackend",
     "BACKENDS",
     "DEFAULT_BACKEND",
     "create_backend",
@@ -344,11 +345,120 @@ class MultiprocessBackend(ExecutionBackend):
         raise self._never("fitness_buffers")
 
 
+class DistributedBackend(ExecutionBackend):
+    """Shard the chain ensemble across remote host agents.
+
+    A driver-level backend like :class:`MultiprocessBackend`:
+    ``run_ensemble`` hands the whole solve to
+    :func:`repro.pool.sharding.run_distributed_ensemble`, which plans
+    shards for the topology's *total* worker count and dispatches them
+    over a :class:`repro.pool.hosts.HostPool`.  Because the shard plan
+    depends only on that total, the merged result is bit-identical to
+    ``backend="multiprocess"`` with the same number of local workers —
+    including runs where a host dies mid-flight and its shards fail over
+    to the survivors (re-runs use the same ``OffsetRNG`` offsets).
+
+    ``task_timeout`` is deliberately absent: task supervision is the
+    *agent's* job (``repro agent --task-timeout``); the client only
+    bounds network stalls via heartbeats.
+    """
+
+    name = "distributed"
+    models_device_time = False
+
+    def __init__(
+        self,
+        fault_plan: "FaultPlan | None" = None,
+        hosts: "str | tuple[Any, ...] | list[Any] | None" = None,
+        task_retries: int = 0,
+        heartbeat_interval_s: float = 2.0,
+        heartbeat_timeout_s: float = 10.0,
+        connect_timeout_s: float = 5.0,
+        io_timeout_s: float = 30.0,
+        reconnect_attempts: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_max_s: float = 2.0,
+        local_fallback: bool = True,
+        net_faults: "Any | None" = None,
+        context: str | None = None,
+    ) -> None:
+        super().__init__(fault_plan=fault_plan)
+        from repro.pool.net import HostSpec, parse_host_specs
+
+        if hosts is None or (isinstance(hosts, (tuple, list)) and not hosts):
+            raise ValueError(
+                "DistributedBackend needs a host topology; pass "
+                "hosts='HOST[:PORT]:WORKERS,...' (e.g. 'host1:4,host2:8')"
+            )
+        if isinstance(hosts, str):
+            self.hosts: tuple[Any, ...] = parse_host_specs(hosts)
+        else:
+            for spec in hosts:
+                if not isinstance(spec, HostSpec):
+                    raise ValueError(
+                        f"hosts entries must be HostSpec, got {spec!r}"
+                    )
+            self.hosts = tuple(hosts)
+        check_retries(task_retries, "task_retries")
+        self.task_retries = task_retries
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.connect_timeout_s = connect_timeout_s
+        self.io_timeout_s = io_timeout_s
+        self.reconnect_attempts = reconnect_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_factor = backoff_factor
+        self.backoff_max_s = backoff_max_s
+        #: Degrade to the local multiprocess pool when every remote host
+        #: is lost (the bottom rung of the ladder; docs/distributed.md).
+        self.local_fallback = local_fallback
+        #: Optional :class:`repro.pool.faults.NetFaultPlan` injecting
+        #: deterministic network faults at the client's send path.
+        self.net_faults = net_faults
+        #: multiprocessing start method of the local-fallback pool.
+        self.context = context
+
+    @property
+    def workers(self) -> int:
+        """Total task credit across the topology (fixes the shard plan)."""
+        return sum(spec.workers for spec in self.hosts)
+
+    def _never(self, primitive: str) -> RuntimeError:
+        return RuntimeError(
+            f"DistributedBackend.{primitive} should never be called: "
+            "run_ensemble delegates distributed solves to "
+            "repro.pool.sharding.run_distributed_ensemble"
+        )
+
+    def open(self, adapter, seed, device_spec, timing=None) -> None:
+        raise self._never("open")
+
+    def alloc(self, shape, dtype, label: str = ""):
+        raise self._never("alloc")
+
+    def upload(self, buf, host) -> None:
+        raise self._never("upload")
+
+    def download(self, buf):
+        raise self._never("download")
+
+    def launch(self, kern, config, *args) -> None:
+        raise self._never("launch")
+
+    def synchronize(self) -> None:
+        raise self._never("synchronize")
+
+    def fitness_buffers(self):
+        raise self._never("fitness_buffers")
+
+
 #: Registered execution backends, keyed by the public ``backend=`` name.
 BACKENDS: dict[str, type[ExecutionBackend]] = {
     GpusimBackend.name: GpusimBackend,
     VectorizedBackend.name: VectorizedBackend,
     MultiprocessBackend.name: MultiprocessBackend,
+    DistributedBackend.name: DistributedBackend,
 }
 
 DEFAULT_BACKEND = GpusimBackend.name

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.engine.adapters import ProblemAdapter, adapter_for
 from repro.core.engine.backends import (
+    DistributedBackend,
     ExecutionBackend,
     MultiprocessBackend,
     create_backend,
@@ -159,6 +160,13 @@ def run_ensemble(
         from repro.pool.sharding import run_sharded_ensemble
 
         return run_sharded_ensemble(instance, strategy, exec_backend)
+    if isinstance(exec_backend, DistributedBackend):
+        # Same driver-level delegation, shards dispatched to remote host
+        # agents (bit-identical to multiprocess for the same total worker
+        # count; see docs/distributed.md).
+        from repro.pool.sharding import run_distributed_ensemble
+
+        return run_distributed_ensemble(instance, strategy, exec_backend)
 
     adapter = adapter_for(instance)
     pop = config.population

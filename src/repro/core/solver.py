@@ -26,6 +26,7 @@ from repro.core.dpso import DPSOConfig, dpso_serial
 from repro.core.engine.adapters import adapter_for
 from repro.core.engine.backends import (
     DEFAULT_BACKEND,
+    DistributedBackend,
     ExecutionBackend,
     MultiprocessBackend,
 )
@@ -65,12 +66,58 @@ def _engine_method(config_cls: type, driver: Callable[..., SolveResult]):
     def run(solver: "_BaseSolver", **params: Any) -> SolveResult:
         backend = params.pop("backend", DEFAULT_BACKEND)
         workers = params.pop("workers", None)
+        hosts = params.pop("hosts", None)
         supervision = {
             key: params.pop(key)
             for key in ("task_timeout", "task_retries", "pool_faults")
             if key in params
         }
-        if workers is not None or supervision:
+        distributed = {
+            key: params.pop(key)
+            for key in (
+                "net_faults", "local_fallback", "heartbeat_interval_s",
+                "heartbeat_timeout_s", "connect_timeout_s", "io_timeout_s",
+                "reconnect_attempts", "backoff_base_s", "backoff_factor",
+                "backoff_max_s",
+            )
+            if key in params
+        }
+        if backend == "distributed":
+            if hosts is None:
+                raise ValueError(
+                    "backend='distributed' requires "
+                    "hosts='HOST[:PORT]:WORKERS,...'"
+                )
+            if workers is not None:
+                raise ValueError(
+                    "workers= is fixed by the host topology for "
+                    "backend='distributed'; set per-host counts in hosts="
+                )
+            if "task_timeout" in supervision:
+                raise ValueError(
+                    "task_timeout is enforced agent-side for "
+                    "backend='distributed'; start agents with "
+                    "`repro agent --task-timeout`"
+                )
+            if "pool_faults" in supervision:
+                raise ValueError(
+                    "pool_faults applies to local worker pools; use "
+                    "net_faults for backend='distributed'"
+                )
+            backend = DistributedBackend(
+                hosts=hosts,
+                task_retries=supervision.get("task_retries", 0),
+                **distributed,
+            )
+        elif hosts is not None or distributed:
+            knob = "hosts=" if hosts is not None else (
+                f"{next(iter(distributed))}="
+            )
+            raise ValueError(
+                f"{knob} requires backend='distributed' "
+                f"(got backend={backend!r})"
+            )
+        elif workers is not None or supervision:
             knob = "workers=" if workers is not None else (
                 f"{next(iter(supervision))}="
             )

@@ -660,3 +660,110 @@ class BoundedBlockingCalls(Rule):
                     "handle; bound it with a timeout or document why it "
                     "cannot block (inline suppression with rationale)",
                 )
+
+
+#: The modules that may touch raw sockets; everything else goes through
+#: the factories these modules export.
+_NET_TRANSPORT_PATHS = (
+    "src/repro/pool/net.py",
+    "src/repro/pool/agent.py",
+    "src/repro/pool/hosts.py",
+)
+
+
+def _settimeout_disarms(node: ast.Call) -> bool:
+    """``settimeout()`` / ``settimeout(None)`` — an *unarmed* socket."""
+    if not node.args and not node.keywords:
+        return True
+    if node.args and isinstance(node.args[0], ast.Constant):
+        return node.args[0].value is None
+    return False
+
+
+@_register
+class TimeoutBoundedSockets(Rule):
+    """RPL009 — every socket in the net transport carries a deadline.
+
+    The distributed pool's supervision ladder (docs/distributed.md) only
+    works if *no* socket operation can block forever: heartbeat deadlines
+    and the agent's watchdog both ride on ``socket.timeout`` firing.  A
+    socket created without arming a timeout — or one disarmed with
+    ``settimeout(None)`` — silently reintroduces the unbounded hang the
+    ladder exists to prevent.  Sockets must come from the
+    :func:`repro.pool.net.client_socket` / ``listener_socket`` factories,
+    which arm the timeout at construction.
+    """
+
+    code = "RPL009"
+    name = "timeout-bounded-sockets"
+    severity = "error"
+    summary = "socket without an armed timeout in the net transport"
+    default_paths = _NET_TRANSPORT_PATHS
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        armed_scopes = self._scopes_that_arm(src)
+        for scope, node in self._socket_calls(src):
+            resolved = src.resolve_call(node.func)
+            if resolved == "socket.create_connection":
+                if len(node.args) < 2 and not any(
+                    kw.arg == "timeout" for kw in node.keywords
+                ):
+                    yield self.finding(
+                        src, node,
+                        "`socket.create_connection` without `timeout=` "
+                        "can block the connect forever; pass an explicit "
+                        "deadline (see `repro.pool.net.client_socket`)",
+                    )
+            elif resolved == "socket.socket":
+                if scope not in armed_scopes:
+                    yield self.finding(
+                        src, node,
+                        "raw `socket.socket(...)` is never armed with a "
+                        "timeout in this scope; use the bounded factories "
+                        "in `repro.pool.net` or call "
+                        "`settimeout(deadline)` before any I/O",
+                    )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "settimeout"
+                and _settimeout_disarms(node)
+            ):
+                yield self.finding(
+                    src, node,
+                    "`settimeout(None)` disarms the socket's deadline and "
+                    "makes every recv/send unbounded; the transport "
+                    "contract requires an explicit finite timeout",
+                )
+
+    @staticmethod
+    def _socket_calls(
+        src: SourceFile,
+    ) -> Iterator[tuple[ast.AST | None, ast.Call]]:
+        """Every call node, tagged with its enclosing function (or None)."""
+        def walk(node: ast.AST, scope: ast.AST | None):
+            for child in ast.iter_child_nodes(node):
+                child_scope = (
+                    child
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                    else scope
+                )
+                if isinstance(child, ast.Call):
+                    yield (child_scope, child)
+                yield from walk(child, child_scope)
+
+        yield from walk(src.tree, None)
+
+    def _scopes_that_arm(self, src: SourceFile) -> set[ast.AST]:
+        """Functions containing a ``settimeout`` call with a finite value."""
+        armed: set[ast.AST] = set()
+        for scope, node in self._socket_calls(src):
+            if (
+                scope is not None
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "settimeout"
+                and not _settimeout_disarms(node)
+            ):
+                armed.add(scope)
+        return armed

@@ -1,14 +1,16 @@
 """Process-pool execution subsystem.
 
-One pool primitive, three consumers:
+One pool primitive, two transports, three consumers:
 
-* :mod:`repro.pool.sharding` -- the ``multiprocess`` execution backend:
-  shard one chain ensemble across worker processes, bit-identical to the
-  ``vectorized`` backend (see docs/parallel.md for the determinism
+* :mod:`repro.pool.sharding` -- the ``multiprocess`` and ``distributed``
+  execution backends: shard one chain ensemble across worker processes
+  (or remote host agents), bit-identical to the ``vectorized`` backend
+  (see docs/parallel.md and docs/distributed.md for the determinism
   contract).
 * :mod:`repro.pool.batch` -- ``solve_many``: fan one solver configuration
   out over many problem instances with bounded in-flight work, ordered
-  results and per-instance error isolation.
+  results, per-instance error isolation, and optional chunked dispatch
+  for small instances.
 * ``ResilientRunner.run_units(..., workers=N)`` -- parallel work-unit
   execution for every study and the best-known recompute
   (:mod:`repro.resilience.runner`).
@@ -16,12 +18,23 @@ One pool primitive, three consumers:
 The pool supervises its children (:mod:`repro.pool.executor`): per-task
 wall-clock deadlines, in-pool retries of abnormal deaths, poison-task
 quarantine with structured reports (:mod:`repro.pool.errors`), content
-digests on every result crossing the pipe, and a deterministic transport
-fault plan for chaos testing (:mod:`repro.pool.faults`).
+digests on every result crossing the pipe, and deterministic transport
+fault plans for chaos testing (:mod:`repro.pool.faults`).
+
+The distributed layer adds a socket transport with the same guarantees
+(:mod:`repro.pool.net`), a host-agent runtime (:mod:`repro.pool.agent`),
+and a multi-host client with heartbeats, reconnect backoff and
+deterministic failover (:mod:`repro.pool.hosts`).
 """
 
 from repro.pool.batch import BatchError, BatchItem, solve_many
 from repro.pool.errors import (
+    AllHostsLostError,
+    FrameError,
+    HostHeartbeatError,
+    HostProtocolError,
+    HostUnreachableError,
+    LOCAL_HOST_LABEL,
     PayloadIntegrityError,
     PoisonTaskError,
     PoisonTaskReport,
@@ -31,12 +44,23 @@ from repro.pool.errors import (
 )
 from repro.pool.executor import PoolFuture, ProcessPool
 from repro.pool.faults import (
+    NET_FAULT_KINDS,
+    NetFaultPlan,
+    NetFaultSpec,
     POOL_FAULT_KINDS,
     PoolFaultPlan,
     PoolFaultSpec,
+    parse_net_fault,
     parse_pool_fault,
 )
-from repro.pool.sharding import ShardPlan, plan_shards, run_sharded_ensemble
+from repro.pool.hosts import HostPool
+from repro.pool.net import HostSpec, parse_host_spec, parse_host_specs
+from repro.pool.sharding import (
+    ShardPlan,
+    plan_shards,
+    run_distributed_ensemble,
+    run_sharded_ensemble,
+)
 
 __all__ = [
     "BatchError",
@@ -44,9 +68,19 @@ __all__ = [
     "solve_many",
     "PoolFuture",
     "ProcessPool",
+    "HostPool",
+    "HostSpec",
+    "parse_host_spec",
+    "parse_host_specs",
     "WorkerCrashError",
     "WorkerTimeoutError",
     "PayloadIntegrityError",
+    "FrameError",
+    "HostUnreachableError",
+    "HostHeartbeatError",
+    "HostProtocolError",
+    "AllHostsLostError",
+    "LOCAL_HOST_LABEL",
     "TaskAttempt",
     "PoisonTaskReport",
     "PoisonTaskError",
@@ -54,7 +88,12 @@ __all__ = [
     "PoolFaultPlan",
     "PoolFaultSpec",
     "parse_pool_fault",
+    "NET_FAULT_KINDS",
+    "NetFaultPlan",
+    "NetFaultSpec",
+    "parse_net_fault",
     "ShardPlan",
     "plan_shards",
     "run_sharded_ensemble",
+    "run_distributed_ensemble",
 ]

@@ -21,10 +21,20 @@ __all__ = [
     "WorkerCrashError",
     "WorkerTimeoutError",
     "PayloadIntegrityError",
+    "FrameError",
+    "HostUnreachableError",
+    "HostHeartbeatError",
+    "HostProtocolError",
+    "AllHostsLostError",
     "TaskAttempt",
     "PoisonTaskReport",
     "PoisonTaskError",
+    "LOCAL_HOST_LABEL",
 ]
+
+#: Host identity recorded on failure artifacts produced by in-process
+#: pools; remote attempts record the originating agent's endpoint label.
+LOCAL_HOST_LABEL = "local"
 
 
 class WorkerCrashError(RuntimeError):
@@ -55,6 +65,54 @@ class PayloadIntegrityError(WorkerCrashError):
     """
 
 
+class FrameError(RuntimeError):
+    """A transport frame was torn or malformed (bad magic, bad length).
+
+    Raised by the framed socket protocol (:mod:`repro.pool.net`) when a
+    peer delivers bytes that cannot be a frame.  The connection that
+    produced it is unusable (stream framing is lost), so the host layer
+    treats it as a connection failure, never as a task result.
+    """
+
+
+class HostUnreachableError(WorkerCrashError):
+    """A remote host agent died, reset the connection, or refused it.
+
+    The host-level analogue of :class:`WorkerCrashError`: the machine (or
+    its agent process) is gone mid-conversation.  Transient by
+    inheritance — reconnecting, or failing the host's shards over to the
+    surviving hosts, can recover the run bit-identically.
+    """
+
+
+class HostHeartbeatError(HostUnreachableError):
+    """A remote host missed its heartbeat deadline.
+
+    The connection may still look open (a network blackhole drops packets
+    without resetting), but the agent has stopped answering pings within
+    ``heartbeat_timeout_s``; the client declares the host dead and enters
+    the reconnect/failover ladder.
+    """
+
+
+class HostProtocolError(RuntimeError):
+    """The remote agent speaks an incompatible protocol.
+
+    Raised at handshake time on a version mismatch or a malformed
+    handshake reply.  Deliberately *not* transient: reconnecting to the
+    same agent yields the same version forever.
+    """
+
+
+class AllHostsLostError(RuntimeError):
+    """Every configured remote host is dead and out of reconnect budget.
+
+    The distributed runner catches this to degrade gracefully to the
+    local multiprocess pool; with local fallback disabled it surfaces as
+    the solve's failure.
+    """
+
+
 @dataclasses.dataclass(frozen=True)
 class TaskAttempt:
     """One failed attempt in a task's supervision history."""
@@ -63,6 +121,9 @@ class TaskAttempt:
     outcome: str  # "crash" | "timeout" | "integrity"
     error: str
     exitcode: int | None = None  # negative = killed by that signal
+    #: Where the attempt ran: ``"local"`` for in-process pools, the
+    #: agent's endpoint label (``host:port``) for remote attempts.
+    host: str = LOCAL_HOST_LABEL
 
     def to_json(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
@@ -73,18 +134,27 @@ class PoisonTaskReport:
     """Structured evidence for a quarantined task.
 
     Everything an operator needs to reproduce the failure offline: which
-    task (index and label), and the outcome, error text and exit
-    code/signal of every consecutive failed attempt.
+    task (index and label), which host(s) ran it, and the outcome, error
+    text and exit code/signal of every consecutive failed attempt.
     """
 
     index: int
     label: str
     attempts: tuple[TaskAttempt, ...]
 
+    @property
+    def host(self) -> str:
+        """The host of the final failed attempt (``"local"`` locally)."""
+        if not self.attempts:
+            return LOCAL_HOST_LABEL
+        return self.attempts[-1].host
+
     def to_json(self) -> dict[str, Any]:
         return {
             "index": self.index,
             "label": self.label,
+            "host": self.host,
+            "hosts": sorted({a.host for a in self.attempts}),
             "consecutive_failures": len(self.attempts),
             "attempts": [a.to_json() for a in self.attempts],
         }
@@ -93,8 +163,8 @@ class PoisonTaskReport:
         kinds = ", ".join(a.outcome for a in self.attempts)
         return (
             f"task {self.label!r} quarantined after "
-            f"{len(self.attempts)} consecutive failed attempts ({kinds}); "
-            f"last error: {self.attempts[-1].error}"
+            f"{len(self.attempts)} consecutive failed attempts ({kinds}) "
+            f"on {self.host}; last error: {self.attempts[-1].error}"
         )
 
 
@@ -110,4 +180,8 @@ class PoisonTaskError(RuntimeError):
         self.report = report
 
 
+# HostUnreachableError / HostHeartbeatError are transient via the
+# WorkerCrashError registration (subclass-aware); HostProtocolError and
+# AllHostsLostError stay fatal — a version mismatch or an exhausted
+# reconnect budget cannot be retried away.
 register_transient(WorkerCrashError, WorkerTimeoutError)

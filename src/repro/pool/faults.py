@@ -36,6 +36,10 @@ __all__ = [
     "PoolFaultSpec",
     "PoolFaultPlan",
     "parse_pool_fault",
+    "NET_FAULT_KINDS",
+    "NetFaultSpec",
+    "NetFaultPlan",
+    "parse_net_fault",
 ]
 
 POOL_FAULT_KINDS = ("kill", "hang", "corrupt-payload")
@@ -119,5 +123,108 @@ def parse_pool_fault(text: str) -> PoolFaultSpec:
             "is not an integer"
         ) from None
     return PoolFaultSpec(
+        kind=kind, task_index=task_index, repeat=len(parts) == 3
+    )
+
+
+#: Network failure modes the distributed transport is drilled against
+#: (docs/distributed.md):
+#:
+#: * ``disconnect`` — send the task, then abruptly close the connection;
+#:   exercises reconnect-with-backoff plus the resend of in-flight work.
+#: * ``delay`` — a deterministic pause before the task frame goes out;
+#:   exercises slow-network tolerance (results stay bit-identical).
+#: * ``partial-frame`` — ship only a prefix of the task frame, then
+#:   close; the agent's torn-frame path (:class:`FrameError`) fires.
+#: * ``corrupt-frame`` — flip a payload byte *after* the digest is
+#:   computed; the agent's integrity check rejects the task and the
+#:   client re-sends.
+#: * ``blackhole`` — the client stops reading from and pinging the
+#:   connection, so the agent falls silent from the client's view; the
+#:   heartbeat deadline trips and the reconnect ladder runs.
+NET_FAULT_KINDS = (
+    "disconnect", "delay", "partial-frame", "corrupt-frame", "blackhole"
+)
+
+
+@dataclass(frozen=True)
+class NetFaultSpec:
+    """Inject network fault ``kind`` when sending task ``task_index``.
+
+    Same firing contract as :class:`PoolFaultSpec`: ``repeat=False``
+    fires on the task's first send attempt only (the resend runs clean),
+    ``repeat=True`` fires on every attempt.
+    """
+
+    kind: str
+    task_index: int
+    repeat: bool = False
+
+    def __post_init__(self) -> None:
+        check_choice("net fault kind", self.kind, NET_FAULT_KINDS)
+        if self.task_index < 0:
+            raise ValueError(
+                f"net fault task index must be >= 0, got {self.task_index}"
+            )
+
+
+class NetFaultPlan:
+    """A reproducible schedule of network-transport faults.
+
+    The :class:`~repro.pool.hosts.HostPool` asks :meth:`directive` each
+    time it is about to put a task on the wire; a matching spec returns
+    its kind and is logged in :attr:`fired` as
+    ``(kind, host_label, task_index, attempt)`` for replay assertions.
+    Faults are injected client-side, so one plan drills any topology —
+    the agent never needs a chaos build.
+    """
+
+    def __init__(
+        self, specs: tuple[NetFaultSpec, ...] | list[NetFaultSpec] = ()
+    ) -> None:
+        self.specs = tuple(specs)
+        self.fired: list[tuple[str, str, int, int]] = []
+
+    def directive(
+        self, host_label: str, task_index: int, attempt: int
+    ) -> str | None:
+        """The fault kind to inject at this send (``None`` = run clean).
+
+        ``attempt`` is the task's 1-based send attempt (resends after a
+        reconnect or a rejected frame count up).  At most one spec fires
+        per send; with several matching specs the first wins.
+        """
+        for spec in self.specs:
+            if spec.task_index != task_index:
+                continue
+            if attempt == 1 or spec.repeat:
+                self.fired.append((spec.kind, host_label, task_index, attempt))
+                return spec.kind
+        return None
+
+
+def parse_net_fault(text: str) -> NetFaultSpec:
+    """Parse a CLI net-fault spec: ``KIND:TASK_INDEX[:repeat]``.
+
+    Examples: ``disconnect:1`` (the connection carrying task 1 drops once
+    and the resend succeeds), ``blackhole:0`` (task 0's host goes silent
+    until the heartbeat deadline trips), ``corrupt-frame:2:repeat``
+    (task 2's frame is corrupted on every send).
+    """
+    parts = text.split(":")
+    if len(parts) not in (2, 3) or (len(parts) == 3 and parts[2] != "repeat"):
+        raise ValueError(
+            f"bad net fault spec {text!r}; expected KIND:TASK_INDEX[:repeat],"
+            f" e.g. disconnect:1 (kinds: {NET_FAULT_KINDS})"
+        )
+    kind, index_text = parts[:2]
+    try:
+        task_index = int(index_text)
+    except ValueError:
+        raise ValueError(
+            f"bad net fault spec {text!r}: task index {index_text!r} "
+            "is not an integer"
+        ) from None
+    return NetFaultSpec(
         kind=kind, task_index=task_index, repeat=len(parts) == 3
     )

@@ -1,0 +1,371 @@
+"""The framed socket protocol of the distributed pool (`repro.pool.net`).
+
+One wire format, spoken by the host agent (:mod:`repro.pool.agent`) and
+the client-side :class:`~repro.pool.hosts.HostPool`:
+
+``frame = header ++ payload``, with a fixed binary header::
+
+    !4s B I Q 32s   magic  kind  task_id  payload_len  sha256(payload)
+
+* **Integrity before deserialization** — the receiver verifies the
+  payload's SHA-256 digest *before* interpreting a single payload byte;
+  a mismatch surfaces as the pool's existing
+  :class:`~repro.pool.errors.PayloadIntegrityError` path, never as a
+  wrong answer or an arbitrary unpickle crash.  Task results keep the
+  digest the worker child computed, so the check is end-to-end: child
+  pipe -> agent -> network -> client, one digest.
+* **Pickle only for task traffic** — control frames (handshake,
+  heartbeats, task-failure notices) carry JSON, so a malicious or
+  version-skewed peer is rejected before any pickle payload is touched.
+* **Explicit timeouts everywhere** — every socket is created through
+  :func:`client_socket` / :func:`listener_socket`, which arm a timeout at
+  construction.  Lint rule RPL009 (docs/lint.md) enforces this: a bare
+  ``socket.socket()`` or a ``settimeout(None)`` in the net transport
+  modules is a finding.
+
+The module is deliberately transport-only: no policy (retry, failover,
+heartbeat scheduling) lives here — that is :mod:`repro.pool.hosts` — so
+both endpoints share one definition of what bytes mean.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+from typing import Any
+
+from repro.pool.errors import FrameError, PayloadIntegrityError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_AGENT_PORT",
+    "CONTROL_TASK_ID",
+    "FRAME_HELLO",
+    "FRAME_WELCOME",
+    "FRAME_REJECT",
+    "FRAME_TASK",
+    "FRAME_RESULT_OK",
+    "FRAME_RESULT_ERROR",
+    "FRAME_RESULT_INTERRUPT",
+    "FRAME_TASK_FAILED",
+    "FRAME_PING",
+    "FRAME_PONG",
+    "FRAME_BYE",
+    "Frame",
+    "encode_frame",
+    "read_frame",
+    "send_frame",
+    "send_json_frame",
+    "json_payload",
+    "client_socket",
+    "listener_socket",
+    "HostSpec",
+    "parse_host_spec",
+    "parse_host_specs",
+    "format_host_specs",
+]
+
+#: Bumped on any wire-format change; the handshake rejects a mismatch.
+PROTOCOL_VERSION = 1
+
+#: Default TCP port of ``repro agent`` when ``--bind`` names no port.
+DEFAULT_AGENT_PORT = 7463
+
+#: ``task_id`` carried by frames that are not about a specific task.
+CONTROL_TASK_ID = 0xFFFFFFFF
+
+# -- frame kinds -----------------------------------------------------------
+FRAME_HELLO = 1  #: client -> agent: JSON {protocol, client}
+FRAME_WELCOME = 2  #: agent -> client: JSON {protocol, workers, host, pid}
+FRAME_REJECT = 3  #: agent -> client: JSON {reason} — handshake refused
+FRAME_TASK = 4  #: client -> agent: pickled (fn, args, label)
+FRAME_RESULT_OK = 5  #: agent -> client: the child's result pickle blob
+FRAME_RESULT_ERROR = 6  #: agent -> client: pickled in-task exception
+FRAME_RESULT_INTERRUPT = 7  #: agent -> client: child saw KeyboardInterrupt
+FRAME_TASK_FAILED = 8  #: agent -> client: JSON {outcome, error} (abnormal)
+FRAME_PING = 9  #: client -> agent: heartbeat probe (empty payload)
+FRAME_PONG = 10  #: agent -> client: heartbeat answer (empty payload)
+FRAME_BYE = 11  #: client -> agent: session over, cancel in-flight work
+
+_FRAME_KINDS = frozenset(range(FRAME_HELLO, FRAME_BYE + 1))
+
+_MAGIC = b"RPN1"
+_HEADER = struct.Struct("!4sBIQ32s")
+
+#: Upper bound on one frame's payload; a garbage length field must fail
+#: fast instead of making the receiver try to buffer terabytes.
+MAX_PAYLOAD_BYTES = 1 << 30
+
+
+def _digest(blob: bytes) -> bytes:
+    return hashlib.sha256(blob).digest()
+
+
+class Frame:
+    """One decoded frame: ``kind``, ``task_id`` and the verified payload."""
+
+    __slots__ = ("kind", "task_id", "payload")
+
+    def __init__(self, kind: int, task_id: int, payload: bytes) -> None:
+        self.kind = kind
+        self.task_id = task_id
+        self.payload = payload
+
+    def json(self) -> dict[str, Any]:
+        """Decode a control frame's JSON payload (``{}`` when empty)."""
+        return json_payload(self.payload)
+
+
+def json_payload(payload: bytes) -> dict[str, Any]:
+    """Decode a JSON control payload; a garbled one is a frame error."""
+    if not payload:
+        return {}
+    try:
+        value = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"control frame carries undecodable JSON: {exc}")
+    if not isinstance(value, dict):
+        raise FrameError(
+            f"control frame payload must be a JSON object, got "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+def encode_frame(
+    kind: int, payload: bytes = b"", task_id: int = CONTROL_TASK_ID,
+    digest: bytes | None = None,
+) -> bytes:
+    """Serialize one frame.
+
+    ``digest`` lets a relay forward a payload under a digest computed
+    elsewhere (the agent forwards result blobs under the digest the
+    worker child computed, keeping the integrity check end-to-end).
+    """
+    if kind not in _FRAME_KINDS:
+        raise ValueError(f"unknown frame kind {kind}")
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise ValueError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte protocol bound"
+        )
+    header = _HEADER.pack(
+        _MAGIC, kind, task_id, len(payload),
+        digest if digest is not None else _digest(payload),
+    )
+    return header + payload
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes, honouring the socket's armed timeout.
+
+    ``recv`` never over-reads past ``n``, so frame boundaries are exact
+    and no buffering state survives between frames.  EOF mid-read raises
+    :class:`FrameError` — a torn frame, by definition.
+    """
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise FrameError(
+                f"connection closed mid-frame ({n - remaining} of {n} "
+                "bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Frame | None:
+    """Read and verify one frame; ``None`` on a clean EOF between frames.
+
+    Raises :class:`FrameError` for torn/malformed frames (the stream is
+    unusable afterwards) and :class:`PayloadIntegrityError` when the
+    payload bytes fail their digest — the frame boundary is intact in
+    that case, so the caller may keep the connection and reject just the
+    one task.  Blocking is bounded by the socket's armed timeout
+    (``socket.timeout`` propagates to the caller's supervision loop).
+    """
+    try:
+        first = sock.recv(1)
+    except ConnectionError as exc:
+        raise FrameError(f"connection reset between frames: {exc!r}")
+    if not first:
+        return None
+    header = first + _recv_exactly(sock, _HEADER.size - 1)
+    magic, kind, task_id, length, digest = _HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise FrameError(
+            f"bad frame magic {magic!r}; peer is not speaking the "
+            "repro.pool.net protocol"
+        )
+    if kind not in _FRAME_KINDS:
+        raise FrameError(f"unknown frame kind {kind}")
+    if length > MAX_PAYLOAD_BYTES:
+        raise FrameError(
+            f"frame announces a {length}-byte payload, over the "
+            f"{MAX_PAYLOAD_BYTES}-byte protocol bound"
+        )
+    payload = _recv_exactly(sock, length) if length else b""
+    if _digest(payload) != digest:
+        error = PayloadIntegrityError(
+            f"frame payload ({length} bytes, kind {kind}, task "
+            f"{task_id}) failed its content-digest check; corrupted in "
+            "transit"
+        )
+        # The frame boundary is intact, so the receiver can keep the
+        # connection and confine the failure to this one task.
+        error.task_id = task_id  # type: ignore[attr-defined]
+        raise error
+    return Frame(kind, task_id, payload)
+
+
+def send_frame(
+    sock: socket.socket, kind: int, payload: bytes = b"",
+    task_id: int = CONTROL_TASK_ID, digest: bytes | None = None,
+) -> None:
+    """Encode and ship one frame (bounded by the socket's armed timeout)."""
+    sock.sendall(encode_frame(kind, payload, task_id, digest))
+
+
+def send_json_frame(
+    sock: socket.socket, kind: int, fields: dict[str, Any],
+    task_id: int = CONTROL_TASK_ID,
+) -> None:
+    """Ship a control frame with a JSON payload."""
+    payload = json.dumps(fields, sort_keys=True).encode("utf-8")
+    send_frame(sock, kind, payload, task_id)
+
+
+# -- bounded socket factories (the RPL009 contract) ------------------------
+
+def client_socket(
+    address: tuple[str, int], connect_timeout_s: float, io_timeout_s: float
+) -> socket.socket:
+    """Connect to an agent with explicit connect and I/O deadlines.
+
+    The returned socket always carries ``io_timeout_s`` as its armed
+    timeout, so every subsequent ``recv``/``sendall`` is bounded — the
+    invariant RPL009 pins for the net transport modules.
+    """
+    sock = socket.create_connection(address, timeout=connect_timeout_s)
+    try:
+        sock.settimeout(io_timeout_s)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        sock.close()
+        raise
+    return sock
+
+
+def listener_socket(
+    host: str, port: int, accept_timeout_s: float, backlog: int = 8
+) -> socket.socket:
+    """A bound+listening socket whose ``accept`` is deadline-bounded."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.settimeout(accept_timeout_s)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen(backlog)
+    except OSError:
+        sock.close()
+        raise
+    return sock
+
+
+# -- host topology specs ---------------------------------------------------
+
+class HostSpec:
+    """One remote agent in the ``--hosts`` topology.
+
+    ``workers`` is the host's *weight* in the shard plan: the total
+    worker count across all specs fixes the plan, so the distributed
+    merge is bit-identical to ``backend="multiprocess"`` with that many
+    local workers — regardless of which host ends up running which shard.
+    """
+
+    __slots__ = ("host", "port", "workers")
+
+    def __init__(self, host: str, port: int, workers: int) -> None:
+        if not host:
+            raise ValueError("host spec needs a non-empty host name")
+        if not (0 < port < 65536):
+            raise ValueError(
+                f"host spec port must lie in [1, 65535], got {port}"
+            )
+        if workers < 1:
+            raise ValueError(
+                f"host spec workers must be >= 1, got {workers}"
+            )
+        self.host = host
+        self.port = port
+        self.workers = workers
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def label(self) -> str:
+        """The identity recorded on failure artifacts (``host:port``)."""
+        return f"{self.host}:{self.port}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HostSpec({self.host!r}, {self.port}, workers={self.workers})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HostSpec)
+            and (self.host, self.port, self.workers)
+            == (other.host, other.port, other.workers)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.host, self.port, self.workers))
+
+
+def parse_host_spec(text: str) -> HostSpec:
+    """Parse one spec: ``HOST:WORKERS`` or ``HOST:PORT:WORKERS``.
+
+    The two-part form (``host1:4``) uses the default agent port
+    (:data:`DEFAULT_AGENT_PORT`); the three-part form names an explicit
+    port (``localhost:7471:2`` — how localhost drills run several agents
+    side by side).
+    """
+    parts = text.strip().split(":")
+    try:
+        if len(parts) == 2:
+            return HostSpec(parts[0], DEFAULT_AGENT_PORT, int(parts[1]))
+        if len(parts) == 3:
+            return HostSpec(parts[0], int(parts[1]), int(parts[2]))
+    except ValueError as exc:
+        raise ValueError(f"bad host spec {text!r}: {exc}") from None
+    raise ValueError(
+        f"bad host spec {text!r}; expected HOST:WORKERS or "
+        "HOST:PORT:WORKERS, e.g. 'host1:4' or 'localhost:7471:2'"
+    )
+
+
+def parse_host_specs(text: str) -> tuple[HostSpec, ...]:
+    """Parse a comma-separated topology, e.g. ``host1:4,host2:8``."""
+    items = [part for part in text.split(",") if part.strip()]
+    if not items:
+        raise ValueError("empty host topology; expected HOST:WORKERS,...")
+    specs = tuple(parse_host_spec(item) for item in items)
+    seen: set[tuple[str, int]] = set()
+    for spec in specs:
+        if spec.address in seen:
+            raise ValueError(
+                f"duplicate host endpoint {spec.label!r} in topology"
+            )
+        seen.add(spec.address)
+    return specs
+
+
+def format_host_specs(specs: tuple[HostSpec, ...] | list[HostSpec]) -> str:
+    """The canonical string form of a topology (params/reporting)."""
+    return ",".join(f"{s.host}:{s.port}:{s.workers}" for s in specs)

@@ -31,24 +31,32 @@ from __future__ import annotations
 import dataclasses
 import time
 import warnings
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 import numpy as np
 
 from repro.core.engine.adapters import adapter_for
-from repro.core.engine.backends import MultiprocessBackend
+from repro.core.engine.backends import DistributedBackend, MultiprocessBackend
 from repro.initialization import initial_population
+from repro.pool.errors import AllHostsLostError
 from repro.pool.executor import ProcessPool, default_workers
+from repro.pool.net import format_host_specs
 from repro.pool.worker import ShardResult, run_shard
 from repro.problems.validation import validate_schedule
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine.adapters import ProblemAdapter
     from repro.core.engine.driver import EnsembleStrategy
     from repro.core.results import SolveResult
     from repro.problems.cdd import CDDInstance
     from repro.problems.ucddcp import UCDDCPInstance
 
-__all__ = ["ShardPlan", "plan_shards", "run_sharded_ensemble"]
+__all__ = [
+    "ShardPlan",
+    "plan_shards",
+    "run_sharded_ensemble",
+    "run_distributed_ensemble",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -101,72 +109,68 @@ def plan_shards(
     return ShardPlan(row_offsets=tuple(offsets), blocks=blocks)
 
 
-def run_sharded_ensemble(
+def _build_shard_tasks(
     instance: "CDDInstance | UCDDCPInstance",
     strategy: "EnsembleStrategy",
-    backend: MultiprocessBackend,
-) -> "SolveResult":
-    """Run one ensemble solve sharded across worker processes.
-
-    The parent owns everything that is host-global in the unsharded run:
-    the host RNG (``prepare`` + the full initial population, including the
-    global-row-indexed ``prepare_population`` hook), the shard merge, and
-    ``finalize`` on the merged best.  Workers own the generation loop for
-    their slice (:func:`repro.pool.worker.run_shard`).
-    """
-    from repro.core.engine.driver import assemble_result
-
+    plan: ShardPlan,
+    init_seqs: np.ndarray,
+    fault_plan: Any,
+) -> tuple[list[tuple[Callable[..., Any], tuple]], list[str]]:
+    """Spawn-safe shard tasks (and their labels) for any pool transport."""
     config = strategy.config
-    adapter = adapter_for(instance)
-    pop = config.population
-    host_rng = np.random.default_rng(config.seed)
-    strategy.prepare(adapter, host_rng)
-
-    start_wall = time.perf_counter()
-    plan = plan_shards(
-        config.grid_size,
-        config.block_size,
-        backend.workers,
-        shardable=strategy.shardable,
-        algorithm=strategy.algorithm,
-    )
-
-    init_seqs = initial_population(
-        instance, pop, host_rng, config.init
-    ).astype(np.int32)
-    init_seqs = strategy.prepare_population(init_seqs)
-
-    tasks = []
+    tasks: list[tuple[Callable[..., Any], tuple]] = []
     for lo, nblocks in zip(plan.row_offsets, plan.blocks):
         rows = init_seqs[lo : lo + nblocks * config.block_size]
         tasks.append(
             (
                 run_shard,
                 (instance, type(strategy), config, lo, nblocks, rows,
-                 backend.fault_plan),
+                 fault_plan),
             )
         )
-
-    shards: list[ShardResult | None] = [None] * len(tasks)
-    pool = ProcessPool(
-        workers=len(tasks),
-        context=backend.context,
-        task_timeout=backend.task_timeout,
-        task_retries=backend.task_retries,
-        fault_plan=backend.pool_faults,
-    )
     labels = [f"{instance.name}:shard{i}" for i in range(len(tasks))]
-    for index, status, value in pool.imap_unordered(tasks, labels=labels):
+    return tasks, labels
+
+
+def _collect_shards(
+    shards: list[ShardResult | None],
+    outcomes: Iterator[tuple[int, str, Any]],
+    indices: Sequence[int] | None = None,
+) -> None:
+    """Fill ``shards`` from an ``imap_unordered`` stream.
+
+    ``indices`` maps the stream's local task indices back to global shard
+    indices (used when a fallback pool re-runs only the unfinished ones).
+    """
+    for index, status, value in outcomes:
         if status == "interrupt":
             raise KeyboardInterrupt
         if status == "error":
             raise value
-        shards[index] = value
-    results = [s for s in shards if s is not None]
-    assert len(results) == len(tasks)
+        shards[indices[index] if indices is not None else index] = value
 
-    # Merge, reproducing the elitist reduction's tie-breaks (strict
-    # improvement, earliest round, lowest global thread index).
+
+def _merge_shards(
+    instance: "CDDInstance | UCDDCPInstance",
+    strategy: "EnsembleStrategy",
+    adapter: "ProblemAdapter",
+    results: Sequence[ShardResult],
+    start_wall: float,
+    params: dict[str, Any],
+) -> "SolveResult":
+    """Merge shard results bit-identically to the elitist reduction.
+
+    Reproduces the reduction's tie-breaks (strict improvement, earliest
+    round, lowest global thread index): the winner is the shard with the
+    lowest best energy, reached in the earliest round, from the lowest
+    shard index — shards are ascending block ranges, so the lowest tied
+    shard contains the lowest tied global thread.  Identical regardless
+    of which transport (local pool or remote hosts) ran the shards.
+    """
+    from repro.core.engine.driver import assemble_result
+
+    config = strategy.config
+
     def first_round(shard: ShardResult) -> int:
         return int(np.nonzero(shard.ext_history == shard.best_energy)[0][0])
 
@@ -182,17 +186,15 @@ def run_sharded_ensemble(
     final_seq, extra_evals = strategy.finalize(results[winner].best_seq)
     wall = time.perf_counter() - start_wall
 
-    params = strategy.params()
+    params = dict(params)
     params["device_spec"] = config.resolve_device_spec().name
     params["device_profile"] = (
         None if config.device_spec is not None else config.device_profile
     )
-    params["backend"] = backend.name
-    params["workers"] = len(results)
     result = assemble_result(
         adapter,
         final_seq,
-        evaluations=(config.iterations + 1) * pop + extra_evals,
+        evaluations=(config.iterations + 1) * config.population + extra_evals,
         wall_time_s=wall,
         history=history,
         params=params,
@@ -203,3 +205,144 @@ def run_sharded_ensemble(
     # answer (a violation raises ScheduleError here, at the merge).
     validate_schedule(instance, result.schedule)
     return result
+
+
+def _prepare_ensemble(
+    instance: "CDDInstance | UCDDCPInstance",
+    strategy: "EnsembleStrategy",
+    workers: int | None,
+) -> tuple["ProblemAdapter", ShardPlan, np.ndarray, float]:
+    """Host-global setup shared by the pooled runners: the host RNG
+    (``prepare`` + full initial population with the global-row-indexed
+    ``prepare_population`` hook) and the shard plan for ``workers``."""
+    config = strategy.config
+    adapter = adapter_for(instance)
+    host_rng = np.random.default_rng(config.seed)
+    strategy.prepare(adapter, host_rng)
+
+    start_wall = time.perf_counter()
+    plan = plan_shards(
+        config.grid_size,
+        config.block_size,
+        workers,
+        shardable=strategy.shardable,
+        algorithm=strategy.algorithm,
+    )
+    init_seqs = initial_population(
+        instance, config.population, host_rng, config.init
+    ).astype(np.int32)
+    init_seqs = strategy.prepare_population(init_seqs)
+    return adapter, plan, init_seqs, start_wall
+
+
+def run_sharded_ensemble(
+    instance: "CDDInstance | UCDDCPInstance",
+    strategy: "EnsembleStrategy",
+    backend: MultiprocessBackend,
+) -> "SolveResult":
+    """Run one ensemble solve sharded across local worker processes.
+
+    The parent owns everything that is host-global in the unsharded run:
+    the host RNG, the shard merge, and ``finalize`` on the merged best.
+    Workers own the generation loop for their slice
+    (:func:`repro.pool.worker.run_shard`).
+    """
+    adapter, plan, init_seqs, start_wall = _prepare_ensemble(
+        instance, strategy, backend.workers
+    )
+    tasks, labels = _build_shard_tasks(
+        instance, strategy, plan, init_seqs, backend.fault_plan
+    )
+    shards: list[ShardResult | None] = [None] * len(tasks)
+    pool = ProcessPool(
+        workers=len(tasks),
+        context=backend.context,
+        task_timeout=backend.task_timeout,
+        task_retries=backend.task_retries,
+        fault_plan=backend.pool_faults,
+    )
+    _collect_shards(shards, pool.imap_unordered(tasks, labels=labels))
+    results = [s for s in shards if s is not None]
+    assert len(results) == len(tasks)
+
+    params = strategy.params()
+    params["backend"] = backend.name
+    params["workers"] = len(results)
+    return _merge_shards(
+        instance, strategy, adapter, results, start_wall, params
+    )
+
+
+def run_distributed_ensemble(
+    instance: "CDDInstance | UCDDCPInstance",
+    strategy: "EnsembleStrategy",
+    backend: DistributedBackend,
+) -> "SolveResult":
+    """Run one ensemble solve sharded across remote host agents.
+
+    The shard plan is fixed by the topology's *total* worker count, and
+    shard results do not depend on where they ran, so the merged result
+    is bit-identical to ``backend="multiprocess"`` with the same total —
+    through reconnects, host failover, and (when ``local_fallback`` is
+    on) complete loss of every remote, where the unfinished shards are
+    deterministically re-run on a local :class:`ProcessPool`.
+    """
+    from repro.pool.hosts import HostPool
+
+    adapter, plan, init_seqs, start_wall = _prepare_ensemble(
+        instance, strategy, backend.workers
+    )
+    tasks, labels = _build_shard_tasks(
+        instance, strategy, plan, init_seqs, backend.fault_plan
+    )
+    shards: list[ShardResult | None] = [None] * len(tasks)
+    host_pool = HostPool(
+        backend.hosts,
+        task_retries=backend.task_retries,
+        heartbeat_interval_s=backend.heartbeat_interval_s,
+        heartbeat_timeout_s=backend.heartbeat_timeout_s,
+        connect_timeout_s=backend.connect_timeout_s,
+        io_timeout_s=backend.io_timeout_s,
+        reconnect_attempts=backend.reconnect_attempts,
+        backoff_base_s=backend.backoff_base_s,
+        backoff_factor=backend.backoff_factor,
+        backoff_max_s=backend.backoff_max_s,
+        net_faults=backend.net_faults,
+    )
+    try:
+        _collect_shards(
+            shards, host_pool.imap_unordered(tasks, labels=labels)
+        )
+    except AllHostsLostError as exc:
+        if not backend.local_fallback:
+            raise
+        remaining = [i for i, s in enumerate(shards) if s is None]
+        warnings.warn(
+            f"{exc}; degrading to the local multiprocess pool for the "
+            f"{len(remaining)} unfinished shard(s) — results are "
+            "unaffected (shard re-runs are bit-identical)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        fallback = ProcessPool(
+            workers=min(len(remaining), default_workers()),
+            context=backend.context,
+        )
+        _collect_shards(
+            shards,
+            fallback.imap_unordered(
+                [tasks[i] for i in remaining],
+                labels=[labels[i] for i in remaining],
+            ),
+            indices=remaining,
+        )
+    results = [s for s in shards if s is not None]
+    assert len(results) == len(tasks)
+
+    params = strategy.params()
+    params["backend"] = backend.name
+    params["workers"] = len(results)
+    params["hosts"] = format_host_specs(backend.hosts)
+    return _merge_shards(
+        instance, strategy, adapter, results, start_wall, params
+    )

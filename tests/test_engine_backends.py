@@ -173,7 +173,12 @@ class TestModeledTimingStability:
 
 class TestBackendRegistry:
     def test_registry_contents(self):
-        assert set(BACKENDS) == {"gpusim", "vectorized", "multiprocess"}
+        assert set(BACKENDS) == {
+            "gpusim",
+            "vectorized",
+            "multiprocess",
+            "distributed",
+        }
 
     def test_create_by_name(self):
         assert isinstance(create_backend("gpusim"), GpusimBackend)

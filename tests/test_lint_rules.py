@@ -25,10 +25,10 @@ def codes(findings):
 
 
 class TestCatalog:
-    def test_eight_rules_registered(self):
+    def test_nine_rules_registered(self):
         assert sorted(RULES) == [
             "RPL001", "RPL002", "RPL003", "RPL004",
-            "RPL005", "RPL006", "RPL007", "RPL008",
+            "RPL005", "RPL006", "RPL007", "RPL008", "RPL009",
         ]
 
     def test_rules_carry_metadata(self):
@@ -425,5 +425,79 @@ class TestRPL008BoundedBlocking:
                 proc.communicate(timeout=deadline)
             """,
             path=POOL_PATH,
+        )
+        assert findings == []
+
+
+#: A path inside RPL009's default scope (the net transport modules).
+NET_PATH = "src/repro/pool/net.py"
+
+
+class TestRPL009TimeoutBoundedSockets:
+    def test_detects_create_connection_without_timeout(self):
+        findings = lint(
+            """
+            import socket
+            def dial(address):
+                return socket.create_connection(address)
+            """,
+            path=NET_PATH,
+        )
+        assert codes(findings) == ["RPL009"]
+        assert "timeout=" in findings[0].message
+
+    def test_detects_unarmed_raw_socket(self):
+        findings = lint(
+            """
+            import socket
+            def listen(port):
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                sock.bind(("", port))
+                sock.listen(1)
+                return sock
+            """,
+            path="src/repro/pool/agent.py",
+        )
+        assert codes(findings) == ["RPL009"]
+        assert "never armed" in findings[0].message
+
+    def test_detects_settimeout_none(self):
+        findings = lint(
+            """
+            def disarm(sock):
+                sock.settimeout(None)
+            """,
+            path="src/repro/pool/hosts.py",
+        )
+        assert codes(findings) == ["RPL009"]
+        assert "disarms" in findings[0].message
+
+    def test_allows_armed_sockets(self):
+        findings = lint(
+            """
+            import socket
+            def dial(address, connect_s, io_s):
+                sock = socket.create_connection(address, timeout=connect_s)
+                sock.settimeout(io_s)
+                return sock
+
+            def listen(port, accept_s):
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                sock.settimeout(accept_s)
+                sock.bind(("", port))
+                return sock
+            """,
+            path=NET_PATH,
+        )
+        assert findings == []
+
+    def test_out_of_scope_paths_unchecked(self):
+        findings = lint(
+            """
+            import socket
+            def dial(address):
+                return socket.create_connection(address)
+            """,
+            path=CORE_PATH,
         )
         assert findings == []
