@@ -3,6 +3,7 @@
 Commands
 --------
 ``solve``       solve one benchmark instance with a chosen method
+``serve``       run the HTTP scheduling service (docs/service.md)
 ``agent``       serve pool tasks to remote solves (``--backend distributed``)
 ``experiment``  regenerate a paper table/figure (``repro experiment table2``)
 ``list``        list experiments, benchmark sets and device presets
@@ -125,6 +126,16 @@ def build_parser() -> argparse.ArgumentParser:
              "blackhole; --backend distributed)",
     )
     _add_device_profile_arg(p_solve)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the HTTP scheduling service: async job queue, admission "
+             "control and a content-addressed result cache "
+             "(see docs/service.md)",
+    )
+    from repro.service.cli import add_serve_arguments
+
+    add_serve_arguments(p_serve)
 
     p_agent = sub.add_parser(
         "agent",
@@ -390,6 +401,12 @@ def _apply_distributed_flags(
     return None
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.cli import run_serve
+
+    return run_serve(args)
+
+
 def _cmd_agent(args: argparse.Namespace) -> int:
     from repro.pool.agent import HostAgent
     from repro.pool.net import DEFAULT_AGENT_PORT
@@ -610,6 +627,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "solve": _cmd_solve,
+        "serve": _cmd_serve,
         "agent": _cmd_agent,
         "experiment": _cmd_experiment,
         "list": _cmd_list,

@@ -46,6 +46,8 @@ __all__ = [
     "solver_methods",
     "solver_for",
     "solve_many",
+    "method_config_cls",
+    "method_accepts_backend",
 ]
 
 
@@ -58,6 +60,12 @@ class _MethodSpec:
     #: keyword (only the engine-driven parallel methods do; for
     #: ``serial_sa`` the name ``backend`` is an evaluator config field).
     accepts_backend: bool = False
+    #: The configuration dataclass the method's kwargs construct
+    #: (``None`` for ``exact``, which takes no configuration).  Exposed
+    #: via :func:`method_config_cls` so request validators (the service's
+    #: admission layer) can run the config mixins' checks eagerly —
+    #: before a job is queued — instead of failing mid-solve.
+    config_cls: type | None = None
 
 
 def _engine_method(config_cls: type, driver: Callable[..., SolveResult]):
@@ -134,7 +142,7 @@ def _engine_method(config_cls: type, driver: Callable[..., SolveResult]):
                 )
         return driver(solver.instance, config_cls(**params), backend=backend)
 
-    return _MethodSpec(run=run, accepts_backend=True)
+    return _MethodSpec(run=run, accepts_backend=True, config_cls=config_cls)
 
 
 def _serial_method(config_cls: type, driver: Callable[..., SolveResult]):
@@ -143,7 +151,7 @@ def _serial_method(config_cls: type, driver: Callable[..., SolveResult]):
     def run(solver: "_BaseSolver", **params: Any) -> SolveResult:
         return driver(solver.instance, config_cls(**params))
 
-    return _MethodSpec(run=run)
+    return _MethodSpec(run=run, config_cls=config_cls)
 
 
 def _exact_method() -> _MethodSpec:
@@ -211,6 +219,31 @@ class _BaseSolver:
 def solver_methods() -> tuple[str, ...]:
     """Names of all registered solve methods (CLI/choices source)."""
     return tuple(_BaseSolver._METHODS)
+
+
+def _method_spec(method: str) -> _MethodSpec:
+    spec = _BaseSolver._METHODS.get(method)
+    if spec is None:
+        raise ValueError(
+            f"unknown method {method!r}; choose from "
+            f"{tuple(_BaseSolver._METHODS)}"
+        )
+    return spec
+
+
+def method_config_cls(method: str) -> type | None:
+    """The config dataclass ``method``'s kwargs construct (``None``: exact).
+
+    Lets request validators construct the config eagerly — running the
+    shared config-validation mixins — so a malformed configuration is a
+    submission-time error, not a queued job that fails mid-solve.
+    """
+    return _method_spec(method).config_cls
+
+
+def method_accepts_backend(method: str) -> bool:
+    """Whether ``method`` takes the ``backend=`` execution-backend kwarg."""
+    return _method_spec(method).accepts_backend
 
 
 class CDDSolver(_BaseSolver):

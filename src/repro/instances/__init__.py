@@ -10,6 +10,13 @@ way [8] constructs its set (see DESIGN.md, substitution table).
 the genuine files can be dropped in when available.
 """
 
+from repro.instances.digest import (
+    canonical_json,
+    instance_digest,
+    mapping_digest,
+    sha256_bytes,
+    sha256_hex,
+)
 from repro.instances.biskup import (
     BISKUP_H_FACTORS,
     BISKUP_JOB_SIZES,
@@ -31,4 +38,9 @@ __all__ = [
     "write_sch",
     "benchmark_set",
     "registry_names",
+    "canonical_json",
+    "instance_digest",
+    "mapping_digest",
+    "sha256_bytes",
+    "sha256_hex",
 ]

@@ -1,0 +1,76 @@
+"""Canonical content digests: one hashing contract for the whole repo.
+
+Every place the repo identifies bytes or structured values by content —
+the pool's end-to-end payload-integrity check (child pipe → agent →
+network → client travels under *one* digest), the service's
+content-addressed result cache, instance identity in cache keys — uses
+the SHA-256 helpers here, so "same content" means the same thing
+everywhere and two subsystems can never disagree about a digest.
+
+Structured values are digested through :func:`canonical_json`: sorted
+keys, minimal separators, no whitespace variance.  CPython's ``repr`` of
+floats is shortest-round-trip and deterministic across platforms, so
+``json.dumps`` of instance arrays is a stable byte sequence for equal
+values.  Instances digest through their :meth:`to_dict` representation,
+which both problem families define as their JSON round-trip contract —
+two instances with equal fields share a digest regardless of how they
+were constructed (generator, OR-library file, service request body).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Protocol
+
+__all__ = [
+    "sha256_bytes",
+    "sha256_hex",
+    "canonical_json",
+    "mapping_digest",
+    "instance_digest",
+]
+
+
+class _SupportsToDict(Protocol):
+    def to_dict(self) -> dict[str, Any]: ...
+
+
+def sha256_bytes(blob: bytes) -> bytes:
+    """Raw 32-byte SHA-256 of ``blob`` (wire headers store this form)."""
+    return hashlib.sha256(blob).digest()
+
+
+def sha256_hex(blob: bytes) -> str:
+    """Hex SHA-256 of ``blob`` (pipe messages and keys store this form)."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+def canonical_json(value: Any) -> str:
+    """The one canonical JSON text for ``value``.
+
+    Sorted keys and minimal separators make the text a pure function of
+    the value; non-JSON leaves degrade to their ``repr`` so a digest can
+    always be computed (at the cost of repr stability for such leaves —
+    keep digested structures JSON-native where identity matters).
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), default=repr
+    )
+
+
+def mapping_digest(value: Any) -> str:
+    """Hex SHA-256 of a structured value's canonical JSON."""
+    return sha256_hex(canonical_json(value).encode("utf-8"))
+
+
+def instance_digest(instance: _SupportsToDict) -> str:
+    """The canonical content digest of a problem instance.
+
+    Computed over :meth:`to_dict` — every field that defines the problem
+    (processing, penalties, due date, kind, name) in canonical JSON — so
+    it is stable across processes, sessions and hosts.  This is the
+    ``instance`` component of the service's cache key; equal instances
+    always collide, unequal ones never do (modulo SHA-256).
+    """
+    return mapping_digest(instance.to_dict())

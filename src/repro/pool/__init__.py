@@ -27,7 +27,8 @@ and a multi-host client with heartbeats, reconnect backoff and
 deterministic failover (:mod:`repro.pool.hosts`).
 """
 
-from repro.pool.batch import BatchError, BatchItem, solve_many
+from repro.pool.batch import BatchError, BatchItem, error_kind, solve_many
+from repro.pool.dispatch import SupervisedDispatch
 from repro.pool.errors import (
     AllHostsLostError,
     FrameError,
@@ -65,9 +66,11 @@ from repro.pool.sharding import (
 __all__ = [
     "BatchError",
     "BatchItem",
+    "error_kind",
     "solve_many",
     "PoolFuture",
     "ProcessPool",
+    "SupervisedDispatch",
     "HostPool",
     "HostSpec",
     "parse_host_spec",

@@ -49,7 +49,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.problems.cdd import CDDInstance
     from repro.problems.ucddcp import UCDDCPInstance
 
-__all__ = ["BatchError", "BatchItem", "solve_many", "iter_solve_many"]
+__all__ = [
+    "BatchError",
+    "BatchItem",
+    "error_kind",
+    "solve_many",
+    "iter_solve_many",
+]
 
 Instance = "CDDInstance | UCDDCPInstance"
 
@@ -98,8 +104,15 @@ class BatchItem:
         return self.result is not None
 
 
-def _error_kind(value: BaseException) -> str:
-    """The structured ``error_type`` string for a pool-surfaced failure."""
+def error_kind(value: BaseException) -> str:
+    """The structured ``error_type`` string for a pool-surfaced failure.
+
+    Shared vocabulary for every layer that renders pool failures to
+    users: batch error records and the service's per-job error payloads
+    name the same outcome the same way (``poison_task`` /
+    ``worker_timeout`` / ``payload_integrity`` / ``worker_crash``, or
+    the exception's type name for an ordinary in-task error).
+    """
     if isinstance(value, PoisonTaskError):
         return "poison_task"
     if isinstance(value, WorkerTimeoutError):
@@ -124,7 +137,7 @@ def _error_item(index: int, instance: Any, value: BaseException) -> BatchItem:
         instance=instance,
         result=None,
         error=BatchError(index=index, error=str(value),
-                         error_type=_error_kind(value), report=report,
+                         error_type=error_kind(value), report=report,
                          host=host),
     )
 

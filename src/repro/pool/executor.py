@@ -46,7 +46,6 @@ directives, which travel as plain strings.
 
 from __future__ import annotations
 
-import hashlib
 import multiprocessing as mp
 import os
 import pickle
@@ -56,6 +55,7 @@ from multiprocessing.connection import Connection, wait
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.engine.config import check_retries, check_timeout, check_workers
+from repro.instances.digest import sha256_hex
 from repro.pool.errors import (
     PayloadIntegrityError,
     PoisonTaskError,
@@ -84,8 +84,10 @@ def default_workers(cap: int | None = None) -> int:
     return max(n, 1)
 
 
-def _digest(blob: bytes) -> str:
-    return hashlib.sha256(blob).hexdigest()
+# One hashing contract repo-wide (repro.instances.digest): children hash
+# their result blob with the same SHA-256 the net transport and the
+# service result cache use.
+_digest = sha256_hex
 
 
 def _child_main(
@@ -127,6 +129,75 @@ def _child_main(
             conn.send(("error", RuntimeError(f"unpicklable {exc!r}")))
     finally:
         conn.close()
+
+
+def receive_outcome(
+    connection: Connection, process: mp.process.BaseProcess, label: str
+) -> tuple[str, Any]:
+    """Receive and decode one child message; never raises.
+
+    Returns ``(status, value)`` where status is ``"ok"``/``"error"``/
+    ``"interrupt"`` (the protocol statuses) or ``"crash"``/``"integrity"``
+    (abnormal outcomes a supervisor may retry).  Any receive or decode
+    failure is confined to this task: a torn or undecodable message must
+    never escape and kill the caller's collection loop.  Shared by the
+    pool's multiplexed collection and the service's single-job
+    :class:`~repro.pool.dispatch.SupervisedDispatch`, so both speak the
+    identical child protocol.
+    """
+    try:
+        try:
+            # Bounded by construction: only connections that wait()
+            # reported ready (or poll() confirmed) reach this receive, so
+            # recv() returns without blocking; hung children are the
+            # watchdog's job, not this read's.
+            message = connection.recv()  # repro-lint: disable=RPL008 -- recv only after wait()/poll() readiness; hangs are reaped by the deadline watchdog
+        finally:
+            connection.close()
+        process.join()
+    except EOFError:
+        process.join()
+        code = process.exitcode
+        return "crash", WorkerCrashError(
+            f"worker process for task {label!r} died without reporting "
+            f"a result (exit code {code})"
+        )
+    except Exception as exc:  # noqa: BLE001 - isolate decode failures
+        process.join()
+        return "crash", WorkerCrashError(
+            f"result for task {label!r} could not be received: {exc!r}"
+        )
+    status = message[0]
+    if status != "ok":
+        return status, message[1]
+    blob, digest = message[1], message[2]
+    if _digest(blob) != digest:
+        return "integrity", PayloadIntegrityError(
+            f"result for task {label!r} failed its content-digest "
+            f"check ({len(blob)} bytes); payload corrupted in transit"
+        )
+    try:
+        return "ok", pickle.loads(blob)
+    except Exception as exc:  # noqa: BLE001 - isolate decode failures
+        return "crash", WorkerCrashError(
+            f"result for task {label!r} could not be deserialized: "
+            f"{exc!r}"
+        )
+
+
+def reap_child(
+    process: mp.process.BaseProcess,
+    connection: Connection,
+    term_grace_s: float,
+) -> None:
+    """SIGTERM the child, escalate to SIGKILL after the grace period."""
+    connection.close()
+    if process.is_alive():
+        process.terminate()
+        process.join(term_grace_s)
+        if process.is_alive():
+            process.kill()
+    process.join()
 
 
 class PoolFuture:
@@ -376,54 +447,8 @@ class ProcessPool:
     def _collect(
         self, fut: PoolFuture, names: Sequence[str]
     ) -> tuple[str, Any]:
-        """Receive and decode one child message; never raises.
-
-        Returns ``(status, value)`` where status is ``"ok"``/``"error"``/
-        ``"interrupt"`` (the protocol statuses) or ``"crash"``/
-        ``"integrity"`` (abnormal outcomes the supervision loop may
-        retry).  Any receive or decode failure is confined to this task:
-        a torn or undecodable message must never escape and kill
-        collection for the in-flight siblings.
-        """
-        label = names[fut.index]
-        try:
-            try:
-                # Bounded by construction: only connections that wait()
-                # reported ready (or poll() confirmed) reach _collect, so
-                # recv() returns without blocking; hung children are the
-                # watchdog's job, not this read's.
-                message = fut.connection.recv()  # repro-lint: disable=RPL008 -- recv only after wait()/poll() readiness; hangs are reaped by the deadline watchdog
-            finally:
-                fut.connection.close()
-            fut.process.join()
-        except EOFError:
-            fut.process.join()
-            code = fut.process.exitcode
-            return "crash", WorkerCrashError(
-                f"worker process for task {label!r} died without reporting "
-                f"a result (exit code {code})"
-            )
-        except Exception as exc:  # noqa: BLE001 - isolate decode failures
-            fut.process.join()
-            return "crash", WorkerCrashError(
-                f"result for task {label!r} could not be received: {exc!r}"
-            )
-        status = message[0]
-        if status != "ok":
-            return status, message[1]
-        blob, digest = message[1], message[2]
-        if _digest(blob) != digest:
-            return "integrity", PayloadIntegrityError(
-                f"result for task {label!r} failed its content-digest "
-                f"check ({len(blob)} bytes); payload corrupted in transit"
-            )
-        try:
-            return "ok", pickle.loads(blob)
-        except Exception as exc:  # noqa: BLE001 - isolate decode failures
-            return "crash", WorkerCrashError(
-                f"result for task {label!r} could not be deserialized: "
-                f"{exc!r}"
-            )
+        """Receive and decode one child message (see :func:`receive_outcome`)."""
+        return receive_outcome(fut.connection, fut.process, names[fut.index])
 
     def _resolve(
         self,
@@ -468,14 +493,7 @@ class ProcessPool:
 
     def _reap(self, fut: PoolFuture) -> None:
         """SIGTERM the child, escalate to SIGKILL after the grace period."""
-        fut.connection.close()
-        proc = fut.process
-        if proc.is_alive():
-            proc.terminate()
-            proc.join(self.term_grace_s)
-            if proc.is_alive():
-                proc.kill()
-        proc.join()
+        reap_child(fut.process, fut.connection, self.term_grace_s)
 
     # -- conveniences ---------------------------------------------------
 

@@ -30,12 +30,12 @@ both endpoints share one definition of what bytes mean.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import socket
 import struct
 from typing import Any
 
+from repro.instances.digest import sha256_bytes
 from repro.pool.errors import FrameError, PayloadIntegrityError
 
 __all__ = [
@@ -99,8 +99,10 @@ _HEADER = struct.Struct("!4sBIQ32s")
 MAX_PAYLOAD_BYTES = 1 << 30
 
 
-def _digest(blob: bytes) -> bytes:
-    return hashlib.sha256(blob).digest()
+# One hashing contract repo-wide (repro.instances.digest): the frame
+# digest is the same SHA-256 the worker children and the result cache
+# compute, which is what makes the integrity check end-to-end.
+_digest = sha256_bytes
 
 
 class Frame:

@@ -1,0 +1,45 @@
+"""Solver-as-a-service: the async HTTP scheduling service.
+
+The repo's solvers are deterministic pure functions of ``(instance,
+method, config, seed, device profile)``; this package puts a long-lived
+service in front of them.  ``repro serve`` exposes an HTTP JSON API
+(:mod:`repro.service.api`) over a bounded job queue
+(:mod:`repro.service.queue`) whose workers run every job in a supervised
+child process (:class:`repro.pool.dispatch.SupervisedDispatch`) — so a
+crashed or hung solve fails *one job* with a structured error while the
+service stays healthy.
+
+Admission control (:mod:`repro.service.admission`) validates requests
+through the solvers' own configuration dataclasses and bounds queue
+depth (429 + Retry-After past the cap); the content-addressed result
+cache (:mod:`repro.service.cache`) exploits determinism to replay
+previously solved requests byte-identically.  See docs/service.md.
+"""
+
+from repro.service.admission import (
+    AdmissionPolicy,
+    ValidatedJob,
+    ValidationError,
+    validate_request,
+)
+from repro.service.api import SchedulingService, ServiceHTTPServer, make_server
+from repro.service.cache import CacheKey, ResultCache
+from repro.service.jobs import Job, JobRegistry, ServiceMetrics, error_payload
+from repro.service.queue import JobDispatcher
+
+__all__ = [
+    "AdmissionPolicy",
+    "CacheKey",
+    "Job",
+    "JobDispatcher",
+    "JobRegistry",
+    "ResultCache",
+    "SchedulingService",
+    "ServiceHTTPServer",
+    "ServiceMetrics",
+    "ValidatedJob",
+    "ValidationError",
+    "error_payload",
+    "make_server",
+    "validate_request",
+]

@@ -1,0 +1,482 @@
+"""The scheduling service: HTTP JSON API over the job queue and cache.
+
+:class:`SchedulingService` is the transport-free core — submit/poll/
+result/metrics as plain ``(status, body, headers)`` triples — and the
+``http.server``-based layer underneath exposes it on a socket:
+
+========  =======================  ==========================================
+method    path                     meaning
+========  =======================  ==========================================
+POST      ``/v1/submit``           submit one job (202 queued, 200 cache hit,
+                                   400 invalid, 429 queue full + Retry-After)
+POST      ``/v1/batch``            submit many jobs in one request
+GET       ``/v1/jobs/{id}``        job status document
+GET       ``/v1/jobs/{id}/result`` result document (409 unfinished, 500
+                                   failed with the structured error)
+GET       ``/healthz``             liveness + queue depth
+GET       ``/metrics``             counters, job states, cache stats
+========  =======================  ==========================================
+
+Responses are canonical JSON (sorted keys), which is what makes a cache
+hit *byte-identical* to the fresh response it replays.  Every job runs
+in a supervised child process, so the worst a poisonous request can do
+is fail its own job with a structured error — the service process never
+dies with it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+from repro.core.engine.config import check_retries, check_timeout
+from repro.pool.faults import PoolFaultPlan
+from repro.pool.worker import solve_one
+from repro.problems.validation import ScheduleError, validate_schedule
+from repro.service.admission import (
+    AdmissionPolicy,
+    ValidatedJob,
+    ValidationError,
+    validate_request,
+)
+from repro.service.cache import CacheKey, ResultCache
+from repro.service.jobs import Job, JobRegistry, ServiceMetrics, error_payload
+from repro.service.queue import JobDispatcher
+
+__all__ = ["SchedulingService", "ServiceHTTPServer", "make_server"]
+
+Reply = "tuple[int, dict, dict[str, str]]"
+
+_JOB_ROUTE = re.compile(r"/v1/jobs/([A-Za-z0-9_-]+)(/result)?")
+
+
+class SchedulingService:
+    """Queue, cache and registry behind one submit/poll/result surface.
+
+    ``task_timeout`` is the default per-job deadline when a request
+    carries no ``deadline_s``; either maps onto the dispatch-level
+    watchdog, so a job over budget is killed and reported — never run to
+    completion on a client that has already given up.  ``fault_plan``
+    arms deterministic worker faults by job admission sequence (the CI
+    drill kills a worker mid-job with it).
+    """
+
+    def __init__(
+        self,
+        policy: AdmissionPolicy | None = None,
+        workers: int = 1,
+        cache: ResultCache | None = None,
+        task_timeout: float | None = None,
+        task_retries: int = 0,
+        fault_plan: PoolFaultPlan | None = None,
+        context: str | None = None,
+    ) -> None:
+        check_timeout(task_timeout, "task_timeout")
+        check_retries(task_retries, "task_retries")
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self.registry = JobRegistry()
+        self.metrics = ServiceMetrics()
+        self.cache = cache
+        self.task_timeout = task_timeout
+        self.task_retries = task_retries
+        self.fault_plan = fault_plan
+        self.workers = workers
+        self.dispatcher = JobDispatcher(
+            self._run_job,
+            workers=workers,
+            queue_cap=self.policy.queue_cap,
+            context=context,
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        self.dispatcher.start()
+
+    def stop(self) -> None:
+        self.dispatcher.stop(abandon=self._abandon)
+
+    def _abandon(self, job: Job) -> None:
+        self.registry.update(
+            job.id,
+            state="failed",
+            error={
+                "error": "service shut down before the job ran",
+                "error_type": "shutdown",
+            },
+        )
+        self.metrics.increment("jobs_failed")
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, body: Any) -> Reply:
+        """One submission: 200 cache hit, 202 queued, 400 or 429 refusal."""
+        try:
+            validated = validate_request(body, self.policy)
+        except ValidationError as exc:
+            self.metrics.increment("rejected_invalid")
+            return 400, {"error": str(exc), "error_type": "validation"}, {}
+        return self._admit(validated)
+
+    def submit_batch(self, body: Any) -> Reply:
+        """Submit a list of jobs; per-item outcomes, one admission each.
+
+        Items are admitted independently — a bad or bounced item never
+        blocks its siblings.  The response carries one entry per item
+        (mirroring batch solve's slot-per-instance contract).  When
+        *every* item bounced off the full queue the whole response is
+        429 with Retry-After, so naive clients back off correctly.
+        """
+        if not isinstance(body, dict):
+            return 400, {
+                "error": "batch body must be a JSON object",
+                "error_type": "validation",
+            }, {}
+        items = body.get("jobs")
+        if not isinstance(items, list) or not items:
+            return 400, {
+                "error": "'jobs' must be a non-empty array of submissions",
+                "error_type": "validation",
+            }, {}
+        if len(items) > self.policy.max_batch:
+            return 400, {
+                "error": (
+                    f"batch of {len(items)} exceeds max_batch="
+                    f"{self.policy.max_batch}"
+                ),
+                "error_type": "validation",
+            }, {}
+        entries = []
+        statuses = []
+        for item in items:
+            status, doc, _ = self.submit(item)
+            statuses.append(status)
+            entries.append({"status": status, **doc})
+        if statuses and all(status == 429 for status in statuses):
+            return 429, {"jobs": entries}, self._retry_after_headers()
+        return 200, {"jobs": entries}, {}
+
+    def _admit(self, validated: ValidatedJob) -> Reply:
+        key = CacheKey.for_job(validated)
+        if self.cache is not None:
+            payload = self.cache.load(key)
+            if payload is not None:
+                job = self.registry.create(
+                    method=validated.method,
+                    instance_name=validated.instance.name,
+                    key=key.hex,
+                    state="done",
+                    cached=True,
+                    document=payload,
+                )
+                self.metrics.increment("submitted")
+                self.metrics.increment("cache_hits")
+                status = self.registry.status(job.id)
+                assert status is not None
+                return 200, status, {}
+            self.metrics.increment("cache_misses")
+        job = self.registry.create(
+            method=validated.method,
+            instance_name=validated.instance.name,
+            key=key.hex,
+            validated=validated,
+        )
+        if not self.dispatcher.try_enqueue(job):
+            self.registry.discard(job.id)
+            self.metrics.increment("rejected_queue_full")
+            return 429, {
+                "error": (
+                    f"job queue is full ({self.policy.queue_cap} waiting); "
+                    f"retry after {self.policy.retry_after_s:g}s"
+                ),
+                "error_type": "queue_full",
+                "retry_after_s": self.policy.retry_after_s,
+            }, self._retry_after_headers()
+        self.metrics.increment("submitted")
+        status = self.registry.status(job.id)
+        assert status is not None
+        return 202, status, {}
+
+    def _retry_after_headers(self) -> dict[str, str]:
+        return {"Retry-After": str(math.ceil(self.policy.retry_after_s))}
+
+    # -- polling --------------------------------------------------------
+
+    def job_status(self, job_id: str) -> Reply:
+        doc = self.registry.status(job_id)
+        if doc is None:
+            return 404, {
+                "error": f"no such job {job_id!r}",
+                "error_type": "not_found",
+            }, {}
+        return 200, doc, {}
+
+    def job_result(self, job_id: str) -> Reply:
+        view = self.registry.result_view(job_id)
+        if view is None:
+            return 404, {
+                "error": f"no such job {job_id!r}",
+                "error_type": "not_found",
+            }, {}
+        state, body = view
+        if state == "done":
+            return 200, body, {}
+        if state == "failed":
+            return 500, body, {}
+        return 409, {
+            "error": f"job {job_id!r} is {state}, not finished; poll "
+                     f"/v1/jobs/{job_id}",
+            "error_type": "unfinished",
+            "state": state,
+        }, {}
+
+    def health(self) -> Reply:
+        return 200, {
+            "status": "ok",
+            "queue_depth": self.dispatcher.depth(),
+            "queue_cap": self.policy.queue_cap,
+            "workers": self.workers,
+        }, {}
+
+    def metrics_doc(self) -> Reply:
+        doc: dict[str, Any] = {
+            "counters": self.metrics.snapshot(),
+            "jobs": self.registry.counts(),
+            "queue_depth": self.dispatcher.depth(),
+            "queue_cap": self.policy.queue_cap,
+            "workers": self.workers,
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }
+        return 200, doc, {}
+
+    # -- execution ------------------------------------------------------
+
+    def _run_job(self, job: Job, dispatch: Any, seq: int) -> None:
+        """Run one admitted job on the worker's supervised dispatch.
+
+        Never raises: every outcome — including a bug in dispatch itself
+        — lands on the job record as a structured error, because a queue
+        worker dying would silently halve service capacity.
+        """
+        validated = job.validated
+        assert validated is not None
+        self.registry.update(job.id, state="running")
+        deadline = (
+            validated.deadline_s if validated.deadline_s is not None
+            else self.task_timeout
+        )
+        start = time.perf_counter()
+        try:
+            status, value = dispatch.run(
+                solve_one,
+                (validated.instance, validated.method,
+                 dict(validated.solve_kwargs)),
+                label=job.id,
+                task_timeout=deadline,
+                task_retries=self.task_retries,
+                fault_plan=self.fault_plan,
+                task_index=seq,
+            )
+        except Exception as exc:  # noqa: BLE001 - worker must survive anything
+            status, value = "error", exc
+        duration = time.perf_counter() - start
+        if status == "ok":
+            try:
+                # Same defense in depth as batch solving: the transport
+                # digest proved the bytes, this proves the content.
+                validate_schedule(validated.instance, value.schedule)
+            except ScheduleError as exc:
+                status, value = "error", exc
+        if status == "ok":
+            document = {
+                "instance": validated.instance.name,
+                "method": validated.method,
+                "key": job.key,
+                "result": value.to_dict(),
+            }
+            if self.cache is not None:
+                self.cache.store(CacheKey.for_job(validated), document)
+                self.metrics.increment("cache_stores")
+            self.registry.update(
+                job.id, state="done", document=document, duration_s=duration
+            )
+            self.metrics.increment("jobs_completed")
+            return
+        if status == "cancelled":
+            error = {
+                "error": "job cancelled: service shutting down",
+                "error_type": "cancelled",
+            }
+        elif status == "interrupt":
+            error = {
+                "error": "solve interrupted in the worker",
+                "error_type": "interrupt",
+            }
+        else:
+            error = error_payload(value)
+        self.registry.update(
+            job.id, state="failed", error=error, duration_s=duration
+        )
+        self.metrics.increment("jobs_failed")
+
+
+# -- HTTP layer ---------------------------------------------------------
+
+
+def _render(doc: Mapping[str, Any]) -> bytes:
+    """Canonical response bytes: sorted-key JSON plus one newline.
+
+    Sorted keys make the rendering a pure function of the document, so
+    replaying a cached document is byte-identical to the fresh response
+    that stored it.
+    """
+    return (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Thread-per-connection HTTP server bound to one service."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self, address: tuple[str, int], service: SchedulingService
+    ) -> None:
+        self.service = service
+        super().__init__(address, _ServiceHandler)
+
+    @property
+    def label(self) -> str:
+        """``host:port`` actually bound (resolves ``:0`` requests)."""
+        host, port = self.server_address[:2]
+        return f"{host}:{port}"
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    protocol_version = "HTTP/1.1"
+
+    # Suppress the default per-request stderr lines; the service's
+    # observable surface is /metrics, not an access log.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        try:
+            self._reply(*self._route_get())
+        except Exception as exc:  # noqa: BLE001 - one request, not the server
+            self._best_effort_500(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        try:
+            self._reply(*self._route_post())
+        except Exception as exc:  # noqa: BLE001 - one request, not the server
+            self._best_effort_500(exc)
+
+    # -- routing --------------------------------------------------------
+
+    def _route_get(self) -> tuple[int, dict, dict[str, str]]:
+        service = self.server.service
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            return service.health()
+        if path == "/metrics":
+            return service.metrics_doc()
+        match = _JOB_ROUTE.fullmatch(path)
+        if match is not None:
+            job_id, result_leaf = match.groups()
+            if result_leaf:
+                return service.job_result(job_id)
+            return service.job_status(job_id)
+        return self._not_found()
+
+    def _route_post(self) -> tuple[int, dict, dict[str, str]]:
+        service = self.server.service
+        path = self.path.split("?", 1)[0]
+        if path not in ("/v1/submit", "/v1/batch"):
+            return self._not_found()
+        body, failure = self._read_json(service.policy.max_body_bytes)
+        if failure is not None:
+            return failure
+        if path == "/v1/submit":
+            return service.submit(body)
+        return service.submit_batch(body)
+
+    def _not_found(self) -> tuple[int, dict, dict[str, str]]:
+        return 404, {
+            "error": f"no route {self.command} {self.path!r}",
+            "error_type": "not_found",
+        }, {}
+
+    # -- plumbing -------------------------------------------------------
+
+    def _read_json(
+        self, max_bytes: int
+    ) -> tuple[Any, "tuple[int, dict, dict[str, str]] | None"]:
+        length_text = self.headers.get("Content-Length")
+        if length_text is None:
+            return None, (411, {
+                "error": "Content-Length is required",
+                "error_type": "validation",
+            }, {})
+        try:
+            length = int(length_text)
+        except ValueError:
+            return None, (400, {
+                "error": f"bad Content-Length {length_text!r}",
+                "error_type": "validation",
+            }, {})
+        if length < 0:
+            return None, (400, {
+                "error": f"bad Content-Length {length_text!r}",
+                "error_type": "validation",
+            }, {})
+        if length > max_bytes:
+            return None, (413, {
+                "error": f"body of {length} bytes exceeds the "
+                         f"{max_bytes}-byte limit",
+                "error_type": "validation",
+            }, {})
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8")), None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return None, (400, {
+                "error": f"body is not valid JSON: {exc}",
+                "error_type": "validation",
+            }, {})
+
+    def _reply(
+        self, status: int, doc: dict, headers: dict[str, str]
+    ) -> None:
+        body = _render(doc)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _best_effort_500(self, exc: Exception) -> None:
+        try:
+            self._reply(500, {
+                "error": f"internal error: {exc!r}",
+                "error_type": "internal",
+            }, {})
+        except Exception:  # noqa: BLE001 - headers may already be gone
+            # The connection is torn or headers already sent; the client
+            # sees a dropped connection, the server thread lives on.
+            pass
+
+
+def make_server(
+    service: SchedulingService, host: str, port: int
+) -> ServiceHTTPServer:
+    """Bind the HTTP layer (``port=0`` picks an ephemeral port)."""
+    return ServiceHTTPServer((host, port), service)

@@ -1,0 +1,184 @@
+"""Content-addressed result cache: solve identity in, bytes out.
+
+The repo's determinism contract makes every solve memoizable: the result
+is a pure function of ``(instance, method, config, seed, device
+profile)``.  :class:`CacheKey` is that tuple made canonical — the
+instance and the resolved configuration digested through
+:mod:`repro.instances.digest`, the same hashing contract the pool's
+payload-integrity checks use — and :class:`ResultCache` is a disk map
+from the key to the finished result document.
+
+Entries follow the checkpoint store's defensive format
+(:mod:`repro.resilience.checkpoint`): a JSON record carrying its own
+CRC-32, written atomically, verified on every read.  A record that fails
+*any* check — unreadable JSON, wrong schema, key mismatch (a colliding
+or renamed file), CRC mismatch (torn or bit-rotted write) — is moved
+verbatim into ``quarantine/`` next to the cache, preserving the evidence,
+and the lookup degrades to a miss: a corrupt cache can cost a recompute,
+never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.instances.digest import instance_digest, mapping_digest
+from repro.resilience.atomic import atomic_write_text
+from repro.resilience.checkpoint import record_crc
+from repro.service.admission import ValidatedJob
+
+__all__ = ["CACHE_SCHEMA", "CacheKey", "ResultCache"]
+
+#: Bump when the entry format changes; readers treat other schemas as
+#: corrupt (quarantined, recomputed) rather than guessing.
+CACHE_SCHEMA = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheKey:
+    """The canonical identity of one solve.
+
+    ``instance`` and ``config`` are already digests (hex SHA-256 of the
+    canonical JSON forms); ``seed`` and ``device_profile`` stay readable
+    because they are the components operators grep for when auditing
+    what a cache holds.
+    """
+
+    instance: str
+    method: str
+    config: str
+    seed: int
+    device_profile: str
+
+    @classmethod
+    def for_job(cls, validated: ValidatedJob) -> "CacheKey":
+        return cls(
+            instance=instance_digest(validated.instance),
+            method=validated.method,
+            config=mapping_digest(validated.canonical_config),
+            seed=validated.seed,
+            device_profile=validated.device_profile,
+        )
+
+    def components(self) -> dict[str, Any]:
+        return {
+            "instance": self.instance,
+            "method": self.method,
+            "config": self.config,
+            "seed": self.seed,
+            "device_profile": self.device_profile,
+        }
+
+    @property
+    def hex(self) -> str:
+        """The flat address: hex SHA-256 over the canonical components."""
+        return mapping_digest(self.components())
+
+
+class ResultCache:
+    """Disk-backed map from :class:`CacheKey` to result documents.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` (two-level fan-out keeps
+    directories small at large entry counts), plus ``<root>/quarantine/``
+    for rejected entries.  Thread-safe; the store path is atomic, so a
+    reader never observes a half-written entry.
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.quarantined = 0
+
+    def path_for(self, key: CacheKey) -> Path:
+        address = key.hex
+        return self.root / address[:2] / f"{address}.json"
+
+    def load(self, key: CacheKey) -> dict[str, Any] | None:
+        """The stored result document, or ``None`` (miss / quarantined)."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            with self._lock:
+                self.misses += 1
+            return None
+        except OSError:
+            # Unreadable but present: nothing to preserve, cannot trust.
+            with self._lock:
+                self.misses += 1
+            return None
+        payload = self._decode(text, key)
+        with self._lock:
+            if payload is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        if payload is None:
+            self._quarantine(path)
+        return payload
+
+    def store(self, key: CacheKey, payload: dict[str, Any]) -> None:
+        """Persist one result document under its key, atomically."""
+        record = {
+            "schema": CACHE_SCHEMA,
+            "key": key.hex,
+            "components": key.components(),
+            "payload": payload,
+        }
+        record["crc"] = record_crc(record)
+        atomic_write_text(
+            self.path_for(key), json.dumps(record, sort_keys=True) + "\n"
+        )
+        with self._lock:
+            self.stores += 1
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "quarantined": self.quarantined,
+            }
+
+    def _decode(self, text: str, key: CacheKey) -> dict[str, Any] | None:
+        """Validate one entry end to end; ``None`` means quarantine it."""
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("schema") != CACHE_SCHEMA:
+            return None
+        if record.get("crc") != record_crc(record):
+            return None
+        if record.get("key") != key.hex:
+            return None
+        if record.get("components") != key.components():
+            return None
+        payload = record.get("payload")
+        if not isinstance(payload, dict):
+            return None
+        return payload
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a rejected entry aside verbatim, preserving the evidence."""
+        quarantine_dir = self.root / "quarantine"
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, quarantine_dir / path.name)
+        except OSError:
+            # A racing quarantine already moved it; the count still
+            # records that this lookup rejected an entry.
+            pass
+        with self._lock:
+            self.quarantined += 1

@@ -1,0 +1,159 @@
+"""``repro serve`` — run the scheduling service from the command line.
+
+Kept out of :mod:`repro.cli` so the top-level parser builds without
+importing the service stack; the subcommand wires flags to
+:class:`~repro.service.api.SchedulingService` and blocks in
+``serve_forever`` until interrupted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+
+__all__ = ["DEFAULT_SERVICE_PORT", "add_serve_arguments", "run_serve"]
+
+#: Default service port — one above the distributed layer's agent range
+#: so a localhost drill can run both side by side with no flags.
+DEFAULT_SERVICE_PORT = 7480
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``repro serve`` flag set."""
+    parser.add_argument(
+        "--bind", default="127.0.0.1", metavar="HOST[:PORT]",
+        help="listen address (default: %(default)s on port "
+             f"{DEFAULT_SERVICE_PORT}; ':0' picks an ephemeral port — "
+             "pair with --ready-file)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="concurrent solve jobs; each runs in its own supervised "
+             "worker process (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--queue-cap", type=int, default=16, metavar="N",
+        help="maximum jobs waiting to run; past it submissions get 429 "
+             "with a Retry-After header (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--cache-dir", default="results/cache", metavar="DIR",
+        help="content-addressed result cache directory (default: "
+             "%(default)s; 'none' disables caching)",
+    )
+    parser.add_argument(
+        "--backend", default="vectorized",
+        help="engine backend for requests that name none (default: "
+             "%(default)s)",
+    )
+    parser.add_argument(
+        "--hosts", default=None, metavar="HOST[:PORT]:WORKERS,...",
+        help="host-agent topology that enables backend='distributed' "
+             "requests (same syntax as repro solve --hosts)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-job wall-clock deadline when a request carries "
+             "no deadline_s; an over-budget job is killed and fails with "
+             "a structured error (default: unlimited)",
+    )
+    parser.add_argument(
+        "--task-retries", type=int, default=0, metavar="K",
+        help="retries of abnormally-dying jobs (worker crash/timeout/"
+             "corrupt payload) before the job fails (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="SECONDS",
+        help="back-off advertised with 429 responses (default: "
+             "%(default)s)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=32, metavar="N",
+        help="maximum jobs in one POST /v1/batch (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write the bound HOST:PORT to PATH once listening (lets "
+             "scripts and CI drills use --bind ':0')",
+    )
+    parser.add_argument(
+        "--inject-pool-fault", default=None, metavar="KIND:JOB[:repeat]",
+        help="deterministic worker fault injection for drills, keyed by "
+             "job admission sequence, e.g. 'kill:0' (job 0's worker dies; "
+             "with --task-retries the retry runs clean) or 'kill:0:repeat' "
+             "(job 0 is quarantined); kinds: kill, hang, corrupt-payload",
+    )
+
+
+def _raise_interrupt(signum: int, frame: object) -> None:
+    raise KeyboardInterrupt
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Build the service from flags and serve until interrupted."""
+    from repro.service.admission import AdmissionPolicy
+    from repro.service.api import SchedulingService, make_server
+    from repro.service.cache import ResultCache
+
+    host, _, port_text = args.bind.partition(":")
+    try:
+        port = int(port_text) if port_text else DEFAULT_SERVICE_PORT
+    except ValueError:
+        print(f"bad --bind {args.bind!r}; expected HOST[:PORT]",
+              file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.inject_pool_fault:
+        from repro.pool.faults import PoolFaultPlan, parse_pool_fault
+
+        fault_plan = PoolFaultPlan([parse_pool_fault(args.inject_pool_fault)])
+        if fault_plan.wants_hang() and args.task_timeout is None:
+            print("a 'hang' fault can only be reaped by the watchdog; "
+                  "set --task-timeout", file=sys.stderr)
+            return 2
+    try:
+        policy = AdmissionPolicy(
+            queue_cap=args.queue_cap,
+            max_batch=args.max_batch,
+            default_backend=args.backend,
+            retry_after_s=args.retry_after,
+            hosts=args.hosts,
+        )
+        cache = (
+            None if args.cache_dir == "none" else ResultCache(args.cache_dir)
+        )
+        service = SchedulingService(
+            policy=policy,
+            workers=args.workers,
+            cache=cache,
+            task_timeout=args.task_timeout,
+            task_retries=args.task_retries,
+            fault_plan=fault_plan,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    server = make_server(service, host or "127.0.0.1", port)
+    # Graceful shutdown on SIGTERM too: supervisors and CI send TERM, and
+    # background jobs of non-interactive shells have SIGINT ignored, so
+    # INT alone would leave in-flight solve children unreaped.
+    signal.signal(signal.SIGTERM, _raise_interrupt)
+    service.start()
+    if args.ready_file:
+        with open(args.ready_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{server.label}\n")
+    print(
+        f"service listening on {server.label} with {args.workers} "
+        f"worker(s), queue cap {args.queue_cap}, cache "
+        f"{'off' if cache is None else cache.root}",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        service.stop()
+        server.server_close()
+    return 0

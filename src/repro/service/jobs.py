@@ -1,0 +1,156 @@
+"""Job records, the job registry, and service counters.
+
+A job is the unit clients poll: it moves ``queued -> running -> done``
+(or ``failed``), carries its result document once finished, and keeps a
+structured error payload — the same ``error_type`` vocabulary batch
+callers get from :func:`repro.pool.batch.error_kind` — when it does not.
+The registry is the one lock-guarded map from job id to record; handler
+threads and queue workers never touch a :class:`Job` directly, they go
+through the registry so reads always see a consistent record.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro.pool.batch import error_kind
+from repro.pool.errors import PoisonTaskError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.admission import ValidatedJob
+
+__all__ = ["JOB_STATES", "Job", "JobRegistry", "ServiceMetrics",
+           "error_payload"]
+
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+def error_payload(value: BaseException) -> dict[str, Any]:
+    """The structured error document a failed job carries.
+
+    Uses the pool's shared failure vocabulary, and attaches the full
+    quarantine evidence for poison tasks, so service clients can triage
+    a dead job exactly like batch users triage a dead slot.
+    """
+    payload: dict[str, Any] = {
+        "error": str(value),
+        "error_type": error_kind(value),
+    }
+    if isinstance(value, PoisonTaskError):
+        payload["report"] = value.report.to_json()
+    return payload
+
+
+@dataclasses.dataclass
+class Job:
+    """One submission's lifecycle record.
+
+    ``document`` is the finished result document (also what the cache
+    stores); ``validated`` is the execution payload and never leaves the
+    process.  Mutated only under the registry lock.
+    """
+
+    id: str
+    method: str
+    instance_name: str
+    key: str
+    state: str = "queued"
+    cached: bool = False
+    document: dict[str, Any] | None = None
+    error: dict[str, Any] | None = None
+    duration_s: float | None = None
+    validated: "ValidatedJob | None" = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+
+    def status_doc(self) -> dict[str, Any]:
+        """The client-facing status body for ``GET /v1/jobs/{id}``."""
+        doc: dict[str, Any] = {
+            "job_id": self.id,
+            "state": self.state,
+            "cached": self.cached,
+            "method": self.method,
+            "instance": self.instance_name,
+            "key": self.key,
+        }
+        if self.duration_s is not None:
+            doc["duration_s"] = self.duration_s
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+class JobRegistry:
+    """Thread-safe id -> :class:`Job` map with sequential ids."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        self._seq = 0
+
+    def create(self, **fields: Any) -> Job:
+        with self._lock:
+            self._seq += 1
+            job = Job(id=f"j{self._seq:06d}", **fields)
+            self._jobs[job.id] = job
+            return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def discard(self, job_id: str) -> None:
+        """Forget a job that was never admitted (queue-full rollback)."""
+        with self._lock:
+            self._jobs.pop(job_id, None)
+
+    def update(self, job_id: str, **fields: Any) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            for name, value in fields.items():
+                setattr(job, name, value)
+
+    def status(self, job_id: str) -> dict[str, Any] | None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return None if job is None else job.status_doc()
+
+    def result_view(self, job_id: str) -> tuple[str, dict[str, Any]] | None:
+        """``(state, body)`` for the result endpoint, read atomically.
+
+        ``body`` is the result document when done, the status document
+        (carrying the structured error) otherwise.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.state == "done" and job.document is not None:
+                return job.state, job.document
+            return job.state, job.status_doc()
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state (all states present, zeros included)."""
+        with self._lock:
+            counts = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+            return counts
+
+
+class ServiceMetrics:
+    """Monotonic named counters behind one lock (``GET /metrics``)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+
+    def increment(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(sorted(self._counters.items()))

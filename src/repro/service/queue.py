@@ -1,0 +1,138 @@
+"""The bounded async job queue and its worker threads.
+
+Admission's 429 contract is enforced by construction here: the queue is
+a ``queue.Queue`` with a hard ``maxsize``, and enqueueing is always
+``put_nowait`` — a full queue surfaces as an immediate refusal the HTTP
+layer can map to 429, never as a handler thread blocking (which would
+silently convert back-pressure into client-visible latency and
+eventually exhaust the connection pool).
+
+Each worker thread owns one
+:class:`~repro.pool.dispatch.SupervisedDispatch`, so every admitted job
+runs in a fresh supervised child process with the pool's full guarantee
+set — and so :meth:`JobDispatcher.stop` can *cancel* in-flight jobs:
+shutdown reaps running children within a dispatch tick instead of
+waiting out a long solve.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import TYPE_CHECKING, Callable
+
+from repro.pool.dispatch import SupervisedDispatch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.jobs import Job
+
+__all__ = ["JobDispatcher"]
+
+#: How long a worker blocks on an empty queue before re-checking the
+#: stop flag; bounds shutdown latency for idle workers.
+WORKER_TICK_S = 0.1
+
+
+class JobDispatcher:
+    """Run queued jobs on ``workers`` threads, one supervised child each.
+
+    ``runner(job, dispatch, seq)`` executes one job on the worker's
+    dispatch; ``seq`` is the job's admission sequence number (0-based),
+    which doubles as the task index for deterministic fault plans.  The
+    runner owns all error recording — it must not raise.
+    """
+
+    def __init__(
+        self,
+        runner: "Callable[[Job, SupervisedDispatch, int], None]",
+        workers: int = 1,
+        queue_cap: int = 16,
+        context: str | None = None,
+        term_grace_s: float = 0.5,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_cap < 1:
+            raise ValueError(f"queue_cap must be >= 1, got {queue_cap}")
+        self.workers = workers
+        self.queue_cap = queue_cap
+        self._runner = runner
+        self._queue: "queue.Queue[tuple[int, Job]]" = queue.Queue(
+            maxsize=queue_cap
+        )
+        self._stop = threading.Event()
+        self._seq_lock = threading.Lock()
+        self._seq = 0
+        self._threads: list[threading.Thread] = []
+        self._dispatches: list[SupervisedDispatch] = []
+        self._context = context
+        self._term_grace_s = term_grace_s
+
+    def start(self) -> None:
+        for i in range(self.workers):
+            dispatch = SupervisedDispatch(
+                context=self._context, term_grace_s=self._term_grace_s
+            )
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(dispatch,),
+                name=f"repro-service-worker-{i}",
+                daemon=True,
+            )
+            self._dispatches.append(dispatch)
+            self._threads.append(thread)
+            thread.start()
+
+    def try_enqueue(self, job: "Job") -> bool:
+        """Admit one job without blocking; ``False`` = full (429) or
+        stopping."""
+        if self._stop.is_set():
+            return False
+        with self._seq_lock:
+            # Sequence numbers are assigned under the same lock as the
+            # put, so admitted jobs are numbered in admission order —
+            # what makes KIND:SEQ fault plans deterministic.
+            try:
+                self._queue.put_nowait((self._seq, job))
+            except queue.Full:
+                return False
+            self._seq += 1
+        return True
+
+    def depth(self) -> int:
+        """Jobs admitted but not yet picked up by a worker."""
+        return self._queue.qsize()
+
+    def stop(
+        self, abandon: "Callable[[Job], None] | None" = None
+    ) -> None:
+        """Stop accepting, cancel in-flight children, drain the backlog.
+
+        Queued-but-unstarted jobs are handed to ``abandon`` (the service
+        marks them failed with a shutdown error) so no client polls a
+        job that can never finish.
+        """
+        self._stop.set()
+        for dispatch in self._dispatches:
+            dispatch.cancel()
+        while True:
+            try:
+                _, job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if abandon is not None:
+                abandon(job)
+            self._queue.task_done()
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+
+    def _worker_loop(self, dispatch: SupervisedDispatch) -> None:
+        while not self._stop.is_set():
+            try:
+                seq, job = self._queue.get(timeout=WORKER_TICK_S)
+            except queue.Empty:
+                continue
+            try:
+                self._runner(job, dispatch, seq)
+            finally:
+                self._queue.task_done()
