@@ -767,3 +767,91 @@ class TimeoutBoundedSockets(Rule):
             ):
                 armed.add(scope)
         return armed
+
+
+#: Modes that create or mutate file content.  ``r``/``rb`` opens are
+#: reads and always fine; ``+`` upgrades a read to a write.
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+def _write_mode(node: ast.Call) -> str | None:
+    """The constant mode string of an ``open``-style call if it writes.
+
+    Returns ``None`` for reads and for dynamic (non-constant) modes —
+    the rule only flags what it can prove, so a computed mode never
+    produces a false positive.
+    """
+    mode_node: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode_node = node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode_node = kw.value
+    if mode_node is None:
+        return None  # defaults to "r"
+    if not isinstance(mode_node, ast.Constant):
+        return None
+    mode = mode_node.value
+    if not isinstance(mode, str):
+        return None
+    if _WRITE_MODE_CHARS.intersection(mode):
+        return mode
+    return None
+
+
+@_register
+class DurableStateWrites(Rule):
+    """RPL010 — persisted state goes through the durable write helpers.
+
+    The durability contracts of the journal, checkpoints and the result
+    cache (docs/service.md, docs/resilience.md) all reduce to two
+    primitives in :mod:`repro.resilience.atomic`: ``atomic_write_text``
+    (temp + fsync + rename, so readers never observe a torn file) and
+    ``durable_append_text`` (append + flush + fsync, so acknowledged
+    records survive a crash).  A bare ``open(path, "w")`` or
+    ``path.write_text`` in these trees silently drops both guarantees —
+    it truncates in place and buffers in the page cache, which is
+    exactly the corruption-and-loss shape the helpers exist to prevent.
+    Genuinely ephemeral writes (startup handshakes, test scratch) carry
+    an inline suppression saying why durability does not apply.
+    """
+
+    code = "RPL010"
+    name = "durable-state-writes"
+    severity = "error"
+    summary = "state persisted without the shared durable-write helpers"
+    default_paths = ("src/repro/service/", "src/repro/resilience/")
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "write_text", "write_bytes"
+            ):
+                yield self.finding(
+                    src, node,
+                    f"`.{func.attr}(...)` truncates in place and is not "
+                    "fsync'd; persist through "
+                    "`repro.resilience.atomic.atomic_write_text` / "
+                    "`durable_append_text`",
+                )
+                continue
+            is_open = (
+                (isinstance(func, ast.Name) and func.id == "open")
+                or (isinstance(func, ast.Attribute) and func.attr == "open"
+                    and src.resolve_call(func) in (None, "io.open"))
+            )
+            if not is_open:
+                continue
+            mode = _write_mode(node)
+            if mode is not None:
+                yield self.finding(
+                    src, node,
+                    f"bare `open(..., {mode!r})` bypasses the crash-safety "
+                    "contract (no fsync, torn files on crash); use "
+                    "`repro.resilience.atomic.atomic_write_text` / "
+                    "`durable_append_text`, or suppress with a rationale "
+                    "if the file is genuinely ephemeral",
+                )

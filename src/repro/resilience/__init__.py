@@ -6,7 +6,7 @@ degradation.  See ``docs/resilience.md`` for the work-unit model, the
 transient/fatal taxonomy, the checkpoint file format and resume semantics.
 """
 
-from repro.resilience.atomic import atomic_write_text
+from repro.resilience.atomic import atomic_write_text, durable_append_text
 from repro.resilience.checkpoint import (
     CHECKPOINT_SCHEMA,
     CheckpointStore,
@@ -31,6 +31,7 @@ from repro.resilience.runner import (
 
 __all__ = [
     "atomic_write_text",
+    "durable_append_text",
     "CHECKPOINT_SCHEMA",
     "CheckpointStore",
     "record_crc",

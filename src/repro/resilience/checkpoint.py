@@ -28,7 +28,7 @@ import zlib
 from pathlib import Path
 from typing import Any, Iterator
 
-from repro.resilience.atomic import atomic_write_text
+from repro.resilience.atomic import atomic_write_text, durable_append_text
 
 __all__ = ["CheckpointStore", "CHECKPOINT_SCHEMA", "record_crc"]
 
@@ -88,8 +88,10 @@ class CheckpointStore:
             self._records[key] = record
         if rejected:
             self.skipped_lines = len(rejected)
-            with self.quarantine_path.open("a") as sidecar:
-                sidecar.write("\n".join(rejected) + "\n")
+            # Evidence must survive the very crashes it documents.
+            durable_append_text(
+                self.quarantine_path, "\n".join(rejected) + "\n"
+            )
 
     def __contains__(self, key: str) -> bool:
         return key in self._records

@@ -13,7 +13,14 @@ Admission control (:mod:`repro.service.admission`) validates requests
 through the solvers' own configuration dataclasses and bounds queue
 depth (429 + Retry-After past the cap); the content-addressed result
 cache (:mod:`repro.service.cache`) exploits determinism to replay
-previously solved requests byte-identically.  See docs/service.md.
+previously solved requests byte-identically.
+
+Durability rides on the same determinism: with ``--state-dir`` every
+job transition is written ahead to a CRC-guarded journal
+(:mod:`repro.service.journal`) and replayed at the next boot — finished
+jobs stay resolvable byte-identically, interrupted jobs re-run through
+the cache, duplicate ``idempotency_key`` submissions return the
+original job id even across a crash.  See docs/service.md.
 """
 
 from repro.service.admission import (
@@ -25,6 +32,7 @@ from repro.service.admission import (
 from repro.service.api import SchedulingService, ServiceHTTPServer, make_server
 from repro.service.cache import CacheKey, ResultCache
 from repro.service.jobs import Job, JobRegistry, ServiceMetrics, error_payload
+from repro.service.journal import JobJournal, JournalRecovery, RecoveredJob
 from repro.service.queue import JobDispatcher
 
 __all__ = [
@@ -32,7 +40,10 @@ __all__ = [
     "CacheKey",
     "Job",
     "JobDispatcher",
+    "JobJournal",
     "JobRegistry",
+    "JournalRecovery",
+    "RecoveredJob",
     "ResultCache",
     "SchedulingService",
     "ServiceHTTPServer",

@@ -67,8 +67,12 @@ RESERVED_CONFIG_KEYS = frozenset({
 })
 
 _REQUEST_FIELDS = frozenset({
-    "instance", "method", "config", "backend", "deadline_s"
+    "instance", "method", "config", "backend", "deadline_s",
+    "idempotency_key",
 })
+
+#: Idempotency keys are operator-grep-able strings, not blobs.
+_MAX_IDEMPOTENCY_KEY_LEN = 200
 
 _INSTANCE_KINDS: dict[str, Callable[[Mapping[str, Any]], Any]] = {
     "cdd": CDDInstance.from_dict,
@@ -139,6 +143,10 @@ class ValidatedJob:
     seed: int
     device_profile: str
     deadline_s: float | None
+    #: Client-supplied dedup handle; never part of the cache key (it
+    #: names the *submission*, not the solve) and journaled so duplicate
+    #: resubmissions return the original job id across restarts.
+    idempotency_key: str | None = None
 
 
 def _parse_instance(body: Mapping[str, Any]) -> Any:
@@ -161,6 +169,22 @@ def _parse_instance(body: Mapping[str, Any]) -> Any:
         raise
     except (TypeError, ValueError, KeyError) as exc:
         raise ValidationError(f"bad instance record: {exc}") from exc
+
+
+def _parse_idempotency_key(body: Mapping[str, Any]) -> str | None:
+    key = body.get("idempotency_key")
+    if key is None:
+        return None
+    if not isinstance(key, str) or not key.strip():
+        raise ValidationError(
+            f"idempotency_key must be a non-empty string, got {key!r}"
+        )
+    if len(key) > _MAX_IDEMPOTENCY_KEY_LEN:
+        raise ValidationError(
+            f"idempotency_key of {len(key)} chars exceeds the "
+            f"{_MAX_IDEMPOTENCY_KEY_LEN}-char limit"
+        )
+    return key
 
 
 def _parse_deadline(body: Mapping[str, Any]) -> float | None:
@@ -269,4 +293,5 @@ def validate_request(
         seed=seed,
         device_profile=device_profile,
         deadline_s=_parse_deadline(body),
+        idempotency_key=_parse_idempotency_key(body),
     )

@@ -2,8 +2,16 @@
 
 Kept out of :mod:`repro.cli` so the top-level parser builds without
 importing the service stack; the subcommand wires flags to
-:class:`~repro.service.api.SchedulingService` and blocks in
-``serve_forever`` until interrupted.
+:class:`~repro.service.api.SchedulingService` and serves until a
+signal arrives.  The two signals mean different shutdowns:
+
+* ``SIGINT`` (Ctrl-C) stops *fast*: in-flight solve children are
+  cancelled and reaped, queued jobs are failed for current pollers
+  (and, with ``--state-dir``, journaled for next-boot re-enqueue).
+* ``SIGTERM`` (supervisors, CI) *drains*: submissions get 503 with
+  Retry-After while in-flight jobs finish within ``--drain-grace``
+  seconds; polls keep being served throughout, then the backlog is
+  journaled ``interrupted`` and the process exits 0.
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ from __future__ import annotations
 import argparse
 import signal
 import sys
+import threading
 
 __all__ = ["DEFAULT_SERVICE_PORT", "add_serve_arguments", "run_serve"]
 
@@ -73,6 +82,24 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         help="maximum jobs in one POST /v1/batch (default: %(default)s)",
     )
     parser.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="durable state directory: every job transition is journaled "
+             "there and replayed at the next start with the same "
+             "--state-dir, so jobs survive crashes and restarts "
+             "(default: no durability)",
+    )
+    parser.add_argument(
+        "--max-terminal-jobs", type=int, default=None, metavar="N",
+        help="finished/failed jobs kept in memory; older ones are "
+             "evicted and served from the journal when --state-dir is "
+             "set (default: unlimited)",
+    )
+    parser.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="SECONDS",
+        help="on SIGTERM, how long in-flight jobs may keep running "
+             "before being cancelled (default: %(default)s)",
+    )
+    parser.add_argument(
         "--ready-file", default=None, metavar="PATH",
         help="write the bound HOST:PORT to PATH once listening (lets "
              "scripts and CI drills use --bind ':0')",
@@ -86,12 +113,8 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _raise_interrupt(signum: int, frame: object) -> None:
-    raise KeyboardInterrupt
-
-
 def run_serve(args: argparse.Namespace) -> int:
-    """Build the service from flags and serve until interrupted."""
+    """Build the service from flags and serve until signalled."""
     from repro.service.admission import AdmissionPolicy
     from repro.service.api import SchedulingService, make_server
     from repro.service.cache import ResultCache
@@ -130,30 +153,67 @@ def run_serve(args: argparse.Namespace) -> int:
             task_timeout=args.task_timeout,
             task_retries=args.task_retries,
             fault_plan=fault_plan,
+            state_dir=args.state_dir,
+            max_terminal_jobs=args.max_terminal_jobs,
+            drain_grace_s=args.drain_grace,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
     server = make_server(service, host or "127.0.0.1", port)
-    # Graceful shutdown on SIGTERM too: supervisors and CI send TERM, and
-    # background jobs of non-interactive shells have SIGINT ignored, so
-    # INT alone would leave in-flight solve children unreaped.
-    signal.signal(signal.SIGTERM, _raise_interrupt)
+    # HTTP runs on a background thread so the main thread can wait for a
+    # signal and keep serving polls (and 503s) *during* a drain.  SIGINT
+    # stops fast; SIGTERM drains — supervisors and CI send TERM and
+    # expect in-flight work to finish.
+    shutdown = {"mode": None}
+    wake = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        if shutdown["mode"] is None:
+            shutdown["mode"] = (
+                "drain" if signum == signal.SIGTERM else "stop"
+            )
+        wake.set()
+
+    signal.signal(signal.SIGINT, _on_signal)
+    signal.signal(signal.SIGTERM, _on_signal)
     service.start()
     if args.ready_file:
-        with open(args.ready_file, "w", encoding="utf-8") as handle:
+        # Startup handshake for scripts, not durable state — rewritten
+        # from scratch every boot.
+        with open(args.ready_file, "w", encoding="utf-8") as handle:  # repro-lint: disable=RPL010 -- ephemeral ready-file handshake, not persisted service state
             handle.write(f"{server.label}\n")
     print(
         f"service listening on {server.label} with {args.workers} "
         f"worker(s), queue cap {args.queue_cap}, cache "
-        f"{'off' if cache is None else cache.root}",
+        f"{'off' if cache is None else cache.root}, state "
+        f"{args.state_dir or 'off'}",
         file=sys.stderr,
     )
+    http_thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    http_thread.start()
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down", file=sys.stderr)
+        wake.wait()
     finally:
-        service.stop()
+        if shutdown["mode"] == "drain":
+            print(
+                f"draining: refusing new jobs, finishing in-flight work "
+                f"(grace {args.drain_grace:g}s)",
+                file=sys.stderr,
+            )
+            leaked = service.drain()
+        else:
+            print("shutting down", file=sys.stderr)
+            leaked = service.stop()
+        server.shutdown()
+        http_thread.join(timeout=5.0)
         server.server_close()
+        if leaked:
+            print(
+                f"warning: {leaked} worker thread(s) outlived the "
+                "shutdown join and were abandoned",
+                file=sys.stderr,
+            )
     return 0

@@ -11,6 +11,7 @@ through the registry so reads always see a consistent record.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import threading
 from typing import TYPE_CHECKING, Any
@@ -61,6 +62,11 @@ class Job:
     document: dict[str, Any] | None = None
     error: dict[str, Any] | None = None
     duration_s: float | None = None
+    idempotency_key: str | None = None
+    #: True for jobs re-enqueued from the journal at boot; their first
+    #: execution step re-checks the result cache, so a job that finished
+    #: just before the crash becomes a cache hit instead of a re-solve.
+    recovered: bool = False
     validated: "ValidatedJob | None" = dataclasses.field(
         default=None, repr=False, compare=False
     )
@@ -83,19 +89,49 @@ class Job:
 
 
 class JobRegistry:
-    """Thread-safe id -> :class:`Job` map with sequential ids."""
+    """Thread-safe id -> :class:`Job` map with sequential ids.
 
-    def __init__(self) -> None:
+    ``max_terminal_jobs`` bounds memory under sustained traffic: once
+    more than that many *terminal* (``done``/``failed``) jobs are
+    resident, the oldest-finished are evicted from the map (never
+    queued/running jobs — those are always resident).  Evicted ids are
+    not gone: the service serves them read-through from the journal, so
+    eviction trades memory for a disk seek, never for a 404.
+    """
+
+    def __init__(self, max_terminal_jobs: int | None = None) -> None:
+        if max_terminal_jobs is not None and max_terminal_jobs < 1:
+            raise ValueError(
+                f"max_terminal_jobs must be >= 1, got {max_terminal_jobs}"
+            )
         self._lock = threading.RLock()
         self._jobs: dict[str, Job] = {}
         self._seq = 0
+        self._max_terminal = max_terminal_jobs
+        #: Terminal job ids, oldest-finished first (the eviction order).
+        self._terminal_order: collections.deque[str] = collections.deque()
+        self._terminal_ids: set[str] = set()
+        self.evicted = 0
 
     def create(self, **fields: Any) -> Job:
         with self._lock:
             self._seq += 1
             job = Job(id=f"j{self._seq:06d}", **fields)
             self._jobs[job.id] = job
+            self._note_terminal(job)
             return job
+
+    def restore(self, job: Job) -> None:
+        """Re-insert a journal-recovered job under its original id."""
+        with self._lock:
+            self._jobs[job.id] = job
+            self._note_terminal(job)
+
+    def reserve(self, seq: int) -> None:
+        """Advance the id sequence past ``seq`` (journal replay) so new
+        ids never collide with recovered ones."""
+        with self._lock:
+            self._seq = max(self._seq, seq)
 
     def get(self, job_id: str) -> Job | None:
         with self._lock:
@@ -111,6 +147,35 @@ class JobRegistry:
             job = self._jobs[job_id]
             for name, value in fields.items():
                 setattr(job, name, value)
+            self._note_terminal(job)
+
+    def _note_terminal(self, job: Job) -> None:
+        """Track terminal transitions and evict past the retention cap.
+
+        Called under the lock.  A job enters the terminal order exactly
+        once (state transitions never leave ``done``/``failed``).
+        """
+        if job.state not in ("done", "failed"):
+            return
+        if job.id in self._terminal_ids:
+            return
+        self._terminal_ids.add(job.id)
+        self._terminal_order.append(job.id)
+        if self._max_terminal is None:
+            return
+        while len(self._terminal_order) > self._max_terminal:
+            oldest = self._terminal_order.popleft()
+            self._terminal_ids.discard(oldest)
+            if self._jobs.pop(oldest, None) is not None:
+                self.evicted += 1
+
+    def eviction_stats(self) -> dict[str, int]:
+        """Evicted-so-far and currently-retained terminal counts."""
+        with self._lock:
+            return {
+                "evicted": self.evicted,
+                "terminal_retained": len(self._terminal_order),
+            }
 
     def status(self, job_id: str) -> dict[str, Any] | None:
         with self._lock:

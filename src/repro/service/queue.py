@@ -1,26 +1,34 @@
 """The bounded async job queue and its worker threads.
 
-Admission's 429 contract is enforced by construction here: the queue is
-a ``queue.Queue`` with a hard ``maxsize``, and enqueueing is always
-``put_nowait`` — a full queue surfaces as an immediate refusal the HTTP
-layer can map to 429, never as a handler thread blocking (which would
+Admission's 429 contract is enforced by construction here: enqueueing
+never blocks — the depth check and the put happen under the admission
+lock, so a full queue surfaces as an immediate refusal the HTTP layer
+can map to 429, never as a handler thread blocking (which would
 silently convert back-pressure into client-visible latency and
-eventually exhaust the connection pool).
+eventually exhaust the connection pool).  Journal recovery uses
+:meth:`JobDispatcher.enqueue_recovered`, which bypasses the cap: jobs
+that were *already admitted* before a crash must not bounce off their
+own backlog at boot.
 
 Each worker thread owns one
 :class:`~repro.pool.dispatch.SupervisedDispatch`, so every admitted job
 runs in a fresh supervised child process with the pool's full guarantee
-set — and so :meth:`JobDispatcher.stop` can *cancel* in-flight jobs:
-shutdown reaps running children within a dispatch tick instead of
-waiting out a long solve.
+set.  Shutdown comes in two shapes: :meth:`JobDispatcher.stop` *cancels*
+in-flight jobs (children reaped within a dispatch tick — the Ctrl-C
+path), while :meth:`JobDispatcher.drain` lets in-flight jobs finish
+within a grace budget before escalating to cancellation (the SIGTERM
+path).  Both report worker threads that outlived the join, so a wedged
+thread is a counted, logged fact instead of a silent leak.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import TYPE_CHECKING, Callable
 
+from repro.core.engine.config import check_timeout
 from repro.pool.dispatch import SupervisedDispatch
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -40,6 +48,9 @@ class JobDispatcher:
     dispatch; ``seq`` is the job's admission sequence number (0-based),
     which doubles as the task index for deterministic fault plans.  The
     runner owns all error recording — it must not raise.
+    ``join_timeout_s`` bounds how long shutdown waits for each worker
+    thread after its work is cancelled; threads still alive past it are
+    counted and reported, never waited on forever.
     """
 
     def __init__(
@@ -49,17 +60,21 @@ class JobDispatcher:
         queue_cap: int = 16,
         context: str | None = None,
         term_grace_s: float = 0.5,
+        join_timeout_s: float = 10.0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if queue_cap < 1:
             raise ValueError(f"queue_cap must be >= 1, got {queue_cap}")
+        check_timeout(join_timeout_s, "join_timeout_s")
         self.workers = workers
         self.queue_cap = queue_cap
+        self.join_timeout_s = join_timeout_s
         self._runner = runner
-        self._queue: "queue.Queue[tuple[int, Job]]" = queue.Queue(
-            maxsize=queue_cap
-        )
+        # Unbounded internally: the cap is enforced in try_enqueue (under
+        # the admission lock) so recovery can re-admit a pre-crash
+        # backlog larger than the cap without deadlocking on put().
+        self._queue: "queue.Queue[tuple[int, Job]]" = queue.Queue()
         self._stop = threading.Event()
         self._seq_lock = threading.Lock()
         self._seq = 0
@@ -91,30 +106,83 @@ class JobDispatcher:
         with self._seq_lock:
             # Sequence numbers are assigned under the same lock as the
             # put, so admitted jobs are numbered in admission order —
-            # what makes KIND:SEQ fault plans deterministic.
-            try:
-                self._queue.put_nowait((self._seq, job))
-            except queue.Full:
+            # what makes KIND:SEQ fault plans deterministic.  The depth
+            # check shares the lock, so admissions serialize against
+            # each other and the cap is never oversubscribed by a race
+            # between two handler threads.
+            if self._queue.qsize() >= self.queue_cap:
                 return False
+            self._queue.put_nowait((self._seq, job))
             self._seq += 1
         return True
+
+    def enqueue_recovered(self, job: "Job") -> None:
+        """Re-admit a journal-recovered job, bypassing the cap.
+
+        Recovery runs before the workers start, in original admission
+        order; the backlog may legitimately exceed ``queue_cap`` (the
+        crash froze jobs both queued *and* running), and bouncing an
+        already-admitted job would break the recovery contract that
+        every pre-crash id resolves.
+        """
+        with self._seq_lock:
+            self._queue.put_nowait((self._seq, job))
+            self._seq += 1
 
     def depth(self) -> int:
         """Jobs admitted but not yet picked up by a worker."""
         return self._queue.qsize()
 
+    def alive_workers(self) -> int:
+        """Worker threads currently alive (0 before :meth:`start`)."""
+        return sum(1 for thread in self._threads if thread.is_alive())
+
     def stop(
         self, abandon: "Callable[[Job], None] | None" = None
-    ) -> None:
+    ) -> int:
         """Stop accepting, cancel in-flight children, drain the backlog.
 
         Queued-but-unstarted jobs are handed to ``abandon`` (the service
         marks them failed with a shutdown error) so no client polls a
-        job that can never finish.
+        job that can never finish.  Returns the number of worker threads
+        that outlived the join — 0 on a clean shutdown.
         """
         self._stop.set()
         for dispatch in self._dispatches:
             dispatch.cancel()
+        self._drain_backlog(abandon)
+        return self._join_threads(self.join_timeout_s)
+
+    def drain(
+        self,
+        grace_s: float,
+        abandon: "Callable[[Job], None] | None" = None,
+    ) -> int:
+        """Graceful drain: finish in-flight jobs, abandon the backlog.
+
+        Stops admission immediately and hands every queued-but-unstarted
+        job to ``abandon`` (the service journals them ``interrupted``
+        for next-boot re-enqueue).  In-flight jobs get ``grace_s``
+        seconds to finish; past that the remaining children are
+        cancelled exactly like :meth:`stop`.  Returns the number of
+        worker threads that outlived the final join.
+        """
+        check_timeout(grace_s, "grace_s")
+        self._stop.set()
+        self._drain_backlog(abandon)
+        still_running = self._join_threads(grace_s)
+        if still_running:
+            # Grace expired: escalate to the cancel path for whatever is
+            # still in flight (their jobs are journaled interrupted by
+            # the runner, so they re-run at next boot).
+            for dispatch in self._dispatches:
+                dispatch.cancel()
+            still_running = self._join_threads(self.join_timeout_s)
+        return still_running
+
+    def _drain_backlog(
+        self, abandon: "Callable[[Job], None] | None"
+    ) -> None:
         while True:
             try:
                 _, job = self._queue.get_nowait()
@@ -123,8 +191,15 @@ class JobDispatcher:
             if abandon is not None:
                 abandon(job)
             self._queue.task_done()
+
+    def _join_threads(self, timeout_s: float) -> int:
+        """Join every worker within one shared deadline; count survivors."""
+        deadline = time.monotonic() + timeout_s
         for thread in self._threads:
-            thread.join(timeout=10.0)
+            if not thread.is_alive():
+                continue
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        return self.alive_workers()
 
     def _worker_loop(self, dispatch: SupervisedDispatch) -> None:
         while not self._stop.is_set():

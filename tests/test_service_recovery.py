@@ -1,0 +1,565 @@
+"""Durability drills: restart recovery, idempotency, eviction, drain.
+
+The tentpole contract under test: a ``repro serve --state-dir DIR`` can
+be killed at any instant and restarted with the same state dir, and
+every pre-crash job id resolves — terminal jobs byte-identically, via
+journal read-through; interrupted jobs by idempotent re-execution
+through the content-addressed cache.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.instances import biskup_instance
+from repro.service.admission import AdmissionPolicy, validate_request
+from repro.service.api import SchedulingService, _render
+from repro.service.cache import ResultCache
+from repro.service.journal import JobJournal
+from repro.service.queue import JobDispatcher
+
+
+@pytest.fixture
+def instance():
+    return biskup_instance(n=8, h=0.4, k=1)
+
+
+def quick_body(instance, seed=5, **extra):
+    body = {
+        "instance": instance.to_dict(),
+        "method": "serial_sa",
+        "config": {"iterations": 60, "seed": seed},
+    }
+    body.update(extra)
+    return body
+
+
+def slow_body(instance, seed=1):
+    # ~25k serial_sa iterations/s: this runs for minutes if not stopped.
+    return {
+        "instance": instance.to_dict(),
+        "method": "serial_sa",
+        "config": {"iterations": 2_000_000, "seed": seed},
+    }
+
+
+def wait_for(predicate, timeout=60.0, tick=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(tick)
+    return False
+
+
+def wait_terminal(service, job_id, timeout=60.0):
+    assert wait_for(
+        lambda: service.job_status(job_id)[1].get("state")
+        in ("done", "failed"),
+        timeout=timeout,
+    ), service.job_status(job_id)[1]
+    return service.job_status(job_id)[1]
+
+
+def make_service(tmp_path, **overrides):
+    fields = dict(
+        policy=AdmissionPolicy(queue_cap=8),
+        workers=1,
+        cache=ResultCache(tmp_path / "cache"),
+        state_dir=tmp_path / "state",
+    )
+    fields.update(overrides)
+    return SchedulingService(**fields)
+
+
+class TestRestartRecovery:
+    def test_terminal_jobs_resolve_byte_identically_after_restart(
+        self, tmp_path, instance
+    ):
+        svc1 = make_service(tmp_path)
+        svc1.start()
+        try:
+            status, doc, _ = svc1.submit(quick_body(instance))
+            assert status == 202
+            job_id = doc["job_id"]
+            wait_terminal(svc1, job_id)
+            code, result, _ = svc1.job_result(job_id)
+            assert code == 200
+            before = _render(result)
+        finally:
+            svc1.stop()
+
+        svc2 = make_service(tmp_path)
+        svc2.start()
+        try:
+            # Byte-identical result straight from the journal: the job is
+            # not even resident in the new registry.
+            assert svc2.registry.get(job_id) is None
+            code, result, _ = svc2.job_result(job_id)
+            assert code == 200 and _render(result) == before
+            code, status_doc, _ = svc2.job_status(job_id)
+            assert code == 200 and status_doc["state"] == "done"
+            assert svc2.metrics.snapshot()["journal_read_through"] >= 1
+            # And the same request is a cache hit for new submissions.
+            code, doc, _ = svc2.submit(quick_body(instance))
+            assert code == 200 and doc["cached"] is True
+        finally:
+            svc2.stop()
+
+    def test_interrupted_jobs_reenqueue_in_order_and_complete(
+        self, tmp_path, instance
+    ):
+        svc1 = make_service(tmp_path)
+        # Never started: submissions are journaled and queued, but no
+        # worker exists to run them — the "crash before execution" shape.
+        status, first, _ = svc1.submit(quick_body(instance, seed=5))
+        assert status == 202
+        status, second, _ = svc1.submit(quick_body(instance, seed=6))
+        assert status == 202
+        svc1.stop()  # journals both as interrupted
+
+        svc2 = make_service(tmp_path)
+        svc2.start()
+        try:
+            counters = svc2.metrics.snapshot()
+            assert counters["recovered_requeued"] == 2
+            for doc in (first, second):
+                status_doc = wait_terminal(svc2, doc["job_id"])
+                assert status_doc["state"] == "done"
+            # Recovered jobs keep their original ids; new ids continue
+            # past them instead of colliding.
+            status, fresh, _ = svc2.submit(quick_body(instance, seed=7))
+            assert fresh["job_id"] not in (first["job_id"], second["job_id"])
+        finally:
+            svc2.stop()
+
+    def test_job_finished_just_before_crash_replays_as_cache_hit(
+        self, tmp_path, instance
+    ):
+        body = quick_body(instance, seed=9)
+        svc1 = make_service(tmp_path)
+        svc1.start()
+        try:
+            status, doc, _ = svc1.submit(body)
+            assert status == 202
+            wait_terminal(svc1, doc["job_id"])
+            code, result, _ = svc1.job_result(doc["job_id"])
+            before = _render(result)
+        finally:
+            svc1.stop()
+
+        # Simulate the crash window where the solve finished (result in
+        # the cache) but the journal never saw `done`: a state dir whose
+        # journal ends at `running`.
+        state2 = tmp_path / "state2"
+        journal = JobJournal(state2 / "journal.jsonl")
+        journal.record_submitted(
+            "j000007", seq=7, request=body, key="stale",
+            method="serial_sa", instance_name=instance.name,
+        )
+        journal.record_running("j000007")
+
+        svc2 = make_service(tmp_path, state_dir=state2)
+        svc2.start()
+        try:
+            status_doc = wait_terminal(svc2, "j000007")
+            assert status_doc["state"] == "done"
+            assert status_doc["cached"] is True  # replayed, not re-solved
+            code, result, _ = svc2.job_result("j000007")
+            assert code == 200 and _render(result) == before
+            # The id sequence resumed past the journaled seq.
+            code, doc, _ = svc2.submit(quick_body(instance, seed=9))
+            assert doc["job_id"] == "j000008"
+        finally:
+            svc2.stop()
+
+
+class TestIdempotency:
+    def test_duplicate_key_returns_the_original_job(
+        self, tmp_path, instance
+    ):
+        svc = make_service(tmp_path)
+        svc.start()
+        try:
+            body = quick_body(instance, idempotency_key="alpha")
+            status, doc, _ = svc.submit(body)
+            assert status == 202
+            wait_terminal(svc, doc["job_id"])
+            status, dup, _ = svc.submit(body)
+            assert status == 200 and dup["job_id"] == doc["job_id"]
+            assert svc.metrics.snapshot()["idempotent_replays"] == 1
+        finally:
+            svc.stop()
+
+    def test_key_reuse_with_a_different_request_conflicts(
+        self, tmp_path, instance
+    ):
+        svc = make_service(tmp_path)
+        svc.start()
+        try:
+            status, doc, _ = svc.submit(
+                quick_body(instance, seed=5, idempotency_key="alpha")
+            )
+            wait_terminal(svc, doc["job_id"])
+            status, conflict, _ = svc.submit(
+                quick_body(instance, seed=6, idempotency_key="alpha")
+            )
+            assert status == 409
+            assert conflict["error_type"] == "idempotency_conflict"
+            assert conflict["job_id"] == doc["job_id"]
+        finally:
+            svc.stop()
+
+    def test_duplicate_key_survives_a_restart(self, tmp_path, instance):
+        body = quick_body(instance, idempotency_key="alpha")
+        svc1 = make_service(tmp_path)
+        svc1.start()
+        try:
+            status, doc, _ = svc1.submit(body)
+            original = doc["job_id"]
+            wait_terminal(svc1, original)
+        finally:
+            svc1.stop()
+
+        svc2 = make_service(tmp_path)
+        svc2.start()
+        try:
+            status, dup, _ = svc2.submit(body)
+            assert status == 200 and dup["job_id"] == original
+            assert dup["state"] == "done"
+            assert svc2.metrics.snapshot()["idempotent_replays"] == 1
+        finally:
+            svc2.stop()
+
+    def test_bad_keys_are_rejected_at_validation(self, instance):
+        policy = AdmissionPolicy()
+        for bad in ("", "   ", 7, "x" * 201):
+            with pytest.raises(Exception, match="idempotency_key"):
+                validate_request(
+                    quick_body(instance, idempotency_key=bad), policy
+                )
+
+
+class TestTerminalEviction:
+    def test_evicted_jobs_served_read_through_from_the_journal(
+        self, tmp_path, instance
+    ):
+        svc = make_service(tmp_path, max_terminal_jobs=1)
+        svc.start()
+        try:
+            results = {}
+            ids = []
+            for seed in (21, 22, 23):
+                status, doc, _ = svc.submit(quick_body(instance, seed=seed))
+                assert status == 202
+                job_id = doc["job_id"]
+                ids.append(job_id)
+                wait_terminal(svc, job_id)
+                code, result, _ = svc.job_result(job_id)
+                results[job_id] = _render(result)
+            stats = svc.registry.eviction_stats()
+            assert stats == {"evicted": 2, "terminal_retained": 1}
+            assert svc.registry.get(ids[0]) is None
+            # Evicted ids still resolve — and byte-identically.
+            for job_id in ids:
+                code, status_doc, _ = svc.job_status(job_id)
+                assert code == 200 and status_doc["state"] == "done"
+                code, result, _ = svc.job_result(job_id)
+                assert code == 200 and _render(result) == results[job_id]
+            code, metrics, _ = svc.metrics_doc()
+            assert metrics["terminal_jobs"] == stats
+            assert metrics["counters"]["journal_read_through"] >= 2
+        finally:
+            svc.stop()
+
+    def test_eviction_without_a_journal_is_a_404(self, tmp_path, instance):
+        svc = make_service(tmp_path, max_terminal_jobs=1, state_dir=None)
+        svc.start()
+        try:
+            status, first, _ = svc.submit(quick_body(instance, seed=31))
+            wait_terminal(svc, first["job_id"])
+            status, second, _ = svc.submit(quick_body(instance, seed=32))
+            wait_terminal(svc, second["job_id"])
+            code, doc, _ = svc.job_status(first["job_id"])
+            assert code == 404
+        finally:
+            svc.stop()
+
+
+class TestDrain:
+    def test_drain_refuses_submissions_and_journals_the_backlog(
+        self, tmp_path, instance
+    ):
+        svc = make_service(
+            tmp_path, cache=None, drain_grace_s=0.5,
+            policy=AdmissionPolicy(queue_cap=8, retry_after_s=2.0),
+        )
+        svc.start()
+        status, running, _ = svc.submit(slow_body(instance))
+        assert status == 202
+        assert wait_for(
+            lambda: svc.job_status(running["job_id"])[1]["state"]
+            == "running"
+        )
+        status, queued, _ = svc.submit(quick_body(instance))
+        assert status == 202
+
+        drained = {}
+        thread = threading.Thread(
+            target=lambda: drained.setdefault("leaked", svc.drain())
+        )
+        thread.start()
+        try:
+            assert wait_for(lambda: svc.health()[1]["status"] == "draining")
+            status, doc, headers = svc.submit(quick_body(instance, seed=2))
+            assert status == 503 and doc["error_type"] == "draining"
+            assert int(headers["Retry-After"]) >= 2
+            # Polling keeps working mid-drain.
+            assert svc.job_status(running["job_id"])[0] == 200
+        finally:
+            thread.join(timeout=60)
+        assert not thread.is_alive() and drained["leaked"] == 0
+
+        # The queued job was abandoned; the in-flight one cancelled after
+        # the grace expired.  Both are journaled for next-boot re-enqueue.
+        assert svc.job_status(queued["job_id"])[1]["error"][
+            "error_type"] == "shutdown"
+        assert svc.job_status(running["job_id"])[1]["error"][
+            "error_type"] == "cancelled"
+        recovery = JobJournal(tmp_path / "state" / "journal.jsonl").replay()
+        assert {job.job_id for job in recovery.pending} == {
+            running["job_id"], queued["job_id"]
+        }
+
+    def test_drain_lets_inflight_work_finish_within_grace(
+        self, tmp_path, instance
+    ):
+        svc = make_service(tmp_path, drain_grace_s=90.0)
+        svc.start()
+        body = dict(quick_body(instance, seed=41))
+        body["config"] = {"iterations": 40_000, "seed": 41}  # ~1.5s
+        status, doc, _ = svc.submit(body)
+        assert status == 202
+        leaked = svc.drain()
+        assert leaked == 0
+        status_doc = svc.job_status(doc["job_id"])[1]
+        assert status_doc["state"] == "done"
+        recovery = JobJournal(tmp_path / "state" / "journal.jsonl").replay()
+        assert [job.job_id for job in recovery.terminal] == [doc["job_id"]]
+        assert recovery.pending == []
+
+
+class TestLeakedWorkerThreads:
+    def test_dispatcher_counts_threads_that_outlive_the_join(self):
+        release = threading.Event()
+        picked_up = threading.Event()
+
+        def stubborn(job, dispatch, seq):
+            picked_up.set()
+            release.wait(10.0)  # ignores cancel; outlives the join
+
+        dispatcher = JobDispatcher(
+            stubborn, workers=1, queue_cap=4, join_timeout_s=0.2
+        )
+        dispatcher.start()
+        try:
+            assert dispatcher.try_enqueue(object())
+            assert picked_up.wait(5.0)
+            leaked = dispatcher.stop()
+            assert leaked == 1
+            assert dispatcher.alive_workers() == 1
+        finally:
+            release.set()
+        assert wait_for(lambda: dispatcher.alive_workers() == 0, timeout=10)
+
+    def test_service_reports_leaked_threads_in_metrics(
+        self, tmp_path, instance
+    ):
+        svc = make_service(tmp_path, cache=None)
+        release = threading.Event()
+        picked_up = threading.Event()
+
+        def stubborn(job, dispatch, seq):
+            picked_up.set()
+            release.wait(10.0)
+
+        svc.dispatcher._runner = stubborn
+        svc.dispatcher.join_timeout_s = 0.2
+        svc.start()
+        try:
+            status, doc, _ = svc.submit(quick_body(instance))
+            assert status == 202
+            assert picked_up.wait(5.0)
+            leaked = svc.stop()
+            assert leaked == 1
+            assert svc.metrics.snapshot()["worker_threads_leaked"] == 1
+        finally:
+            release.set()
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_dead_worker_thread_degrades_health(self, tmp_path, instance):
+        svc = make_service(tmp_path, cache=None, state_dir=None)
+
+        def dying(job, dispatch, seq):
+            raise RuntimeError("worker bug")
+
+        svc.dispatcher._runner = dying
+        svc.start()
+        try:
+            status, doc, _ = svc.submit(quick_body(instance))
+            assert status == 202
+            assert wait_for(lambda: svc.dispatcher.alive_workers() == 0)
+            code, health, _ = svc.health()
+            assert health["status"] == "degraded"
+            assert any("worker" in reason for reason in health["reasons"])
+            assert health["alive_workers"] == 0
+        finally:
+            svc.stop()
+
+
+class TestRetryAfterScaling:
+    def test_hint_scales_with_queue_depth_and_clamps(self, tmp_path):
+        svc = make_service(
+            tmp_path, cache=None, state_dir=None,
+            policy=AdmissionPolicy(queue_cap=8, retry_after_s=2.0),
+        )
+        for depth, expected in ((0, 2.0), (1, 2.0), (5, 10.0), (100, 30.0)):
+            svc.dispatcher.depth = lambda d=depth: d
+            assert svc.retry_after_hint() == expected
+        svc.dispatcher.depth = lambda: 7
+        assert svc._retry_after_headers() == {"Retry-After": "14"}
+
+    def test_floor_dominates_when_base_exceeds_the_cap(self, tmp_path):
+        svc = make_service(
+            tmp_path, cache=None, state_dir=None,
+            policy=AdmissionPolicy(queue_cap=8, retry_after_s=45.0),
+        )
+        svc.dispatcher.depth = lambda: 100
+        assert svc.retry_after_hint() == 45.0
+
+
+# -- the SIGKILL drill ---------------------------------------------------
+
+
+def http_json(base, method, path, body=None, timeout=15):
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(base + path, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def http_raw(base, path, timeout=15):
+    """Raw response bytes — what byte-identity is measured on."""
+    with urllib.request.urlopen(base + path, timeout=timeout) as response:
+        return response.status, response.read()
+
+
+def serve_subprocess(tmp_path, tag):
+    ready = tmp_path / f"ready-{tag}.addr"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(p) for p in (env.get("PYTHONPATH"),) if p]
+        + [os.path.join(os.getcwd(), "src")]
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--bind", "127.0.0.1:0", "--ready-file", str(ready),
+         "--state-dir", str(tmp_path / "state"),
+         "--cache-dir", str(tmp_path / "cache"),
+         "--workers", "1", "--drain-grace", "30"],
+        env=env, stderr=subprocess.DEVNULL,
+    )
+    assert wait_for(
+        lambda: ready.exists() and ready.read_text().strip() != "",
+        timeout=60.0, tick=0.1,
+    ), "service never wrote its ready file"
+    return proc, f"http://{ready.read_text().strip()}"
+
+
+class TestCrashRecoveryDrill:
+    def test_sigkill_midjob_then_restart_resolves_every_id(self, tmp_path):
+        instance = biskup_instance(n=8, h=0.4, k=1)
+        done_body = quick_body(instance, seed=11, idempotency_key="drill")
+        # ~3s of serial_sa: still in flight when the KILL lands, short
+        # enough that the restarted service re-runs it quickly.
+        midflight_body = {
+            "instance": instance.to_dict(),
+            "method": "serial_sa",
+            "config": {"iterations": 70_000, "seed": 12},
+        }
+
+        proc, base = serve_subprocess(tmp_path, "pre")
+        try:
+            code, done_doc = http_json(base, "POST", "/v1/submit", done_body)
+            assert code == 202
+            done_id = done_doc["job_id"]
+            assert wait_for(
+                lambda: http_json(base, "GET", f"/v1/jobs/{done_id}")[1]
+                .get("state") == "done",
+                timeout=60.0, tick=0.1,
+            )
+            code, done_bytes = http_raw(base, f"/v1/jobs/{done_id}/result")
+            assert code == 200
+
+            code, mid_doc = http_json(
+                base, "POST", "/v1/submit", midflight_body
+            )
+            assert code == 202
+            mid_id = mid_doc["job_id"]
+            assert wait_for(
+                lambda: http_json(base, "GET", f"/v1/jobs/{mid_id}")[1]
+                .get("state") == "running",
+                timeout=60.0, tick=0.05,
+            )
+        finally:
+            # The crash: no drain, no flush, no goodbye.
+            proc.kill()
+            proc.wait(timeout=30)
+
+        proc, base = serve_subprocess(tmp_path, "post")
+        try:
+            # Pre-crash terminal job: byte-identical read-through.
+            code, recovered_bytes = http_raw(
+                base, f"/v1/jobs/{done_id}/result"
+            )
+            assert code == 200 and recovered_bytes == done_bytes
+
+            # Duplicate idempotency key resolves to the original id,
+            # across the restart.
+            code, dup = http_json(base, "POST", "/v1/submit", done_body)
+            assert code == 200 and dup["job_id"] == done_id
+
+            # The mid-flight job re-ran idempotently under its old id.
+            assert wait_for(
+                lambda: http_json(base, "GET", f"/v1/jobs/{mid_id}")[1]
+                .get("state") == "done",
+                timeout=120.0, tick=0.2,
+            ), http_json(base, "GET", f"/v1/jobs/{mid_id}")[1]
+            code, mid_result = http_json(
+                base, "GET", f"/v1/jobs/{mid_id}/result"
+            )
+            assert code == 200
+            # Determinism check: a fresh submission of the same request
+            # replays the recovered run's document from the cache.
+            code, fresh = http_json(
+                base, "POST", "/v1/submit", midflight_body
+            )
+            assert code == 200 and fresh["cached"] is True
+            assert fresh["key"] == mid_result["key"]
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=60)
+        assert proc.returncode == 0
