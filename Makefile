@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= quick
 
-.PHONY: install test lint bench bench-smoke report examples clean
+.PHONY: install test lint tsan bench bench-smoke report examples clean
 
 install:
 	pip install -e .
@@ -16,6 +16,11 @@ test-fast:
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.cli lint src
+
+# Tier-1 suite under the runtime lock-order sanitizer (docs/lint.md):
+# an inversion or join-under-lock raises instead of deadlocking.
+tsan:
+	REPRO_TSAN=1 PYTHONPATH=src $(PYTHON) -m pytest tests/ -x -q
 
 bench:
 	REPRO_SCALE=$(SCALE) $(PYTHON) -m pytest benchmarks/ --benchmark-only

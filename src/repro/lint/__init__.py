@@ -10,6 +10,13 @@ taxonomy.  This package enforces those rules *statically*: a stdlib-only
 carrying a rationale, and a path-scoped policy read from
 ``pyproject.toml [tool.repro-lint]``.
 
+Since the service/pool layers went multi-threaded the analyzer also
+checks *concurrency* discipline: a cross-module :class:`~repro.lint.
+index.ProjectIndex` feeds the lock rules (``RPL011`` guarded fields,
+``RPL012`` lock ordering, ``RPL013`` blocking under a lock), and
+:mod:`repro.lint.sanitizer` re-checks the same properties at runtime
+when tests run with ``REPRO_TSAN=1``.
+
 Entry points
 ------------
 - ``repro lint [paths]`` (see :mod:`repro.lint.cli`),
@@ -24,6 +31,7 @@ bad/good examples in ``docs/lint.md``.
 from __future__ import annotations
 
 from repro.lint.engine import Finding, LintEngine, LintResult
+from repro.lint.index import ProjectIndex
 from repro.lint.policy import Policy, PolicyError
 from repro.lint.report import render_findings
 from repro.lint.rules import RULES, Rule
@@ -34,6 +42,7 @@ __all__ = [
     "LintResult",
     "Policy",
     "PolicyError",
+    "ProjectIndex",
     "RULES",
     "Rule",
     "render_findings",

@@ -1,11 +1,17 @@
 """The analysis driver: discover files, run scoped rules, audit output.
 
-Per file: parse (a syntax error becomes an ``RPL999`` finding, never a
-crash), run every rule the policy scopes to that path, filter findings
-through the inline suppressions, then audit the suppressions themselves
-(``RPL000``).  Findings come back sorted by ``(path, line, col, code)``
-so text and JSON output are byte-stable for identical input — CI diffs
-the artifact across runs.
+The run is two passes over one parse.  Per file: parse (a syntax error
+becomes an ``RPL999`` finding, never a crash) and run every per-file
+rule the policy scopes to that path.  Then the **project pass**: all
+parsed files are indexed together (:class:`~repro.lint.index.
+ProjectIndex`) and the project rules (RPL011–RPL013) run once over the
+cross-module view — their findings are scoped per *finding* location,
+so a cycle between a linted and an exempted file still reports at the
+linted site.  Finally each file's findings — from both passes — are
+filtered through its inline suppressions and the suppressions
+themselves are audited (``RPL000``).  Findings come back sorted by
+``(path, line, col, code)`` so text and JSON output are byte-stable
+for identical input — CI diffs the artifact across runs.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import dataclasses
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.lint.index import ProjectIndex
 from repro.lint.model import Finding, SourceFile
 from repro.lint.policy import Policy, PolicyError
 from repro.lint.rules import RULES, iter_rules
@@ -92,41 +99,70 @@ class LintEngine:
 
     def lint_paths(self, paths: Sequence[Path]) -> LintResult:
         """Lint every ``*.py`` file under ``paths``."""
-        findings: list[Finding] = []
         files = self.discover(paths)
+        sources: list[SourceFile] = []
+        findings: list[Finding] = []
         for file_path in files:
             rel = self._relative(file_path)
             text = file_path.read_text(encoding="utf-8")
-            findings.extend(self.lint_source(text, rel))
+            try:
+                tree = ast.parse(text)
+            except SyntaxError as exc:
+                findings.append(_parse_failure(rel, exc))
+            else:
+                sources.append(SourceFile(text, rel, tree))
+        findings.extend(self._lint_sources(sources))
         return LintResult(findings=sorted(findings), files_checked=len(files))
 
     def lint_source(self, text: str, rel_path: str) -> list[Finding]:
-        """Lint one module given as text (the test fixtures' entry point)."""
+        """Lint one module given as text (the test fixtures' entry point).
+
+        Project rules still run — over an index of just this module —
+        so single-file fixtures exercise RPL011–RPL013 the same way
+        whole-tree runs do.
+        """
         try:
             tree = ast.parse(text)
         except SyntaxError as exc:
-            return [Finding(
-                path=rel_path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                code="RPL999",
-                message=f"file does not parse: {exc.msg}",
-                severity="error",
-                rule="parse-error",
-            )]
-        src = SourceFile(text, rel_path, tree)
-        raw: list[Finding] = []
-        for rule in iter_rules():
-            if not self._enabled(rule.code):
-                continue
-            if not self.policy.rule_applies(
-                rule.code, rule.default_paths, src.path
-            ):
-                continue
-            raw.extend(rule.check(src))
-        suppressions = scan_suppressions(text, src.path)
-        audited = apply_suppressions(raw, suppressions)
-        return sorted(f for f in audited if self._enabled(f.code))
+            return [_parse_failure(rel_path, exc)]
+        return sorted(
+            self._lint_sources([SourceFile(text, rel_path, tree)])
+        )
+
+    def _lint_sources(self, sources: list[SourceFile]) -> list[Finding]:
+        """Both passes plus suppression filtering, all files at once."""
+        raw: dict[str, list[Finding]] = {src.path: [] for src in sources}
+        for src in sources:
+            for rule in iter_rules():
+                if rule.project or not self._enabled(rule.code):
+                    continue
+                if not self.policy.rule_applies(
+                    rule.code, rule.default_paths, src.path
+                ):
+                    continue
+                raw[src.path].extend(rule.check(src))
+        project_rules = [
+            rule for rule in iter_rules()
+            if rule.project and self._enabled(rule.code)
+        ]
+        if project_rules and sources:
+            index = ProjectIndex.build(sources)
+            for rule in project_rules:
+                for finding in rule.check_project(index):
+                    if finding.path not in raw:
+                        continue
+                    if self.policy.rule_applies(
+                        rule.code, rule.default_paths, finding.path
+                    ):
+                        raw[finding.path].append(finding)
+        findings: list[Finding] = []
+        for src in sources:
+            suppressions = scan_suppressions(src.text, src.path)
+            audited = apply_suppressions(raw[src.path], suppressions)
+            findings.extend(
+                f for f in audited if self._enabled(f.code)
+            )
+        return findings
 
     # -- helpers ---------------------------------------------------------
 
@@ -143,3 +179,15 @@ class LintEngine:
             return resolved.relative_to(self.root).as_posix()
         except ValueError:
             return resolved.as_posix()
+
+
+def _parse_failure(rel_path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        path=rel_path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 0) + 1,
+        code="RPL999",
+        message=f"file does not parse: {exc.msg}",
+        severity="error",
+        rule="parse-error",
+    )

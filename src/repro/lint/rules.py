@@ -17,7 +17,7 @@ empty ``default_paths`` apply to every linted file.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.lint.model import Finding, SourceFile
 
@@ -33,6 +33,11 @@ class Rule:
 
     Subclasses set the class attributes and implement :meth:`check`,
     yielding a :class:`Finding` per violation via :meth:`finding`.
+    Rules with ``project = True`` implement :meth:`check_project`
+    instead: the engine runs them once over the cross-module
+    :class:`~repro.lint.index.ProjectIndex` rather than per file, and
+    scopes each *finding* (not each file) through ``default_paths`` and
+    the policy.
     """
 
     code: str = ""
@@ -41,8 +46,13 @@ class Rule:
     summary: str = ""
     #: Repo-relative path prefixes the rule applies to (empty = all).
     default_paths: tuple[str, ...] = ()
+    #: True = runs once over the whole-project index (RPL011–RPL013).
+    project: bool = False
 
     def check(self, src: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check_project(self, index: Any) -> Iterator[Finding]:
         raise NotImplementedError
 
     def finding(self, src: SourceFile, node: ast.AST, message: str) -> Finding:
@@ -50,6 +60,20 @@ class Rule:
             path=src.path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+            severity=self.severity,
+            rule=self.name,
+        )
+
+    def finding_at(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        """A finding at an explicit location (project-rule form)."""
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
             code=self.code,
             message=message,
             severity=self.severity,
@@ -855,3 +879,9 @@ class DurableStateWrites(Rule):
                     "`durable_append_text`, or suppress with a rationale "
                     "if the file is genuinely ephemeral",
                 )
+
+
+# The concurrency rules (RPL011–RPL013) live in their own module but
+# register into ``RULES`` at import time; the import sits at the bottom
+# so ``Rule``/``_register`` exist by the time it runs.
+from repro.lint import concurrency as _concurrency  # noqa: E402,F401  # isort: skip

@@ -1,0 +1,374 @@
+"""Runtime lock-order sanitizer: the dynamic sibling of RPL012/RPL013.
+
+The static rules prove what the AST shows; this module checks the same
+two properties on the locks a test run *actually* takes:
+
+* **ordering** — every ``threading.Lock``/``RLock``/``Condition``
+  created by an instrumented module is wrapped so each acquisition
+  records an edge ``held -> acquiring`` in a global acquisition graph
+  (first-seen site kept as evidence).  An acquisition that would close
+  a cycle raises :class:`LockInversionError` *before* blocking — the
+  deadlock is reported as a stack trace naming both sites instead of a
+  hung test run.
+* **held-while-blocking** — ``Thread.join`` through an instrumented
+  module checks that the joining thread holds no sanitized lock
+  (held-while-joining is the classic drain deadlock:
+  the worker being joined needs the lock the joiner is sitting on).
+
+Everything is monitoring only: wrapped locks delegate straight to the
+real primitives, acquisition never reorders or delays, and nothing
+here reads clocks or randomness — a sanitized run is byte-identical to
+an uninstrumented one unless it raises.
+
+Enabled by ``REPRO_TSAN=1``: the autouse conftest fixture calls
+:func:`install`, which swaps each target module's ``threading``
+binding for a proxy (the :mod:`threading` module itself is never
+touched, so stdlib internals — ``queue``, ``http.server`` — keep their
+raw locks).  ``repro serve`` honors the same variable, so the CI
+service-recovery and pool-chaos drills double as race drills.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Any, Iterable
+
+__all__ = [
+    "HeldWhileBlockingError",
+    "LockInversionError",
+    "LockOrderMonitor",
+    "SanitizedCondition",
+    "SanitizedLock",
+    "SanitizedRLock",
+    "TARGET_MODULES",
+    "install",
+    "installed",
+    "monitor",
+    "uninstall",
+]
+
+#: The threaded serving stack; each gets its ``threading`` binding
+#: proxied by :func:`install`.
+TARGET_MODULES = (
+    "repro.service.api",
+    "repro.service.cache",
+    "repro.service.jobs",
+    "repro.service.journal",
+    "repro.service.queue",
+    "repro.pool.dispatch",
+)
+
+
+class LockInversionError(RuntimeError):
+    """Acquiring this lock here can deadlock against an observed order."""
+
+
+class HeldWhileBlockingError(RuntimeError):
+    """A blocking operation was started while holding a sanitized lock."""
+
+
+def _call_site() -> str:
+    """``file:line`` of the instrumented caller (deterministic).
+
+    Walks past this module's own frames so ``with lock:`` reports the
+    ``with`` statement, not the wrapper's ``__enter__``.
+    """
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_code.co_filename == __file__:
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - only if called at module top
+        return "<unknown>"
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+
+class LockOrderMonitor:
+    """The global acquisition graph and per-thread held stacks.
+
+    Its own state is guarded by a *raw* ``threading.Lock`` (this module
+    keeps the real binding), so the monitor never participates in the
+    graph it checks.
+    """
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()
+        #: thread ident -> stack of lock ids currently held.
+        self._held: dict[int, list[int]] = {}
+        #: (held id, acquired id) -> first-seen "held@site -> acq@site".
+        self._edges: dict[tuple[int, int], str] = {}
+        #: lock id -> human label (creation site).
+        self._labels: dict[int, str] = {}
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def register(self, lock_id: int, label: str) -> None:
+        with self._mu:
+            self._labels[lock_id] = label
+
+    def label(self, lock_id: int) -> str:
+        return self._labels.get(lock_id, f"lock#{lock_id}")
+
+    def snapshot_edges(self) -> dict[tuple[str, str], str]:
+        """Observed ordering edges by label (test introspection)."""
+        with self._mu:
+            return {
+                (self.label(a), self.label(b)): site
+                for (a, b), site in sorted(self._edges.items())
+            }
+
+    def reset(self) -> None:
+        """Drop all state (between tests that seed deliberate cycles)."""
+        with self._mu:
+            self._held.clear()
+            self._edges.clear()
+
+    # -- the checks -----------------------------------------------------
+
+    def before_acquire(self, lock_id: int, site: str) -> None:
+        """Record ordering and refuse cycle-closing acquisitions.
+
+        Runs *before* blocking on the real lock: a would-deadlock
+        acquisition surfaces as an exception with both sites named,
+        not as a wedged test run.
+        """
+        ident = threading.get_ident()
+        with self._mu:
+            held = self._held.get(ident, [])
+            if not held or lock_id in held:
+                return  # nothing held, or an RLock re-entry
+            inversion = self._find_path(lock_id, set(held))
+            if inversion is not None:
+                chain = " -> ".join(
+                    f"{self.label(a)} => {self.label(b)} "
+                    f"(first seen: {self._edges[(a, b)]})"
+                    for a, b in inversion
+                )
+                raise LockInversionError(
+                    f"lock-order inversion: acquiring "
+                    f"{self.label(lock_id)} at {site} while holding "
+                    f"{', '.join(self.label(h) for h in held)}, but the "
+                    f"opposite order was already observed: {chain}"
+                )
+            for held_id in held:
+                self._edges.setdefault(
+                    (held_id, lock_id),
+                    f"{self.label(held_id)} held -> "
+                    f"{self.label(lock_id)} acquired at {site}",
+                )
+
+    def _find_path(
+        self, start: int, targets: set[int]
+    ) -> list[tuple[int, int]] | None:
+        """Edge path ``start -> ... -> t`` for some held ``t``, if any."""
+        stack: list[tuple[int, list[tuple[int, int]]]] = [(start, [])]
+        visited = {start}
+        while stack:
+            node, path = stack.pop()
+            for (a, b) in self._edges:
+                if a != node or b in visited:
+                    continue
+                step = path + [(a, b)]
+                if b in targets:
+                    return step
+                visited.add(b)
+                stack.append((b, step))
+        return None
+
+    def after_acquire(self, lock_id: int) -> None:
+        ident = threading.get_ident()
+        with self._mu:
+            self._held.setdefault(ident, []).append(lock_id)
+
+    def on_release(self, lock_id: int) -> None:
+        ident = threading.get_ident()
+        with self._mu:
+            held = self._held.get(ident)
+            if held and lock_id in held:
+                # Remove the most recent hold (RLocks release in pairs).
+                for i in range(len(held) - 1, -1, -1):
+                    if held[i] == lock_id:
+                        del held[i]
+                        break
+                if not held:
+                    del self._held[ident]
+
+    def check_blocking(self, what: str, site: str) -> None:
+        """Raise if the calling thread blocks while holding any lock."""
+        ident = threading.get_ident()
+        with self._mu:
+            held = self._held.get(ident, [])
+            if held:
+                raise HeldWhileBlockingError(
+                    f"{what} at {site} while holding "
+                    f"{', '.join(self.label(h) for h in held)}; a "
+                    "blocking wait under a lock is how drains deadlock "
+                    "— release before blocking"
+                )
+
+
+#: The process-wide monitor every sanitized primitive reports to.
+monitor = LockOrderMonitor()
+
+
+class _SanitizedBase:
+    """Shared acquire/release instrumentation around a real lock."""
+
+    _real: Any
+
+    def __init__(self, real: Any, label: str) -> None:
+        self._real = real
+        monitor.register(id(self), label)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if blocking:
+            monitor.before_acquire(id(self), _call_site())
+        got = self._real.acquire(blocking, timeout)
+        if got:
+            monitor.after_acquire(id(self))
+        return got
+
+    def release(self) -> None:
+        self._real.release()
+        monitor.on_release(id(self))
+
+    def locked(self) -> bool:
+        return self._real.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+
+class SanitizedLock(_SanitizedBase):
+    """``threading.Lock`` with ordering instrumentation."""
+
+
+class SanitizedRLock(_SanitizedBase):
+    """``threading.RLock`` with ordering instrumentation.
+
+    Re-entries are recognized by the monitor (the lock is already on
+    the thread's held stack) and recorded without ordering edges — a
+    lock never orders against itself.
+    """
+
+
+class SanitizedCondition:
+    """``threading.Condition`` with ordering instrumentation.
+
+    ``wait`` releases the underlying lock, so the held stack drops the
+    condition for the duration and re-adds it on wakeup — a thread
+    parked in ``wait`` holds nothing as far as ordering is concerned.
+    """
+
+    def __init__(self, real: Any, label: str) -> None:
+        self._real = real
+        monitor.register(id(self), label)
+
+    def acquire(self, *args: Any) -> bool:
+        monitor.before_acquire(id(self), _call_site())
+        got = self._real.acquire(*args)
+        if got:
+            monitor.after_acquire(id(self))
+        return got
+
+    def release(self) -> None:
+        self._real.release()
+        monitor.on_release(id(self))
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        monitor.on_release(id(self))
+        try:
+            return self._real.wait(timeout)
+        finally:
+            monitor.after_acquire(id(self))
+
+    def wait_for(self, predicate: Any, timeout: float | None = None) -> Any:
+        monitor.on_release(id(self))
+        try:
+            return self._real.wait_for(predicate, timeout)
+        finally:
+            monitor.after_acquire(id(self))
+
+    def notify(self, n: int = 1) -> None:
+        self._real.notify(n)
+
+    def notify_all(self) -> None:
+        self._real.notify_all()
+
+
+class _SanitizedThread(threading.Thread):
+    """``threading.Thread`` whose ``join`` refuses to wait under a lock."""
+
+    def join(self, timeout: float | None = None) -> None:
+        monitor.check_blocking("Thread.join", _call_site())
+        super().join(timeout)
+
+
+class _ThreadingProxy:
+    """Stand-in for a module's ``threading`` binding.
+
+    Lock constructors hand out sanitized wrappers labeled with their
+    creation site; everything else (``Event``, ``get_ident``,
+    ``current_thread``, …) delegates to the real module untouched.
+    """
+
+    def __init__(self, real: Any) -> None:
+        self._real = real
+
+    def Lock(self) -> SanitizedLock:  # noqa: N802 - threading API
+        return SanitizedLock(self._real.Lock(), f"Lock({_call_site()})")
+
+    def RLock(self) -> SanitizedRLock:  # noqa: N802 - threading API
+        return SanitizedRLock(self._real.RLock(), f"RLock({_call_site()})")
+
+    def Condition(self, lock: Any = None) -> SanitizedCondition:  # noqa: N802
+        real = self._real.Condition() if lock is None else (
+            self._real.Condition(lock)
+        )
+        return SanitizedCondition(real, f"Condition({_call_site()})")
+
+    Thread = _SanitizedThread
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._real, name)
+
+
+_patched: dict[str, Any] = {}
+
+
+def installed() -> bool:
+    return bool(_patched)
+
+
+def install(modules: Iterable[str] = TARGET_MODULES) -> None:
+    """Swap each target module's ``threading`` binding for the proxy.
+
+    Idempotent per module.  Only locks created *after* this call are
+    sanitized, so install before constructing the service under test
+    (the conftest fixture runs at session start, ahead of every
+    fixture that builds one).
+    """
+    import importlib
+
+    proxy = _ThreadingProxy(threading)
+    for name in modules:
+        if name in _patched:
+            continue
+        module = importlib.import_module(name)
+        _patched[name] = module.threading
+        module.threading = proxy
+
+
+def uninstall() -> None:
+    """Restore every patched module's real ``threading`` binding."""
+    for name, real in _patched.items():
+        sys.modules[name].threading = real
+    _patched.clear()

@@ -26,7 +26,10 @@ import os
 import tempfile
 from pathlib import Path
 
-__all__ = ["atomic_write_text", "durable_append_text"]
+__all__ = [
+    "append_text", "atomic_write_text", "durable_append_text",
+    "fsync_path",
+]
 
 
 def _fsync_dir(parent: Path) -> None:
@@ -37,6 +40,50 @@ def _fsync_dir(parent: Path) -> None:
             os.fsync(dir_fd)
         finally:
             os.close(dir_fd)
+
+
+def append_text(path: Path | str, text: str) -> int:
+    """Append ``text`` to ``path`` (flushed, **not** fsync'd); returns
+    the start byte offset of the appended text.
+
+    This is the serialization half of :func:`durable_append_text`,
+    split out for writers that must order appends under a lock but keep
+    the slow fsync *outside* the critical section (lint rule RPL013):
+    the caller appends under its lock, releases, then calls
+    :func:`fsync_path` before acknowledging — fsync flushes the whole
+    file, so a later append's sync also covers every earlier one.  A
+    record is NOT crash-durable until ``fsync_path`` returns.
+    """
+    path = Path(path)
+    created = not path.exists()
+    if created:
+        path.parent.mkdir(parents=True, exist_ok=True)
+    # This *is* the shared durable-append primitive RPL010 points at;
+    # callers pair it with fsync_path before acknowledging the record.
+    with open(path, "ab") as handle:  # repro-lint: disable=RPL010 -- serialization half of the sanctioned durable-append primitive; fsync_path pairs with it before any ack
+        # O_APPEND leaves the nominal position at 0 on some platforms;
+        # seek to the end so the returned offset is the true record start.
+        handle.seek(0, os.SEEK_END)
+        offset = handle.tell()
+        handle.write(text.encode("utf-8"))
+        handle.flush()
+    if created:
+        _fsync_dir(path.parent)
+    return offset
+
+
+def fsync_path(path: Path | str) -> None:
+    """Flush ``path``'s written data to stable storage.
+
+    Opened read-only: fsync is a property of the *file*, not the
+    writing handle, so this flushes every append that preceded it —
+    which is what lets concurrent appenders share one sync point.
+    """
+    fd = os.open(Path(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def durable_append_text(path: Path | str, text: str) -> int:
@@ -50,22 +97,8 @@ def durable_append_text(path: Path | str, text: str) -> int:
     the appended text begins, which lets journal writers index records
     for seek-based read-through without re-scanning the file.
     """
-    path = Path(path)
-    created = not path.exists()
-    if created:
-        path.parent.mkdir(parents=True, exist_ok=True)
-    # This *is* the shared durable-append helper RPL010 points at: the
-    # append handle is flushed and fsync'd before close on every call.
-    with open(path, "ab") as handle:  # repro-lint: disable=RPL010 -- this is the sanctioned durable-append primitive itself; flush+fsync follow immediately
-        # O_APPEND leaves the nominal position at 0 on some platforms;
-        # seek to the end so the returned offset is the true record start.
-        handle.seek(0, os.SEEK_END)
-        offset = handle.tell()
-        handle.write(text.encode("utf-8"))
-        handle.flush()
-        os.fsync(handle.fileno())
-    if created:
-        _fsync_dir(path.parent)
+    offset = append_text(path, text)
+    fsync_path(path)
     return offset
 
 

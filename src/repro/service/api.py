@@ -760,6 +760,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 "error_type": "validation",
             }, {})
         if length > max_bytes:
+            self._drain_oversized(length, max_bytes)
             return None, (413, {
                 "error": f"body of {length} bytes exceeds the "
                          f"{max_bytes}-byte limit",
@@ -773,6 +774,28 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 "error": f"body is not valid JSON: {exc}",
                 "error_type": "validation",
             }, {})
+
+    def _drain_oversized(self, length: int, max_bytes: int) -> None:
+        """Discard a too-large body so the 413 actually reaches the client.
+
+        Replying without consuming the upload races the client's own
+        send: closing the socket with unread data makes the kernel reset
+        the connection, and the client sees the reset before it can read
+        the status line.  Discarding in bounded chunks keeps memory flat
+        and lets the client finish writing, so the 413 arrives reliably.
+        Bodies beyond ``4 * max_bytes`` are abandoned instead — the
+        connection is marked for close and whatever the client had in
+        flight is its own problem; a bogus Content-Length must not be
+        able to demand unbounded drain work.
+        """
+        remaining = min(length, 4 * max_bytes)
+        if length > 4 * max_bytes:
+            self.close_connection = True
+        while remaining > 0:
+            chunk = self.rfile.read(min(65536, remaining))
+            if not chunk:
+                break
+            remaining -= len(chunk)
 
     def _reply(
         self, status: int, doc: dict, headers: dict[str, str]

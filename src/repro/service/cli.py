@@ -17,6 +17,7 @@ signal arrives.  The two signals mean different shutdowns:
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import sys
 import threading
@@ -115,6 +116,14 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
 
 def run_serve(args: argparse.Namespace) -> int:
     """Build the service from flags and serve until signalled."""
+    if os.environ.get("REPRO_TSAN") == "1":
+        # Instrument before the service constructs any lock, so the CI
+        # recovery/chaos drills (which spawn `repro serve` subprocesses)
+        # double as lock-order drills.  An inversion crashes the server
+        # loudly instead of wedging the drill until its timeout.
+        from repro.lint import sanitizer
+
+        sanitizer.install()
     from repro.service.admission import AdmissionPolicy
     from repro.service.api import SchedulingService, make_server
     from repro.service.cache import ResultCache

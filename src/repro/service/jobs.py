@@ -106,12 +106,12 @@ class JobRegistry:
             )
         self._lock = threading.RLock()
         self._jobs: dict[str, Job] = {}
-        self._seq = 0
+        self._seq = 0  # repro-lint: guarded-by=_lock
         self._max_terminal = max_terminal_jobs
         #: Terminal job ids, oldest-finished first (the eviction order).
         self._terminal_order: collections.deque[str] = collections.deque()
         self._terminal_ids: set[str] = set()
-        self.evicted = 0
+        self.evicted = 0  # repro-lint: guarded-by=_lock
 
     def create(self, **fields: Any) -> Job:
         with self._lock:

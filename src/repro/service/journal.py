@@ -5,8 +5,9 @@ every submitted job, and clients kept polling ids that could never
 resolve.  The journal closes that hole: every job state transition is
 appended to one JSONL file *before* the transition becomes observable,
 each line guarded by the same ``record_crc`` discipline as checkpoint
-lines and cache entries, each append flushed-and-fsync'd through
-:func:`repro.resilience.atomic.durable_append_text`.  Because the
+lines and cache entries, each append flushed-and-fsync'd through the
+:func:`repro.resilience.atomic.append_text` / ``fsync_path`` pair
+(write serialized under the journal lock, sync outside it).  Because the
 repo's solvers are deterministic pure functions of the cache key, the
 journal does not need to persist partial compute: re-running an
 interrupted job is *bit-identical* to the run that was lost, so replay
@@ -39,7 +40,11 @@ import threading
 from pathlib import Path
 from typing import Any
 
-from repro.resilience.atomic import durable_append_text
+from repro.resilience.atomic import (
+    append_text,
+    durable_append_text,
+    fsync_path,
+)
 from repro.resilience.checkpoint import record_crc
 
 __all__ = [
@@ -103,9 +108,12 @@ class JournalRecovery:
 class JobJournal:
     """Append-only, CRC-guarded, fsync'd journal of job state transitions.
 
-    Thread-safe: appends serialize under one lock (the underlying
-    durable append is a single write+fsync, so lines never interleave),
-    and the offset index is only mutated under it.  Reads for
+    Thread-safe: the append *write* serializes under one lock so lines
+    never interleave and offsets are exact, while the fsync runs after
+    release (a later sync covers every earlier write, so each record is
+    still durable before its append returns) — the lock is never held
+    across disk latency.  The offset index is only mutated under the
+    same lock.  Reads for
     read-through seek directly to an indexed offset and re-verify the
     line's CRC, so even an index pointing into a corrupted region
     degrades to "not found", never to a wrong answer.
@@ -130,10 +138,18 @@ class JobJournal:
         record["schema"] = JOURNAL_SCHEMA
         record["crc"] = record_crc(record)
         line = json.dumps(record, sort_keys=True) + "\n"
+        # Only the write is serialized under the lock (line ordering and
+        # offset correctness need that); the fsync happens *after*
+        # release, because fsync flushes the whole file — every append
+        # that landed before this sync point is covered by it — so each
+        # caller still returns only once its own bytes are durable,
+        # while concurrent appenders no longer queue behind the disk
+        # (lint rule RPL013: no blocking call under a lock).
         with self._lock:
-            offset = durable_append_text(self.path, line)
+            offset = append_text(self.path, line)
             self.appends += 1
-            return offset
+        fsync_path(self.path)
+        return offset
 
     def record_submitted(
         self,

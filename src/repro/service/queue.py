@@ -77,7 +77,7 @@ class JobDispatcher:
         self._queue: "queue.Queue[tuple[int, Job]]" = queue.Queue()
         self._stop = threading.Event()
         self._seq_lock = threading.Lock()
-        self._seq = 0
+        self._seq = 0  # repro-lint: guarded-by=_seq_lock
         self._threads: list[threading.Thread] = []
         self._dispatches: list[SupervisedDispatch] = []
         self._context = context

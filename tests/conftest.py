@@ -30,6 +30,31 @@ settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "ci"))
 
 
 # ----------------------------------------------------------------------
+# Lock-order sanitizer (REPRO_TSAN=1)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session", autouse=True)
+def _lock_sanitizer():
+    """Run the whole suite under the runtime lock-order sanitizer.
+
+    With ``REPRO_TSAN=1`` every ``threading.Lock``/``RLock``/``Condition``
+    created by the service and pool modules is instrumented: a lock-order
+    inversion or a ``Thread.join`` under a held lock raises instead of
+    deadlocking.  Installed once for the session, *before* any fixture
+    constructs a service, so every lock those modules create is wrapped.
+    Off by default — the instrumented run must be byte-identical to the
+    plain one, and tier-1 runs both ways in CI.
+    """
+    if os.environ.get("REPRO_TSAN") != "1":
+        yield
+        return
+    from repro.lint import sanitizer
+
+    sanitizer.install()
+    yield
+    sanitizer.uninstall()
+
+
+# ----------------------------------------------------------------------
 # Instance strategies
 # ----------------------------------------------------------------------
 @st.composite

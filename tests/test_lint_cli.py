@@ -60,6 +60,15 @@ class TestExitCodes:
         assert rc == 2
         assert "unknown rule code" in capsys.readouterr().err
 
+    def test_unknown_ignore_code_exits_two(self, tree, capsys):
+        # A typo'd --ignore must fail loudly, not silently ignore
+        # nothing while the caller believes a rule is off.
+        write(tree, "tidy.py", CLEAN)
+        rc = main(["lint", "--root", str(tree), "--ignore", "RPL099",
+                   str(tree / "src")])
+        assert rc == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
     def test_malformed_policy_exits_two(self, tree, capsys):
         write(tree, "tidy.py", CLEAN)
         (tree / "pyproject.toml").write_text(
@@ -131,5 +140,19 @@ class TestListRules:
     def test_catalog_listing(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RPL001", "RPL008", "RPL000", "RPL999"):
+        for code in ("RPL001", "RPL008", "RPL011", "RPL012", "RPL013",
+                     "RPL000", "RPL999"):
             assert code in out
+
+
+class TestConcurrencySelect:
+    def test_select_concurrency_rules_only(self, tree, capsys):
+        # The CI concurrency-lint job's exact invocation: the RNG
+        # violation in DIRTY is out of scope, so a clean exit.
+        write(tree, "dirty.py", DIRTY)
+        rc = main(["lint", "--root", str(tree),
+                   "--select", "RPL011,RPL012,RPL013",
+                   "--format", "json", str(tree / "src")])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []

@@ -25,11 +25,11 @@ def codes(findings):
 
 
 class TestCatalog:
-    def test_ten_rules_registered(self):
+    def test_thirteen_rules_registered(self):
         assert sorted(RULES) == [
             "RPL001", "RPL002", "RPL003", "RPL004",
             "RPL005", "RPL006", "RPL007", "RPL008", "RPL009",
-            "RPL010",
+            "RPL010", "RPL011", "RPL012", "RPL013",
         ]
 
     def test_rules_carry_metadata(self):
@@ -37,6 +37,12 @@ class TestCatalog:
             assert rule.code and rule.name and rule.summary
             assert rule.severity in ("error", "warning")
             assert rule.__doc__ and rule.code in rule.__doc__
+
+    def test_project_rules_are_marked(self):
+        # RPL011–RPL013 need the cross-module index; everything earlier
+        # stays a per-file rule.
+        project = sorted(r.code for r in iter_rules() if r.project)
+        assert project == ["RPL011", "RPL012", "RPL013"]
 
 
 class TestRPL001GlobalRandomState:
